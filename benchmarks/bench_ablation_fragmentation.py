@@ -1,0 +1,24 @@
+"""Ablation: per-process table fragmentation (why Hierarchical-UTLB).
+
+The per-process UTLB scatters free slots as translations churn; the
+Hierarchical-UTLB "eliminates the fragmentation problem" by indexing on
+virtual addresses directly (Section 3.3).  This bench quantifies the
+problem Hierarchical-UTLB removes.
+"""
+
+from repro.sim.ablation import fragmentation_over_time, render_fragmentation
+
+from benchmarks.conftest import run_once
+
+
+def bench_ablation_fragmentation(benchmark):
+    points = run_once(benchmark, fragmentation_over_time,
+                      num_slots=256, working_set=512, accesses=4000,
+                      pin_policy="random", seed=1)
+    print()
+    print(render_fragmentation(points, slots=256, working_set=512,
+                               policy="random"))
+    # Once the table churns, free space is scattered: fragmentation is
+    # substantial and persistent.
+    steady = [frag for _, frag in points[len(points) // 2:]]
+    assert all(frag > 0.3 for frag in steady)

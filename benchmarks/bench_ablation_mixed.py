@@ -1,0 +1,28 @@
+"""Ablation: heterogeneous multiprogramming (the paper's limitation #1).
+
+Independent programs — not one SPMD app — share a node's NIC.  The bench
+sweeps cache organisations for two-program mixes, quantifying how much
+index offsetting matters once the programs sharing the translation cache
+are strangers.
+"""
+
+from repro.sim.ablation import mixed_workload_grid, render_mixed_grid
+
+from benchmarks.conftest import run_once
+
+MIXES = (("barnes", "fft"),
+         ("radix", "volrend"),
+         ("water-spatial", "raytrace"))
+SIZES = (1024, 4096)
+
+
+def bench_ablation_heterogeneous_mix(benchmark, bench_geometry):
+    scale, _, seed = bench_geometry
+    data = run_once(benchmark, mixed_workload_grid, mixes=MIXES,
+                    sizes=SIZES, scale=scale, seed=seed)
+    print()
+    print(render_mixed_grid(data))
+    for cells in data.values():
+        for size in SIZES:
+            # Offsetting never loses to no-hash.
+            assert cells[(size, "direct")] <= cells[(size, "direct-nohash")]

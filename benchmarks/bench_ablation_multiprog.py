@@ -1,0 +1,59 @@
+"""Ablation: multiprogramming pressure on the Shared UTLB-Cache.
+
+The paper's open limitation (Section 7): its traces could not vary the
+degree of multiprogramming.  Here the same aggregate workload is split
+across 2..12 processes sharing one NIC cache, with and without index
+offsetting, showing how conflict misses scale with process count.
+"""
+
+import random
+
+from repro import params
+from repro.core.shared_cache import SharedUtlbCache
+from repro.core.utlb import CountingFrameDriver, HierarchicalUtlb
+from repro.sim.report import format_table
+
+from benchmarks.conftest import run_once
+
+PAGES_PER_PROCESS = 96
+ACCESSES_PER_PROCESS = 2000
+CACHE_ENTRIES = 512
+
+
+def _run(num_processes, offsetting, seed=1):
+    cache = SharedUtlbCache(CACHE_ENTRIES, offsetting=offsetting,
+                            max_processes=16)
+    driver = CountingFrameDriver()
+    utlbs = [HierarchicalUtlb(pid, cache, driver=driver)
+             for pid in range(num_processes)]
+    rng = random.Random(seed)
+    # Every process cycles the same page numbers (SPMD layout): the
+    # worst case for an unhashed shared cache.
+    for _ in range(ACCESSES_PER_PROCESS):
+        for utlb in utlbs:
+            utlb.access_page(rng.randrange(PAGES_PER_PROCESS))
+    return cache.stats.miss_rate
+
+
+def _grid():
+    rows = []
+    for processes in (2, 4, 8, 12):
+        rows.append([processes,
+                     round(_run(processes, offsetting=True), 3),
+                     round(_run(processes, offsetting=False), 3)])
+    return rows
+
+
+def bench_ablation_multiprogramming(benchmark):
+    rows = run_once(benchmark, _grid)
+    print()
+    print(format_table(
+        ["processes", "offset miss rate", "nohash miss rate"], rows,
+        title="Ablation: shared-cache miss rate vs multiprogramming "
+              "degree (%d entries)" % CACHE_ENTRIES,
+        precision=3))
+    for processes, offset_rate, nohash_rate in rows:
+        if processes * PAGES_PER_PROCESS <= CACHE_ENTRIES:
+            # While the aggregate working set fits, offsetting keeps the
+            # processes from colliding; nohash thrashes regardless.
+            assert offset_rate < nohash_rate

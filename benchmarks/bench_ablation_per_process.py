@@ -1,0 +1,71 @@
+"""Ablation: per-process UTLB vs Shared UTLB-Cache (Sections 3.1 vs 3.2).
+
+The paper could not compare the two for lack of traces (Section 7).
+Here both replay the same workloads: the per-process design never misses
+on the NIC but burns scarce SRAM per process and suffers capacity
+evictions (extra pin/unpin) once its table is smaller than the
+footprint; the shared cache keeps translations alive in host memory.
+"""
+
+from repro import params
+from repro.core.per_process import PerProcessUtlb
+from repro.core.stats import TranslationStats
+from repro.core.utlb import CountingFrameDriver
+from repro.sim.config import SimConfig
+from repro.sim.report import format_table
+from repro.sim.simulator import simulate_node
+from repro.traces.merge import split_by_pid
+from repro.traces.synth import make_app
+
+from benchmarks.conftest import run_once
+
+#: NIC SRAM budget for translation state (the paper's 32 KB).
+SRAM_BUDGET_ENTRIES = 8192
+
+
+def replay_per_process(records, slots_per_process):
+    """Replay a node trace over per-process UTLB tables."""
+    driver = CountingFrameDriver()
+    utlbs = {pid: PerProcessUtlb(pid, num_slots=slots_per_process,
+                                 driver=driver)
+             for pid in sorted(split_by_pid(records))}
+    for record in records:
+        utlb = utlbs[record.pid]
+        for vpage in record.pages():
+            utlb.access_page(vpage)
+    return TranslationStats.merged(u.stats for u in utlbs.values())
+
+
+def _compare(scale, seed):
+    rows = []
+    for name in ("barnes", "fft", "water-spatial"):
+        app = make_app(name)
+        records = app.generate_node(0, seed=seed, scale=scale)
+        processes = len(split_by_pid(records))
+        slots = SRAM_BUDGET_ENTRIES // processes
+        per_process = replay_per_process(records, slots)
+        shared = simulate_node(
+            records, SimConfig(cache_entries=SRAM_BUDGET_ENTRIES)).stats
+        rows.append([name,
+                     round(per_process.avg_lookup_cost_us, 2),
+                     round(shared.avg_lookup_cost_us, 2),
+                     per_process.pages_unpinned,
+                     shared.pages_unpinned])
+    return rows
+
+
+def bench_ablation_per_process_vs_shared(benchmark, bench_geometry):
+    scale, _, seed = bench_geometry
+    rows = run_once(benchmark, _compare, scale, seed)
+    print()
+    print(format_table(
+        ["Application", "per-proc us/lookup", "shared us/lookup",
+         "per-proc unpins", "shared unpins"],
+        rows,
+        title="Ablation: per-process UTLB vs Shared UTLB-Cache "
+              "(equal SRAM budget, infinite host memory)"))
+    for row in rows:
+        # The shared cache never unpins under infinite memory; the
+        # per-process table must evict (unpin) whenever the per-process
+        # slice of SRAM is smaller than the footprint.
+        assert row[4] == 0

@@ -1,0 +1,29 @@
+"""Ablation: the full translation design-space quadrant.
+
+{user-managed, interrupt-managed} x {per-process NIC table, shared NIC
+cache}: Hierarchical-UTLB (the paper), per-process UTLB (Section 3.1),
+UNet-MM-style interrupt baseline, and the original VMMC interrupt-managed
+per-process tables — all replaying the same traces under the same NIC
+SRAM budget.
+"""
+
+from repro.sim.ablation import design_quadrant, render_design_quadrant
+
+from benchmarks.conftest import run_once
+
+SRAM_ENTRIES = 256
+
+
+def bench_ablation_design_quadrant(benchmark, bench_geometry):
+    scale, _, seed = bench_geometry
+    data = run_once(benchmark, design_quadrant,
+                    app_names=("barnes", "fft", "radix"),
+                    sram_entries=SRAM_ENTRIES, scale=scale, seed=seed)
+    print()
+    print(render_design_quadrant(data, sram_entries=SRAM_ENTRIES))
+    # The user-managed designs never interrupt; the others always do.
+    for cells in data.values():
+        assert cells["UTLB (user+shared)"].interrupts == 0
+        assert cells["per-proc (user)"].interrupts == 0
+        assert cells["intr+shared (UNet-MM)"].interrupts > 0
+        assert cells["intr+per-proc (VMMC'97)"].interrupts > 0

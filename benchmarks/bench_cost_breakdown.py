@@ -1,0 +1,28 @@
+"""Extension experiment: where each lookup microsecond goes.
+
+Decomposes the average lookup cost into the Section 6.2 equation terms
+for both mechanisms — the 'why' behind Table 6: UTLB spends on user-level
+pinning; the baseline spends on interrupts and kernel pin/unpin.
+"""
+
+from repro.sim import experiments as exp
+
+from benchmarks.conftest import run_once
+
+
+def bench_cost_breakdown(benchmark, bench_geometry):
+    scale, nodes, seed = bench_geometry
+    data = run_once(benchmark, exp.cost_breakdown, scale=scale,
+                    nodes=nodes, seed=seed, cache_entries=1024)
+    print()
+    print(exp.render_cost_breakdown(data))
+    for app, per_mech in data.items():
+        utlb = per_mech["utlb"]
+        intr = per_mech["intr"]
+        # The structural claims behind Table 6:
+        assert utlb["interrupt_us"] == 0.0
+        assert intr["check_us"] == 0.0 and intr["pin_us"] >= 0.0
+        assert intr["interrupt_us"] > 0.0
+        # Components sum to the total.
+        assert abs(sum(utlb[c] for c in exp.BREAKDOWN_COMPONENTS)
+                   - utlb["total_us"]) < 1e-9

@@ -1,0 +1,24 @@
+"""Figure 7: compulsory/capacity/conflict breakdown of NIC-cache misses.
+
+Checks the paper's finding: compulsory misses constitute the majority of
+translation misses once the cache is reasonably sized.
+"""
+
+from repro.sim import experiments as exp
+
+from benchmarks.conftest import run_once
+
+SIZES = (1024, 4096, 16384)
+
+
+def bench_fig7_miss_breakdown(benchmark, bench_geometry):
+    scale, nodes, seed = bench_geometry
+    data = run_once(benchmark, exp.figure7, scale=scale, nodes=nodes,
+                    seed=seed, sizes=SIZES)
+    print()
+    print(exp.render_figure7(data))
+    dominant = sum(
+        1 for app in data
+        if data[app][16384]["compulsory"]
+        > data[app][16384]["capacity"] + data[app][16384]["conflict"])
+    assert dominant >= 5

@@ -1,0 +1,25 @@
+"""Figure 8: prefetching translation entries (Radix).
+
+Checks the paper's finding: overall miss rate and average lookup cost
+both fall as the prefetch degree grows, because the DMA cost of fetching
+extra entries grows far slower than the miss-rate drop.
+"""
+
+from repro import params
+from repro.sim import experiments as exp
+
+from benchmarks.conftest import run_once
+
+SIZES = (1024, 4096, 16384)
+
+
+def bench_fig8_prefetch(benchmark, bench_geometry):
+    scale, nodes, seed = bench_geometry
+    data = run_once(benchmark, exp.figure8, scale=scale, nodes=nodes,
+                    seed=seed, sizes=SIZES, degrees=params.PREFETCH_SWEEP)
+    print()
+    print(exp.render_figure8(data))
+    for size in SIZES:
+        curve = data[size]
+        assert curve[16]["miss_rate"] < curve[1]["miss_rate"]
+        assert curve[16]["lookup_cost_us"] < curve[1]["lookup_cost_us"]

@@ -1,0 +1,87 @@
+"""Micro-benchmarks of the hot operations on the translation path.
+
+These are the Python-level analogues of the paper's Table 1/2 hardware
+micro-measurements: the real cost drivers of the simulator itself.
+"""
+
+import random
+
+from repro.core.bitvector import BitVector
+from repro.core.lookup_tree import TwoLevelLookupTree
+from repro.core.shared_cache import SharedUtlbCache
+from repro.core.utlb import HierarchicalUtlb
+
+
+def bench_utlb_hit_path(benchmark):
+    """The all-hits fast path: check + NIC hit, no pinning."""
+    cache = SharedUtlbCache(num_entries=1024)
+    utlb = HierarchicalUtlb(1, cache)
+    for page in range(256):
+        utlb.access_page(page)
+    pages = list(range(256))
+    rng = random.Random(0)
+    rng.shuffle(pages)
+    state = {"i": 0}
+
+    def hit():
+        i = state["i"]
+        utlb.access_page(pages[i & 255])
+        state["i"] = i + 1
+
+    benchmark(hit)
+
+
+def bench_cache_lookup_hit(benchmark):
+    cache = SharedUtlbCache(num_entries=1024)
+    cache.register_process(1)
+    for page in range(512):
+        cache.fill(1, page, page)
+    state = {"i": 0}
+
+    def lookup():
+        i = state["i"]
+        cache.lookup(1, i & 511)
+        state["i"] = i + 1
+
+    benchmark(lookup)
+
+
+def bench_bitvector_test(benchmark):
+    bitvector = BitVector()
+    for page in range(0, 100000, 2):
+        bitvector.set(page)
+    state = {"i": 0}
+
+    def test():
+        i = state["i"]
+        bitvector.test(i % 100000)
+        state["i"] = i + 7
+
+    benchmark(test)
+
+
+def bench_lookup_tree_lookup(benchmark):
+    tree = TwoLevelLookupTree()
+    for page in range(4096):
+        tree.install(page * 3, page)
+    state = {"i": 0}
+
+    def lookup():
+        i = state["i"]
+        tree.lookup((i * 3) % 12288)
+        state["i"] = i + 1
+
+    benchmark(lookup)
+
+
+def bench_demand_pin_path(benchmark):
+    """The slow path: check miss -> pin -> table install -> NIC fill."""
+    cache = SharedUtlbCache(num_entries=8192)
+    utlb = HierarchicalUtlb(1, cache)
+    state = {"page": 0}
+
+    def pin_path():
+        utlb.access_page(state["page"])
+        state["page"] += 1
+
+    benchmark(pin_path)

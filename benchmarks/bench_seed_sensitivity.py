@@ -1,0 +1,37 @@
+"""Robustness: the reproduced rates must not depend on the trace seed.
+
+If the comparison against the paper's numbers only held for one lucky
+seed, the reproduction would be cherry-picked.  This bench measures the
+NI-miss-rate spread over several seeds for every application and bounds
+it.
+"""
+
+from repro.sim.ablation import render_seed_sensitivity, seed_sensitivity
+
+from benchmarks.conftest import run_once
+
+SEEDS = (1, 2, 3)
+
+
+def bench_seed_sensitivity(benchmark, bench_geometry):
+    scale, nodes, _ = bench_geometry
+
+    def run_both():
+        # A comfortable cache (rates are structural: expect ~0 spread)
+        # and a pressure cache (stochastic eviction: expect small spread).
+        return {
+            1024: seed_sensitivity(seeds=SEEDS, cache_entries=1024,
+                                   scale=scale, nodes=nodes),
+            128: seed_sensitivity(seeds=SEEDS, cache_entries=128,
+                                  scale=scale, nodes=nodes),
+        }
+
+    results = run_once(benchmark, run_both)
+    for entries, data in sorted(results.items()):
+        print()
+        print("cache = %d entries" % entries)
+        print(render_seed_sensitivity(data, seeds=SEEDS))
+        for name, cell in data.items():
+            assert cell["spread"] < 0.05, (
+                "%s miss rate varies %.3f across seeds"
+                % (name, cell["spread"]))

@@ -1,0 +1,65 @@
+"""SVM-layer benchmarks: whole parallel kernels through the full stack.
+
+Each bench times a verified BSP kernel (compute + page fetches + diff
+propagation + barriers) on the SVM layer, and reports the UTLB traffic
+it generated — the live counterpart of the paper's traced SVM runs.
+"""
+
+import random
+
+from repro.svm import SvmCluster
+from repro.svm.apps import (
+    parallel_histogram,
+    parallel_stencil,
+    parallel_transpose,
+    serial_histogram,
+    serial_stencil,
+    serial_transpose,
+)
+
+from benchmarks.conftest import run_once
+
+
+def bench_svm_stencil(benchmark):
+    rng = random.Random(1)
+    n = 48
+    grid = [[rng.randrange(-100, 100) for _ in range(n)] for _ in range(n)]
+
+    def run():
+        svm = SvmCluster(num_ranks=4, region_pages=32, nodes=2)
+        result = parallel_stencil(svm, grid, 2)
+        return svm, result
+
+    svm, result = run_once(benchmark, run)
+    assert result == serial_stencil(grid, 2)
+    stats = svm.translation_stats()
+    print()
+    print("stencil: %d SVM fetches, %d diff stores, %d UTLB lookups, "
+          "%d interrupts" % (svm.total_fetches(), svm.diff_stores,
+                             stats.lookups, stats.interrupts))
+    assert stats.interrupts == 0
+
+
+def bench_svm_transpose(benchmark):
+    rng = random.Random(2)
+    n = 40
+    matrix = [[rng.randrange(10**6) for _ in range(n)] for _ in range(n)]
+
+    def run():
+        svm = SvmCluster(num_ranks=4, region_pages=32, nodes=2)
+        return parallel_transpose(svm, matrix)
+
+    result = run_once(benchmark, run)
+    assert result == serial_transpose(matrix)
+
+
+def bench_svm_histogram(benchmark):
+    rng = random.Random(3)
+    keys = [rng.randrange(1 << 20) for _ in range(2000)]
+
+    def run():
+        svm = SvmCluster(num_ranks=4, region_pages=32, nodes=2)
+        return parallel_histogram(svm, keys, 64)
+
+    result = run_once(benchmark, run)
+    assert result == serial_histogram(keys, 64)

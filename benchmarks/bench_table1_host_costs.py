@@ -1,0 +1,35 @@
+"""Table 1: host-side UTLB operation costs (check / pin / unpin).
+
+Regenerates the paper's host micro-benchmark table from the calibrated
+cost model and times the user-level check against the live BitVector
+implementation (the structure the measured 'check' exercises).
+"""
+
+from repro.core.bitvector import BitVector
+from repro.sim import experiments as exp
+
+from benchmarks.conftest import run_once
+
+
+def bench_table1_host_costs(benchmark):
+    data = run_once(benchmark, exp.table1)
+    print()
+    print(exp.render_table1(data))
+    assert data["pin"][0] == 27.0
+
+
+def bench_table1_live_check_operation(benchmark):
+    """The real user-level check: an all_set probe over a 32-page buffer
+    in a bit vector with a realistic pinned population."""
+    bitvector = BitVector()
+    for page in range(0, 20000, 3):
+        bitvector.set(page)
+
+    def check():
+        hits = 0
+        for start in range(0, 4096, 32):
+            if bitvector.all_set(start, 32):
+                hits += 1
+        return hits
+
+    benchmark(check)

@@ -1,0 +1,36 @@
+"""Table 2: NIC-side UTLB costs (hit / DMA / miss) vs entries fetched.
+
+Regenerates the cost table and times the live miss path: a Shared
+UTLB-Cache miss that reads a block from the host translation table.
+"""
+
+from repro.core.shared_cache import SharedUtlbCache
+from repro.core.translation_table import HierarchicalTranslationTable
+from repro.sim import experiments as exp
+
+from benchmarks.conftest import run_once
+
+
+def bench_table2_nic_costs(benchmark):
+    data = run_once(benchmark, exp.table2)
+    print()
+    print(exp.render_table2(data))
+    assert data["hit_cost"] == 0.8
+
+
+def bench_table2_live_miss_path(benchmark):
+    """One simulated miss: table block read + cache block fill."""
+    table = HierarchicalTranslationTable(1)
+    for vpage in range(4096):
+        table.install(vpage, vpage + 1)
+    cache = SharedUtlbCache(num_entries=1024)
+    cache.register_process(1)
+    state = {"vpage": 0}
+
+    def miss():
+        vpage = state["vpage"]
+        block = table.read_block(vpage, 16)
+        cache.fill_block(1, block)
+        state["vpage"] = (vpage + 16) % 4096
+
+    benchmark(miss)

@@ -1,0 +1,21 @@
+"""Table 3: workload characteristics of the seven synthetic applications.
+
+Times full trace generation and prints the footprint / lookup table the
+generators achieve against the paper's targets.
+"""
+
+from repro.sim import experiments as exp
+
+from benchmarks.conftest import run_once
+
+
+def bench_table3_workloads(benchmark, bench_geometry):
+    scale, nodes, seed = bench_geometry
+    data = run_once(benchmark, exp.table3, scale=scale, nodes=nodes,
+                    seed=seed)
+    print()
+    print(exp.render_table3(data))
+    print("(scale=%.2f; full-scale targets: fft %d pages / %d lookups)"
+          % (scale, data["fft"]["target_footprint"],
+             data["fft"]["target_lookups"]))
+    assert len(data) == 7

@@ -1,0 +1,26 @@
+"""Table 4: UTLB vs interrupt-based mechanism, infinite host memory.
+
+The headline comparison: per-lookup check misses, NI misses, and unpins
+for all seven applications across NIC cache sizes, for both mechanisms.
+"""
+
+from repro.sim import experiments as exp
+
+from benchmarks.conftest import run_once
+
+SIZES = (1024, 4096, 16384)
+
+
+def bench_table4_utlb_vs_intr(benchmark, bench_geometry):
+    scale, nodes, seed = bench_geometry
+    data = run_once(benchmark, exp.table4, scale=scale, nodes=nodes,
+                    seed=seed, sizes=SIZES)
+    print()
+    print(exp.render_table4(data))
+    # Shape assertions (the paper's findings):
+    for app in data:
+        for size in SIZES:
+            cell = data[app][size]
+            assert cell["utlb"]["unpins"] == 0.0
+            assert abs(cell["utlb"]["ni_misses"]
+                       - cell["intr"]["ni_misses"]) < 1e-9

@@ -1,0 +1,27 @@
+"""Table 5: UTLB vs interrupt-based under a 4 MB per-process limit."""
+
+from repro import params
+from repro.sim import experiments as exp
+
+from benchmarks.conftest import run_once
+
+SIZES = (1024, 4096, 16384)
+
+
+def bench_table5_limited_memory(benchmark, bench_geometry):
+    scale, nodes, seed = bench_geometry
+    data = run_once(benchmark, exp.table5, scale=scale, nodes=nodes,
+                    seed=seed, sizes=SIZES,
+                    memory_limit_bytes=params.TABLE5_MEMORY_LIMIT_BYTES)
+    print()
+    print(exp.render_table5(data))
+    # UTLB performs essentially no more pin+unpin work than the baseline
+    # even under the limit (the paper's Table 5 itself has cells where
+    # the two are within a couple of percent of each other).
+    for app in data:
+        for size in SIZES:
+            cell = data[app][size]
+            utlb = cell["utlb"]["stats"]
+            intr = cell["intr"]["stats"]
+            assert (utlb.pages_pinned + utlb.pages_unpinned
+                    <= 1.1 * (intr.pages_pinned + intr.pages_unpinned) + 1)

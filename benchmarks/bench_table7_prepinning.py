@@ -1,0 +1,29 @@
+"""Table 7: sequential pre-pinning, 1 page vs 16 pages per check miss.
+
+Checks the paper's finding: pre-pinning amortizes pin cost for apps with
+spatial locality, but FFT's strided transpose makes it backfire — the
+unpin cost explodes.
+"""
+
+from repro.sim import experiments as exp
+
+from benchmarks.conftest import run_once
+
+
+def bench_table7_prepinning(benchmark, bench_geometry):
+    scale, nodes, seed = bench_geometry
+    data = run_once(benchmark, exp.table7, scale=scale, nodes=nodes,
+                    seed=seed, cache_entries=4096)
+    print()
+    print(exp.render_table7(data))
+    # Pre-pinning backfires (unpin cost grows) for at least one app with
+    # a prepin-hostile pattern — FFT at the default reduced scale, where
+    # its column stride matches the paper's geometry; Raytrace at full
+    # scale (see EXPERIMENTS.md).
+    backfired = [app for app in data
+                 if data[app][16]["unpin_us"] > 1.5 * data[app][1]["unpin_us"]
+                 and data[app][16]["unpin_us"] > 1.0]
+    assert backfired, "no application showed the pre-pinning pathology"
+    helped = [app for app in data
+              if data[app][16]["pin_us"] < data[app][1]["pin_us"]]
+    assert len(helped) >= 3

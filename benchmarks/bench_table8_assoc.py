@@ -1,0 +1,34 @@
+"""Table 8: Shared UTLB-Cache miss rates vs size and associativity.
+
+Checks the paper's finding: a direct-mapped cache with per-process index
+offsetting is competitive with 2-/4-way set-associative caches and far
+better than direct-mapped without offsetting (multiprogramming
+conflicts).
+"""
+
+from repro.sim import experiments as exp
+
+from benchmarks.conftest import run_once
+
+SIZES = (1024, 4096, 16384)
+
+
+def bench_table8_associativity(benchmark, bench_geometry):
+    scale, nodes, seed = bench_geometry
+    data = run_once(benchmark, exp.table8, scale=scale, nodes=nodes,
+                    seed=seed, sizes=SIZES)
+    print()
+    print(exp.render_table8(data))
+    print()
+    print(exp.render_table8_cost(exp.table8_cost(data)))
+    # direct-nohash is the clear loser on most cells.
+    worse = sum(
+        1 for app in data for size in SIZES
+        if data[app][(size, "direct-nohash")]
+        > data[app][(size, "direct")])
+    assert worse >= 0.7 * len(data) * len(SIZES)
+    # direct (with offsetting) within a whisker of 4-way everywhere.
+    for app in data:
+        for size in SIZES:
+            assert (data[app][(size, "direct")]
+                    <= data[app][(size, "4-way")] + 0.08)

@@ -1,0 +1,32 @@
+"""Shared settings for the benchmark harness.
+
+Every benchmark regenerates one paper table or figure and prints it, so
+``pytest benchmarks/ --benchmark-only -s`` both times the experiment
+kernels and emits the reproduced results.
+
+Scale: benchmarks default to a reduced trace scale so the whole suite
+runs in minutes.  Set ``REPRO_BENCH_SCALE=1.0`` (and ``REPRO_BENCH_NODES=4``)
+to run the paper-sized experiments; EXPERIMENTS.md records a full-scale
+run via ``repro.sim.experiments.run_all``.
+"""
+
+import os
+
+import pytest
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+BENCH_NODES = int(os.environ.get("REPRO_BENCH_NODES", "1"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+
+@pytest.fixture(scope="session")
+def bench_geometry():
+    """(scale, nodes, seed) used by every experiment benchmark."""
+    return BENCH_SCALE, BENCH_NODES, BENCH_SEED
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Time ``func`` with a single round (experiments are heavy and
+    deterministic; statistical repetition adds nothing)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

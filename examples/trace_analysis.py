@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Trace-driven analysis: UTLB vs the interrupt-based baseline.
+
+Generates the synthetic SPLASH-2-like communication traces and replays
+them through both translation mechanisms across NIC cache sizes — a
+miniature of the paper's Tables 4 and 6.
+
+Run:  python examples/trace_analysis.py [scale]
+      (scale defaults to 0.15; 1.0 reproduces paper-sized workloads)
+"""
+
+import sys
+
+from repro.sim.config import SimConfig
+from repro.sim.report import format_table
+from repro.sim.sweep import generate_traces, run_on_traces
+from repro.traces.synth import make_app
+
+APPS = ("barnes", "fft", "radix")
+CACHE_SIZES = (1024, 4096, 16384)
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.15
+    rows = []
+    for name in APPS:
+        app = make_app(name)
+        traces = generate_traces(app, nodes=2, seed=1, scale=scale)
+        for size in CACHE_SIZES:
+            config = SimConfig(cache_entries=size)
+            utlb = run_on_traces(traces, config, "utlb").stats
+            intr = run_on_traces(traces, config, "intr").stats
+            rows.append([
+                name, "%dK" % (size // 1024),
+                round(utlb.check_miss_rate, 2),
+                round(utlb.ni_miss_rate, 2),
+                round(utlb.avg_lookup_cost_us, 1),
+                round(intr.avg_lookup_cost_us, 1),
+                intr.interrupts,
+            ])
+    print(format_table(
+        ["app", "cache", "check miss", "NI miss",
+         "UTLB us/lookup", "Intr us/lookup", "Intr interrupts"],
+        rows,
+        title="UTLB vs interrupt-based translation (scale=%.2f)" % scale))
+    print()
+    print("UTLB raised 0 interrupts in every configuration; the baseline")
+    print("paid one 10 us interrupt per NIC translation miss.")
+
+
+if __name__ == "__main__":
+    main()

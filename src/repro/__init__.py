@@ -1,0 +1,43 @@
+"""repro: a reproduction of "UTLB: A Mechanism for Address Translation on
+Network Interfaces" (ASPLOS 1998).
+
+The package implements the paper's contribution and every substrate it
+depends on:
+
+* :mod:`repro.core` — the UTLB mechanisms (Hierarchical-UTLB, per-process
+  UTLB, the Shared UTLB-Cache, pin policies, the calibrated cost model)
+  and the interrupt-based baseline;
+* :mod:`repro.memsim` — host memory and OS (frames, address spaces, page
+  pinning, syscalls, interrupts);
+* :mod:`repro.nic` — the network interface (SRAM, DMA, command queues,
+  MCP firmware);
+* :mod:`repro.network` — the Myrinet-like fabric with reliable delivery;
+* :mod:`repro.vmmc` — the VMMC communication model (export/import, remote
+  store/fetch, transfer redirection) running on all of the above;
+* :mod:`repro.cachesim` — generic cache simulation plus 3C miss
+  classification;
+* :mod:`repro.traces` — trace records/IO/merging and the synthetic
+  SPLASH-2-like workload generators;
+* :mod:`repro.sim` — the trace-driven analysis harness and one function
+  per paper table/figure (:mod:`repro.sim.experiments`).
+
+Quick start::
+
+    from repro.vmmc import Cluster, remote_store
+
+    cluster = Cluster(num_nodes=2)
+    sender = cluster.node(0).create_process()
+    receiver = cluster.node(1).create_process()
+    export_id = receiver.export(0x40000000, 8192)
+    handle = sender.import_buffer(1, export_id)
+    sender.write_memory(0x10000000, b"hello, remote memory")
+    remote_store(cluster, sender, 0x10000000, 20, handle)
+    assert receiver.read_memory(0x40000000, 20) == b"hello, remote memory"
+"""
+
+__version__ = "1.0.0"
+
+from repro import params
+from repro.errors import ReproError
+
+__all__ = ["params", "ReproError", "__version__"]

@@ -1,0 +1,70 @@
+"""Command-line entry point: regenerate the paper's evaluation.
+
+Usage::
+
+    python -m repro [--scale S] [--nodes N] [--seed K] [--only table4]
+
+Prints every table and figure of the paper's Section 5/6 evaluation (or a
+single one with ``--only``).  ``--scale 1.0 --nodes 4`` is the
+paper-sized run recorded in EXPERIMENTS.md.
+"""
+
+import argparse
+import sys
+
+from repro.sim import experiments as exp
+
+SECTIONS = {
+    "table1": lambda a: exp.render_table1(exp.table1()),
+    "table2": lambda a: exp.render_table2(exp.table2()),
+    "table3": lambda a: exp.render_table3(
+        exp.table3(scale=a.scale, nodes=a.nodes, seed=a.seed)),
+    "table4": lambda a: exp.render_table4(
+        exp.table4(scale=a.scale, nodes=a.nodes, seed=a.seed)),
+    "table5": lambda a: exp.render_table5(
+        exp.table5(scale=a.scale, nodes=a.nodes, seed=a.seed)),
+    "table6": lambda a: exp.render_table6(
+        exp.table6(scale=a.scale, nodes=a.nodes, seed=a.seed)),
+    "table7": lambda a: exp.render_table7(
+        exp.table7(scale=a.scale, nodes=a.nodes, seed=a.seed)),
+    "table8": lambda a: exp.render_table8(
+        exp.table8(scale=a.scale, nodes=a.nodes, seed=a.seed)),
+    "figure7": lambda a: exp.render_figure7(
+        exp.figure7(scale=a.scale, nodes=a.nodes, seed=a.seed)),
+    "figure8": lambda a: exp.render_figure8(
+        exp.figure8(scale=a.scale, nodes=a.nodes, seed=a.seed)),
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the UTLB paper's tables and figures.")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (default 1.0)")
+    parser.add_argument("--nodes", type=int, default=4,
+                        help="cluster nodes to simulate (default 4)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="trace generation seed (default 1)")
+    parser.add_argument("--only", choices=sorted(SECTIONS),
+                        help="regenerate a single table/figure")
+    parser.add_argument("--compare", action="store_true",
+                        help="compare measured results against the "
+                             "paper's published numbers")
+    args = parser.parse_args(argv)
+
+    if args.compare:
+        from repro.sim.compare import run_comparison
+        run_comparison(scale=args.scale, nodes=args.nodes, seed=args.seed,
+                       stream=sys.stdout)
+        return 0
+    if args.only:
+        print(SECTIONS[args.only](args))
+        return 0
+    exp.run_all(scale=args.scale, nodes=args.nodes, seed=args.seed,
+                stream=sys.stdout)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

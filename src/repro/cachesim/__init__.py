@@ -1,0 +1,33 @@
+"""Generic cache simulation substrate: set-associative caches, replacement
+policies, and Hill 3C miss classification."""
+
+from repro.cachesim.cache import CacheStats, SetAssociativeCache
+from repro.cachesim.classify import (
+    CAPACITY,
+    COMPULSORY,
+    CONFLICT,
+    MISS_CLASSES,
+    MissBreakdown,
+    ThreeCClassifier,
+)
+from repro.cachesim.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "CacheStats",
+    "SetAssociativeCache",
+    "ThreeCClassifier",
+    "MissBreakdown",
+    "COMPULSORY",
+    "CAPACITY",
+    "CONFLICT",
+    "MISS_CLASSES",
+    "LruPolicy",
+    "FifoPolicy",
+    "RandomPolicy",
+    "make_policy",
+]

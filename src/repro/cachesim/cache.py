@@ -1,0 +1,182 @@
+"""A generic set-associative cache with pluggable indexing.
+
+This is the substrate under the Shared UTLB-Cache: a fixed number of
+entries organised as ``num_sets × associativity``, a pluggable index
+function (which is how the paper's *index offsetting* hash is expressed),
+and a within-set replacement policy.
+
+Keys are arbitrary hashables; the UTLB layers use ``(pid, vpage)``.  The
+index function receives the key and must return an int; it is reduced
+modulo ``num_sets``.
+"""
+
+from collections import OrderedDict
+
+from repro.errors import ConfigError
+from repro.cachesim.replacement import make_policy
+
+
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    __slots__ = ("accesses", "hits", "misses", "evictions", "invalidations",
+                 "fills")
+
+    def __init__(self):
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.fills = 0
+
+    @property
+    def miss_rate(self):
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self):
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def snapshot(self):
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "fills": self.fills,
+            "miss_rate": self.miss_rate,
+        }
+
+
+class SetAssociativeCache:
+    """Fixed-capacity set-associative cache of key -> payload entries.
+
+    Parameters
+    ----------
+    num_entries:
+        Total entries (must be divisible by ``associativity``).
+    associativity:
+        Ways per set; ``num_entries`` ways makes it fully associative.
+    index_fn:
+        ``index_fn(key) -> int``; defaults to ``hash``.  The Shared
+        UTLB-Cache passes the virtual page number plus a per-process
+        offset here (Section 6.3's offsetting technique).
+    replacement:
+        'lru' (default), 'fifo', or 'random'.
+    """
+
+    def __init__(self, num_entries, associativity=1, index_fn=None,
+                 replacement="lru", seed=0):
+        if num_entries <= 0:
+            raise ConfigError("cache needs at least one entry")
+        if associativity <= 0:
+            raise ConfigError("associativity must be positive")
+        if num_entries % associativity:
+            raise ConfigError(
+                "num_entries (%d) not divisible by associativity (%d)"
+                % (num_entries, associativity))
+        self.num_entries = num_entries
+        self.associativity = associativity
+        self.num_sets = num_entries // associativity
+        self._index_fn = index_fn if index_fn is not None else hash
+        self._policy = make_policy(replacement, seed=seed)
+        self._sets = [OrderedDict() for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    # -- internals ----------------------------------------------------------
+
+    def set_index(self, key):
+        """The set an entry for ``key`` maps into."""
+        return self._index_fn(key) % self.num_sets
+
+    def _set_for(self, key):
+        return self._sets[self.set_index(key)]
+
+    # -- operations ----------------------------------------------------------
+
+    def lookup(self, key):
+        """Probe the cache.  Returns (hit, payload-or-None).
+
+        Counts an access; on a hit the replacement policy is notified.
+        """
+        self.stats.accesses += 1
+        set_state = self._set_for(key)
+        if key in set_state:
+            self.stats.hits += 1
+            self._policy.touch(set_state, key)
+            return True, set_state[key]
+        self.stats.misses += 1
+        return False, None
+
+    def peek(self, key):
+        """Probe without counting or reordering (for assertions/tests)."""
+        set_state = self._set_for(key)
+        if key in set_state:
+            return True, set_state[key]
+        return False, None
+
+    def insert(self, key, payload):
+        """Fill ``key`` -> ``payload``; returns the evicted (key, payload)
+        pair, or None when no eviction was needed.
+
+        Inserting an existing key updates its payload in place (no
+        eviction, but the policy sees an insert).
+        """
+        set_state = self._set_for(key)
+        evicted = None
+        if key not in set_state and len(set_state) >= self.associativity:
+            victim = self._policy.victim(set_state)
+            evicted = (victim, set_state.pop(victim))
+            self.stats.evictions += 1
+        set_state[key] = payload
+        self._policy.insert(set_state, key)
+        self.stats.fills += 1
+        return evicted
+
+    def invalidate(self, key):
+        """Drop ``key`` if present; returns True when an entry was dropped."""
+        set_state = self._set_for(key)
+        if key in set_state:
+            del set_state[key]
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def invalidate_where(self, predicate):
+        """Drop every entry whose (key, payload) satisfies ``predicate``.
+
+        Used when a process exits or a page is unpinned and all of its
+        translations must leave the NIC cache.  Returns the count dropped.
+        """
+        dropped = 0
+        for set_state in self._sets:
+            victims = [k for k, v in set_state.items() if predicate(k, v)]
+            for key in victims:
+                del set_state[key]
+                dropped += 1
+        self.stats.invalidations += dropped
+        return dropped
+
+    def clear(self):
+        for set_state in self._sets:
+            set_state.clear()
+
+    # -- inspection ----------------------------------------------------------
+
+    def __len__(self):
+        return sum(len(s) for s in self._sets)
+
+    def __contains__(self, key):
+        return key in self._set_for(key)
+
+    def items(self):
+        """All (key, payload) pairs currently cached (set order)."""
+        for set_state in self._sets:
+            for key, payload in set_state.items():
+                yield key, payload
+
+    def occupancy(self):
+        """Fraction of entries in use."""
+        return len(self) / self.num_entries

@@ -1,0 +1,130 @@
+"""Three-C miss classification (Hill [23]) for any key-based cache.
+
+Figure 7 of the paper breaks NIC translation-cache misses into compulsory,
+capacity, and conflict components.  The standard definitions:
+
+* **compulsory** — the first reference ever made to the key; no cache of
+  any size or organisation could have hit.
+* **capacity** — a non-compulsory miss that a *fully associative* LRU cache
+  with the same total capacity would also have missed.
+* **conflict** — everything else: the fully associative cache would have
+  hit, so the miss is an artifact of the (limited) set mapping.
+
+The classifier runs a fully-associative LRU shadow cache in lockstep with
+the real cache.  The shadow sees every access (hit or miss) and every
+invalidation, so its contents are exactly "what a fully associative cache
+with this capacity would hold".
+"""
+
+from collections import OrderedDict
+
+COMPULSORY = "compulsory"
+CAPACITY = "capacity"
+CONFLICT = "conflict"
+
+MISS_CLASSES = (COMPULSORY, CAPACITY, CONFLICT)
+
+
+class MissBreakdown:
+    """Counts of each miss class plus total accesses."""
+
+    __slots__ = ("accesses", "compulsory", "capacity", "conflict")
+
+    def __init__(self):
+        self.accesses = 0
+        self.compulsory = 0
+        self.capacity = 0
+        self.conflict = 0
+
+    @property
+    def total_misses(self):
+        return self.compulsory + self.capacity + self.conflict
+
+    @property
+    def miss_rate(self):
+        return self.total_misses / self.accesses if self.accesses else 0.0
+
+    def rates(self):
+        """Per-class miss rates as a dict (fractions of all accesses)."""
+        if not self.accesses:
+            return {COMPULSORY: 0.0, CAPACITY: 0.0, CONFLICT: 0.0}
+        return {
+            COMPULSORY: self.compulsory / self.accesses,
+            CAPACITY: self.capacity / self.accesses,
+            CONFLICT: self.conflict / self.accesses,
+        }
+
+    def snapshot(self):
+        out = {"accesses": self.accesses, "misses": self.total_misses}
+        out.update({
+            COMPULSORY: self.compulsory,
+            CAPACITY: self.capacity,
+            CONFLICT: self.conflict,
+        })
+        return out
+
+
+class ThreeCClassifier:
+    """Classify each miss of a real cache into compulsory/capacity/conflict.
+
+    Usage: on every access to the real cache, call :meth:`observe_access`
+    with the key and whether the real cache hit.  On invalidations of the
+    real cache, call :meth:`observe_invalidate` so the shadow tracks it.
+    """
+
+    def __init__(self, capacity):
+        if capacity <= 0:
+            raise ValueError("shadow capacity must be positive")
+        self.capacity = capacity
+        self._shadow = OrderedDict()     # fully associative LRU shadow
+        self._ever_seen = set()
+        self.breakdown = MissBreakdown()
+
+    def observe_access(self, key, real_hit):
+        """Record one access; returns the miss class or None on a hit."""
+        self.breakdown.accesses += 1
+        shadow_hit = key in self._shadow
+        if shadow_hit:
+            self._shadow.move_to_end(key)
+        else:
+            if len(self._shadow) >= self.capacity:
+                self._shadow.popitem(last=False)
+            self._shadow[key] = True
+
+        first_reference = key not in self._ever_seen
+        self._ever_seen.add(key)
+
+        if real_hit:
+            return None
+        if first_reference:
+            self.breakdown.compulsory += 1
+            return COMPULSORY
+        if not shadow_hit:
+            self.breakdown.capacity += 1
+            return CAPACITY
+        self.breakdown.conflict += 1
+        return CONFLICT
+
+    def observe_fill(self, key):
+        """Record a fill that was not driven by an access at this key.
+
+        Prefetched entries enter both the real cache and the shadow; a key
+        brought in by prefetch no longer causes a *compulsory* miss later
+        because the reference stream effectively saw it.  (Figure 7 runs
+        without prefetch, but the classifier stays correct when prefetch is
+        enabled.)
+        """
+        if key in self._shadow:
+            self._shadow.move_to_end(key)
+            return
+        if len(self._shadow) >= self.capacity:
+            self._shadow.popitem(last=False)
+        self._shadow[key] = True
+
+    def observe_invalidate(self, key):
+        """Mirror an invalidation of the real cache into the shadow."""
+        self._shadow.pop(key, None)
+
+    def reset_counts(self):
+        """Zero the breakdown without forgetting reference history."""
+        self.breakdown = MissBreakdown()

@@ -1,0 +1,85 @@
+"""Within-set replacement policies for set-associative caches.
+
+A policy only orders the keys inside one cache set.  Each policy is a small
+class with the same three-method protocol so caches can swap them freely:
+
+* ``touch(set_state, key)``  — note a hit on ``key``
+* ``insert(set_state, key)`` — note a fill of ``key``
+* ``victim(set_state)``      — pick the key to evict (set is full)
+
+``set_state`` is the per-set ``OrderedDict`` the cache maintains; policies
+mutate only its ordering, never its contents.
+"""
+
+import random
+
+from repro.errors import ConfigError
+
+
+class LruPolicy:
+    """Least recently used (the default for the NIC translation cache)."""
+
+    name = "lru"
+
+    def touch(self, set_state, key):
+        set_state.move_to_end(key)
+
+    def insert(self, set_state, key):
+        set_state.move_to_end(key)
+
+    def victim(self, set_state):
+        return next(iter(set_state))
+
+
+class FifoPolicy:
+    """First in, first out — insertion order only, hits do not reorder."""
+
+    name = "fifo"
+
+    def touch(self, set_state, key):
+        pass
+
+    def insert(self, set_state, key):
+        set_state.move_to_end(key)
+
+    def victim(self, set_state):
+        return next(iter(set_state))
+
+
+class RandomPolicy:
+    """Uniform random victim (deterministic given the seed)."""
+
+    name = "random"
+
+    def __init__(self, seed=0):
+        self._rng = random.Random(seed)
+
+    def touch(self, set_state, key):
+        pass
+
+    def insert(self, set_state, key):
+        pass
+
+    def victim(self, set_state):
+        keys = list(set_state)
+        return keys[self._rng.randrange(len(keys))]
+
+
+_POLICIES = {
+    "lru": LruPolicy,
+    "fifo": FifoPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(name, seed=0):
+    """Instantiate a replacement policy by name ('lru', 'fifo', 'random')."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ConfigError(
+            "unknown replacement policy %r (choose from %s)"
+            % (name, sorted(_POLICIES)))
+    if cls is RandomPolicy:
+        return cls(seed=seed)
+    return cls()

@@ -1,0 +1,64 @@
+"""Core UTLB mechanisms — the paper's primary contribution.
+
+Public surface:
+
+* :class:`HierarchicalUtlb` — the evaluated mechanism ("UTLB" in the paper)
+* :class:`PerProcessUtlb` — the original per-process design (Section 3.1)
+* :class:`InterruptBasedNode` — the interrupt-based baseline
+* :class:`SharedUtlbCache` — the NIC translation cache
+* :class:`CostModel` — the calibrated microsecond cost model
+* :class:`TranslationStats` — per-run counters and rates
+* the five pinned-page replacement policies (Section 3.4)
+"""
+
+from repro.core.bitvector import BitVector
+from repro.core.costs import CostModel, DEFAULT_COST_MODEL
+from repro.core.interrupt_based import InterruptBasedNode
+from repro.core.interrupt_per_process import InterruptPerProcessUtlb
+from repro.core.lookup_tree import TwoLevelLookupTree
+from repro.core.per_process import PerProcessUtlb
+from repro.core.pinner import PinnedPagePool
+from repro.core.policies import (
+    PIN_POLICIES,
+    LfuPolicy,
+    LruPolicy,
+    MfuPolicy,
+    MruPolicy,
+    RandomPolicy,
+    make_pin_policy,
+)
+from repro.core.reclaim import ReclaimCoordinator
+from repro.core.shared_cache import SharedUtlbCache
+from repro.core.stats import TranslationStats
+from repro.core.translation_table import (
+    HierarchicalTranslationTable,
+    PerProcessTranslationTable,
+    TableSwappedError,
+)
+from repro.core.utlb import CountingFrameDriver, HierarchicalUtlb
+
+__all__ = [
+    "BitVector",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "CountingFrameDriver",
+    "HierarchicalTranslationTable",
+    "HierarchicalUtlb",
+    "InterruptBasedNode",
+    "InterruptPerProcessUtlb",
+    "LfuPolicy",
+    "LruPolicy",
+    "MfuPolicy",
+    "MruPolicy",
+    "PIN_POLICIES",
+    "PerProcessTranslationTable",
+    "PerProcessUtlb",
+    "PinnedPagePool",
+    "RandomPolicy",
+    "ReclaimCoordinator",
+    "SharedUtlbCache",
+    "TableSwappedError",
+    "TranslationStats",
+    "TwoLevelLookupTree",
+    "make_pin_policy",
+]

@@ -1,0 +1,112 @@
+"""Virtual/physical address arithmetic.
+
+The paper works in terms of 32-bit virtual addresses, 4 KB pages, and
+20-bit physical page numbers (the "physical address (20 bits)" field of the
+UTLB-cache line formats in Figures 3 and 4).  This module centralizes the
+bit manipulation so that the rest of the code never open-codes shifts.
+
+Addresses are plain ``int`` for speed; these helpers validate and convert.
+"""
+
+from repro import params
+from repro.errors import AddressError
+
+
+def validate_vaddr(vaddr):
+    """Return ``vaddr`` if it is a valid virtual address, else raise.
+
+    >>> validate_vaddr(0x1000)
+    4096
+    """
+    if not isinstance(vaddr, int) or isinstance(vaddr, bool):
+        raise AddressError("virtual address must be an int, got %r" % (vaddr,))
+    if not 0 <= vaddr < (1 << params.VA_BITS):
+        raise AddressError(
+            "virtual address %#x out of the %d-bit address space"
+            % (vaddr, params.VA_BITS)
+        )
+    return vaddr
+
+
+def vpage_of(vaddr):
+    """Virtual page number containing ``vaddr``."""
+    return validate_vaddr(vaddr) >> params.PAGE_SHIFT
+
+
+def page_offset(vaddr):
+    """Byte offset of ``vaddr`` within its page."""
+    return validate_vaddr(vaddr) & params.PAGE_OFFSET_MASK
+
+
+def vaddr_of_page(vpage, offset=0):
+    """Virtual address of byte ``offset`` within virtual page ``vpage``."""
+    if not 0 <= vpage < params.NUM_VPAGES:
+        raise AddressError("virtual page %#x out of range" % (vpage,))
+    if not 0 <= offset < params.PAGE_SIZE:
+        raise AddressError("page offset %d out of range" % (offset,))
+    return (vpage << params.PAGE_SHIFT) | offset
+
+
+def page_range(vaddr, nbytes):
+    """Virtual page numbers touched by the buffer ``[vaddr, vaddr+nbytes)``.
+
+    Returns a ``range`` of virtual page numbers.  A zero-length buffer
+    touches no pages.
+
+    >>> list(page_range(0x0FFF, 2))   # straddles a page boundary
+    [0, 1]
+    """
+    validate_vaddr(vaddr)
+    if nbytes < 0:
+        raise AddressError("buffer length must be non-negative")
+    if nbytes == 0:
+        return range(0)
+    last = vaddr + nbytes - 1
+    validate_vaddr(last)
+    return range(vaddr >> params.PAGE_SHIFT, (last >> params.PAGE_SHIFT) + 1)
+
+
+def split_at_page_boundaries(vaddr, nbytes):
+    """Split a transfer into per-page (vaddr, nbytes) chunks.
+
+    The VMMC Myrinet firmware "breaks down data transfer at 4 KB page
+    boundaries" and performs translation lookups one page at a time (paper,
+    footnote 1).  This generator reproduces that chunking.
+
+    >>> list(split_at_page_boundaries(0x0FF0, 0x30))
+    [(4080, 16), (4096, 32)]
+    """
+    validate_vaddr(vaddr)
+    if nbytes < 0:
+        raise AddressError("buffer length must be non-negative")
+    remaining = nbytes
+    cursor = vaddr
+    while remaining > 0:
+        room = params.PAGE_SIZE - (cursor & params.PAGE_OFFSET_MASK)
+        chunk = min(room, remaining)
+        yield cursor, chunk
+        cursor += chunk
+        remaining -= chunk
+
+
+def directory_index(vpage):
+    """Index into the top-level (directory) of a two-level table."""
+    if not 0 <= vpage < params.NUM_VPAGES:
+        raise AddressError("virtual page %#x out of range" % (vpage,))
+    return vpage >> params.TABLE_BITS
+
+
+def table_index(vpage):
+    """Index into the second-level table of a two-level table."""
+    if not 0 <= vpage < params.NUM_VPAGES:
+        raise AddressError("virtual page %#x out of range" % (vpage,))
+    return vpage & params.TABLE_INDEX_MASK
+
+
+def vpage_from_indices(dir_index, tbl_index):
+    """Reassemble a virtual page number from its two table indices."""
+    if not 0 <= dir_index < params.DIRECTORY_ENTRIES:
+        raise AddressError("directory index %d out of range" % (dir_index,))
+    if not 0 <= tbl_index < params.TABLE_ENTRIES:
+        raise AddressError("table index %d out of range" % (tbl_index,))
+    return (dir_index << params.TABLE_BITS) | tbl_index

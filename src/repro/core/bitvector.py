@@ -1,0 +1,104 @@
+"""Pinned-status bit vector — the Hierarchical-UTLB user-level structure.
+
+Under Hierarchical-UTLB "the user-level library only needs a bit array to
+maintain the memory-pinning status of virtual pages" (Section 3.3).  The
+vector answers, per virtual page, "is this page pinned (and therefore is
+its translation installed in the host translation table)?".
+
+Implemented on a Python arbitrary-precision int: single-bit operations are
+O(1) amortized and range scans are cheap via mask extraction.
+"""
+
+from repro.errors import AddressError
+
+
+class BitVector:
+    """A growable bit vector indexed by non-negative ints."""
+
+    def __init__(self, nbits=0):
+        if nbits < 0:
+            raise AddressError("bit vector size must be non-negative")
+        self._bits = 0
+        self._count = 0
+        self.nbits = nbits      # advisory size; indexes beyond it still work
+
+    def _check_index(self, index):
+        if not isinstance(index, int) or isinstance(index, bool) or index < 0:
+            raise AddressError("bit index must be a non-negative int, got %r"
+                               % (index,))
+
+    def test(self, index):
+        """True when bit ``index`` is set."""
+        self._check_index(index)
+        return bool((self._bits >> index) & 1)
+
+    def set(self, index):
+        """Set bit ``index``; returns True when the bit changed."""
+        self._check_index(index)
+        mask = 1 << index
+        if self._bits & mask:
+            return False
+        self._bits |= mask
+        self._count += 1
+        return True
+
+    def clear(self, index):
+        """Clear bit ``index``; returns True when the bit changed."""
+        self._check_index(index)
+        mask = 1 << index
+        if not self._bits & mask:
+            return False
+        self._bits &= ~mask
+        self._count -= 1
+        return True
+
+    def all_set(self, start, count):
+        """True when bits [start, start+count) are all set.
+
+        This is the user-level 'check' of Figure 2: are all pages of the
+        buffer already pinned?
+        """
+        self._check_index(start)
+        if count < 0:
+            raise AddressError("count must be non-negative")
+        if count == 0:
+            return True
+        mask = ((1 << count) - 1) << start
+        return (self._bits & mask) == mask
+
+    def clear_indices(self, start, count):
+        """Indices in [start, start+count) whose bits are clear (ascending)."""
+        self._check_index(start)
+        if count < 0:
+            raise AddressError("count must be non-negative")
+        window = (self._bits >> start) & ((1 << count) - 1)
+        missing = []
+        for offset in range(count):
+            if not (window >> offset) & 1:
+                missing.append(start + offset)
+        return missing
+
+    def set_indices(self):
+        """All set indices, ascending.  O(set bits)."""
+        out = []
+        bits = self._bits
+        index = 0
+        while bits:
+            lsb = bits & -bits
+            out.append(lsb.bit_length() - 1)
+            bits ^= lsb
+        return out
+
+    @property
+    def count(self):
+        """Number of set bits."""
+        return self._count
+
+    def __len__(self):
+        return self.nbits
+
+    def __contains__(self, index):
+        return self.test(index)
+
+    def __repr__(self):
+        return "BitVector(set=%d)" % (self._count,)

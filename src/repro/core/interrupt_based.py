@@ -1,0 +1,159 @@
+"""The interrupt-based baseline (UNet-MM style, Sections 2 and 6.2).
+
+The comparison point of the paper's evaluation: the NIC keeps the same
+translation cache, but there is no user-level structure and no host-memory
+translation table.  On every NIC translation miss, the NIC interrupts the
+host CPU; the interrupt handler pins the page and installs its translation
+directly into the NIC cache.  "The interrupt-based approach always unpins
+a page that is evicted from the network interface translation cache" —
+pinned pages and cached translations are the same set.
+
+Consequences the experiments reproduce:
+
+* every miss pays a 10 µs interrupt, though pin/unpin then run at kernel
+  rates (no protection-domain crossing, Section 6.2);
+* evictions force unpins, so small caches cause heavy unpin traffic
+  (Table 4's Intr 'unpins' column), and translations cannot outlive cache
+  residency.
+
+Because a cache fill by one process can evict — and therefore unpin — a
+page of *another* process, the mechanism is modelled per node, with
+per-process state inside.
+"""
+
+from collections import OrderedDict
+
+from repro.core.costs import DEFAULT_COST_MODEL
+from repro.core.stats import TranslationStats
+from repro.errors import ConfigError, PinningError
+
+
+class _ProcessState:
+    """Host-side bookkeeping for one process under the baseline."""
+
+    __slots__ = ("pinned", "limit_pages", "stats")
+
+    def __init__(self, limit_pages):
+        self.pinned = OrderedDict()     # vpage -> frame, in miss (install) order
+        self.limit_pages = limit_pages
+        self.stats = TranslationStats()
+
+
+class InterruptBasedNode:
+    """All processes on one host sharing one NIC translation cache."""
+
+    def __init__(self, cache, driver=None, cost_model=None):
+        self.cache = cache
+        if driver is None:
+            from repro.core.utlb import CountingFrameDriver
+            driver = CountingFrameDriver()
+        self.driver = driver
+        self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        self._processes = {}
+
+    def register_process(self, pid, memory_limit_pages=None):
+        """Add a process; returns its stats object."""
+        if pid in self._processes:
+            raise ConfigError("pid %r already registered" % (pid,))
+        if memory_limit_pages is not None and memory_limit_pages <= 0:
+            raise ConfigError("memory limit must be positive or None")
+        self.cache.register_process(pid)
+        state = _ProcessState(memory_limit_pages)
+        self._processes[pid] = state
+        return state.stats
+
+    def stats_for(self, pid):
+        return self._state(pid).stats
+
+    def merged_stats(self):
+        return TranslationStats.merged(
+            s.stats for s in self._processes.values())
+
+    def _state(self, pid):
+        try:
+            return self._processes[pid]
+        except KeyError:
+            raise ConfigError("pid %r not registered" % (pid,))
+
+    # -- translation path ---------------------------------------------------------
+
+    def access_page(self, pid, vpage):
+        """Translate one page for ``pid``; returns its physical frame."""
+        state = self._state(pid)
+        stats = state.stats
+        cm = self.cost_model
+        stats.lookups += 1
+        stats.ni_accesses += 1
+        stats.ni_hit_time_us += cm.ni_check_hit
+
+        hit, frame = self.cache.lookup(pid, vpage)
+        if hit:
+            stats.ni_hits += 1
+            return frame
+
+        # Miss: interrupt the host.
+        stats.ni_misses += 1
+        stats.interrupts += 1
+        stats.interrupt_time_us += cm.interrupt_cost
+        return self._host_miss_handler(pid, state, vpage)
+
+    def _host_miss_handler(self, pid, state, vpage):
+        """The host interrupt handler: pin, enforce the limit, install."""
+        cm = self.cost_model
+        stats = state.stats
+        if vpage in state.pinned:
+            # The invariant pinned == cached means a missed page is never
+            # pinned; seeing one indicates corrupted bookkeeping.
+            raise PinningError(
+                "pid %r: page %#x pinned but missed in the cache"
+                % (pid, vpage))
+
+        # Enforce the per-process pinning limit before pinning a new page.
+        if (state.limit_pages is not None
+                and len(state.pinned) >= state.limit_pages):
+            victim_page = next(iter(state.pinned))
+            self.cache.invalidate(pid, victim_page)
+            self._unpin(pid, state, victim_page)
+
+        frames = self.driver.pin_pages(pid, [vpage])
+        frame = frames[vpage]
+        stats.pin_calls += 1
+        stats.pages_pinned += 1
+        stats.pin_time_us += cm.kernel_pin_cost(1)
+        state.pinned[vpage] = frame
+
+        evicted_key = self.cache.fill(pid, vpage, frame)
+        if evicted_key is not None:
+            evicted_pid, evicted_page = evicted_key
+            evicted_state = self._state(evicted_pid)
+            self._unpin(evicted_pid, evicted_state, evicted_page)
+        return frame
+
+    def _unpin(self, pid, state, vpage):
+        """Unpin a page whose translation left the cache (kernel rates)."""
+        cm = self.cost_model
+        stats = state.stats
+        if vpage not in state.pinned:
+            raise PinningError(
+                "pid %r: evicted page %#x was not pinned" % (pid, vpage))
+        del state.pinned[vpage]
+        self.driver.unpin_pages(pid, [vpage])
+        stats.unpin_calls += 1
+        stats.pages_unpinned += 1
+        stats.unpin_time_us += cm.kernel_unpin_cost(1)
+
+    # -- invariants --------------------------------------------------------------------
+
+    def check_invariants(self):
+        """pinned pages == cached translations, per process; limits hold."""
+        cached = {}
+        for (pid, vpage), frame in self.cache._cache.items():
+            cached.setdefault(pid, {})[vpage] = frame
+        for pid, state in self._processes.items():
+            expect = cached.get(pid, {})
+            assert dict(state.pinned) == expect, (
+                "pid %r: pinned set %s != cached set %s"
+                % (pid, sorted(state.pinned)[:8], sorted(expect)[:8]))
+            if state.limit_pages is not None:
+                assert len(state.pinned) <= state.limit_pages
+        return True

@@ -1,0 +1,136 @@
+"""The original VMMC baseline: per-process NIC tables, interrupt-managed.
+
+Related work (Section 2): "The VMMC [16] ... for the Myrinet PC cluster
+employs this approach.  It uses a per-process translation table on the
+network interface" with the host interrupted on each translation miss.
+
+This completes the design-space matrix the paper's mechanisms span:
+
+|                     | per-process NIC table        | shared NIC cache      |
+|---------------------|------------------------------|-----------------------|
+| user-managed        | PerProcessUtlb (S3.1)        | HierarchicalUtlb (S3.3)|
+| interrupt-managed   | **this module** (VMMC [16])  | InterruptBasedNode (UNet-MM) |
+
+Semantics: each process owns a fixed slice of NIC SRAM holding
+(vpage -> frame) entries.  A lookup that misses interrupts the host; the
+kernel pins the page, installs the entry (evicting + unpinning the LRU
+entry when the table is full), and resumes the NIC.  Pinned pages are
+exactly the table's contents, like the UNet-MM baseline.
+"""
+
+from collections import OrderedDict
+
+from repro.core.costs import DEFAULT_COST_MODEL
+from repro.core.stats import TranslationStats
+from repro.errors import ConfigError
+
+
+class InterruptPerProcessUtlb:
+    """Interrupt-managed per-process translation table for one process."""
+
+    def __init__(self, pid, num_slots=512, driver=None, cost_model=None,
+                 memory_limit_pages=None):
+        if num_slots <= 0:
+            raise ConfigError("table needs at least one slot")
+        if memory_limit_pages is not None and memory_limit_pages <= 0:
+            raise ConfigError("memory limit must be positive or None")
+        self.pid = pid
+        self.num_slots = num_slots
+        if driver is None:
+            from repro.core.utlb import CountingFrameDriver
+            driver = CountingFrameDriver()
+        self.driver = driver
+        self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        self.limit_pages = memory_limit_pages
+        self._table = OrderedDict()        # vpage -> frame, LRU order
+        self.stats = TranslationStats()
+
+    @property
+    def capacity(self):
+        """Effective entries: SRAM slots, tightened by the memory limit."""
+        if self.limit_pages is None:
+            return self.num_slots
+        return min(self.num_slots, self.limit_pages)
+
+    def access_page(self, vpage):
+        """Translate one page; interrupt-and-install on a miss."""
+        stats = self.stats
+        cm = self.cost_model
+        stats.lookups += 1
+        stats.ni_accesses += 1
+        stats.ni_hit_time_us += cm.ni_check_hit
+
+        frame = self._table.get(vpage)
+        if frame is not None:
+            stats.ni_hits += 1
+            self._table.move_to_end(vpage)
+            return frame
+
+        # Miss: interrupt the host; the kernel pins and installs.
+        stats.ni_misses += 1
+        stats.interrupts += 1
+        stats.interrupt_time_us += cm.interrupt_cost
+        if len(self._table) >= self.capacity:
+            victim, _ = self._table.popitem(last=False)
+            self.driver.unpin_pages(self.pid, [victim])
+            stats.unpin_calls += 1
+            stats.pages_unpinned += 1
+            stats.unpin_time_us += cm.kernel_unpin_cost(1)
+        frame = self.driver.pin_pages(self.pid, [vpage])[vpage]
+        stats.pin_calls += 1
+        stats.pages_pinned += 1
+        stats.pin_time_us += cm.kernel_pin_cost(1)
+        self._table[vpage] = frame
+        return frame
+
+    # -- inspection -----------------------------------------------------------
+
+    def resident_pages(self):
+        return sorted(self._table)
+
+    def __len__(self):
+        return len(self._table)
+
+    def check_invariants(self):
+        """Pinned set == table contents; capacity respected."""
+        assert len(self._table) <= self.capacity
+        if hasattr(self.driver, "pinned_count"):
+            assert self.driver.pinned_count(self.pid) == len(self._table), (
+                "driver pins (%d) != table entries (%d)"
+                % (self.driver.pinned_count(self.pid), len(self._table)))
+        return True
+
+
+def simulate_node_intr_pp(records, config, sram_entries=None,
+                          check_invariants=False):
+    """Trace-driven replay of the original-VMMC baseline for one node.
+
+    The SRAM budget (default: the config's cache_entries, for parity with
+    the other mechanisms) is split evenly among the node's processes.
+    """
+    from repro.core.utlb import CountingFrameDriver
+    from repro.sim.simulator import NodeResult
+    from repro.traces.merge import split_by_pid
+
+    pids = sorted(split_by_pid(records))
+    budget = sram_entries if sram_entries is not None else config.cache_entries
+    slots = max(1, budget // max(1, len(pids)))
+    driver = CountingFrameDriver()
+    utlbs = {pid: InterruptPerProcessUtlb(
+        pid, num_slots=slots, driver=driver,
+        cost_model=config.cost_model,
+        memory_limit_pages=config.memory_limit_pages)
+        for pid in pids}
+
+    for record in records:
+        utlb = utlbs[record.pid]
+        for vpage in record.pages():
+            utlb.access_page(vpage)
+
+    if check_invariants:
+        for utlb in utlbs.values():
+            utlb.check_invariants()
+
+    per_pid = {pid: utlb.stats for pid, utlb in utlbs.items()}
+    stats = TranslationStats.merged(per_pid.values())
+    return NodeResult(stats, per_pid, cache={"slots_per_process": slots})

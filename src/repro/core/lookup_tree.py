@@ -1,0 +1,90 @@
+"""The two-level user-level lookup tree of the per-process UTLB.
+
+Under the per-process UTLB (Section 3.1), the user library must remember,
+for each pinned virtual page, *which slot* of the NIC translation table
+holds its physical address.  The paper uses "a standard two-level page
+table architecture": a directory of second-level tables, each entry either
+invalid or holding a translation-table index.  "Only two memory references
+are required to obtain the UTLB index for a given virtual page address."
+
+The tree also counts those simulated memory references so the host-side
+check cost can be charged faithfully.
+"""
+
+from repro import params
+from repro.core import addresses
+from repro.errors import TranslationError
+
+
+class TwoLevelLookupTree:
+    """vpage -> UTLB translation-table index, as a two-level tree."""
+
+    def __init__(self):
+        self._directory = {}        # dir index -> {table index -> utlb index}
+        self.memory_references = 0
+        self.entries = 0
+
+    def lookup(self, vpage):
+        """UTLB table index for ``vpage``, or None when not installed.
+
+        Charges exactly two simulated memory references (directory +
+        second-level entry), matching the paper's claim.
+        """
+        self.memory_references += 2
+        second = self._directory.get(addresses.directory_index(vpage))
+        if second is None:
+            return None
+        return second.get(addresses.table_index(vpage))
+
+    def install(self, vpage, utlb_index):
+        """Record that ``vpage``'s translation lives at ``utlb_index``."""
+        if utlb_index is None or utlb_index < 0:
+            raise TranslationError("invalid UTLB index %r" % (utlb_index,))
+        second = self._directory.setdefault(addresses.directory_index(vpage), {})
+        tbl = addresses.table_index(vpage)
+        if tbl not in second:
+            self.entries += 1
+        second[tbl] = utlb_index
+
+    def remove(self, vpage):
+        """Forget ``vpage``; returns the index it held.
+
+        Raises :class:`TranslationError` when the page was not installed.
+        """
+        dir_idx = addresses.directory_index(vpage)
+        second = self._directory.get(dir_idx)
+        tbl = addresses.table_index(vpage)
+        if second is None or tbl not in second:
+            raise TranslationError(
+                "virtual page %#x is not in the lookup tree" % (vpage,))
+        index = second.pop(tbl)
+        self.entries -= 1
+        if not second:
+            del self._directory[dir_idx]
+        return index
+
+    def __contains__(self, vpage):
+        second = self._directory.get(addresses.directory_index(vpage))
+        return second is not None and addresses.table_index(vpage) in second
+
+    def __len__(self):
+        return self.entries
+
+    def items(self):
+        """All (vpage, utlb_index) pairs, ascending by vpage."""
+        for dir_idx in sorted(self._directory):
+            second = self._directory[dir_idx]
+            for tbl_idx in sorted(second):
+                yield (addresses.vpage_from_indices(dir_idx, tbl_idx),
+                       second[tbl_idx])
+
+    @property
+    def second_level_tables(self):
+        """Number of second-level tables currently allocated."""
+        return len(self._directory)
+
+    @property
+    def memory_bytes(self):
+        """Approximate memory footprint (4-byte entries, full tables)."""
+        return (len(self._directory) * params.TABLE_ENTRIES * 4
+                + params.DIRECTORY_ENTRIES * 4)

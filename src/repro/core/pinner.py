@@ -1,0 +1,97 @@
+"""The pinned-page pool: per-process pinning budget and eviction.
+
+"An important issue related to the replacement policies is how to manage
+the amount of physical memory that a user process can pin" (Section 3.4).
+The pool enforces a static per-process limit: when pinning new pages would
+exceed it, victims are selected by the configured user-level replacement
+policy and unpinned (one page at a time, as the paper's implementation
+does — Section 6.5).
+
+Pages involved in outstanding send requests are protected from eviction —
+the correctness requirement at the end of Section 3.1.  Callers mark them
+with :meth:`hold` / :meth:`release`.
+"""
+
+from repro.core.policies import make_pin_policy
+from repro.errors import CapacityError, PinningError
+
+
+class PinnedPagePool:
+    """Tracks one process's pinned pages against a pinning limit."""
+
+    def __init__(self, limit_pages=None, policy="lru", seed=0):
+        if limit_pages is not None and limit_pages <= 0:
+            raise CapacityError("pinning limit must be positive or None")
+        self.limit_pages = limit_pages
+        if isinstance(policy, str):
+            self.policy = make_pin_policy(policy, seed=seed)
+        else:
+            self.policy = policy
+        self._held = {}             # vpage -> hold count (outstanding sends)
+
+    # -- membership -----------------------------------------------------------
+
+    def note_pin(self, vpage):
+        self.policy.on_pin(vpage)
+
+    def note_access(self, vpage):
+        self.policy.on_access(vpage)
+
+    def note_unpin(self, vpage):
+        if self._held.get(vpage):
+            raise PinningError(
+                "page %#x has outstanding sends; cannot unpin" % (vpage,))
+        self.policy.on_unpin(vpage)
+
+    def __contains__(self, vpage):
+        return vpage in self.policy
+
+    def __len__(self):
+        return len(self.policy)
+
+    # -- outstanding-send protection ---------------------------------------------
+
+    def hold(self, vpage):
+        """Protect a page from eviction while a send is outstanding."""
+        if vpage not in self.policy:
+            raise PinningError("page %#x is not pinned" % (vpage,))
+        self._held[vpage] = self._held.get(vpage, 0) + 1
+
+    def release(self, vpage):
+        """Drop one hold on a page."""
+        count = self._held.get(vpage, 0)
+        if count == 0:
+            raise PinningError("page %#x has no outstanding hold" % (vpage,))
+        if count == 1:
+            del self._held[vpage]
+        else:
+            self._held[vpage] = count - 1
+
+    def held_pages(self):
+        return set(self._held)
+
+    # -- capacity -------------------------------------------------------------------
+
+    def room_for(self, n):
+        """True when ``n`` more pages fit without eviction."""
+        if self.limit_pages is None:
+            return True
+        return len(self.policy) + n <= self.limit_pages
+
+    def victims_for(self, n):
+        """Pages that must be unpinned before ``n`` new pages can be pinned.
+
+        Returns [] when there is room.  Raises :class:`CapacityError` when
+        the limit cannot be met even after evicting everything evictable
+        (all pages held, or the request alone exceeds the limit).
+        """
+        if self.limit_pages is None:
+            return []
+        overflow = len(self.policy) + n - self.limit_pages
+        if overflow <= 0:
+            return []
+        if n > self.limit_pages:
+            raise CapacityError(
+                "request of %d pages exceeds the pinning limit of %d"
+                % (n, self.limit_pages))
+        return self.policy.select_victims(overflow, exclude=self.held_pages())

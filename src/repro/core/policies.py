@@ -1,0 +1,222 @@
+"""User-level pinned-page replacement policies.
+
+"UTLB predefines five replacement policies for applications to choose:
+LRU, MRU, LFU, MFU, and RANDOM" (Section 3.4).  These policies decide
+*which pinned virtual pages to unpin* when a process reaches its pinning
+limit — they operate on the user library's pinned-page pool, not on the
+NIC cache (the NIC cache has its own line replacement in ``cachesim``).
+
+Every policy implements the same protocol:
+
+* ``on_pin(vpage)``    — a page entered the pinned pool
+* ``on_access(vpage)`` — a lookup touched a pinned page
+* ``on_unpin(vpage)``  — a page left the pool
+* ``select_victims(n, exclude=())`` — choose ``n`` pages to evict; pages in
+  ``exclude`` must not be chosen (they are involved in outstanding sends —
+  the correctness requirement at the end of Section 3.1).
+"""
+
+import heapq
+import random
+from collections import OrderedDict
+
+from repro.errors import CapacityError, ConfigError
+
+
+class PinnedPagePolicy:
+    """Base class: maintains the pool membership set."""
+
+    name = "base"
+
+    def __init__(self):
+        self._pool = set()
+
+    def on_pin(self, vpage):
+        if vpage in self._pool:
+            raise CapacityError("page %#x already in pinned pool" % (vpage,))
+        self._pool.add(vpage)
+        self._record_pin(vpage)
+
+    def on_access(self, vpage):
+        if vpage in self._pool:
+            self._record_access(vpage)
+
+    def on_unpin(self, vpage):
+        if vpage not in self._pool:
+            raise CapacityError("page %#x not in pinned pool" % (vpage,))
+        self._pool.remove(vpage)
+        self._record_unpin(vpage)
+
+    def select_victims(self, n, exclude=()):
+        """Pick ``n`` victims, skipping ``exclude``; raises when impossible."""
+        if n <= 0:
+            return []
+        exclude = set(exclude)
+        eligible = len(self._pool) - len(self._pool & exclude)
+        if eligible < n:
+            raise CapacityError(
+                "need %d victims but only %d eligible pinned pages"
+                % (n, eligible))
+        return self._choose(n, exclude)
+
+    def __len__(self):
+        return len(self._pool)
+
+    def __contains__(self, vpage):
+        return vpage in self._pool
+
+    # subclass hooks --------------------------------------------------------
+
+    def _record_pin(self, vpage):
+        raise NotImplementedError
+
+    def _record_access(self, vpage):
+        raise NotImplementedError
+
+    def _record_unpin(self, vpage):
+        raise NotImplementedError
+
+    def _choose(self, n, exclude):
+        raise NotImplementedError
+
+
+class _RecencyPolicy(PinnedPagePolicy):
+    """Shared machinery for LRU and MRU: an access-ordered OrderedDict."""
+
+    def __init__(self):
+        super().__init__()
+        self._order = OrderedDict()     # oldest access first
+
+    def _record_pin(self, vpage):
+        self._order[vpage] = True
+        self._order.move_to_end(vpage)
+
+    def _record_access(self, vpage):
+        self._order.move_to_end(vpage)
+
+    def _record_unpin(self, vpage):
+        self._order.pop(vpage, None)
+
+    def _scan(self, keys, n, exclude):
+        victims = []
+        for vpage in keys:
+            if vpage in exclude:
+                continue
+            victims.append(vpage)
+            if len(victims) == n:
+                break
+        return victims
+
+
+class LruPolicy(_RecencyPolicy):
+    """Evict the least recently used pinned pages (the paper's default)."""
+
+    name = "lru"
+
+    def _choose(self, n, exclude):
+        return self._scan(self._order, n, exclude)
+
+
+class MruPolicy(_RecencyPolicy):
+    """Evict the most recently used pages — optimal for cyclic scans larger
+    than the pool, where LRU evicts exactly what is needed next."""
+
+    name = "mru"
+
+    def _choose(self, n, exclude):
+        return self._scan(reversed(self._order), n, exclude)
+
+
+class _FrequencyPolicy(PinnedPagePolicy):
+    """Shared machinery for LFU and MFU: access counters with a stable
+    (count, sequence) tie-break so behaviour is deterministic."""
+
+    def __init__(self):
+        super().__init__()
+        self._counts = {}
+        self._sequence = {}
+        self._next_seq = 0
+
+    def _record_pin(self, vpage):
+        self._counts[vpage] = 1
+        self._sequence[vpage] = self._next_seq
+        self._next_seq += 1
+
+    def _record_access(self, vpage):
+        self._counts[vpage] += 1
+
+    def _record_unpin(self, vpage):
+        self._counts.pop(vpage, None)
+        self._sequence.pop(vpage, None)
+
+    def _ranked(self, n, exclude, largest):
+        candidates = ((count, self._sequence[vpage], vpage)
+                      for vpage, count in self._counts.items()
+                      if vpage not in exclude)
+        if largest:
+            chosen = heapq.nlargest(n, candidates)
+        else:
+            chosen = heapq.nsmallest(n, candidates)
+        return [vpage for _, _, vpage in chosen]
+
+
+class LfuPolicy(_FrequencyPolicy):
+    """Evict the least frequently used pinned pages."""
+
+    name = "lfu"
+
+    def _choose(self, n, exclude):
+        return self._ranked(n, exclude, largest=False)
+
+
+class MfuPolicy(_FrequencyPolicy):
+    """Evict the most frequently used pinned pages."""
+
+    name = "mfu"
+
+    def _choose(self, n, exclude):
+        return self._ranked(n, exclude, largest=True)
+
+
+class RandomPolicy(PinnedPagePolicy):
+    """Evict uniformly at random (deterministic under a fixed seed)."""
+
+    name = "random"
+
+    def __init__(self, seed=0):
+        super().__init__()
+        self._rng = random.Random(seed)
+
+    def _record_pin(self, vpage):
+        pass
+
+    def _record_access(self, vpage):
+        pass
+
+    def _record_unpin(self, vpage):
+        pass
+
+    def _choose(self, n, exclude):
+        eligible = sorted(v for v in self._pool if v not in exclude)
+        return self._rng.sample(eligible, n)
+
+
+PIN_POLICIES = {
+    "lru": LruPolicy,
+    "mru": MruPolicy,
+    "lfu": LfuPolicy,
+    "mfu": MfuPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_pin_policy(name, seed=0):
+    """Instantiate one of the five predefined policies by name."""
+    try:
+        cls = PIN_POLICIES[name]
+    except KeyError:
+        raise ConfigError("unknown pin policy %r (choose from %s)"
+                          % (name, sorted(PIN_POLICIES)))
+    if cls is RandomPolicy:
+        return cls(seed=seed)
+    return cls()

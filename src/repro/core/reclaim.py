@@ -1,0 +1,119 @@
+"""Dynamic pinning limits: OS reclaim of pinned memory (Section 3.4).
+
+"Enforcing a static limit on the number of pages a process can pin is
+straightforward.  But, implementing a dynamic limit requires that the OS
+synchronize with the user-level UTLB data structures when reclaiming
+pinned physical pages."  The paper leaves this as discussion; this module
+implements it.
+
+A :class:`ReclaimCoordinator` stands between the OS's memory pressure and
+the per-process UTLBs.  When the OS needs frames back it asks the
+coordinator, which picks victim processes and *synchronizes with their
+user-level structures*: victims are chosen by each process's own
+replacement policy (never a page held by an outstanding send), and the
+eviction runs through the standard UTLB unpin path, so the bit vector,
+translation table, NIC cache, and pinned pool all stay coherent — the
+invariants :meth:`HierarchicalUtlb.check_invariants` checks keep holding
+across reclaims.
+"""
+
+from repro.errors import CapacityError, ConfigError
+
+
+class ReclaimStats:
+    __slots__ = ("reclaim_calls", "pages_reclaimed", "limit_changes")
+
+    def __init__(self):
+        self.reclaim_calls = 0
+        self.pages_reclaimed = 0
+        self.limit_changes = 0
+
+
+class ReclaimCoordinator:
+    """Coordinates dynamic pinning limits across a host's processes."""
+
+    def __init__(self):
+        self._utlbs = {}
+        self.stats = ReclaimStats()
+
+    def register(self, utlb):
+        """Track a process's UTLB; returns it for chaining."""
+        if utlb.pid in self._utlbs:
+            raise ConfigError("pid %r already registered" % (utlb.pid,))
+        self._utlbs[utlb.pid] = utlb
+        return utlb
+
+    def unregister(self, pid):
+        self._utlbs.pop(pid, None)
+
+    def pinned_pages(self, pid=None):
+        """Pinned-page count for one process, or host-wide total."""
+        if pid is not None:
+            return len(self._utlbs[pid].pool)
+        return sum(len(u.pool) for u in self._utlbs.values())
+
+    # -- dynamic limits ------------------------------------------------------------
+
+    def set_limit(self, pid, limit_pages):
+        """Change a process's pinning limit at runtime.
+
+        Shrinking below the current pinned count evicts the overflow
+        immediately through the process's own policy.  Returns the number
+        of pages evicted.
+        """
+        if limit_pages is not None and limit_pages <= 0:
+            raise ConfigError("limit must be positive or None")
+        try:
+            utlb = self._utlbs[pid]
+        except KeyError:
+            raise ConfigError("pid %r not registered" % (pid,))
+        utlb.pool.limit_pages = limit_pages
+        self.stats.limit_changes += 1
+        evicted = 0
+        if limit_pages is not None:
+            overflow = len(utlb.pool) - limit_pages
+            if overflow > 0:
+                evicted = self._evict_from(utlb, overflow)
+        return evicted
+
+    def reclaim(self, pages_needed):
+        """OS memory pressure: free ``pages_needed`` pinned pages.
+
+        Victim processes are chosen largest-pinner-first (the process
+        hogging the most pinned memory yields first); within a process,
+        its own replacement policy picks the pages.  Raises
+        :class:`CapacityError` if the host cannot satisfy the request
+        (everything remaining is held by outstanding sends).
+        """
+        if pages_needed <= 0:
+            return 0
+        self.stats.reclaim_calls += 1
+        remaining = pages_needed
+        # Iterate until satisfied; each round taps the biggest pinner.
+        while remaining > 0:
+            candidates = sorted(
+                self._utlbs.values(),
+                key=lambda u: self._evictable(u), reverse=True)
+            if not candidates or self._evictable(candidates[0]) == 0:
+                raise CapacityError(
+                    "cannot reclaim %d more pages: all pinned pages are "
+                    "held by outstanding sends" % (remaining,))
+            victim = candidates[0]
+            take = min(remaining, max(1, self._evictable(victim) // 2))
+            remaining -= self._evict_from(victim, take)
+        return pages_needed
+
+    def _evictable(self, utlb):
+        return len(utlb.pool) - len(utlb.pool.held_pages())
+
+    def _evict_from(self, utlb, count):
+        """Evict ``count`` pages from one process via its own policy."""
+        count = min(count, self._evictable(utlb))
+        if count <= 0:
+            return 0
+        victims = utlb.pool.policy.select_victims(
+            count, exclude=utlb.pool.held_pages())
+        for vpage in victims:
+            utlb._unpin_page(vpage)
+        self.stats.pages_reclaimed += len(victims)
+        return len(victims)

@@ -1,0 +1,184 @@
+"""The Shared UTLB-Cache: the NIC-resident translation cache (Section 3.2).
+
+One cache per network interface, shared by every process using it.  Each
+entry is keyed by ``(process tag, virtual page)`` — the Figure 4 line
+format (4-bit process tag, 8-bit virtual-address tag, 20-bit physical
+address) generalized to exact keys — and holds the physical frame number.
+
+The cache supports the paper's *index offsetting* technique (Section 6.3):
+each process's virtual page numbers are offset by a process-dependent
+constant before indexing, so identical indices from different processes
+hash to different cache sets.  Disabling offsetting gives the
+"direct-nohash" rows of Table 8.
+
+A :class:`~repro.cachesim.classify.ThreeCClassifier` can ride along to
+produce the Figure 7 miss breakdown.
+"""
+
+from repro import params
+from repro.cachesim.cache import SetAssociativeCache
+from repro.cachesim.classify import ThreeCClassifier
+from repro.errors import CapacityError, ConfigError
+
+
+class SharedUtlbCache:
+    """NIC translation cache shared across processes.
+
+    Parameters
+    ----------
+    num_entries:
+        Total cache entries (the paper's implementation used 8 K).
+    associativity:
+        1 for direct-mapped (the paper's recommendation), 2 or 4 for the
+        Table 8 comparison points.
+    offsetting:
+        Apply the per-process index offset hash (True for the paper's
+        "direct"/"2-way"/"4-way" rows; False for "direct-nohash").
+    classify:
+        Attach a 3C miss classifier (needed for Figure 7).
+    """
+
+    def __init__(self, num_entries=params.DEFAULT_UTLB_CACHE_ENTRIES,
+                 associativity=1, offsetting=True, classify=False,
+                 replacement="lru", max_processes=params.MAX_PROCESSES_PER_NIC):
+        if max_processes <= 0:
+            raise ConfigError("max_processes must be positive")
+        self.offsetting = offsetting
+        self.max_processes = max_processes
+        self._offsets = {}
+        self._cache = SetAssociativeCache(
+            num_entries, associativity,
+            index_fn=self._index_of, replacement=replacement)
+        self.classifier = (ThreeCClassifier(num_entries) if classify else None)
+
+    # -- process registration -------------------------------------------------
+
+    #: Multiplier decorrelating per-process offsets (golden-ratio hash).
+    OFFSET_MULTIPLIER = 0x9E3779B1
+
+    def register_process(self, pid):
+        """Assign ``pid`` its index offset; idempotent.
+
+        The "process-dependent constant" of Section 3.2: each process tag
+        is spread by a golden-ratio multiplicative hash so that identical
+        virtual page numbers from different processes land in
+        decorrelated cache sets.  (A simple ``tag * num_sets / 16``
+        spacing clusters neighbouring tags and leaves systematic
+        conflicts when hot regions exceed the spacing.)
+        """
+        if pid in self._offsets:
+            return self._offsets[pid]
+        if len(self._offsets) >= self.max_processes:
+            raise CapacityError(
+                "NIC already has %d registered processes (tag space is "
+                "%d bits)" % (len(self._offsets), params.PROCESS_TAG_BITS))
+        tag = len(self._offsets)
+        offset = (tag * self.OFFSET_MULTIPLIER) % self._cache.num_sets
+        self._offsets[pid] = offset
+        return offset
+
+    def is_registered(self, pid):
+        return pid in self._offsets
+
+    def _index_of(self, key):
+        pid, vpage = key
+        if self.offsetting:
+            try:
+                offset = self._offsets[pid]
+            except KeyError:
+                raise CapacityError("process %r not registered with the NIC"
+                                    % (pid,))
+            return vpage + offset
+        return vpage
+
+    # -- the NIC fast path ------------------------------------------------------
+
+    def lookup(self, pid, vpage):
+        """Probe the cache for a translation.  Returns (hit, frame)."""
+        hit, frame = self._cache.lookup((pid, vpage))
+        if self.classifier is not None:
+            self.classifier.observe_access((pid, vpage), hit)
+        return hit, frame
+
+    def fill(self, pid, vpage, frame, demand=True):
+        """Install a translation; returns the evicted (pid, vpage) key or
+        None.  ``demand=False`` marks a prefetch fill, which updates the
+        classifier's shadow without counting an access."""
+        evicted = self._cache.insert((pid, vpage), frame)
+        if self.classifier is not None and not demand:
+            self.classifier.observe_fill((pid, vpage))
+        if evicted is None:
+            return None
+        return evicted[0]
+
+    def fill_block(self, pid, entries):
+        """Install a prefetched block of ``(vpage, frame_or_None)`` pairs.
+
+        The first pair is the demand miss (already counted by
+        :meth:`lookup`); the rest are prefetches.  Invalid (None) frames
+        are skipped — "translations for contiguous application pages must
+        be available during a miss" for prefetch to help (Section 6.4).
+        Returns the list of evicted keys.
+        """
+        evicted = []
+        first = True
+        for vpage, frame in entries:
+            if frame is None:
+                first = False
+                continue
+            victim = self.fill(pid, vpage, frame, demand=first)
+            first = False
+            if victim is not None:
+                evicted.append(victim)
+        return evicted
+
+    # -- invalidation -------------------------------------------------------------
+
+    def invalidate(self, pid, vpage):
+        """Drop one translation (page was unpinned).  Returns True if found."""
+        dropped = self._cache.invalidate((pid, vpage))
+        if dropped and self.classifier is not None:
+            self.classifier.observe_invalidate((pid, vpage))
+        return dropped
+
+    def invalidate_process(self, pid):
+        """Drop every translation belonging to ``pid`` (process exit)."""
+        victims = [key for key, _ in self._cache.items() if key[0] == pid]
+        dropped = self._cache.invalidate_where(lambda k, v: k[0] == pid)
+        if self.classifier is not None:
+            for key in victims:
+                self.classifier.observe_invalidate(key)
+        return dropped
+
+    # -- inspection -----------------------------------------------------------------
+
+    @property
+    def stats(self):
+        return self._cache.stats
+
+    @property
+    def num_entries(self):
+        return self._cache.num_entries
+
+    @property
+    def associativity(self):
+        return self._cache.associativity
+
+    @property
+    def num_sets(self):
+        return self._cache.num_sets
+
+    def __contains__(self, key):
+        return key in self._cache
+
+    def __len__(self):
+        return len(self._cache)
+
+    def entries_for(self, pid):
+        """All (vpage, frame) pairs cached for one process."""
+        return [(key[1], frame) for key, frame in self._cache.items()
+                if key[0] == pid]
+
+    def sram_bytes(self):
+        """SRAM consumed, at the Figure 3 entry width."""
+        return self.num_entries * params.UTLB_CACHE_ENTRY_BYTES

@@ -1,0 +1,127 @@
+"""Per-run translation statistics.
+
+The trace-driven analysis in Section 6 reports everything as per-lookup
+averages: check misses, network-interface translation misses, and unpinned
+pages, each divided by the total number of lookups (Tables 4 and 5).
+:class:`TranslationStats` accumulates the raw event counts plus simulated
+time, and derives those rates.
+"""
+
+
+class TranslationStats:
+    """Counters for one simulated translation mechanism run."""
+
+    FIELDS = (
+        "lookups",
+        "check_misses",
+        "ni_accesses",
+        "ni_hits",
+        "ni_misses",
+        "ni_evictions",
+        "pin_calls",
+        "pages_pinned",
+        "unpin_calls",
+        "pages_unpinned",
+        "interrupts",
+        "entries_fetched",
+    )
+
+    TIME_FIELDS = (
+        "check_time_us",
+        "pin_time_us",
+        "unpin_time_us",
+        "ni_hit_time_us",
+        "ni_miss_time_us",
+        "interrupt_time_us",
+    )
+
+    def __init__(self):
+        for field in self.FIELDS:
+            setattr(self, field, 0)
+        for field in self.TIME_FIELDS:
+            setattr(self, field, 0.0)
+
+    # -- derived rates (per lookup, as the paper reports) ---------------------
+
+    def _rate(self, count):
+        return count / self.lookups if self.lookups else 0.0
+
+    @property
+    def check_miss_rate(self):
+        """Check misses per lookup (Table 4 'check misses')."""
+        return self._rate(self.check_misses)
+
+    @property
+    def ni_miss_rate(self):
+        """NIC translation misses per lookup (Table 4 'NI misses')."""
+        return self._rate(self.ni_misses)
+
+    @property
+    def unpin_rate(self):
+        """Pages unpinned per lookup (Table 4 'unpins')."""
+        return self._rate(self.pages_unpinned)
+
+    @property
+    def pin_rate(self):
+        """Pages pinned per lookup."""
+        return self._rate(self.pages_pinned)
+
+    @property
+    def interrupt_rate(self):
+        return self._rate(self.interrupts)
+
+    @property
+    def total_time_us(self):
+        return sum(getattr(self, f) for f in self.TIME_FIELDS)
+
+    @property
+    def avg_lookup_cost_us(self):
+        """Average measured cost per lookup (what Table 6 reports)."""
+        return self.total_time_us / self.lookups if self.lookups else 0.0
+
+    @property
+    def amortized_pin_cost_us(self):
+        """Pin time per lookup (Table 7 'pin' rows)."""
+        return self.pin_time_us / self.lookups if self.lookups else 0.0
+
+    @property
+    def amortized_unpin_cost_us(self):
+        """Unpin time per lookup (Table 7 'unpin' rows)."""
+        return self.unpin_time_us / self.lookups if self.lookups else 0.0
+
+    # -- combination ----------------------------------------------------------
+
+    def merge(self, other):
+        """Accumulate another stats object into this one (in place)."""
+        for field in self.FIELDS:
+            setattr(self, field, getattr(self, field) + getattr(other, field))
+        for field in self.TIME_FIELDS:
+            setattr(self, field, getattr(self, field) + getattr(other, field))
+        return self
+
+    @classmethod
+    def merged(cls, stats_iter):
+        """A new stats object summing every element of ``stats_iter``."""
+        total = cls()
+        for stats in stats_iter:
+            total.merge(stats)
+        return total
+
+    def snapshot(self):
+        """All counters, times, and derived rates as a plain dict."""
+        out = {field: getattr(self, field) for field in self.FIELDS}
+        out.update({field: getattr(self, field) for field in self.TIME_FIELDS})
+        out.update({
+            "check_miss_rate": self.check_miss_rate,
+            "ni_miss_rate": self.ni_miss_rate,
+            "unpin_rate": self.unpin_rate,
+            "pin_rate": self.pin_rate,
+            "avg_lookup_cost_us": self.avg_lookup_cost_us,
+        })
+        return out
+
+    def __repr__(self):
+        return ("TranslationStats(lookups=%d, check_miss_rate=%.4f, "
+                "ni_miss_rate=%.4f, unpin_rate=%.4f)" % (
+                    self.lookups, self.check_miss_rate,
+                    self.ni_miss_rate, self.unpin_rate))

@@ -1,0 +1,296 @@
+"""Translation tables: the protected vpage -> physical-frame structures.
+
+Two variants, mirroring Sections 3.1 and 3.3:
+
+* :class:`PerProcessTranslationTable` — the original per-process UTLB: a
+  fixed-size array of slots in NIC SRAM.  The *user* picks the slots (via
+  the driver), so the table can fragment; the class tracks that.
+
+* :class:`HierarchicalTranslationTable` — the Hierarchical-UTLB table: a
+  two-level page table in host memory keyed directly by virtual page
+  number, with the top-level directory resident in NIC SRAM.  Entries exist
+  only for pages the process has explicitly pinned.  Second-level tables
+  can be swapped out (the Section 3.3 "rare situations" extension): their
+  directory entry then holds a disk block number, and touching them must
+  interrupt the host.
+
+Both tables implement the garbage-page trick of Section 4.2: reads of
+invalid entries resolve to a pinned garbage frame so a buggy or malicious
+user request can never reach another process's memory.
+"""
+
+from repro import params
+from repro.core import addresses
+from repro.errors import CapacityError, TranslationError
+
+
+class TableSwappedError(TranslationError):
+    """A second-level translation table is on disk; the host must page it in."""
+
+    def __init__(self, dir_index, disk_block):
+        super().__init__(
+            "second-level table %d is swapped out (disk block %d)"
+            % (dir_index, disk_block))
+        self.dir_index = dir_index
+        self.disk_block = disk_block
+
+
+class HierarchicalTranslationTable:
+    """Two-level host-memory translation table for one process."""
+
+    def __init__(self, pid, garbage_frame=None):
+        self.pid = pid
+        self.garbage_frame = garbage_frame
+        self._directory = {}         # dir index -> {table index -> frame}
+        self._swapped = {}           # dir index -> (disk block, saved table)
+        self._next_disk_block = 0
+        self.entries = 0
+        self.installs = 0
+        self.invalidations = 0
+
+    # -- host-side maintenance (driven by the device driver) -----------------
+
+    def install(self, vpage, frame):
+        """Store the physical frame of a newly pinned virtual page."""
+        if frame is None or frame < 0:
+            raise TranslationError("invalid frame %r" % (frame,))
+        dir_idx = addresses.directory_index(vpage)
+        self._require_resident(dir_idx)
+        second = self._directory.setdefault(dir_idx, {})
+        tbl = addresses.table_index(vpage)
+        if tbl not in second:
+            self.entries += 1
+        second[tbl] = frame
+        self.installs += 1
+
+    def invalidate(self, vpage):
+        """Remove the entry for an unpinned page; returns its frame."""
+        dir_idx = addresses.directory_index(vpage)
+        self._require_resident(dir_idx)
+        second = self._directory.get(dir_idx)
+        tbl = addresses.table_index(vpage)
+        if second is None or tbl not in second:
+            raise TranslationError(
+                "pid %r: no translation for page %#x" % (self.pid, vpage))
+        frame = second.pop(tbl)
+        self.entries -= 1
+        self.invalidations += 1
+        if not second:
+            del self._directory[dir_idx]
+        return frame
+
+    # -- NIC-side reads -------------------------------------------------------
+
+    def lookup(self, vpage):
+        """Frame for ``vpage`` or None when no translation is installed.
+
+        Raises :class:`TableSwappedError` when the covering second-level
+        table has been swapped to disk — the NIC must then interrupt the
+        host rather than DMA from a stale physical address.
+        """
+        dir_idx = addresses.directory_index(vpage)
+        self._require_resident(dir_idx)
+        second = self._directory.get(dir_idx)
+        if second is None:
+            return None
+        return second.get(addresses.table_index(vpage))
+
+    def lookup_or_garbage(self, vpage):
+        """Like :meth:`lookup` but resolves invalid entries to the garbage
+        frame (the Section 4.2 safety net).  Raises when no garbage frame
+        was configured."""
+        frame = self.lookup(vpage)
+        if frame is not None:
+            return frame
+        if self.garbage_frame is None:
+            raise TranslationError(
+                "pid %r: page %#x unmapped and no garbage frame configured"
+                % (self.pid, vpage))
+        return self.garbage_frame
+
+    def read_block(self, vpage, count):
+        """Read up to ``count`` consecutive entries starting at ``vpage``.
+
+        This models the miss-handling DMA: one bus transaction reads a
+        contiguous run of entries from the second-level table containing
+        ``vpage``.  The run is truncated at that table's boundary (a single
+        DMA cannot cross into a different physical page).  Returns a list
+        of ``(vpage, frame_or_None)`` pairs — invalid entries are included
+        as None so the cache-fill logic can skip them.
+        """
+        if count <= 0:
+            raise TranslationError("block size must be positive")
+        dir_idx = addresses.directory_index(vpage)
+        self._require_resident(dir_idx)
+        second = self._directory.get(dir_idx, {})
+        start_tbl = addresses.table_index(vpage)
+        end_tbl = min(start_tbl + count, params.TABLE_ENTRIES)
+        out = []
+        for tbl in range(start_tbl, end_tbl):
+            out.append((addresses.vpage_from_indices(dir_idx, tbl),
+                        second.get(tbl)))
+        return out
+
+    # -- second-level table paging (Section 3.3 extension) --------------------
+
+    def swap_out_table(self, dir_index):
+        """Move a second-level table to 'disk'; returns its disk block."""
+        if dir_index in self._swapped:
+            raise TranslationError(
+                "table %d is already swapped out" % (dir_index,))
+        table = self._directory.pop(dir_index, {})
+        block = self._next_disk_block
+        self._next_disk_block += 1
+        self._swapped[dir_index] = (block, table)
+        return block
+
+    def swap_in_table(self, dir_index):
+        """Bring a swapped second-level table back into memory."""
+        try:
+            _, table = self._swapped.pop(dir_index)
+        except KeyError:
+            raise TranslationError(
+                "table %d is not swapped out" % (dir_index,))
+        if table:
+            self._directory[dir_index] = table
+
+    def is_table_resident(self, dir_index):
+        return dir_index not in self._swapped
+
+    def _require_resident(self, dir_index):
+        if dir_index in self._swapped:
+            block, _ = self._swapped[dir_index]
+            raise TableSwappedError(dir_index, block)
+
+    # -- inspection -----------------------------------------------------------
+
+    def __len__(self):
+        return self.entries
+
+    def __contains__(self, vpage):
+        dir_idx = addresses.directory_index(vpage)
+        if dir_idx in self._swapped:
+            _, table = self._swapped[dir_idx]
+            return addresses.table_index(vpage) in table
+        second = self._directory.get(dir_idx)
+        return second is not None and addresses.table_index(vpage) in second
+
+    def mapped_pages(self):
+        """All resident (vpage, frame) pairs, ascending by vpage."""
+        for dir_idx in sorted(self._directory):
+            second = self._directory[dir_idx]
+            for tbl in sorted(second):
+                yield addresses.vpage_from_indices(dir_idx, tbl), second[tbl]
+
+    @property
+    def second_level_tables(self):
+        return len(self._directory)
+
+    @property
+    def memory_bytes(self):
+        """Host memory held by resident second-level tables (4 B entries)."""
+        return len(self._directory) * params.TABLE_ENTRIES * 4
+
+
+class PerProcessTranslationTable:
+    """Fixed-size per-process translation table in NIC SRAM (Section 3.1).
+
+    Slots hold ``(vpage, frame)``; uninstalled slots read as the garbage
+    frame.  The *user library* chooses slot numbers, so the class exposes
+    free-slot search and fragmentation accounting.
+    """
+
+    def __init__(self, pid, num_slots=8192, garbage_frame=None):
+        if num_slots <= 0:
+            raise CapacityError("translation table needs at least one slot")
+        self.pid = pid
+        self.num_slots = num_slots
+        self.garbage_frame = garbage_frame
+        self._slots = {}            # slot -> (vpage, frame)
+        self.installs = 0
+        self.evictions = 0
+
+    def _check_slot(self, slot):
+        if not 0 <= slot < self.num_slots:
+            raise TranslationError(
+                "slot %r outside table of %d slots" % (slot, self.num_slots))
+
+    def install(self, slot, vpage, frame):
+        """Fill ``slot`` with the translation of ``vpage``."""
+        self._check_slot(slot)
+        if slot in self._slots:
+            raise TranslationError("slot %d is occupied" % (slot,))
+        self._slots[slot] = (vpage, frame)
+        self.installs += 1
+
+    def free(self, slot):
+        """Invalidate ``slot``; returns the (vpage, frame) it held."""
+        self._check_slot(slot)
+        try:
+            entry = self._slots.pop(slot)
+        except KeyError:
+            raise TranslationError("slot %d is already free" % (slot,))
+        self.evictions += 1
+        return entry
+
+    def read_slot(self, slot):
+        """NIC-side read of a slot: the frame, or the garbage frame for a
+        free/garbage slot (never an error — Section 4.2)."""
+        self._check_slot(slot)
+        entry = self._slots.get(slot)
+        if entry is not None:
+            return entry[1]
+        if self.garbage_frame is None:
+            raise TranslationError(
+                "slot %d free and no garbage frame configured" % (slot,))
+        return self.garbage_frame
+
+    def find_free_slots(self, count):
+        """First ``count`` free slot numbers (ascending); raises
+        :class:`CapacityError` when fewer remain."""
+        if count <= 0:
+            return []
+        free = []
+        for slot in range(self.num_slots):
+            if slot not in self._slots:
+                free.append(slot)
+                if len(free) == count:
+                    return free
+        raise CapacityError(
+            "pid %r: need %d free slots, only %d available"
+            % (self.pid, count, len(free)))
+
+    @property
+    def used_slots(self):
+        return len(self._slots)
+
+    @property
+    def free_slots(self):
+        return self.num_slots - len(self._slots)
+
+    def fragmentation(self):
+        """1 - (largest contiguous free run / total free slots).
+
+        0.0 means all free space is one run; approaching 1.0 means free
+        slots are scattered — the problem Hierarchical-UTLB eliminates
+        (Section 3.3).
+        """
+        if not self._slots:
+            return 0.0
+        total_free = self.free_slots
+        if total_free == 0:
+            return 0.0
+        largest = run = 0
+        for slot in range(self.num_slots):
+            if slot in self._slots:
+                run = 0
+            else:
+                run += 1
+                largest = max(largest, run)
+        return 1.0 - largest / total_free
+
+    def items(self):
+        """All (slot, vpage, frame) triples, ascending by slot."""
+        for slot in sorted(self._slots):
+            vpage, frame = self._slots[slot]
+            yield slot, vpage, frame

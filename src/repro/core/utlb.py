@@ -1,0 +1,287 @@
+"""Hierarchical-UTLB: the mechanism the paper evaluates (Section 3.3).
+
+One :class:`HierarchicalUtlb` instance embodies one process's translation
+machinery end to end:
+
+* user level — a pinned-status :class:`~repro.core.bitvector.BitVector`
+  and a :class:`~repro.core.pinner.PinnedPagePool` (replacement policy +
+  pinning limit);
+* kernel level — a driver that pins pages and returns their frames;
+* host memory — a :class:`HierarchicalTranslationTable` holding the
+  translations of pinned pages;
+* NIC — a :class:`~repro.core.shared_cache.SharedUtlbCache`, shared with
+  the node's other processes, filled by (simulated) DMA on a miss, with
+  optional prefetch of consecutive entries.
+
+Every step charges the calibrated :class:`~repro.core.costs.CostModel`
+into a :class:`~repro.core.stats.TranslationStats`, which is exactly the
+instrumentation the paper's trace-driven simulator reports.
+"""
+
+from repro import params
+from repro.core import addresses
+from repro.core.bitvector import BitVector
+from repro.core.costs import DEFAULT_COST_MODEL
+from repro.core.pinner import PinnedPagePool
+from repro.core.stats import TranslationStats
+from repro.core.translation_table import HierarchicalTranslationTable
+from repro.errors import ConfigError, PinningError
+
+
+class CountingFrameDriver:
+    """A minimal driver for simulation and unit tests.
+
+    Hands out fresh frame numbers on pin and tracks the pinned set; it
+    performs no real memory management.  The functional driver that pins
+    real simulated memory is :class:`repro.vmmc.driver.VmmcDriver`.
+    """
+
+    def __init__(self):
+        self._next_frame = 1
+        self._pinned = {}           # (pid, vpage) -> frame
+
+    def pin_pages(self, pid, vpages):
+        """Pin ``vpages``; returns {vpage: frame}."""
+        frames = {}
+        for vpage in vpages:
+            key = (pid, vpage)
+            if key in self._pinned:
+                raise PinningError("page %#x already pinned" % (vpage,))
+            self._pinned[key] = self._next_frame
+            frames[vpage] = self._next_frame
+            self._next_frame += 1
+        return frames
+
+    def unpin_pages(self, pid, vpages):
+        for vpage in vpages:
+            try:
+                del self._pinned[(pid, vpage)]
+            except KeyError:
+                raise PinningError("page %#x not pinned" % (vpage,))
+
+    def pinned_count(self, pid):
+        return sum(1 for key in self._pinned if key[0] == pid)
+
+
+class HierarchicalUtlb:
+    """The full Hierarchical-UTLB stack for one process.
+
+    Parameters
+    ----------
+    pid:
+        Process identity, used to tag shared-cache entries.
+    cache:
+        The node's :class:`SharedUtlbCache` (shared across processes).
+    driver:
+        Object with ``pin_pages(pid, vpages) -> {vpage: frame}`` and
+        ``unpin_pages(pid, vpages)``.
+    memory_limit_pages:
+        Per-process pinning limit (None = unlimited, the Table 4 setting).
+    pin_policy:
+        One of 'lru', 'mru', 'lfu', 'mfu', 'random' (Section 3.4).
+    prepin:
+        Pages pinned per check miss (sequential pre-pinning, Section 6.5).
+    prefetch:
+        Translation entries fetched per NIC miss (Section 6.4).
+    """
+
+    def __init__(self, pid, cache, driver=None, cost_model=None,
+                 memory_limit_pages=None, pin_policy="lru", prepin=1,
+                 prefetch=1, garbage_frame=None, seed=0):
+        if prepin <= 0:
+            raise ConfigError("prepin degree must be positive")
+        if prefetch <= 0:
+            raise ConfigError("prefetch degree must be positive")
+        self.pid = pid
+        self.cache = cache
+        self.driver = driver if driver is not None else CountingFrameDriver()
+        self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        self.prepin = prepin
+        self.prefetch = prefetch
+        self.bitvector = BitVector(params.NUM_VPAGES)
+        self.table = HierarchicalTranslationTable(pid, garbage_frame=garbage_frame)
+        self.pool = PinnedPagePool(memory_limit_pages, policy=pin_policy,
+                                   seed=seed)
+        self.stats = TranslationStats()
+        cache.register_process(pid)
+
+    # -- the translation path (Figure 2) ---------------------------------------
+
+    def access_page(self, vpage):
+        """Translate one virtual page; returns its physical frame.
+
+        This is the unit the trace-driven analysis counts: the firmware
+        splits transfers at page boundaries and performs one lookup per
+        page (footnote 1).  It is the user-level check followed by the
+        NIC-side lookup; the functional VMMC path runs the two phases
+        separately (the library checks, the MCP translates).
+        """
+        self.user_check_page(vpage)
+        return self.nic_translate_page(vpage)
+
+    def user_check_page(self, vpage):
+        """User-level phase: consult the bit vector, pin on a check miss.
+
+        Counts one translation lookup (the paper's per-lookup unit).
+        """
+        stats = self.stats
+        stats.lookups += 1
+        stats.check_time_us += self.cost_model.user_check_hit
+        if not self.bitvector.test(vpage):
+            stats.check_misses += 1
+            self._pin_on_demand(vpage)
+        self.pool.note_access(vpage)
+
+    def nic_translate_page(self, vpage):
+        """NIC-side phase: Shared UTLB-Cache lookup, DMA fill on a miss."""
+        stats = self.stats
+        stats.ni_accesses += 1
+        stats.ni_hit_time_us += self.cost_model.ni_check_hit
+        hit, frame = self.cache.lookup(self.pid, vpage)
+        if hit:
+            stats.ni_hits += 1
+            return frame
+        return self._handle_ni_miss(vpage)
+
+    def ensure_pinned(self, vaddr, nbytes):
+        """Pin every page of a buffer without counting translation lookups.
+
+        Used by VMMC export and transfer redirection: receive buffers are
+        pinned when exported (Section 4.1), which is setup work, not a
+        communication-path lookup.  Pages already pinned are left alone.
+        Returns the list of newly pinned virtual pages.
+        """
+        stats = self.stats
+        cm = self.cost_model
+        missing = [v for v in addresses.page_range(vaddr, nbytes)
+                   if not self.bitvector.test(v)]
+        if not missing:
+            return []
+        for victim in self.pool.victims_for(len(missing)):
+            self._unpin_page(victim)
+        frames = self.driver.pin_pages(self.pid, missing)
+        stats.pin_calls += 1
+        stats.pages_pinned += len(missing)
+        stats.pin_time_us += cm.pin_cost(len(missing))
+        for page in missing:
+            self.bitvector.set(page)
+            self.table.install(page, frames[page])
+            self.pool.note_pin(page)
+        return missing
+
+    def translate_buffer(self, vaddr, nbytes):
+        """Translate a user buffer into DMA chunks.
+
+        Yields ``(frame, offset, length)`` triples, one per page crossed,
+        performing a full translation lookup for each — the send path of
+        Figure 2 plus the firmware's page-at-a-time splitting.
+        """
+        for chunk_va, chunk_len in addresses.split_at_page_boundaries(vaddr, nbytes):
+            frame = self.access_page(addresses.vpage_of(chunk_va))
+            yield frame, addresses.page_offset(chunk_va), chunk_len
+
+    # -- check-miss handling: demand pinning (with optional pre-pinning) --------
+
+    def _pin_on_demand(self, vpage):
+        """Pin ``vpage`` (and pre-pin successors), evicting if needed."""
+        stats = self.stats
+        cm = self.cost_model
+
+        # Sequential pre-pinning: try to pin `prepin` contiguous pages
+        # starting at the missed one, skipping those already pinned.
+        end = min(vpage + self.prepin, params.NUM_VPAGES)
+        to_pin = [v for v in range(vpage, end) if not self.bitvector.test(v)]
+        if self.pool.limit_pages is not None:
+            # Never pin a batch bigger than the whole budget.
+            to_pin = to_pin[:self.pool.limit_pages]
+        if vpage not in to_pin:
+            raise PinningError("demand page %#x lost from pin batch" % (vpage,))
+
+        for victim in self.pool.victims_for(len(to_pin)):
+            self._unpin_page(victim)
+
+        frames = self.driver.pin_pages(self.pid, to_pin)
+        stats.pin_calls += 1
+        stats.pages_pinned += len(to_pin)
+        stats.pin_time_us += cm.pin_cost(len(to_pin))
+        for page in to_pin:
+            self.bitvector.set(page)
+            self.table.install(page, frames[page])
+            self.pool.note_pin(page)
+
+    def _unpin_page(self, vpage):
+        """Unpin one page: clear the bit, drop the table entry, and
+        invalidate any NIC cache copy.  One ioctl per page (Section 6.5:
+        'unpinning is still done one page at a time')."""
+        stats = self.stats
+        self.pool.note_unpin(vpage)
+        self.bitvector.clear(vpage)
+        self.table.invalidate(vpage)
+        self.cache.invalidate(self.pid, vpage)
+        self.driver.unpin_pages(self.pid, [vpage])
+        stats.unpin_calls += 1
+        stats.pages_unpinned += 1
+        stats.unpin_time_us += self.cost_model.unpin_cost(1)
+
+    def unpin_all(self):
+        """Release every pinned page (process teardown)."""
+        for vpage in list(self.bitvector.set_indices()):
+            self._unpin_page(vpage)
+
+    # -- NIC-miss handling: DMA fill with prefetch ---------------------------------
+
+    def _handle_ni_miss(self, vpage):
+        stats = self.stats
+        cm = self.cost_model
+        stats.ni_misses += 1
+        block = self.table.read_block(vpage, self.prefetch)
+        stats.entries_fetched += len(block)
+        stats.ni_miss_time_us += cm.miss_cost(len(block))
+        self.cache.fill_block(self.pid, block)
+        # A cache eviction under UTLB requires no host action: the
+        # translation stays alive in the host table (the key difference
+        # from the interrupt-based approach, Section 6.2).
+        frame = block[0][1]
+        if frame is None:
+            raise PinningError(
+                "page %#x missed in NIC cache but is not in the translation "
+                "table — pinned-state invariant broken" % (vpage,))
+        return frame
+
+    # -- outstanding-send protection -------------------------------------------------
+
+    def hold(self, vpage):
+        """Mark a page as involved in an outstanding send (not evictable)."""
+        self.pool.hold(vpage)
+
+    def release(self, vpage):
+        self.pool.release(vpage)
+
+    # -- invariants (used heavily by the test suite) -----------------------------------
+
+    def check_invariants(self):
+        """Verify the cross-structure consistency the design promises.
+
+        * bit vector, pinned pool, and host table agree exactly;
+        * every NIC cache entry for this pid is backed by the host table;
+        * the pinning limit is respected.
+        Raises AssertionError on violation.
+        """
+        bits = set(self.bitvector.set_indices())
+        table_pages = {vpage for vpage, _ in self.table.mapped_pages()}
+        pool_pages = {v for v in bits if v in self.pool}
+        assert bits == table_pages, (
+            "bit vector and translation table disagree: %s"
+            % sorted(bits ^ table_pages)[:8])
+        assert bits == pool_pages and len(self.pool) == len(bits), (
+            "bit vector and pinned pool disagree")
+        for vpage, frame in self.cache.entries_for(self.pid):
+            backing = self.table.lookup(vpage)
+            assert backing == frame, (
+                "NIC cache entry for page %#x (%r) not backed by the table "
+                "(%r)" % (vpage, frame, backing))
+        if self.pool.limit_pages is not None:
+            assert len(self.pool) <= self.pool.limit_pages, (
+                "pinning limit exceeded: %d > %d"
+                % (len(self.pool), self.pool.limit_pages))
+        return True

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the UTLB reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch the
+whole family with one clause.  Subsystems raise the most specific subclass.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class AddressError(ReproError, ValueError):
+    """A virtual or physical address is malformed or out of range."""
+
+
+class ProtectionError(ReproError):
+    """An operation would cross a protection boundary.
+
+    Examples: a user process touching another process's translation table,
+    importing a buffer that was never exported, or a NIC request naming a
+    process tag that is not registered.
+    """
+
+
+class PinningError(ReproError):
+    """Page pinning or unpinning failed.
+
+    Raised when unpinning a page that is not pinned, when the OS-wide
+    physical-memory pool is exhausted, or when a per-process pinning limit
+    cannot be satisfied even after eviction.
+    """
+
+
+class TranslationError(ReproError):
+    """A virtual page has no valid translation where one was required."""
+
+
+class CapacityError(ReproError):
+    """A fixed-capacity structure (per-process UTLB table, NIC SRAM,
+    command queue) is full and cannot accept another entry."""
+
+
+class NicError(ReproError):
+    """The network-interface model rejected an operation."""
+
+
+class NetworkError(ReproError):
+    """The network fabric failed to deliver a packet (after retries)."""
+
+
+class TraceError(ReproError):
+    """A trace file or trace record is malformed."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A simulation or experiment configuration is invalid."""

@@ -1,0 +1,18 @@
+"""Host memory and operating-system substrate: physical frames, per-process
+address spaces with demand paging and swapping, the page pin/unpin facility,
+and a minimal OS (processes, syscalls, ioctl dispatch, interrupts)."""
+
+from repro.memsim.address_space import AddressSpace
+from repro.memsim.os_kernel import Process, SimulatedOS
+from repro.memsim.physical import Frame, PhysicalMemory
+from repro.memsim.pinning import PinFacility, PinStats
+
+__all__ = [
+    "AddressSpace",
+    "Frame",
+    "PhysicalMemory",
+    "PinFacility",
+    "PinStats",
+    "Process",
+    "SimulatedOS",
+]

@@ -1,0 +1,145 @@
+"""Per-process virtual address spaces with demand paging.
+
+An :class:`AddressSpace` is the OS view of one process's memory: a mapping
+from virtual page numbers to physical frames, populated on demand.  It also
+supports swapping a page out (the frame is reclaimed and the page contents
+are parked in a swap store), which is what makes pinning meaningful: the
+network interface can only DMA to/from pages the OS promises not to evict.
+"""
+
+from repro import params
+from repro.core import addresses
+from repro.errors import AddressError, PinningError
+
+
+class AddressSpace:
+    """Virtual address space of one process, backed by a PhysicalMemory."""
+
+    def __init__(self, pid, physical):
+        self.pid = pid
+        self.physical = physical
+        self._page_table = {}       # vpage -> frame number
+        self._swap = {}             # vpage -> bytes (page contents on disk)
+        self._pinned = set()        # vpages pinned via this address space
+        self.page_faults = 0
+        self.swap_ins = 0
+        self.swap_outs = 0
+
+    # -- mapping ------------------------------------------------------------
+
+    def is_resident(self, vpage):
+        """True when the virtual page currently has a physical frame."""
+        return vpage in self._page_table
+
+    def is_pinned(self, vpage):
+        return vpage in self._pinned
+
+    def frame_of(self, vpage):
+        """Physical frame backing ``vpage``; raises if not resident."""
+        try:
+            return self._page_table[vpage]
+        except KeyError:
+            raise AddressError(
+                "pid %r: virtual page %#x is not resident" % (self.pid, vpage))
+
+    def translate(self, vaddr):
+        """Translate a virtual address to (frame, offset)."""
+        vpage = addresses.vpage_of(vaddr)
+        return self.frame_of(vpage), addresses.page_offset(vaddr)
+
+    def touch(self, vpage):
+        """Ensure ``vpage`` is resident (demand paging); returns its frame."""
+        frame = self._page_table.get(vpage)
+        if frame is not None:
+            return frame
+        self.page_faults += 1
+        frame = self.physical.allocate(owner_pid=self.pid)
+        contents = self._swap.pop(vpage, None)
+        if contents is not None:
+            self.physical.write(frame, 0, contents)
+            self.swap_ins += 1
+        self._page_table[vpage] = frame
+        return frame
+
+    def resident_pages(self):
+        """Sorted list of resident virtual page numbers."""
+        return sorted(self._page_table)
+
+    # -- pinning ------------------------------------------------------------
+
+    def pin(self, vpage):
+        """Pin ``vpage``: make it resident and forbid swap-out.
+
+        Pinning an already-pinned page is an error — the UTLB layers above
+        are responsible for tracking what they pinned (double pinning would
+        silently distort the pin/unpin counts the paper measures).
+        """
+        if vpage in self._pinned:
+            raise PinningError(
+                "pid %r: page %#x is already pinned" % (self.pid, vpage))
+        frame = self.touch(vpage)
+        self.physical.pin_frame(frame)
+        self._pinned.add(vpage)
+        return frame
+
+    def unpin(self, vpage):
+        """Release the pin on ``vpage``."""
+        if vpage not in self._pinned:
+            raise PinningError(
+                "pid %r: page %#x is not pinned" % (self.pid, vpage))
+        self.physical.unpin_frame(self._page_table[vpage])
+        self._pinned.remove(vpage)
+
+    def pinned_pages(self):
+        """Sorted list of pinned virtual page numbers."""
+        return sorted(self._pinned)
+
+    @property
+    def pinned_count(self):
+        return len(self._pinned)
+
+    # -- swapping -----------------------------------------------------------
+
+    def swap_out(self, vpage):
+        """Evict a resident, unpinned page to the swap store."""
+        if vpage in self._pinned:
+            raise PinningError(
+                "pid %r: cannot swap out pinned page %#x" % (self.pid, vpage))
+        frame = self.frame_of(vpage)
+        self._swap[vpage] = self.physical.read(frame, 0, params.PAGE_SIZE)
+        self.physical.free(frame)
+        del self._page_table[vpage]
+        self.swap_outs += 1
+
+    # -- data access --------------------------------------------------------
+
+    def read(self, vaddr, nbytes):
+        """Read bytes through the virtual address space (faults pages in)."""
+        out = []
+        for chunk_va, chunk_len in addresses.split_at_page_boundaries(vaddr, nbytes):
+            vpage = addresses.vpage_of(chunk_va)
+            frame = self.touch(vpage)
+            out.append(self.physical.read(
+                frame, addresses.page_offset(chunk_va), chunk_len))
+        return b"".join(out)
+
+    def write(self, vaddr, data):
+        """Write bytes through the virtual address space (faults pages in)."""
+        cursor = 0
+        for chunk_va, chunk_len in addresses.split_at_page_boundaries(vaddr, len(data)):
+            vpage = addresses.vpage_of(chunk_va)
+            frame = self.touch(vpage)
+            self.physical.write(frame, addresses.page_offset(chunk_va),
+                                data[cursor:cursor + chunk_len])
+            cursor += chunk_len
+
+    # -- teardown -----------------------------------------------------------
+
+    def destroy(self):
+        """Release every frame (pins are force-dropped first)."""
+        for vpage in list(self._pinned):
+            self.unpin(vpage)
+        for vpage, frame in list(self._page_table.items()):
+            self.physical.free(frame)
+            del self._page_table[vpage]
+        self._swap.clear()

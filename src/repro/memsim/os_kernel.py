@@ -1,0 +1,122 @@
+"""A minimal simulated operating system.
+
+``SimulatedOS`` owns physical memory, creates processes (each with its own
+:class:`AddressSpace`), exposes the pin/unpin facility through a
+syscall-style interface, and dispatches device interrupts to registered
+handlers.  The UTLB device driver (``repro.vmmc.driver``) plugs into this
+object exactly as the paper's driver plugs into Windows NT: no OS
+modifications, just an ioctl entry point and the pinning facility.
+"""
+
+from repro.errors import ConfigError, ProtectionError
+from repro.memsim.address_space import AddressSpace
+from repro.memsim.physical import PhysicalMemory
+from repro.memsim.pinning import PinFacility
+
+
+class Process:
+    """A user process: a pid, an address space, and accounting."""
+
+    def __init__(self, pid, space):
+        self.pid = pid
+        self.space = space
+        self.syscalls = 0
+
+    def __repr__(self):
+        return "Process(pid=%r, pinned=%d)" % (self.pid, self.space.pinned_count)
+
+
+class SimulatedOS:
+    """Host operating system model: processes, syscalls, interrupts."""
+
+    def __init__(self, physical=None, cost_model=None):
+        self.physical = physical if physical is not None else PhysicalMemory()
+        self.cost_model = cost_model
+        self.pin_facility = PinFacility(cost_model=cost_model)
+        self.kernel_pin_facility = PinFacility(cost_model=cost_model,
+                                               in_kernel=True)
+        self._processes = {}
+        self._interrupt_handlers = {}
+        self._ioctl_handlers = {}
+        self._next_pid = 1
+        self.interrupts_delivered = 0
+        self.syscalls = 0
+
+    # -- processes ----------------------------------------------------------
+
+    def create_process(self, pid=None):
+        """Create a process; auto-assigns a pid when none is given."""
+        if pid is None:
+            pid = self._next_pid
+            self._next_pid += 1
+        if pid in self._processes:
+            raise ConfigError("pid %r already exists" % (pid,))
+        self._next_pid = max(self._next_pid, (pid + 1) if isinstance(pid, int)
+                             else self._next_pid)
+        process = Process(pid, AddressSpace(pid, self.physical))
+        self._processes[pid] = process
+        return process
+
+    def process(self, pid):
+        try:
+            return self._processes[pid]
+        except KeyError:
+            raise ProtectionError("no such process: %r" % (pid,))
+
+    def processes(self):
+        return list(self._processes.values())
+
+    def destroy_process(self, pid):
+        process = self.process(pid)
+        process.space.destroy()
+        del self._processes[pid]
+
+    # -- syscalls -----------------------------------------------------------
+
+    def sys_pin(self, pid, vpages):
+        """Pin pages on behalf of a user process (a driver ioctl path)."""
+        process = self.process(pid)
+        process.syscalls += 1
+        self.syscalls += 1
+        return self.pin_facility.pin_pages(process.space, vpages)
+
+    def sys_unpin(self, pid, vpages):
+        """Unpin pages on behalf of a user process."""
+        process = self.process(pid)
+        process.syscalls += 1
+        self.syscalls += 1
+        return self.pin_facility.unpin_pages(process.space, vpages)
+
+    # -- ioctl dispatch (device drivers register here) ------------------------
+
+    def register_ioctl(self, device, handler):
+        """Register ``handler(pid, request, **kwargs)`` for ``device``."""
+        if device in self._ioctl_handlers:
+            raise ConfigError("device %r already registered" % (device,))
+        self._ioctl_handlers[device] = handler
+
+    def ioctl(self, pid, device, request, **kwargs):
+        """User-process entry into a device driver (counted as a syscall)."""
+        process = self.process(pid)
+        try:
+            handler = self._ioctl_handlers[device]
+        except KeyError:
+            raise ConfigError("no driver registered for device %r" % (device,))
+        process.syscalls += 1
+        self.syscalls += 1
+        return handler(pid, request, **kwargs)
+
+    # -- interrupts ---------------------------------------------------------
+
+    def register_interrupt(self, vector, handler):
+        """Register ``handler(**kwargs)`` for interrupt ``vector``."""
+        self._interrupt_handlers[vector] = handler
+
+    def raise_interrupt(self, vector, **kwargs):
+        """Deliver a device interrupt to the host CPU."""
+        try:
+            handler = self._interrupt_handlers[vector]
+        except KeyError:
+            raise ConfigError("no handler for interrupt vector %r" % (vector,))
+        self.interrupts_delivered += 1
+        return handler(**kwargs)

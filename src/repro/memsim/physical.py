@@ -1,0 +1,143 @@
+"""Simulated physical memory: a pool of page frames with byte contents.
+
+The network interface in the paper addresses host memory physically, so the
+simulation needs a real notion of page frames.  ``PhysicalMemory`` hands out
+frame numbers, tracks ownership, and (lazily) stores per-frame byte contents
+so the functional VMMC layer can move actual data end to end.
+
+Frame contents are allocated on first write; an untouched frame reads as
+zeros.  This keeps simulating multi-gigabyte memories cheap.
+"""
+
+from repro import params
+from repro.errors import AddressError, CapacityError
+
+
+class Frame:
+    """Bookkeeping for one physical page frame."""
+
+    __slots__ = ("number", "owner_pid", "pin_count")
+
+    def __init__(self, number, owner_pid):
+        self.number = number
+        self.owner_pid = owner_pid
+        self.pin_count = 0
+
+    def __repr__(self):
+        return "Frame(%d, owner=%r, pins=%d)" % (
+            self.number, self.owner_pid, self.pin_count)
+
+
+class PhysicalMemory:
+    """A fixed pool of 4 KB page frames.
+
+    Parameters
+    ----------
+    total_bytes:
+        Size of physical memory.  Defaults to 256 MB, the DRAM of the
+        paper's PentiumPro SMP nodes.
+    """
+
+    def __init__(self, total_bytes=256 * 1024 * 1024):
+        if total_bytes < params.PAGE_SIZE:
+            raise ValueError("physical memory smaller than one page")
+        self.num_frames = total_bytes // params.PAGE_SIZE
+        self._free = list(range(self.num_frames - 1, -1, -1))
+        self._frames = {}           # frame number -> Frame
+        self._contents = {}         # frame number -> bytearray (lazy)
+        self.allocations = 0
+        self.frees = 0
+
+    # -- allocation ---------------------------------------------------------
+
+    @property
+    def free_frames(self):
+        """Number of frames currently unallocated."""
+        return len(self._free)
+
+    @property
+    def allocated_frames(self):
+        """Number of frames currently allocated."""
+        return len(self._frames)
+
+    def allocate(self, owner_pid=None):
+        """Allocate one frame; returns its frame number.
+
+        Raises :class:`CapacityError` when physical memory is exhausted.
+        """
+        if not self._free:
+            raise CapacityError("out of physical memory (%d frames in use)"
+                                % self.num_frames)
+        number = self._free.pop()
+        self._frames[number] = Frame(number, owner_pid)
+        self.allocations += 1
+        return number
+
+    def free(self, number):
+        """Return a frame to the free pool.  The frame must be unpinned."""
+        frame = self._lookup(number)
+        if frame.pin_count:
+            raise AddressError(
+                "cannot free pinned frame %d (pin count %d)"
+                % (number, frame.pin_count))
+        del self._frames[number]
+        self._contents.pop(number, None)
+        self._free.append(number)
+        self.frees += 1
+
+    def frame(self, number):
+        """Return the :class:`Frame` record for an allocated frame."""
+        return self._lookup(number)
+
+    def is_allocated(self, number):
+        return number in self._frames
+
+    def _lookup(self, number):
+        try:
+            return self._frames[number]
+        except KeyError:
+            raise AddressError("frame %d is not allocated" % (number,))
+
+    # -- pinning ------------------------------------------------------------
+
+    def pin_frame(self, number):
+        """Increment a frame's pin count (it may be pinned by several users)."""
+        self._lookup(number).pin_count += 1
+
+    def unpin_frame(self, number):
+        frame = self._lookup(number)
+        if frame.pin_count == 0:
+            raise AddressError("frame %d is not pinned" % (number,))
+        frame.pin_count -= 1
+
+    def pinned_frames(self):
+        """Frame numbers with a nonzero pin count (sorted, for determinism)."""
+        return sorted(n for n, f in self._frames.items() if f.pin_count)
+
+    # -- contents -----------------------------------------------------------
+
+    def read(self, number, offset, nbytes):
+        """Read ``nbytes`` from a frame; untouched frames read as zeros."""
+        self._check_span(number, offset, nbytes)
+        data = self._contents.get(number)
+        if data is None:
+            return bytes(nbytes)
+        return bytes(data[offset:offset + nbytes])
+
+    def write(self, number, offset, data):
+        """Write ``data`` (bytes-like) into a frame at ``offset``."""
+        self._check_span(number, offset, len(data))
+        contents = self._contents.get(number)
+        if contents is None:
+            contents = bytearray(params.PAGE_SIZE)
+            self._contents[number] = contents
+        contents[offset:offset + len(data)] = data
+
+    def _check_span(self, number, offset, nbytes):
+        self._lookup(number)
+        if not 0 <= offset <= params.PAGE_SIZE:
+            raise AddressError("offset %d outside frame" % (offset,))
+        if nbytes < 0 or offset + nbytes > params.PAGE_SIZE:
+            raise AddressError(
+                "access [%d, %d) crosses the frame boundary"
+                % (offset, offset + nbytes))

@@ -1,0 +1,26 @@
+"""Myrinet-like network fabric: packets, links, a crossbar switch with
+dynamic node remapping, and data-link-level reliable delivery."""
+
+from repro.network.link import Link, LinkStats
+from repro.network.packet import (
+    HEADER_BYTES,
+    KIND_ACK,
+    KIND_DATA,
+    KIND_FETCH_REQ,
+    Packet,
+)
+from repro.network.reliability import ChannelStats, ReliableEndpoint
+from repro.network.switch import Fabric
+
+__all__ = [
+    "ChannelStats",
+    "Fabric",
+    "HEADER_BYTES",
+    "KIND_ACK",
+    "KIND_DATA",
+    "KIND_FETCH_REQ",
+    "Link",
+    "LinkStats",
+    "Packet",
+    "ReliableEndpoint",
+]

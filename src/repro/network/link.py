@@ -1,0 +1,79 @@
+"""A point-to-point Myrinet link with latency, bandwidth, and faults.
+
+Links move packets between a node and the switch.  Each link has a fixed
+delivery latency (in simulation steps), an optional packet-loss rate (to
+exercise the retransmission protocol), and can be taken down entirely (to
+exercise dynamic node remapping).
+"""
+
+import random
+
+from repro import params
+from repro.errors import NetworkError
+
+
+class LinkStats:
+    __slots__ = ("sent", "delivered", "dropped", "bytes")
+
+    def __init__(self):
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.bytes = 0
+
+
+class Link:
+    """One direction of a point-to-point link."""
+
+    def __init__(self, name, latency_steps=1, loss_rate=0.0, seed=0,
+                 bandwidth=params.LINK_BANDWIDTH):
+        if latency_steps < 1:
+            raise NetworkError("latency must be at least one step")
+        if not 0.0 <= loss_rate < 1.0:
+            raise NetworkError("loss rate must be in [0, 1)")
+        self.name = name
+        self.latency_steps = latency_steps
+        self.loss_rate = loss_rate
+        self.bandwidth = bandwidth
+        self.up = True
+        self._rng = random.Random(seed)
+        self._in_flight = []        # (deliver_at_step, insertion order, packet)
+        self._order = 0
+        self.stats = LinkStats()
+
+    def send(self, packet, now):
+        """Inject a packet; it arrives ``latency_steps`` later (or never)."""
+        self.stats.sent += 1
+        self.stats.bytes += packet.wire_bytes
+        if not self.up:
+            self.stats.dropped += 1
+            return False
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.stats.dropped += 1
+            return False
+        self._in_flight.append((now + self.latency_steps, self._order, packet))
+        self._order += 1
+        return True
+
+    def deliver(self, now):
+        """Packets whose latency has elapsed, in injection order."""
+        if not self._in_flight:
+            return []
+        due = sorted(p for p in self._in_flight if p[0] <= now)
+        self._in_flight = [p for p in self._in_flight if p[0] > now]
+        delivered = [packet for _, _, packet in due]
+        self.stats.delivered += len(delivered)
+        return delivered
+
+    def take_down(self):
+        """Fail the link: in-flight and future packets are lost."""
+        self.up = False
+        self.stats.dropped += len(self._in_flight)
+        self._in_flight = []
+
+    def bring_up(self):
+        self.up = True
+
+    @property
+    def in_flight(self):
+        return len(self._in_flight)

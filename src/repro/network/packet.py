@@ -1,0 +1,48 @@
+"""Packet framing for the simulated Myrinet fabric.
+
+Myrinet is a switched, point-to-point, source-routed network; for the
+purposes of this reproduction a packet carries its source and destination
+node ids, a kind tag, a payload dict, and a reliability-layer sequence
+number.  Sizes are tracked so links can account for bandwidth.
+"""
+
+import itertools
+
+from repro.errors import NetworkError
+
+#: Packet kinds used by the VMMC firmware.
+KIND_DATA = "data"              # remote store: one page-chunk of user data
+KIND_FETCH_REQ = "fetch-req"    # remote fetch request
+KIND_ACK = "ack"                # reliability-layer cumulative ack
+
+#: Bytes of header per packet (route + kind + addressing + CRC).
+HEADER_BYTES = 24
+
+_packet_ids = itertools.count()
+
+
+class Packet:
+    """One network packet."""
+
+    __slots__ = ("packet_id", "src", "dst", "kind", "payload", "seq",
+                 "data_bytes")
+
+    def __init__(self, src, dst, kind, payload=None, data_bytes=0):
+        if src == dst:
+            raise NetworkError("loopback packets never enter the fabric")
+        self.packet_id = next(_packet_ids)
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.payload = payload if payload is not None else {}
+        self.seq = None             # stamped by the reliability layer
+        self.data_bytes = data_bytes
+
+    @property
+    def wire_bytes(self):
+        return HEADER_BYTES + self.data_bytes
+
+    def __repr__(self):
+        return "Packet(#%d %r->%r %s seq=%r %dB)" % (
+            self.packet_id, self.src, self.dst, self.kind, self.seq,
+            self.wire_bytes)

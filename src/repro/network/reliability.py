@@ -1,0 +1,169 @@
+"""Data-link-level reliable delivery between network interfaces.
+
+VMMC-2 added "reliable communication that implements a retransmission
+protocol at data link level (between network interfaces)" (Section 4.1).
+This module implements a per-destination go-back-N style channel:
+
+* the sender numbers packets, keeps unacked ones in a retransmission
+  buffer, and resends after a timeout;
+* the receiver delivers strictly in order, acknowledges cumulatively, and
+  drops duplicates (re-acking so the sender can advance).
+
+The endpoint sits between the MCP and the fabric: the MCP calls
+:meth:`ReliableEndpoint.send`; arriving fabric packets go through
+:meth:`ReliableEndpoint.handle_packet`, which hands deliverable data
+packets to the MCP's upcall.  :meth:`tick` drives retransmission timers
+(call it once per fabric step).
+"""
+
+from repro.errors import NetworkError
+from repro.network.packet import KIND_ACK, Packet
+
+
+class ChannelStats:
+    __slots__ = ("sent", "retransmitted", "delivered", "duplicates",
+                 "acks_sent", "acks_received")
+
+    def __init__(self):
+        self.sent = 0
+        self.retransmitted = 0
+        self.delivered = 0
+        self.duplicates = 0
+        self.acks_sent = 0
+        self.acks_received = 0
+
+
+class _SendChannel:
+    """Sender state toward one destination."""
+
+    __slots__ = ("next_seq", "unacked", "send_times")
+
+    def __init__(self):
+        self.next_seq = 0
+        self.unacked = {}           # seq -> packet
+        self.send_times = {}        # seq -> last transmit step
+
+
+class _RecvChannel:
+    """Receiver state from one source."""
+
+    __slots__ = ("expected_seq", "reorder")
+
+    def __init__(self):
+        self.expected_seq = 0
+        self.reorder = {}           # seq -> packet waiting for its turn
+
+
+class ReliableEndpoint:
+    """One NIC's reliability layer.
+
+    Parameters
+    ----------
+    node_id:
+        This NIC's node id.
+    fabric:
+        The :class:`~repro.network.switch.Fabric` to send through.
+    deliver:
+        Upcall ``deliver(packet)`` invoked for each in-order data packet.
+    timeout_steps:
+        Steps without an ack before a packet is retransmitted.
+    max_retries:
+        Retransmissions per packet before the destination is declared
+        dead (:class:`NetworkError` from :meth:`tick`).
+    """
+
+    def __init__(self, node_id, fabric, deliver, timeout_steps=8,
+                 max_retries=32):
+        if timeout_steps < 1:
+            raise NetworkError("timeout must be at least one step")
+        self.node_id = node_id
+        self.fabric = fabric
+        self.deliver = deliver
+        self.timeout_steps = timeout_steps
+        self.max_retries = max_retries
+        self._send = {}             # dst -> _SendChannel
+        self._recv = {}             # src -> _RecvChannel
+        self._retries = {}          # (dst, seq) -> count
+        self.stats = ChannelStats()
+
+    # -- sending --------------------------------------------------------------------
+
+    def send(self, packet):
+        """Reliably send a data packet (its ``seq`` is stamped here)."""
+        channel = self._send.setdefault(packet.dst, _SendChannel())
+        packet.seq = channel.next_seq
+        channel.next_seq += 1
+        channel.unacked[packet.seq] = packet
+        channel.send_times[packet.seq] = self.fabric.now
+        self._retries[(packet.dst, packet.seq)] = 0
+        self.stats.sent += 1
+        self.fabric.send(packet)
+        return packet.seq
+
+    def unacked_to(self, dst):
+        channel = self._send.get(dst)
+        return len(channel.unacked) if channel else 0
+
+    # -- receiving -------------------------------------------------------------------
+
+    def handle_packet(self, packet):
+        """Entry point for every packet the fabric delivers to this node."""
+        if packet.kind == KIND_ACK:
+            self._handle_ack(packet)
+            return
+        self._handle_data(packet)
+
+    def _handle_ack(self, packet):
+        self.stats.acks_received += 1
+        channel = self._send.get(packet.src)
+        if channel is None:
+            return
+        acked_through = packet.payload["acked_through"]
+        for seq in [s for s in channel.unacked if s <= acked_through]:
+            del channel.unacked[seq]
+            del channel.send_times[seq]
+            self._retries.pop((packet.src, seq), None)
+
+    def _handle_data(self, packet):
+        channel = self._recv.setdefault(packet.src, _RecvChannel())
+        if packet.seq < channel.expected_seq:
+            self.stats.duplicates += 1
+            self._ack(packet.src, channel)
+            return
+        channel.reorder[packet.seq] = packet
+        while channel.expected_seq in channel.reorder:
+            deliverable = channel.reorder.pop(channel.expected_seq)
+            channel.expected_seq += 1
+            self.stats.delivered += 1
+            self.deliver(deliverable)
+        self._ack(packet.src, channel)
+
+    def _ack(self, src, channel):
+        ack = Packet(self.node_id, src, KIND_ACK,
+                     payload={"acked_through": channel.expected_seq - 1})
+        ack.seq = -1
+        self.stats.acks_sent += 1
+        self.fabric.send(ack)
+
+    # -- timers -----------------------------------------------------------------------
+
+    def tick(self):
+        """Retransmit timed-out packets; call once per fabric step."""
+        now = self.fabric.now
+        for dst, channel in self._send.items():
+            for seq in sorted(channel.send_times):
+                if now - channel.send_times[seq] < self.timeout_steps:
+                    continue
+                key = (dst, seq)
+                self._retries[key] += 1
+                if self._retries[key] > self.max_retries:
+                    raise NetworkError(
+                        "node %r: packet seq %d to %r exceeded %d retries"
+                        % (self.node_id, seq, dst, self.max_retries))
+                channel.send_times[seq] = now
+                self.stats.retransmitted += 1
+                self.fabric.send(channel.unacked[seq])
+
+    def all_acked(self):
+        """True when no packet is awaiting acknowledgement."""
+        return all(not c.unacked for c in self._send.values())

@@ -1,0 +1,112 @@
+"""The Myrinet crossbar switch and fabric clock.
+
+The fabric is star-shaped (every node has an up-link into the switch and a
+down-link out of it), which matches the 4-node clusters of the paper.  The
+switch keeps a port map from node id to down-link; *dynamic node
+remapping* (the VMMC-2 reliability feature) re-points a node id at a
+different physical port — packets in flight on the dead port are lost and
+the retransmission layer recovers them.
+
+Time advances in integer steps via :meth:`Fabric.step`; packets delivered
+on a step are handed to the destination node's registered receive handler.
+"""
+
+from repro.errors import NetworkError
+from repro.network.link import Link
+
+
+class Fabric:
+    """Switch + links + clock for one cluster."""
+
+    def __init__(self, latency_steps=1, loss_rate=0.0, seed=0):
+        self.latency_steps = latency_steps
+        self.loss_rate = loss_rate
+        self.seed = seed
+        self.now = 0
+        self._handlers = {}         # node id -> rx callback
+        self._uplinks = {}          # node id -> Link into the switch
+        self._ports = {}            # port id -> Link out of the switch
+        self._port_of_node = {}     # node id -> port id
+        self._next_port = 0
+        self.routed = 0
+        self.undeliverable = 0
+
+    # -- topology -----------------------------------------------------------------
+
+    def attach(self, node_id, handler):
+        """Connect a node: allocates its up-link and a switch port."""
+        if node_id in self._handlers:
+            raise NetworkError("node %r already attached" % (node_id,))
+        self._handlers[node_id] = handler
+        self._uplinks[node_id] = Link(
+            "up:%r" % (node_id,), self.latency_steps, self.loss_rate,
+            seed=self.seed * 7919 + len(self._uplinks))
+        port = self._next_port
+        self._next_port += 1
+        self._ports[port] = Link(
+            "down:%d" % port, self.latency_steps, self.loss_rate,
+            seed=self.seed * 104729 + port)
+        self._port_of_node[node_id] = port
+        return port
+
+    def nodes(self):
+        return sorted(self._handlers, key=repr)
+
+    def uplink(self, node_id):
+        return self._uplinks[node_id]
+
+    def downlink(self, node_id):
+        return self._ports[self._port_of_node[node_id]]
+
+    def remap_node(self, node_id):
+        """Dynamic node remapping: move a node to a fresh switch port.
+
+        Models the VMMC-2 procedure for dealing with link and port
+        failures: the old down-link is abandoned (its in-flight packets
+        are lost) and the node id routes through a new port from now on.
+        Returns the new port id.
+        """
+        if node_id not in self._port_of_node:
+            raise NetworkError("node %r not attached" % (node_id,))
+        old_port = self._port_of_node[node_id]
+        self._ports[old_port].take_down()
+        port = self._next_port
+        self._next_port += 1
+        self._ports[port] = Link(
+            "down:%d" % port, self.latency_steps, self.loss_rate,
+            seed=self.seed * 104729 + port)
+        self._port_of_node[node_id] = port
+        return port
+
+    # -- data movement ---------------------------------------------------------------
+
+    def send(self, packet):
+        """Inject a packet at its source node's up-link."""
+        try:
+            uplink = self._uplinks[packet.src]
+        except KeyError:
+            raise NetworkError("source node %r not attached" % (packet.src,))
+        if packet.dst not in self._handlers:
+            raise NetworkError("destination node %r not attached"
+                               % (packet.dst,))
+        uplink.send(packet, self.now)
+
+    def step(self, n=1):
+        """Advance time ``n`` steps, moving packets through the crossbar."""
+        for _ in range(n):
+            self.now += 1
+            # Up-links deliver into the switch; the crossbar routes each
+            # packet onto its destination's down-link in the same step.
+            for node_id, uplink in self._uplinks.items():
+                for packet in uplink.deliver(self.now):
+                    self.routed += 1
+                    port = self._port_of_node.get(packet.dst)
+                    if port is None:
+                        self.undeliverable += 1
+                        continue
+                    self._ports[port].send(packet, self.now)
+            # Down-links deliver to node receive handlers.
+            for node_id, port in list(self._port_of_node.items()):
+                for packet in self._ports[port].deliver(self.now):
+                    self._handlers[packet.dst](packet)
+        return self.now

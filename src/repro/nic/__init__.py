@@ -1,0 +1,38 @@
+"""Network-interface substrate: SRAM, DMA engine, command post buffers,
+the host interrupt line, and the MCP firmware."""
+
+from repro.nic.command_queue import (
+    Command,
+    CommandQueue,
+    FetchCommand,
+    SendCommand,
+)
+from repro.nic.dma import DmaEngine, DmaStats
+from repro.nic.lanai import CYCLES, LanaiProcessor
+from repro.nic.interrupts import (
+    InterruptLine,
+    VECTOR_MESSAGE_ARRIVED,
+    VECTOR_TABLE_SWAPPED,
+    VECTOR_TRANSLATION_MISS,
+)
+from repro.nic.mcp import Mcp, McpStats
+from repro.nic.sram import NicSram, SramRegion
+
+__all__ = [
+    "Command",
+    "CommandQueue",
+    "DmaEngine",
+    "DmaStats",
+    "CYCLES",
+    "FetchCommand",
+    "InterruptLine",
+    "LanaiProcessor",
+    "Mcp",
+    "McpStats",
+    "NicSram",
+    "SendCommand",
+    "SramRegion",
+    "VECTOR_MESSAGE_ARRIVED",
+    "VECTOR_TABLE_SWAPPED",
+    "VECTOR_TRANSLATION_MISS",
+]

@@ -1,0 +1,105 @@
+"""Command post buffers: the user-process → NIC request path.
+
+"The driver also allocates a special command post buffer from the Myrinet
+SRAM and maps it into the application's address space.  The user-level
+VMMC library posts communication requests to the command buffer.  The
+address of a command buffer is used to identify the user process.  The MCP
+polls user requests from each command buffer and processes them in the
+order that they are received." (Section 4.2)
+
+Commands are small structured records; each queue is a bounded FIFO
+backed by an SRAM region so the footprint is accounted for.
+"""
+
+from collections import deque
+
+from repro.errors import CapacityError, NicError
+
+#: Bytes reserved in SRAM per command slot (a descriptor, not the data).
+COMMAND_SLOT_BYTES = 32
+
+
+class Command:
+    """Base class for NIC commands; subclasses add operation fields."""
+
+    kind = "nop"
+
+    def __init__(self, pid):
+        self.pid = pid
+        self.sequence = None        # stamped by the queue at post time
+
+    def __repr__(self):
+        fields = {k: v for k, v in vars(self).items() if k != "pid"}
+        return "%s(pid=%r, %s)" % (type(self).__name__, self.pid, fields)
+
+
+class SendCommand(Command):
+    """Remote store: transfer a local buffer into a remote receive buffer."""
+
+    kind = "send"
+
+    def __init__(self, pid, local_vaddr, nbytes, import_handle, remote_offset):
+        super().__init__(pid)
+        self.local_vaddr = local_vaddr
+        self.nbytes = nbytes
+        self.import_handle = import_handle
+        self.remote_offset = remote_offset
+
+
+class FetchCommand(Command):
+    """Remote fetch: pull data from a remote receive buffer (VMMC-2)."""
+
+    kind = "fetch"
+
+    def __init__(self, pid, local_vaddr, nbytes, import_handle, remote_offset):
+        super().__init__(pid)
+        self.local_vaddr = local_vaddr
+        self.nbytes = nbytes
+        self.import_handle = import_handle
+        self.remote_offset = remote_offset
+
+
+class CommandQueue:
+    """One process's command post buffer on the NIC."""
+
+    def __init__(self, pid, sram, depth=64):
+        if depth <= 0:
+            raise NicError("queue depth must be positive")
+        self.pid = pid
+        self.depth = depth
+        self.region = sram.allocate("cmdq:%r" % (pid,),
+                                    depth * COMMAND_SLOT_BYTES)
+        self._fifo = deque()
+        self._next_sequence = 0
+        self.posted = 0
+        self.processed = 0
+
+    def post(self, command):
+        """User-level post; raises :class:`CapacityError` when full."""
+        if command.pid != self.pid:
+            raise NicError(
+                "command for pid %r posted to queue of pid %r"
+                % (command.pid, self.pid))
+        if len(self._fifo) >= self.depth:
+            raise CapacityError(
+                "command queue of pid %r is full (%d entries)"
+                % (self.pid, self.depth))
+        command.sequence = self._next_sequence
+        self._next_sequence += 1
+        self._fifo.append(command)
+        self.posted += 1
+        return command.sequence
+
+    def poll(self):
+        """MCP-side: pop the oldest command, or None when empty."""
+        if not self._fifo:
+            return None
+        self.processed += 1
+        return self._fifo.popleft()
+
+    def __len__(self):
+        return len(self._fifo)
+
+    @property
+    def pending(self):
+        return len(self._fifo)

@@ -1,0 +1,31 @@
+"""The NIC → host interrupt line.
+
+UTLB's whole point is to keep this line quiet on the common path: the
+paper's headline claim is that UTLB "eliminates system calls and device
+interrupts from the common communication path".  The line counts every
+interrupt it raises, so tests can assert exactly that.
+"""
+
+from repro.errors import NicError
+
+#: Interrupt vectors used by the VMMC firmware.
+VECTOR_TRANSLATION_MISS = "translation-miss"    # interrupt-based baseline
+VECTOR_TABLE_SWAPPED = "table-swapped"          # 2nd-level table on disk
+VECTOR_MESSAGE_ARRIVED = "message-arrived"      # optional receive notification
+
+
+class InterruptLine:
+    """Connects one NIC to its host OS's interrupt dispatch."""
+
+    def __init__(self, os):
+        self.os = os
+        self.raised = 0
+        self.by_vector = {}
+
+    def raise_interrupt(self, vector, **kwargs):
+        """Interrupt the host CPU; returns the handler's result."""
+        if not vector:
+            raise NicError("interrupt vector must be non-empty")
+        self.raised += 1
+        self.by_vector[vector] = self.by_vector.get(vector, 0) + 1
+        return self.os.raise_interrupt(vector, **kwargs)

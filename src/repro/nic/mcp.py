@@ -1,0 +1,281 @@
+"""The Myrinet Control Program (MCP): the firmware on the NIC processor.
+
+The MCP is the consumer side of the VMMC system architecture (Figure 6):
+it polls the per-process command post buffers in order, translates user
+buffers page by page through the Shared UTLB-Cache, and moves data with
+the DMA engine.  On the receive side it resolves exported-buffer ids
+(honouring transfer redirection) and DMAs payloads into host memory.
+
+The MCP knows nothing about the OS — its only paths to the host are DMA
+and the interrupt line, exactly as on real hardware.
+"""
+
+from repro import params
+from repro.core import addresses
+from repro.core.translation_table import TableSwappedError
+from repro.errors import NicError, ProtectionError
+from repro.network.packet import KIND_DATA, KIND_FETCH_REQ, Packet
+from repro.nic.interrupts import VECTOR_TABLE_SWAPPED
+
+#: SRAM staging buffer for in-flight page chunks.
+STAGING_BYTES = 2 * params.PAGE_SIZE
+
+
+class McpStats:
+    __slots__ = ("commands", "sends", "fetches", "chunks_sent",
+                 "chunks_received", "bytes_sent", "bytes_received",
+                 "fetch_requests_served")
+
+    def __init__(self):
+        self.commands = 0
+        self.sends = 0
+        self.fetches = 0
+        self.chunks_sent = 0
+        self.chunks_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.fetch_requests_served = 0
+
+
+class Mcp:
+    """Firmware for one network interface.
+
+    Parameters
+    ----------
+    node_id:
+        The node this NIC serves.
+    sram, dma:
+        The NIC's SRAM and DMA engine.
+    endpoint:
+        The :class:`~repro.network.reliability.ReliableEndpoint`; the MCP
+        registers itself as the endpoint's deliver upcall.
+    exports:
+        The node's :class:`~repro.vmmc.buffers.ExportRegistry` (receive
+        side).
+    interrupt_line:
+        NIC → host interrupts (used only for swapped second-level tables
+        and optional arrival notification — never on the common path).
+    """
+
+    def __init__(self, node_id, sram, dma, endpoint, exports,
+                 interrupt_line=None, notifier=None, lanai=None):
+        self.node_id = node_id
+        self.sram = sram
+        self.dma = dma
+        self.endpoint = endpoint
+        self.exports = exports
+        self.interrupt_line = interrupt_line
+        self.notifier = notifier
+        self.lanai = lanai
+        self.staging = sram.allocate("mcp-staging", STAGING_BYTES)
+        self._queues = []            # command queues, poll order = registration
+        self._utlbs = {}             # pid -> HierarchicalUtlb (NIC-side view)
+        self.stats = McpStats()
+        endpoint.deliver = self.handle_delivered
+
+    # -- registration ----------------------------------------------------------------
+
+    def register_process(self, pid, queue, utlb):
+        """Attach a process's command queue and translation machinery."""
+        if pid in self._utlbs:
+            raise NicError("pid %r already registered with the MCP" % (pid,))
+        self._queues.append(queue)
+        self._utlbs[pid] = utlb
+
+    def utlb_for(self, pid):
+        try:
+            return self._utlbs[pid]
+        except KeyError:
+            raise ProtectionError("pid %r unknown to the NIC" % (pid,))
+
+    # -- command processing -------------------------------------------------------------
+
+    def poll(self, budget=None):
+        """Process pending commands round-robin; returns how many ran.
+
+        ``budget`` bounds the number of commands processed (None = drain
+        everything currently posted).
+        """
+        processed = 0
+        while budget is None or processed < budget:
+            command = self._next_command()
+            if command is None:
+                break
+            self._execute(command)
+            processed += 1
+        return processed
+
+    def _next_command(self):
+        for queue in self._queues:
+            command = queue.poll()
+            if command is not None:
+                return command
+            self._charge("poll_empty")
+        return None
+
+    def _charge(self, operation, count=1):
+        if self.lanai is not None:
+            self.lanai.charge(operation, count)
+
+    def _execute(self, command):
+        self.stats.commands += 1
+        self._charge("command_dispatch")
+        if command.kind == "send":
+            self._execute_send(command)
+        elif command.kind == "fetch":
+            self._execute_fetch(command)
+        else:
+            raise NicError("MCP cannot execute command kind %r"
+                           % (command.kind,))
+
+    def _execute_send(self, command):
+        """Remote store: stream the local buffer to the remote node."""
+        self.stats.sends += 1
+        handle = command.import_handle
+        utlb = self.utlb_for(command.pid)
+        sent = 0
+        for chunk_va, chunk_len in addresses.split_at_page_boundaries(
+                command.local_vaddr, command.nbytes):
+            frame = self._translate(utlb, addresses.vpage_of(chunk_va))
+            self._charge("dma_setup")
+            data = self.dma.host_to_nic(
+                frame, addresses.page_offset(chunk_va),
+                self.staging.base, chunk_len)
+            self._send_or_deliver(
+                handle.node_id, KIND_DATA,
+                payload={
+                    "mode": "export",
+                    "export_id": handle.export_id,
+                    "offset": command.remote_offset + sent,
+                    "data": data,
+                },
+                data_bytes=chunk_len)
+            self.stats.chunks_sent += 1
+            self.stats.bytes_sent += chunk_len
+            sent += chunk_len
+
+    def _execute_fetch(self, command):
+        """Remote fetch: ask the (possibly local) NIC for the data."""
+        self.stats.fetches += 1
+        handle = command.import_handle
+        self._send_or_deliver(
+            handle.node_id, KIND_FETCH_REQ,
+            payload={
+                "export_id": handle.export_id,
+                "offset": command.remote_offset,
+                "nbytes": command.nbytes,
+                "reply_pid": command.pid,
+                "reply_vaddr": command.local_vaddr,
+            })
+
+    def _send_or_deliver(self, dst, kind, payload, data_bytes=0):
+        """Route through the fabric, or loop back locally when source and
+        destination processes share this NIC (intra-node transfers never
+        touch the network — the NIC moves the data itself)."""
+        if dst == self.node_id:
+            self._dispatch(kind, payload, src=self.node_id)
+            return
+        self._charge("packet_build")
+        self.endpoint.send(Packet(self.node_id, dst, kind,
+                                  payload=payload, data_bytes=data_bytes))
+
+    def _translate(self, utlb, vpage):
+        """NIC-side translation, with the swapped-table interrupt path."""
+        misses_before = utlb.stats.ni_misses
+        try:
+            frame = utlb.nic_translate_page(vpage)
+        except TableSwappedError as exc:
+            if self.interrupt_line is None:
+                raise
+            self._charge("interrupt_raise")
+            self.interrupt_line.raise_interrupt(
+                VECTOR_TABLE_SWAPPED, pid=utlb.pid,
+                dir_index=exc.dir_index)
+            frame = utlb.nic_translate_page(vpage)
+        self._charge("cache_probe")
+        if utlb.stats.ni_misses > misses_before:
+            self._charge("table_walk")
+            self._charge("dma_setup")       # the entry-fetch DMA
+        return frame
+
+    # -- receive side -----------------------------------------------------------------------
+
+    def handle_delivered(self, packet):
+        """Upcall from the reliability layer for each in-order packet."""
+        self._charge("packet_receive")
+        self._dispatch(packet.kind, packet.payload, src=packet.src)
+
+    def _dispatch(self, kind, payload, src):
+        if kind == KIND_DATA:
+            self._handle_data(payload, src)
+        elif kind == KIND_FETCH_REQ:
+            self._handle_fetch_request(payload, src)
+        else:
+            raise NicError("MCP received unexpected packet kind %r"
+                           % (kind,))
+
+    def _handle_data(self, payload, src):
+        export = None
+        if payload["mode"] == "export":
+            export = self.exports.lookup(payload["export_id"])
+            base_vaddr = export.delivery_vaddr()
+            pid = export.pid
+            if payload["offset"] + len(payload["data"]) > export.nbytes:
+                raise ProtectionError(
+                    "incoming data overruns exported buffer %r"
+                    % (payload["export_id"],))
+            target = base_vaddr + payload["offset"]
+        elif payload["mode"] == "direct":
+            pid = payload["pid"]
+            target = payload["vaddr"] + payload["offset"]
+        else:
+            raise NicError("unknown data delivery mode %r"
+                           % (payload["mode"],))
+        self._deliver_bytes(pid, target, payload["data"])
+        if export is not None and self.notifier is not None:
+            self.notifier.notify(export, payload["offset"],
+                                 len(payload["data"]), from_node=src)
+
+    def _deliver_bytes(self, pid, vaddr, data):
+        """Write payload bytes into host memory through the UTLB."""
+        utlb = self.utlb_for(pid)
+        cursor = 0
+        for chunk_va, chunk_len in addresses.split_at_page_boundaries(
+                vaddr, len(data)):
+            frame = self._translate(utlb, addresses.vpage_of(chunk_va))
+            self.sram.write(self.staging.base,
+                            data[cursor:cursor + chunk_len])
+            self._charge("dma_setup")
+            self.dma.nic_to_host(self.staging.base, frame,
+                                 addresses.page_offset(chunk_va), chunk_len)
+            cursor += chunk_len
+            self.stats.chunks_received += 1
+            self.stats.bytes_received += chunk_len
+
+    def _handle_fetch_request(self, payload, src):
+        """Serve a remote fetch: stream the exported data back."""
+        export = self.exports.lookup(payload["export_id"])
+        if payload["offset"] + payload["nbytes"] > export.nbytes:
+            raise ProtectionError(
+                "fetch overruns exported buffer %r" % (payload["export_id"],))
+        utlb = self.utlb_for(export.pid)
+        self.stats.fetch_requests_served += 1
+        source_vaddr = export.vaddr + payload["offset"]
+        sent = 0
+        for chunk_va, chunk_len in addresses.split_at_page_boundaries(
+                source_vaddr, payload["nbytes"]):
+            frame = self._translate(utlb, addresses.vpage_of(chunk_va))
+            data = self.dma.host_to_nic(
+                frame, addresses.page_offset(chunk_va),
+                self.staging.base, chunk_len)
+            self._send_or_deliver(
+                src, KIND_DATA,
+                payload={
+                    "mode": "direct",
+                    "pid": payload["reply_pid"],
+                    "vaddr": payload["reply_vaddr"],
+                    "offset": sent,
+                    "data": data,
+                },
+                data_bytes=chunk_len)
+            sent += chunk_len

@@ -1,0 +1,92 @@
+"""Network-interface SRAM: a small, precious, byte-addressed memory.
+
+The Myrinet LANai 4.2 board carries 1 MB of SRAM which must hold the
+control program, command post buffers, the Shared UTLB-Cache, and the
+Hierarchical-UTLB page directories.  This model provides named region
+allocation (so components can account for their footprint — the scarcity
+of SRAM is the entire motivation for the Shared UTLB-Cache, Section 3.2)
+plus byte read/write for the functional data path.
+"""
+
+from repro import params
+from repro.errors import CapacityError, NicError
+
+
+class SramRegion:
+    """One named allocation inside NIC SRAM."""
+
+    __slots__ = ("name", "base", "size")
+
+    def __init__(self, name, base, size):
+        self.name = name
+        self.base = base
+        self.size = size
+
+    def __repr__(self):
+        return "SramRegion(%r, base=%#x, size=%d)" % (
+            self.name, self.base, self.size)
+
+
+class NicSram:
+    """Byte-addressable SRAM with a simple region allocator."""
+
+    def __init__(self, size=params.NIC_SRAM_BYTES):
+        if size <= 0:
+            raise NicError("SRAM size must be positive")
+        self.size = size
+        self._data = bytearray(size)
+        self._regions = {}
+        self._cursor = 0
+
+    # -- allocation ------------------------------------------------------------
+
+    def allocate(self, name, nbytes):
+        """Reserve ``nbytes``; returns the :class:`SramRegion`.
+
+        Allocation is bump-pointer: regions are never compacted (firmware
+        images lay SRAM out statically).
+        """
+        if name in self._regions:
+            raise NicError("SRAM region %r already exists" % (name,))
+        if nbytes <= 0:
+            raise NicError("region size must be positive")
+        if self._cursor + nbytes > self.size:
+            raise CapacityError(
+                "NIC SRAM exhausted: need %d bytes, %d free"
+                % (nbytes, self.size - self._cursor))
+        region = SramRegion(name, self._cursor, nbytes)
+        self._regions[name] = region
+        self._cursor += nbytes
+        return region
+
+    def region(self, name):
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise NicError("no SRAM region named %r" % (name,))
+
+    @property
+    def used(self):
+        return self._cursor
+
+    @property
+    def free(self):
+        return self.size - self._cursor
+
+    def regions(self):
+        return sorted(self._regions.values(), key=lambda r: r.base)
+
+    # -- byte access -------------------------------------------------------------
+
+    def read(self, addr, nbytes):
+        self._check_span(addr, nbytes)
+        return bytes(self._data[addr:addr + nbytes])
+
+    def write(self, addr, data):
+        self._check_span(addr, len(data))
+        self._data[addr:addr + len(data)] = data
+
+    def _check_span(self, addr, nbytes):
+        if addr < 0 or nbytes < 0 or addr + nbytes > self.size:
+            raise NicError("SRAM access [%#x, %#x) out of range"
+                           % (addr, addr + nbytes))

@@ -1,0 +1,163 @@
+"""The paper's published numbers, machine-readable.
+
+Transcribed from the ASPLOS 1998 text so that comparisons against the
+reproduction are computed, not eyeballed: ``repro.sim.compare`` renders
+side-by-side tables and the test suite asserts the shape criteria against
+these values programmatically.
+
+Only the evaluation tables are transcribed (micro-benchmark Tables 1/2
+live in :mod:`repro.core.costs`, which *is* their machine-readable form).
+"""
+
+#: Table 3 — problem size, per-node footprint (4 KB pages), lookups.
+TABLE3 = {
+    "fft": {"problem_size": "4M elements", "footprint": 10803,
+            "lookups": 43132},
+    "lu": {"problem_size": "4K x 4K matrix", "footprint": 12507,
+           "lookups": 25198},
+    "barnes": {"problem_size": "32K particles", "footprint": 2235,
+               "lookups": 35904},
+    "radix": {"problem_size": "4M keys", "footprint": 6393,
+              "lookups": 11775},
+    "raytrace": {"problem_size": "256 x 256 car", "footprint": 6319,
+                 "lookups": 14594},
+    "volrend": {"problem_size": "256^3 CST head", "footprint": 2371,
+                "lookups": 9438},
+    "water-spatial": {"problem_size": "15,625 molecules",
+                      "footprint": 1890, "lookups": 8488},
+}
+
+#: Table 4 — per-lookup rates, infinite host memory.
+#: {app: {cache entries: {"utlb": (check, ni, unpins),
+#:                        "intr": (ni, unpins)}}}
+TABLE4 = {
+    "barnes": {
+        1024: {"utlb": (0.04, 0.10, 0.00), "intr": (0.10, 0.09)},
+        2048: {"utlb": (0.04, 0.07, 0.00), "intr": (0.07, 0.04)},
+        4096: {"utlb": (0.04, 0.05, 0.00), "intr": (0.05, 0.02)},
+        8192: {"utlb": (0.04, 0.04, 0.00), "intr": (0.04, 0.01)},
+        16384: {"utlb": (0.04, 0.04, 0.00), "intr": (0.04, 0.00)},
+    },
+    "fft": {
+        1024: {"utlb": (0.25, 0.50, 0.00), "intr": (0.50, 0.49)},
+        2048: {"utlb": (0.25, 0.50, 0.00), "intr": (0.50, 0.48)},
+        4096: {"utlb": (0.25, 0.49, 0.00), "intr": (0.49, 0.46)},
+        8192: {"utlb": (0.25, 0.46, 0.00), "intr": (0.46, 0.40)},
+        16384: {"utlb": (0.25, 0.38, 0.00), "intr": (0.38, 0.25)},
+    },
+    "lu": {
+        1024: {"utlb": (0.49, 0.50, 0.00), "intr": (0.50, 0.46)},
+        2048: {"utlb": (0.49, 0.49, 0.00), "intr": (0.49, 0.43)},
+        4096: {"utlb": (0.49, 0.49, 0.00), "intr": (0.49, 0.37)},
+        8192: {"utlb": (0.49, 0.49, 0.00), "intr": (0.49, 0.33)},
+        16384: {"utlb": (0.49, 0.49, 0.00), "intr": (0.49, 0.17)},
+    },
+    "radix": {
+        1024: {"utlb": (0.54, 0.62, 0.00), "intr": (0.62, 0.54)},
+        2048: {"utlb": (0.54, 0.60, 0.00), "intr": (0.60, 0.44)},
+        4096: {"utlb": (0.54, 0.57, 0.00), "intr": (0.57, 0.30)},
+        8192: {"utlb": (0.54, 0.55, 0.00), "intr": (0.55, 0.16)},
+        16384: {"utlb": (0.54, 0.54, 0.00), "intr": (0.54, 0.09)},
+    },
+    "raytrace": {
+        1024: {"utlb": (0.43, 0.48, 0.00), "intr": (0.48, 0.41)},
+        2048: {"utlb": (0.43, 0.46, 0.00), "intr": (0.46, 0.33)},
+        4096: {"utlb": (0.43, 0.45, 0.00), "intr": (0.45, 0.24)},
+        8192: {"utlb": (0.43, 0.44, 0.00), "intr": (0.44, 0.14)},
+        16384: {"utlb": (0.43, 0.43, 0.00), "intr": (0.43, 0.07)},
+    },
+    "volrend": {
+        1024: {"utlb": (0.25, 0.31, 0.00), "intr": (0.31, 0.22)},
+        2048: {"utlb": (0.25, 0.29, 0.00), "intr": (0.29, 0.13)},
+        4096: {"utlb": (0.25, 0.27, 0.00), "intr": (0.27, 0.07)},
+        8192: {"utlb": (0.25, 0.25, 0.00), "intr": (0.25, 0.03)},
+        16384: {"utlb": (0.25, 0.25, 0.00), "intr": (0.25, 0.01)},
+    },
+    "water-spatial": {
+        1024: {"utlb": (0.10, 0.35, 0.00), "intr": (0.35, 0.31)},
+        2048: {"utlb": (0.10, 0.27, 0.00), "intr": (0.27, 0.21)},
+        4096: {"utlb": (0.10, 0.12, 0.00), "intr": (0.12, 0.03)},
+        8192: {"utlb": (0.10, 0.11, 0.00), "intr": (0.11, 0.02)},
+        16384: {"utlb": (0.10, 0.10, 0.00), "intr": (0.10, 0.00)},
+    },
+}
+
+#: Table 6 — average lookup cost in microseconds.
+#: {app: {cache entries: (utlb_us, intr_us)}}
+TABLE6 = {
+    "barnes": {1024: (2.6, 4.9), 4096: (2.5, 2.5), 16384: (2.5, 1.9)},
+    "fft": {1024: (9.0, 21.7), 4096: (8.9, 20.9), 16384: (8.7, 14.8)},
+}
+
+#: Table 7 — amortized pin/unpin cost (us/lookup), prepin 1 vs 16 pages,
+#: 16 MB limit.  {app: {"pin": (1pg, 16pg), "unpin": (1pg, 16pg)}}
+TABLE7 = {
+    "barnes": {"pin": (1.0, 0.8), "unpin": (0.1, 0.1)},
+    "radix": {"pin": (13.0, 7.3), "unpin": (0.1, 10.8)},
+    "raytrace": {"pin": (10.5, 5.0), "unpin": (0.8, 3.5)},
+    "water-spatial": {"pin": (2.5, 1.5), "unpin": (0.1, 0.1)},
+    "fft": {"pin": (6.1, 15.8), "unpin": (0.1, 93.0)},
+    "lu": {"pin": (12.0, 2.3), "unpin": (0.1, 0.1)},
+}
+
+#: Table 8 — overall Shared UTLB-Cache miss rates.
+#: {app: {(cache entries, organisation): rate}}
+_T8_ORGS = ("direct", "2-way", "4-way", "direct-nohash")
+
+
+def _t8(app_rows):
+    out = {}
+    for size, rates in app_rows.items():
+        for org, rate in zip(_T8_ORGS, rates):
+            out[(size, org)] = rate
+    return out
+
+
+TABLE8 = {
+    "barnes": _t8({1024: (0.10, 0.12, 0.13, 0.36),
+                   2048: (0.07, 0.06, 0.07, 0.35),
+                   4096: (0.05, 0.05, 0.04, 0.27),
+                   8192: (0.04, 0.04, 0.04, 0.27),
+                   16384: (0.04, 0.04, 0.04, 0.27)}),
+    "fft": _t8({1024: (0.31, 0.30, 0.30, 0.50),
+                2048: (0.27, 0.26, 0.22, 0.42),
+                4096: (0.12, 0.11, 0.10, 0.35),
+                8192: (0.11, 0.10, 0.10, 0.35),
+                16384: (0.10, 0.10, 0.10, 0.35)}),
+    "lu": _t8({1024: (0.35, 0.32, 0.30, 0.51),
+               2048: (0.29, 0.27, 0.26, 0.48),
+               4096: (0.27, 0.25, 0.25, 0.47),
+               8192: (0.25, 0.25, 0.25, 0.46),
+               16384: (0.25, 0.25, 0.25, 0.46)}),
+    "raytrace": _t8({1024: (0.48, 0.48, 0.49, 0.57),
+                     2048: (0.46, 0.46, 0.47, 0.57),
+                     4096: (0.45, 0.45, 0.44, 0.56),
+                     8192: (0.44, 0.44, 0.41, 0.56),
+                     16384: (0.38, 0.37, 0.34, 0.50)}),
+    "radix": _t8({1024: (0.50, 0.49, 0.50, 0.60),
+                  2048: (0.49, 0.48, 0.48, 0.60),
+                  4096: (0.49, 0.47, 0.46, 0.60),
+                  8192: (0.46, 0.44, 0.43, 0.57),
+                  16384: (0.43, 0.43, 0.43, 0.55)}),
+    "volrend": _t8({1024: (0.50, 0.50, 0.51, 0.78),
+                    2048: (0.50, 0.50, 0.50, 0.74),
+                    4096: (0.49, 0.49, 0.49, 0.71),
+                    8192: (0.49, 0.49, 0.49, 0.71),
+                    16384: (0.49, 0.49, 0.49, 0.71)}),
+    "water-spatial": _t8({1024: (0.62, 0.63, 0.63, 0.90),
+                          2048: (0.60, 0.60, 0.60, 0.90),
+                          4096: (0.57, 0.57, 0.57, 0.90),
+                          8192: (0.55, 0.55, 0.55, 0.90),
+                          16384: (0.54, 0.54, 0.54, 0.90)}),
+}
+
+#: Headline micro-measurements quoted in the running text.
+HEADLINE = {
+    "fast_path_total_us": 0.9,
+    "fast_path_host_us": 0.4,
+    "fast_path_nic_us": 0.5,
+    "translation_lookup_best_us": 0.5,
+    "interrupt_cost_us": 10.0,
+    "pin_one_page_us": 27.0,
+    "unpin_one_page_us": 25.0,
+}

@@ -1,0 +1,98 @@
+"""Global constants and default parameters for the UTLB reproduction.
+
+The numbers here mirror the hardware the paper used: 4 KB virtual pages,
+32-bit virtual addresses (Pentium-II era), a Myrinet LANai 4.2 network
+interface with 1 MB of SRAM, and a 33 MHz NIC processor.  Everything is a
+plain module-level constant so that the rest of the code base can reference
+a single authoritative definition, and so tests can assert against the same
+values the paper states.
+"""
+
+# ---------------------------------------------------------------------------
+# Virtual memory geometry (x86, the paper's host platform)
+# ---------------------------------------------------------------------------
+
+#: Bytes per virtual/physical page.  The paper's entire analysis is in units
+#: of 4 KB pages ("communication memory footprint (4 KB pages)").
+PAGE_SIZE = 4096
+
+#: log2(PAGE_SIZE); shifting a virtual address right by this many bits gives
+#: the virtual page number.
+PAGE_SHIFT = 12
+
+#: Mask selecting the within-page offset of an address.
+PAGE_OFFSET_MASK = PAGE_SIZE - 1
+
+#: Width of a virtual address in bits (Pentium-II hosts).
+VA_BITS = 32
+
+#: Number of virtual pages in an address space (2^20 for 32-bit / 4 KB).
+NUM_VPAGES = 1 << (VA_BITS - PAGE_SHIFT)
+
+#: Two-level page-table split used both by the user-level lookup tree and by
+#: the Hierarchical-UTLB translation table: the top 10 bits of the virtual
+#: page number index the directory, the bottom 10 bits index a second-level
+#: table (exactly the x86 2-level layout the paper cites [21, 26]).
+DIRECTORY_BITS = 10
+TABLE_BITS = 10
+DIRECTORY_ENTRIES = 1 << DIRECTORY_BITS
+TABLE_ENTRIES = 1 << TABLE_BITS
+TABLE_INDEX_MASK = TABLE_ENTRIES - 1
+
+# ---------------------------------------------------------------------------
+# Network interface (Myrinet LANai 4.2)
+# ---------------------------------------------------------------------------
+
+#: Bytes of SRAM on the Myrinet PCI interface.
+NIC_SRAM_BYTES = 1 << 20
+
+#: Bytes per Shared UTLB-Cache entry: 20-bit physical page number + 8-bit
+#: tag + 4-bit process tag packs into 4 bytes (Figure 3 / Figure 4 line
+#: formats).
+UTLB_CACHE_ENTRY_BYTES = 4
+
+#: The implementation in the paper chose a 32 KB Shared UTLB-Cache,
+#: i.e. 8 K entries (Section 4.2).
+DEFAULT_UTLB_CACHE_ENTRIES = 8 * 1024
+
+#: Cache-line process tag width: 4 bits -> at most 16 concurrently active
+#: processes per NIC (Figure 3).
+PROCESS_TAG_BITS = 4
+MAX_PROCESSES_PER_NIC = 1 << PROCESS_TAG_BITS
+
+#: Myrinet link rate (bytes/second): 160 MB/s per link.
+LINK_BANDWIDTH = 160 * 1000 * 1000
+
+#: Each VMMC transfer is broken at 4 KB page boundaries by the firmware, so
+#: translation lookups happen one page at a time (paper, footnote 1).
+MAX_DMA_BYTES = PAGE_SIZE
+
+# ---------------------------------------------------------------------------
+# Default experiment parameters (Section 6)
+# ---------------------------------------------------------------------------
+
+#: Cache sizes (in entries) swept by Tables 4, 5, 8 and Figure 7.
+CACHE_SIZE_SWEEP = (1024, 2048, 4096, 8192, 16384)
+
+#: Prefetch degrees swept by Figure 8 and Table 2.
+PREFETCH_SWEEP = (1, 2, 4, 8, 16, 32)
+
+#: Per-process pinned-memory limit used by Table 5: 4 MB.
+TABLE5_MEMORY_LIMIT_BYTES = 4 * 1024 * 1024
+
+#: Per-process pinned-memory limit used by Table 7: 16 MB.
+TABLE7_MEMORY_LIMIT_BYTES = 16 * 1024 * 1024
+
+#: Number of cluster nodes in the trace capture (four 4-way SMPs).
+TRACE_NODES = 4
+
+#: Processes per node in the trace capture: four application processes plus
+#: one SVM protocol process.
+TRACE_PROCESSES_PER_NODE = 5
+
+
+def pages_for_bytes(nbytes):
+    """Number of pages needed to hold ``nbytes`` (at least 1 for nbytes>0)."""
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative, got %r" % (nbytes,))
+    return (nbytes + PAGE_SIZE - 1) // PAGE_SIZE

@@ -1,0 +1,43 @@
+"""Trace-driven analysis harness: simulators for every mechanism,
+parameter sweeps, one function per paper table/figure
+(:mod:`repro.sim.experiments`), beyond-the-paper ablations
+(:mod:`repro.sim.ablation`), and automated paper-vs-measured comparison
+(:mod:`repro.sim.compare`)."""
+
+from repro.sim import ablation, compare, experiments, report  # noqa: F401
+
+from repro.sim.config import SimConfig
+from repro.sim.intr_simulator import simulate_app_intr, simulate_node_intr
+from repro.sim.pp_simulator import simulate_app_pp, simulate_node_pp
+from repro.sim.simulator import (
+    ClusterResult,
+    NodeResult,
+    simulate_app,
+    simulate_node,
+)
+from repro.sim.sweep import (
+    generate_traces,
+    run_on_traces,
+    sweep_associativity,
+    sweep_cache_sizes,
+    sweep_policies,
+    sweep_prefetch,
+)
+
+__all__ = [
+    "ClusterResult",
+    "NodeResult",
+    "SimConfig",
+    "generate_traces",
+    "run_on_traces",
+    "simulate_app",
+    "simulate_app_intr",
+    "simulate_app_pp",
+    "simulate_node",
+    "simulate_node_intr",
+    "simulate_node_pp",
+    "sweep_associativity",
+    "sweep_cache_sizes",
+    "sweep_policies",
+    "sweep_prefetch",
+]

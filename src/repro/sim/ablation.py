@@ -1,0 +1,262 @@
+"""Ablation experiments beyond the paper's evaluation.
+
+The paper's Section 7 lists what it could not study: other replacement
+policies, the per-process UTLB vs the Shared UTLB-Cache, and independent
+multiprogrammed workloads.  These functions close each gap, plus the
+full design-space quadrant.  The benchmark harness calls them; they are
+also directly usable as library API.
+"""
+
+from repro import params
+from repro.core.interrupt_per_process import simulate_node_intr_pp
+from repro.sim.config import SimConfig
+from repro.sim.intr_simulator import simulate_node_intr
+from repro.sim.pp_simulator import simulate_node_pp
+from repro.sim.report import format_table
+from repro.sim.simulator import simulate_node
+from repro.sim.sweep import generate_traces, sweep_policies
+from repro.traces.synth import TABLE_ORDER, MixedWorkload, make_app
+
+QUADRANT = (
+    ("UTLB (user+shared)", "utlb"),
+    ("per-proc (user)", "pp"),
+    ("intr+shared (UNet-MM)", "intr"),
+    ("intr+per-proc (VMMC'97)", "intr-pp"),
+)
+
+
+def _simulate(trace, config, mechanism, sram_entries):
+    if mechanism == "utlb":
+        return simulate_node(trace, config)
+    if mechanism == "intr":
+        return simulate_node_intr(trace, config)
+    if mechanism == "pp":
+        return simulate_node_pp(trace, config, sram_entries=sram_entries)
+    if mechanism == "intr-pp":
+        return simulate_node_intr_pp(trace, config,
+                                     sram_entries=sram_entries)
+    raise ValueError("unknown mechanism %r" % (mechanism,))
+
+
+# ---------------------------------------------------------------------------
+# The design-space quadrant
+# ---------------------------------------------------------------------------
+
+def design_quadrant(app_names=("barnes", "fft", "radix"), sram_entries=256,
+                    scale=0.1, seed=1):
+    """All four mechanisms on the same traces under one SRAM budget.
+
+    Returns {app: {mechanism label: TranslationStats}}.
+    """
+    config = SimConfig(cache_entries=sram_entries)
+    data = {}
+    for name in app_names:
+        trace = make_app(name).generate_node(0, seed=seed, scale=scale)
+        data[name] = {
+            label: _simulate(trace, config, mech, sram_entries).stats
+            for label, mech in QUADRANT
+        }
+    return data
+
+
+def render_design_quadrant(data, sram_entries=256):
+    rows = []
+    for app, cells in data.items():
+        for label, stats in cells.items():
+            rows.append([app, label,
+                         round(stats.avg_lookup_cost_us, 2),
+                         stats.interrupts,
+                         stats.pages_pinned + stats.pages_unpinned])
+    return format_table(
+        ["app", "mechanism", "us/lookup", "interrupts", "pin+unpin ops"],
+        rows,
+        title="Ablation: the translation design-space quadrant "
+              "(%d-entry NIC SRAM budget)" % sram_entries)
+
+
+# ---------------------------------------------------------------------------
+# Replacement policies
+# ---------------------------------------------------------------------------
+
+POLICIES = ("lru", "mru", "lfu", "mfu", "random")
+
+
+def policy_grid(scale=0.1, nodes=1, seed=1, cache_entries=4096,
+                limit_pages=None):
+    """Unpin rate per app per pin policy under a binding memory limit.
+
+    Returns {app: {policy: unpin rate}}.
+    """
+    grid = {}
+    for name in TABLE_ORDER:
+        app = make_app(name)
+        traces = generate_traces(app, nodes=nodes, seed=seed, scale=scale)
+        limit = (limit_pages if limit_pages is not None
+                 else max(16, int(1024 * scale)))
+        config = SimConfig(cache_entries=cache_entries,
+                           memory_limit_bytes=limit * params.PAGE_SIZE)
+        results = sweep_policies(traces, config, policies=POLICIES)
+        grid[name] = {policy: result.stats.unpin_rate
+                      for policy, result in results.items()}
+    return grid
+
+
+def render_policy_grid(grid):
+    rows = [[name] + [round(grid[name][p], 3) for p in POLICIES]
+            for name in grid]
+    return format_table(
+        ["Application"] + list(POLICIES), rows,
+        title="Ablation: unpins/lookup by pin policy (binding limit)",
+        precision=3)
+
+
+# ---------------------------------------------------------------------------
+# Heterogeneous multiprogramming
+# ---------------------------------------------------------------------------
+
+def mixed_workload_grid(mixes=(("barnes", "fft"), ("radix", "volrend")),
+                        sizes=(1024, 4096), scale=0.1, seed=1):
+    """Miss rates for two-program mixes across cache organisations.
+
+    Returns {mix name: {(size, org): miss rate}} with organisations
+    'direct', '4-way', 'direct-nohash'.
+    """
+    data = {}
+    for names in mixes:
+        mix = MixedWorkload(list(names), scale=scale)
+        trace = mix.generate_node(0, seed=seed)
+        cells = {}
+        for size in sizes:
+            cells[(size, "direct")] = simulate_node(
+                trace, SimConfig(cache_entries=size)).stats.ni_miss_rate
+            cells[(size, "4-way")] = simulate_node(
+                trace, SimConfig(cache_entries=size,
+                                 associativity=4)).stats.ni_miss_rate
+            cells[(size, "direct-nohash")] = simulate_node(
+                trace, SimConfig(cache_entries=size,
+                                 offsetting=False)).stats.ni_miss_rate
+        data[mix.name] = cells
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Seed sensitivity: are the reproduced rates robust to trace randomness?
+# ---------------------------------------------------------------------------
+
+def seed_sensitivity(app_names=TABLE_ORDER, seeds=(1, 2, 3),
+                     cache_entries=1024, scale=0.1, nodes=1):
+    """NI miss rate spread across trace-generation seeds.
+
+    Returns {app: {"rates": [per-seed rates], "spread": max-min}}.
+    The synthetic generators are stochastic; the reproduced rates must
+    not depend materially on the seed, or the comparison against the
+    paper would be cherry-picked.
+    """
+    config = SimConfig(cache_entries=cache_entries)
+    data = {}
+    for name in app_names:
+        rates = []
+        for seed in seeds:
+            app = make_app(name)
+            traces = generate_traces(app, nodes=nodes, seed=seed,
+                                     scale=scale)
+            total = None
+            for records in traces.values():
+                result = simulate_node(records, config)
+                total = (result.stats if total is None
+                         else total.merge(result.stats))
+            rates.append(total.ni_miss_rate)
+        data[name] = {"rates": rates, "spread": max(rates) - min(rates)}
+    return data
+
+
+def render_seed_sensitivity(data, seeds=(1, 2, 3)):
+    rows = [[name]
+            + [round(rate, 3) for rate in cell["rates"]]
+            + [round(cell["spread"], 3)]
+            for name, cell in data.items()]
+    return format_table(
+        ["app"] + ["seed %d" % s for s in seeds] + ["spread"],
+        rows,
+        title="Seed sensitivity of NI miss rates (robustness check)",
+        precision=3)
+
+
+# ---------------------------------------------------------------------------
+# Per-process table fragmentation (the Section 3.3 motivation)
+# ---------------------------------------------------------------------------
+
+def buffer_scatter(utlb):
+    """Fraction of adjacent pinned page pairs whose table slots are not
+    adjacent — 0.0 when every buffer's translations sit contiguously,
+    approaching 1.0 when they are scattered all over the table.
+    """
+    entries = dict(utlb.tree.items())      # vpage -> slot
+    pairs = 0
+    scattered = 0
+    for vpage, slot in entries.items():
+        next_slot = entries.get(vpage + 1)
+        if next_slot is None:
+            continue
+        pairs += 1
+        if abs(next_slot - slot) != 1:
+            scattered += 1
+    return scattered / pairs if pairs else 0.0
+
+
+def fragmentation_over_time(num_slots=256, working_set=512,
+                            accesses=4000, pin_policy="lru", seed=1,
+                            samples=8, buffer_pages=8):
+    """How a per-process UTLB table fragments under churn.
+
+    "After complex data accesses, a user buffer's translations may be
+    scattered in the translation table" (Section 3.3) — the problem
+    Hierarchical-UTLB eliminates by indexing on virtual addresses.
+    Buffers of ``buffer_pages`` contiguous pages are accessed in random
+    order over a working set larger than the table; as evictions recycle
+    arbitrary slots, each freshly pinned buffer lands in whatever slots
+    are free.  Returns [(accesses so far, scatter)] pairs, where scatter
+    is :func:`buffer_scatter`.
+    """
+    import random as random_module
+
+    from repro.core.per_process import PerProcessUtlb
+
+    utlb = PerProcessUtlb(1, num_slots=num_slots, pin_policy=pin_policy,
+                          prepin=buffer_pages, seed=seed)
+    rng = random_module.Random(seed)
+    points = []
+    interval = max(1, accesses // samples)
+    buffers = working_set // buffer_pages
+    for index in range(accesses):
+        base = rng.randrange(buffers) * buffer_pages
+        utlb.access_page(base + rng.randrange(buffer_pages))
+        if (index + 1) % interval == 0:
+            points.append((index + 1, buffer_scatter(utlb)))
+    return points
+
+
+def render_fragmentation(points, **info):
+    rows = [[count, round(frag, 3)] for count, frag in points]
+    extra = " ".join("%s=%s" % kv for kv in sorted(info.items()))
+    return format_table(
+        ["accesses", "buffer scatter"], rows,
+        title="Ablation: per-process UTLB buffer scatter over time "
+              + ("(%s)" % extra if extra else ""),
+        precision=3)
+
+
+def render_mixed_grid(data):
+    rows = []
+    for mix_name, cells in data.items():
+        sizes = sorted({size for size, _ in cells})
+        for size in sizes:
+            rows.append([mix_name, size,
+                         round(cells[(size, "direct")], 3),
+                         round(cells[(size, "4-way")], 3),
+                         round(cells[(size, "direct-nohash")], 3)])
+    return format_table(
+        ["mix", "cache", "direct+offset", "4-way+offset", "direct-nohash"],
+        rows,
+        title="Ablation: heterogeneous two-program mixes sharing one NIC",
+        precision=3)

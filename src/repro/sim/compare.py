@@ -1,0 +1,114 @@
+"""Automated paper-vs-measured comparison.
+
+Runs the reproduction's experiments and lines the results up against the
+published numbers in :mod:`repro.paperdata`, computing absolute deltas
+and checking the paper's qualitative findings ("shape criteria")
+programmatically.  ``python -m repro --compare`` prints the report.
+"""
+
+from repro import paperdata
+from repro.sim import experiments as exp
+from repro.sim.report import format_table
+
+
+def compare_table3(scale=1.0, nodes=4, seed=1):
+    """Side-by-side footprints and lookup counts."""
+    measured = exp.table3(scale=scale, nodes=nodes, seed=seed)
+    rows = []
+    for app, paper in paperdata.TABLE3.items():
+        got = measured[app]
+        # Scale the paper targets to the run's scale for the comparison.
+        fp_target = paper["footprint"] * scale
+        lk_target = paper["lookups"] * scale
+        rows.append([
+            app,
+            int(round(fp_target)), int(round(got["footprint_pages"])),
+            int(round(lk_target)), int(round(got["lookups"])),
+        ])
+    return rows, format_table(
+        ["app", "paper fp", "measured fp", "paper lookups",
+         "measured lookups"],
+        rows, title="Table 3: paper vs measured (scaled)")
+
+
+def compare_table4(scale=1.0, nodes=4, seed=1, sizes=(1024, 16384)):
+    """Side-by-side NI miss rates and the shape criteria."""
+    measured = exp.table4(scale=scale, nodes=nodes, seed=seed, sizes=sizes)
+    rows = []
+    findings = []
+    for app in paperdata.TABLE4:
+        for size in sizes:
+            # Paper values exist only at the published cache sizes; scaled
+            # or custom sweeps compare shape on the measured side only.
+            paper_cell = paperdata.TABLE4[app].get(size)
+            paper_check = paper_cell["utlb"][0] if paper_cell else "-"
+            paper_ni = paper_cell["utlb"][1] if paper_cell else "-"
+            paper_unpins = paper_cell["intr"][1] if paper_cell else "-"
+            got = measured[app][size]
+            rows.append([
+                app, "%dK" % (size // 1024),
+                paper_check, round(got["utlb"]["check_misses"], 2),
+                paper_ni, round(got["utlb"]["ni_misses"], 2),
+                paper_unpins,
+                round(got["intr"]["unpins"], 2),
+            ])
+    # Shape criteria, evaluated on the measured data:
+    findings.append((
+        "UTLB unpins == 0 everywhere (infinite memory)",
+        all(measured[a][s]["utlb"]["unpins"] == 0.0
+            for a in measured for s in sizes)))
+    findings.append((
+        "UTLB and Intr NI miss rates identical",
+        all(abs(measured[a][s]["utlb"]["ni_misses"]
+                - measured[a][s]["intr"]["ni_misses"]) < 1e-9
+            for a in measured for s in sizes)))
+    findings.append((
+        "Intr unpins fall with cache size",
+        all(measured[a][sizes[0]]["intr"]["unpins"]
+            >= measured[a][sizes[-1]]["intr"]["unpins"] - 1e-9
+            for a in measured)))
+    findings.append((
+        "NI miss rates fall (or stay flat) with cache size",
+        all(measured[a][sizes[0]]["utlb"]["ni_misses"]
+            >= measured[a][sizes[-1]]["utlb"]["ni_misses"] - 0.02
+            for a in measured)))
+    table = format_table(
+        ["app", "cache", "paper check", "got check", "paper NI",
+         "got NI", "paper Intr unpins", "got Intr unpins"],
+        rows, title="Table 4: paper vs measured")
+    verdicts = "\n".join("  [%s] %s" % ("ok" if passed else "FAIL", name)
+                         for name, passed in findings)
+    return findings, table + "\nshape criteria:\n" + verdicts
+
+
+def compare_table8(scale=1.0, nodes=4, seed=1, sizes=(1024, 16384)):
+    """The associativity findings, checked programmatically."""
+    measured = exp.table8(scale=scale, nodes=nodes, seed=seed, sizes=sizes)
+    findings = []
+    direct_close = all(
+        measured[a][(s, "direct")] <= measured[a][(s, "4-way")] + 0.08
+        for a in measured for s in sizes)
+    findings.append(("direct (offset) within 0.08 of 4-way", direct_close))
+    nohash_worse = sum(
+        1 for a in measured for s in sizes
+        if measured[a][(s, "direct-nohash")] > measured[a][(s, "direct")])
+    findings.append((
+        "direct-nohash worse than direct on most cells (%d/%d)"
+        % (nohash_worse, len(measured) * len(sizes)),
+        nohash_worse >= 0.7 * len(measured) * len(sizes)))
+    verdicts = "\n".join("  [%s] %s" % ("ok" if passed else "FAIL", name)
+                         for name, passed in findings)
+    return findings, "Table 8 shape criteria:\n" + verdicts
+
+
+def run_comparison(scale=1.0, nodes=4, seed=1, stream=None):
+    """The full comparison report; returns the text."""
+    sections = []
+    for _, text in (compare_table3(scale, nodes, seed),
+                    compare_table4(scale, nodes, seed),
+                    compare_table8(scale, nodes, seed)):
+        sections.append(text)
+        if stream is not None:
+            stream.write(text + "\n\n")
+            stream.flush()
+    return "\n\n".join(sections)

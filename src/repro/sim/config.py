@@ -1,0 +1,79 @@
+"""Simulation configuration for the trace-driven analysis (Section 6)."""
+
+from repro import params
+from repro.core.costs import DEFAULT_COST_MODEL
+from repro.errors import ConfigError
+
+
+class SimConfig:
+    """Parameters of one trace-driven simulation run.
+
+    Defaults reproduce the headline configuration of Table 4: an 8K-entry
+    direct-mapped NIC cache with index offsetting, no prefetch, no
+    pre-pinning, infinite host memory, LRU pinned-page replacement.
+    """
+
+    def __init__(self,
+                 cache_entries=params.DEFAULT_UTLB_CACHE_ENTRIES,
+                 associativity=1,
+                 offsetting=True,
+                 prefetch=1,
+                 prepin=1,
+                 memory_limit_bytes=None,
+                 pin_policy="lru",
+                 classify=False,
+                 cost_model=None,
+                 seed=0):
+        if cache_entries <= 0:
+            raise ConfigError("cache_entries must be positive")
+        if associativity <= 0 or cache_entries % associativity:
+            raise ConfigError("associativity must divide cache_entries")
+        if prefetch <= 0 or prepin <= 0:
+            raise ConfigError("prefetch and prepin degrees must be positive")
+        if memory_limit_bytes is not None and memory_limit_bytes <= 0:
+            raise ConfigError("memory limit must be positive or None")
+        self.cache_entries = cache_entries
+        self.associativity = associativity
+        self.offsetting = offsetting
+        self.prefetch = prefetch
+        self.prepin = prepin
+        self.memory_limit_bytes = memory_limit_bytes
+        self.pin_policy = pin_policy
+        self.classify = classify
+        self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        self.seed = seed
+
+    @property
+    def memory_limit_pages(self):
+        """The per-process pinning limit in pages (None = unlimited)."""
+        if self.memory_limit_bytes is None:
+            return None
+        return max(1, self.memory_limit_bytes // params.PAGE_SIZE)
+
+    def replace(self, **overrides):
+        """A copy of this config with some fields overridden."""
+        fields = dict(
+            cache_entries=self.cache_entries,
+            associativity=self.associativity,
+            offsetting=self.offsetting,
+            prefetch=self.prefetch,
+            prepin=self.prepin,
+            memory_limit_bytes=self.memory_limit_bytes,
+            pin_policy=self.pin_policy,
+            classify=self.classify,
+            cost_model=self.cost_model,
+            seed=self.seed,
+        )
+        fields.update(overrides)
+        return SimConfig(**fields)
+
+    def describe(self):
+        limit = ("inf" if self.memory_limit_bytes is None
+                 else "%dMB" % (self.memory_limit_bytes // (1024 * 1024)))
+        hashing = "offset" if self.offsetting else "nohash"
+        return ("cache=%d assoc=%d %s prefetch=%d prepin=%d mem=%s policy=%s"
+                % (self.cache_entries, self.associativity, hashing,
+                   self.prefetch, self.prepin, limit, self.pin_policy))
+
+    def __repr__(self):
+        return "SimConfig(%s)" % (self.describe(),)

@@ -1,0 +1,58 @@
+"""Trace-driven simulator for the interrupt-based baseline.
+
+"We also developed a simulator for the interrupt-based approach where the
+network interface interrupts its host CPU on a translation miss, and the
+CPU handles page pinning, unpinning, and installing new translation
+entries" (Section 6).  Mirror of :mod:`repro.sim.simulator` driving
+:class:`~repro.core.interrupt_based.InterruptBasedNode`.
+"""
+
+from repro.core.interrupt_based import InterruptBasedNode
+from repro.core.shared_cache import SharedUtlbCache
+from repro.core.stats import TranslationStats
+from repro.core.utlb import CountingFrameDriver
+from repro.sim.simulator import ClusterResult, NodeResult
+from repro.traces.merge import split_by_pid
+
+
+def simulate_node_intr(records, config, check_invariants=False):
+    """Replay one node's trace under the interrupt-based mechanism.
+
+    The cache structure is identical to the UTLB runs ("we assume that
+    the cache structures are the same for both cases", Section 6.2); only
+    the miss handling differs.  Prefetch does not apply: the interrupt
+    handler installs exactly the missed entry.
+    """
+    cache = SharedUtlbCache(
+        config.cache_entries,
+        associativity=config.associativity,
+        offsetting=config.offsetting,
+        classify=config.classify)
+    node = InterruptBasedNode(cache, driver=CountingFrameDriver(),
+                              cost_model=config.cost_model)
+    limit = config.memory_limit_pages
+    for pid in sorted(split_by_pid(records)):
+        node.register_process(pid, memory_limit_pages=limit)
+
+    for record in records:
+        for vpage in record.pages():
+            node.access_page(record.pid, vpage)
+
+    if check_invariants:
+        node.check_invariants()
+
+    per_pid = {pid: node.stats_for(pid)
+               for pid in sorted(split_by_pid(records))}
+    stats = TranslationStats.merged(per_pid.values())
+    breakdown = cache.classifier.breakdown if cache.classifier else None
+    return NodeResult(stats, per_pid, cache.stats.snapshot(), breakdown)
+
+
+def simulate_app_intr(app, config, nodes=4, seed=0, scale=1.0,
+                      check_invariants=False):
+    """Simulate every node of an application under the baseline."""
+    traces = app.generate_cluster(nodes=nodes, seed=seed, scale=scale)
+    results = [simulate_node_intr(traces[node], config,
+                                  check_invariants=check_invariants)
+               for node in sorted(traces)]
+    return ClusterResult(results)

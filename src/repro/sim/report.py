@@ -1,0 +1,124 @@
+"""Rendering of experiment results: aligned tables and ASCII figures.
+
+Every paper table is rendered as an aligned text table; the two figures
+(miss breakdown, prefetch curves) render as stacked text bars and ASCII
+line charts.  Rendering never computes — it formats data the experiment
+functions return, so tests can assert on the data and humans can read the
+output.
+"""
+
+
+def format_table(headers, rows, title=None, precision=2):
+    """Align ``rows`` (lists of cells) under ``headers``; floats are
+    formatted to ``precision`` decimals."""
+    def fmt(cell):
+        if isinstance(cell, float):
+            return "%.*f" % (precision, cell)
+        return str(cell)
+
+    text_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells):
+        return "  ".join(cell.rjust(width)
+                         for cell, width in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    for row in text_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def stacked_bar(components, total_width=40, scale_max=None):
+    """One horizontal stacked bar: ``components`` is a list of
+    (label_char, value); returns the bar string.
+
+    Values are fractions (e.g. per-class miss rates); ``scale_max`` sets
+    what a full-width bar represents (default: the components' sum).
+    """
+    total = sum(value for _, value in components)
+    scale = scale_max if scale_max else (total or 1.0)
+    bar = []
+    for char, value in components:
+        cells = int(round(value / scale * total_width))
+        bar.append(char * cells)
+    return "".join(bar)
+
+
+def render_breakdown_chart(entries, total_width=40):
+    """Figure-7-style chart: ``entries`` is a list of
+    (label, {class: rate}) with classes compulsory/capacity/conflict.
+
+    Renders one stacked bar per entry plus a legend.
+    """
+    scale_max = max(
+        (sum(rates.values()) for _, rates in entries), default=1.0) or 1.0
+    out = ["legend: #=compulsory  +=capacity  .=conflict   "
+           "(bar width = %.1f%% miss rate)" % (scale_max * 100)]
+    label_width = max((len(label) for label, _ in entries), default=0)
+    for label, rates in entries:
+        bar = stacked_bar(
+            [("#", rates.get("compulsory", 0.0)),
+             ("+", rates.get("capacity", 0.0)),
+             (".", rates.get("conflict", 0.0))],
+            total_width=total_width, scale_max=scale_max)
+        total = sum(rates.values())
+        out.append("%s |%s %5.1f%%"
+                   % (label.ljust(label_width), bar.ljust(total_width),
+                      total * 100))
+    return "\n".join(out)
+
+
+def render_line_chart(series, width=60, height=16, x_label="", y_label=""):
+    """ASCII line chart: ``series`` is {label: [(x, y), ...]}.
+
+    Each series gets a marker character; points are plotted on a shared
+    grid with min/max auto-scaled.
+    """
+    markers = "ox*+#@%&"
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, pts) in enumerate(sorted(series.items(),
+                                                key=lambda kv: str(kv[0]))):
+        marker = markers[index % len(markers)]
+        for x, y in pts:
+            col = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int((y - y_min) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    out = []
+    if y_label:
+        out.append(y_label)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            edge = "%8.3g +" % y_max
+        elif row_index == height - 1:
+            edge = "%8.3g +" % y_min
+        else:
+            edge = "         |"
+        out.append(edge + "".join(row))
+    out.append("          " + "-" * width)
+    out.append("          %-8.3g%s%8.3g" % (
+        x_min, x_label.center(width - 16), x_max))
+    legend = "   ".join(
+        "%s=%s" % (markers[i % len(markers)], label)
+        for i, label in enumerate(sorted(series, key=str)))
+    out.append("legend: " + legend)
+    return "\n".join(out)

@@ -1,0 +1,101 @@
+"""The UTLB trace-driven simulator (Section 6).
+
+"The simulator mimics the behavior of a network interface translation
+cache, the host-side UTLB driver, and user-level library.  The simulator
+reads traces, serializes the communication requests using the time stamps
+in the trace, and derives detailed statistics on translation misses, and
+the number of page pinnings and unpinnings."
+
+One :func:`simulate_node` call replays one node's merged trace against a
+fresh NIC (Shared UTLB-Cache) with one :class:`HierarchicalUtlb` per
+process; :func:`simulate_app` runs every node of a synthetic application
+and aggregates.
+"""
+
+from repro.core.shared_cache import SharedUtlbCache
+from repro.core.stats import TranslationStats
+from repro.core.utlb import CountingFrameDriver, HierarchicalUtlb
+from repro.traces.merge import split_by_pid
+
+
+class NodeResult:
+    """Outcome of simulating one node's trace."""
+
+    def __init__(self, stats, per_pid, cache, breakdown=None):
+        self.stats = stats              # merged TranslationStats
+        self.per_pid = per_pid          # pid -> TranslationStats
+        self.cache = cache              # cache stats snapshot (dict)
+        self.breakdown = breakdown      # MissBreakdown or None
+
+    def __repr__(self):
+        return "NodeResult(%r)" % (self.stats,)
+
+
+class ClusterResult:
+    """Aggregated outcome over all nodes of one application run."""
+
+    def __init__(self, node_results):
+        self.node_results = node_results
+        self.stats = TranslationStats.merged(
+            r.stats for r in node_results)
+        self.breakdown = None
+        if node_results and node_results[0].breakdown is not None:
+            self.breakdown = _merge_breakdowns(
+                [r.breakdown for r in node_results])
+
+    @property
+    def per_node(self):
+        return self.node_results
+
+
+def _merge_breakdowns(breakdowns):
+    from repro.cachesim.classify import MissBreakdown
+    total = MissBreakdown()
+    for b in breakdowns:
+        total.accesses += b.accesses
+        total.compulsory += b.compulsory
+        total.capacity += b.capacity
+        total.conflict += b.conflict
+    return total
+
+
+def simulate_node(records, config, check_invariants=False):
+    """Replay one node's (timestamp-sorted) trace under ``config``."""
+    cache = SharedUtlbCache(
+        config.cache_entries,
+        associativity=config.associativity,
+        offsetting=config.offsetting,
+        classify=config.classify)
+    driver = CountingFrameDriver()
+    utlbs = {}
+    limit = config.memory_limit_pages
+    for pid in sorted(split_by_pid(records)):
+        utlbs[pid] = HierarchicalUtlb(
+            pid, cache, driver=driver, cost_model=config.cost_model,
+            memory_limit_pages=limit, pin_policy=config.pin_policy,
+            prepin=config.prepin, prefetch=config.prefetch,
+            seed=config.seed)
+
+    for record in records:
+        utlb = utlbs[record.pid]
+        for vpage in record.pages():
+            utlb.access_page(vpage)
+
+    if check_invariants:
+        for utlb in utlbs.values():
+            utlb.check_invariants()
+
+    per_pid = {pid: utlb.stats for pid, utlb in utlbs.items()}
+    stats = TranslationStats.merged(per_pid.values())
+    breakdown = cache.classifier.breakdown if cache.classifier else None
+    return NodeResult(stats, per_pid, cache.stats.snapshot(), breakdown)
+
+
+def simulate_app(app, config, nodes=4, seed=0, scale=1.0,
+                 check_invariants=False):
+    """Simulate every node of a synthetic application; aggregate."""
+    traces = app.generate_cluster(nodes=nodes, seed=seed, scale=scale)
+    results = [simulate_node(traces[node], config,
+                             check_invariants=check_invariants)
+               for node in sorted(traces)]
+    return ClusterResult(results)

@@ -1,0 +1,98 @@
+"""Parameter sweeps over the trace-driven simulators.
+
+Sweeps regenerate each application's traces once and replay them under
+many configurations — the expensive part of a sweep is the replay, not
+the generation, but reusing traces also guarantees every configuration
+sees the identical reference stream (as the paper's methodology does).
+"""
+
+from repro.errors import ConfigError
+from repro.sim.intr_simulator import simulate_node_intr
+from repro.sim.pp_simulator import simulate_node_pp
+from repro.sim.simulator import ClusterResult, simulate_node
+
+MECHANISMS = ("utlb", "intr", "pp")
+
+
+def run_on_traces(traces, config, mechanism="utlb"):
+    """Replay per-node traces (dict node -> records) under one config.
+
+    Mechanisms: 'utlb' (Hierarchical-UTLB + Shared UTLB-Cache), 'intr'
+    (interrupt-based baseline), 'pp' (per-process UTLB, Section 3.1).
+    """
+    if mechanism == "utlb":
+        simulate = simulate_node
+    elif mechanism == "intr":
+        simulate = simulate_node_intr
+    elif mechanism == "pp":
+        simulate = simulate_node_pp
+    else:
+        raise ConfigError("unknown mechanism %r (use one of %s)"
+                          % (mechanism, MECHANISMS))
+    results = [simulate(traces[node], config) for node in sorted(traces)]
+    return ClusterResult(results)
+
+
+def generate_traces(app, nodes=4, seed=0, scale=1.0):
+    """Per-node traces for one application (cached by callers)."""
+    return app.generate_cluster(nodes=nodes, seed=seed, scale=scale)
+
+
+def sweep_cache_sizes(traces, sizes, base_config, mechanism="utlb"):
+    """{cache size: ClusterResult} over the given entry counts."""
+    return {size: run_on_traces(traces,
+                                base_config.replace(cache_entries=size),
+                                mechanism)
+            for size in sizes}
+
+
+def sweep_associativity(traces, sizes, base_config, associativities=(1, 2, 4),
+                        include_nohash=True):
+    """Table 8 grid: {(size, label): ClusterResult}.
+
+    Labels are 'direct', '2-way', '4-way' (all with index offsetting) and
+    'direct-nohash' (direct-mapped, no offsetting).
+    """
+    grid = {}
+    for size in sizes:
+        for assoc in associativities:
+            label = "direct" if assoc == 1 else "%d-way" % assoc
+            config = base_config.replace(cache_entries=size,
+                                         associativity=assoc,
+                                         offsetting=True)
+            grid[(size, label)] = run_on_traces(traces, config, "utlb")
+        if include_nohash:
+            config = base_config.replace(cache_entries=size,
+                                         associativity=1,
+                                         offsetting=False)
+            grid[(size, "direct-nohash")] = run_on_traces(traces, config,
+                                                          "utlb")
+    return grid
+
+
+def sweep_prefetch(traces, sizes, degrees, base_config, couple_prepin=True):
+    """Figure 8 grid: {(size, prefetch degree): ClusterResult}.
+
+    ``couple_prepin`` sets the pre-pinning degree equal to the prefetch
+    degree: Section 6.5 explains that prefetch only pays off when
+    "translations for contiguous application pages [are] available during
+    a miss", and sequential pre-pinning is the paper's way to ensure that.
+    Without it, compulsory NIC misses have no valid neighbours to fetch.
+    """
+    grid = {}
+    for size in sizes:
+        for degree in degrees:
+            config = base_config.replace(
+                cache_entries=size, prefetch=degree,
+                prepin=(degree if couple_prepin else base_config.prepin))
+            grid[(size, degree)] = run_on_traces(traces, config, "utlb")
+    return grid
+
+
+def sweep_policies(traces, base_config, policies=("lru", "mru", "lfu",
+                                                  "mfu", "random")):
+    """{policy: ClusterResult} for the five Section 3.4 pin policies."""
+    return {policy: run_on_traces(traces,
+                                  base_config.replace(pin_policy=policy),
+                                  "utlb")
+            for policy in policies}

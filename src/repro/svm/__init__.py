@@ -1,0 +1,30 @@
+"""Home-based release-consistency shared virtual memory over VMMC.
+
+The substrate the paper's traces were captured on: SPLASH-2-class
+programs run on an HLRC-style SVM protocol whose page fetches and diff
+propagation are VMMC remote fetches and remote stores — all of it real
+traffic through the simulated NIC and its UTLB.
+
+* :class:`SvmCluster` — ranks, shared region, barriers, diff protocol
+* :class:`SvmMemory` — per-rank page cache with INVALID/CLEAN/DIRTY states
+* :mod:`repro.svm.apps` — runnable BSP kernels (stencil, transpose,
+  histogram) with serial references for verification
+"""
+
+from repro.svm.cluster import SvmCluster
+from repro.svm.diffs import apply_diffs, compute_diffs, diff_bytes
+from repro.svm.memory import CLEAN, DIRTY, INVALID, SvmMemory
+from repro.svm.region import SVM_BASE, SharedRegion
+
+__all__ = [
+    "CLEAN",
+    "DIRTY",
+    "INVALID",
+    "SVM_BASE",
+    "SharedRegion",
+    "SvmCluster",
+    "SvmMemory",
+    "apply_diffs",
+    "compute_diffs",
+    "diff_bytes",
+]

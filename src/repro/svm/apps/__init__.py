@@ -1,0 +1,24 @@
+"""Parallel kernels running on the SVM layer.
+
+Each kernel is a BSP (bulk-synchronous) program: ranks compute on the
+shared region, separated by :meth:`SvmCluster.barrier` calls that
+propagate diffs and invalidate stale copies.  Every kernel returns a
+result that the caller can verify against a serial reference — these are
+real programs whose communication drives real NIC translation traffic.
+"""
+
+from repro.svm.apps.histogram import parallel_histogram, serial_histogram
+from repro.svm.apps.matmul import parallel_matmul, serial_matmul
+from repro.svm.apps.stencil import parallel_stencil, serial_stencil
+from repro.svm.apps.transpose import parallel_transpose, serial_transpose
+
+__all__ = [
+    "parallel_histogram",
+    "parallel_matmul",
+    "parallel_stencil",
+    "parallel_transpose",
+    "serial_histogram",
+    "serial_matmul",
+    "serial_stencil",
+    "serial_transpose",
+]

@@ -1,0 +1,60 @@
+"""Parallel histogram: the Radix communication pattern.
+
+Radix sort's phases are "count local, combine global": each rank scans
+its contiguous slice of the keys (sequential reads), writes its partial
+counts into a per-rank area of the shared region (local stores), and
+after a barrier rank 0 reduces the partials (fetches from every home).
+
+Region layout: keys at offset 0, then ``num_ranks`` partial-count
+arrays, then the final histogram.
+"""
+
+
+def serial_histogram(keys, buckets):
+    counts = [0] * buckets
+    for key in keys:
+        counts[key % buckets] += 1
+    return counts
+
+
+def parallel_histogram(svm, keys, buckets):
+    """Histogram ``keys`` into ``buckets`` on the SVM cluster."""
+    cell = 4
+    keys_base = 0
+    keys_bytes = len(keys) * cell
+    partial_base = keys_bytes
+    partial_bytes = buckets * cell
+    final_base = partial_base + svm.num_ranks * partial_bytes
+
+    svm.scatter(keys_base, b"".join(
+        key.to_bytes(4, "little", signed=True) for key in keys))
+    svm.barrier()
+
+    # Phase 1: local counting, partial arrays written to the region.
+    per_rank = (len(keys) + svm.num_ranks - 1) // svm.num_ranks
+    for rank in range(svm.num_ranks):
+        memory = svm.memory(rank)
+        start = rank * per_rank
+        end = min(start + per_rank, len(keys))
+        counts = [0] * buckets
+        if start < end:
+            for key in memory.read_i32s(keys_base + start * cell,
+                                        end - start):
+                counts[key % buckets] += 1
+        memory.write_i32s(partial_base + rank * partial_bytes, counts)
+    svm.barrier()
+
+    # Phase 2: rank 0 reduces every partial array.
+    memory = svm.memory(0)
+    total = [0] * buckets
+    for rank in range(svm.num_ranks):
+        partial = memory.read_i32s(partial_base + rank * partial_bytes,
+                                   buckets)
+        for index in range(buckets):
+            total[index] += partial[index]
+    memory.write_i32s(final_base, total)
+    svm.barrier()
+
+    raw = svm.gather(final_base, buckets * cell)
+    return [int.from_bytes(raw[k:k + 4], "little", signed=True)
+            for k in range(0, len(raw), 4)]

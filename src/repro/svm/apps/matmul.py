@@ -1,0 +1,70 @@
+"""Blocked matrix multiply: the LU communication class.
+
+LU decomposition's traffic is "broadcast a pivot block, update the
+trailing matrix" — every process repeatedly re-reads blocks another
+process produced.  C = A x B has the same shape: rank r computes a row
+block of C, streaming through *all* of B (fetches from every home) while
+re-reading its own rows of A (local after the first touch).
+
+Integer matrices keep verification exact.
+"""
+
+
+def serial_matmul(a, b):
+    n = len(a)
+    m = len(b[0])
+    inner = len(b)
+    out = [[0] * m for _ in range(n)]
+    for i in range(n):
+        row = a[i]
+        for k in range(inner):
+            aik = row[k]
+            if aik == 0:
+                continue
+            brow = b[k]
+            orow = out[i]
+            for j in range(m):
+                orow[j] += aik * brow[j]
+    return out
+
+
+def parallel_matmul(svm, a, b):
+    """Compute C = A x B on the SVM cluster; returns C as lists."""
+    n = len(a)
+    inner = len(b)
+    m = len(b[0])
+    cell = 4
+    a_base = 0
+    b_base = n * inner * cell
+    c_base = b_base + inner * m * cell
+
+    def pack(matrix):
+        return b"".join(value.to_bytes(4, "little", signed=True)
+                        for row in matrix for value in row)
+
+    svm.scatter(a_base, pack(a))
+    svm.scatter(b_base, pack(b))
+    svm.barrier()
+
+    rows_per_rank = (n + svm.num_ranks - 1) // svm.num_ranks
+    for rank in range(svm.num_ranks):
+        memory = svm.memory(rank)
+        start = rank * rows_per_rank
+        end = min(start + rows_per_rank, n)
+        for i in range(start, end):
+            row_a = memory.read_i32s(a_base + i * inner * cell, inner)
+            acc = [0] * m
+            for k in range(inner):
+                aik = row_a[k]
+                if aik == 0:
+                    continue
+                row_b = memory.read_i32s(b_base + k * m * cell, m)
+                for j in range(m):
+                    acc[j] += aik * row_b[j]
+            memory.write_i32s(c_base + i * m * cell, acc)
+    svm.barrier()
+
+    raw = svm.gather(c_base, n * m * cell)
+    values = [int.from_bytes(raw[k:k + 4], "little", signed=True)
+              for k in range(0, len(raw), 4)]
+    return [values[i * m:(i + 1) * m] for i in range(n)]

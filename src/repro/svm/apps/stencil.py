@@ -1,0 +1,72 @@
+"""Jacobi stencil on a shared grid (the Water/Ocean communication class).
+
+Each rank owns a contiguous block of rows; every iteration reads the
+neighbouring ranks' boundary rows (page fetches from their homes) and
+writes its own block (diffs back to the home at the barrier).  Integer
+arithmetic keeps verification exact.
+
+Region layout: grid A at offset 0, grid B right after; iterations swap
+roles, so homes see alternating read/write traffic.
+"""
+
+
+def _average(up, down, left, right):
+    return (up + down + left + right) // 4
+
+
+def serial_stencil(grid, iterations):
+    """Reference implementation on a list-of-lists grid."""
+    n = len(grid)
+    current = [row[:] for row in grid]
+    for _ in range(iterations):
+        following = [row[:] for row in current]
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                following[i][j] = _average(
+                    current[i - 1][j], current[i + 1][j],
+                    current[i][j - 1], current[i][j + 1])
+        current = following
+    return current
+
+
+def parallel_stencil(svm, grid, iterations):
+    """Run the stencil on the SVM cluster; returns the final grid."""
+    n = len(grid)
+    cell_bytes = 4
+    grid_bytes = n * n * cell_bytes
+    a_base, b_base = 0, grid_bytes
+
+    flat = [value for row in grid for value in row]
+    svm.scatter(a_base, b"".join(
+        value.to_bytes(4, "little", signed=True) for value in flat))
+    svm.scatter(b_base, b"".join(
+        value.to_bytes(4, "little", signed=True) for value in flat))
+    svm.barrier()
+
+    rows_per_rank = (n + svm.num_ranks - 1) // svm.num_ranks
+
+    def row_offset(base, i):
+        return base + i * n * cell_bytes
+
+    src, dst = a_base, b_base
+    for _ in range(iterations):
+        for rank in range(svm.num_ranks):
+            memory = svm.memory(rank)
+            start = rank * rows_per_rank
+            end = min(start + rows_per_rank, n)
+            for i in range(max(start, 1), min(end, n - 1)):
+                above = memory.read_i32s(row_offset(src, i - 1), n)
+                here = memory.read_i32s(row_offset(src, i), n)
+                below = memory.read_i32s(row_offset(src, i + 1), n)
+                new_row = here[:]
+                for j in range(1, n - 1):
+                    new_row[j] = _average(above[j], below[j],
+                                          here[j - 1], here[j + 1])
+                memory.write_i32s(row_offset(dst, i), new_row)
+        svm.barrier()
+        src, dst = dst, src
+
+    raw = svm.gather(src, grid_bytes)
+    values = [int.from_bytes(raw[k:k + 4], "little", signed=True)
+              for k in range(0, grid_bytes, 4)]
+    return [values[i * n:(i + 1) * n] for i in range(n)]

@@ -1,0 +1,45 @@
+"""Matrix transpose: the FFT communication pattern.
+
+The paper's FFT is dominated by its transpose phases — column-strided
+access across every other process's data.  This kernel reproduces that
+pattern on the SVM layer: each rank computes a block of rows of
+``B = A^T`` by reading columns of ``A`` (strided fetches from all homes)
+and writing its own rows (local-ish stores).
+
+Region layout: A at offset 0 (n*n int32, row-major), B right after.
+"""
+
+
+def serial_transpose(matrix):
+    n = len(matrix)
+    return [[matrix[j][i] for j in range(n)] for i in range(n)]
+
+
+def parallel_transpose(svm, matrix):
+    """Transpose ``matrix`` on the SVM cluster; returns B as lists."""
+    n = len(matrix)
+    cell = 4
+    a_base = 0
+    b_base = n * n * cell
+
+    svm.scatter(a_base, b"".join(
+        value.to_bytes(4, "little", signed=True)
+        for row in matrix for value in row))
+    svm.barrier()
+
+    rows_per_rank = (n + svm.num_ranks - 1) // svm.num_ranks
+    for rank in range(svm.num_ranks):
+        memory = svm.memory(rank)
+        start = rank * rows_per_rank
+        end = min(start + rows_per_rank, n)
+        for i in range(start, end):
+            # Row i of B = column i of A: one strided read per element.
+            column = [memory.read_i32(a_base + (j * n + i) * cell)
+                      for j in range(n)]
+            memory.write_i32s(b_base + i * n * cell, column)
+    svm.barrier()
+
+    raw = svm.gather(b_base, n * n * cell)
+    values = [int.from_bytes(raw[k:k + 4], "little", signed=True)
+              for k in range(0, len(raw), 4)]
+    return [values[i * n:(i + 1) * n] for i in range(n)]

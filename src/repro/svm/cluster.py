@@ -1,0 +1,190 @@
+"""The SVM runtime: ranks, barriers, and diff propagation over VMMC.
+
+:class:`SvmCluster` builds a VMMC cluster, creates one process per rank
+(spread round-robin over the nodes, like the paper's 4 processes per
+SMP), exports every rank's home segment, and implements the home-based
+release-consistency protocol:
+
+* page faults fetch pages from their homes (VMMC remote fetch);
+* at a barrier, every dirty page's diff is sent *zero-copy* straight out
+  of the faulting rank's memory into the home's memory (VMMC remote
+  store through the UTLB — no staging buffers anywhere);
+* write notices invalidate stale copies everywhere else.
+
+Every fetch and diff store is real traffic through the NIC model, so an
+attached :class:`~repro.traces.capture.TraceRecorder` captures exactly
+what the paper's instrumented VMMC build captured.
+"""
+
+from repro import params
+from repro.errors import CapacityError, ConfigError
+from repro.svm.memory import SvmMemory
+from repro.svm.region import SharedRegion
+from repro.vmmc import Cluster
+
+#: Pages each rank may pin; the shared region plus slack for private use.
+DEFAULT_PIN_LIMIT = None
+
+
+class SvmCluster:
+    """A shared-virtual-memory machine on top of the VMMC cluster."""
+
+    def __init__(self, num_ranks, region_pages, nodes=2, recorder=None,
+                 cluster=None, pin_limit_pages=DEFAULT_PIN_LIMIT,
+                 **cluster_kwargs):
+        if num_ranks <= 0:
+            raise ConfigError("need at least one rank")
+        if nodes <= 0:
+            raise ConfigError("need at least one node")
+        self.num_ranks = num_ranks
+        self.region = SharedRegion(region_pages, num_ranks)
+        self.cluster = (cluster if cluster is not None
+                        else Cluster(num_nodes=min(nodes, num_ranks),
+                                     **cluster_kwargs))
+        self.recorder = recorder
+        self.barriers = 0
+        self.diff_stores = 0
+        self.diff_bytes = 0
+
+        num_nodes = len(self.cluster.nodes())
+        self._node_of_rank = [r % num_nodes for r in range(num_ranks)]
+        self._libraries = []
+        for rank in range(num_ranks):
+            library = self.cluster.node(
+                self._node_of_rank[rank]).create_process(
+                    memory_limit_pages=pin_limit_pages)
+            if recorder is not None:
+                recorder.attach(library, node=self._node_of_rank[rank])
+            self._libraries.append(library)
+
+        # Export every rank's home segment, then import cross-rank.
+        self._export_ids = {}
+        for rank in range(num_ranks):
+            block = self.region.home_block(rank)
+            if not len(block):
+                continue
+            vaddr = self.region.vaddr(block.start * params.PAGE_SIZE)
+            self._export_ids[rank] = self._libraries[rank].export(
+                vaddr, len(block) * params.PAGE_SIZE)
+        self._handles = []
+        for rank in range(num_ranks):
+            handles = {}
+            for home, export_id in self._export_ids.items():
+                if home == rank:
+                    continue
+                handles[home] = self._libraries[rank].import_buffer(
+                    self._node_of_rank[home], export_id)
+            self._handles.append(handles)
+
+        self._memories = [
+            SvmMemory(rank, self.region, self._libraries[rank],
+                      self._handles[rank], self._fetch)
+            for rank in range(num_ranks)]
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _fetch(self, library, vaddr, nbytes, handle, remote_offset):
+        """Synchronous page fetch (a fault blocks the faulting rank)."""
+        seq = library.fetch(vaddr, nbytes, handle, remote_offset)
+        self.cluster.run_until_quiet()
+        library.complete(seq)
+
+    def _post_store(self, library, vaddr, nbytes, handle, remote_offset):
+        """Post a diff store, draining the fabric if the queue fills."""
+        try:
+            return library.send(vaddr, nbytes, handle, remote_offset)
+        except CapacityError:
+            self.cluster.run_until_quiet()
+            library.complete()
+            return library.send(vaddr, nbytes, handle, remote_offset)
+
+    # -- the application-facing API ------------------------------------------------
+
+    def memory(self, rank):
+        """The :class:`SvmMemory` of one rank."""
+        return self._memories[rank]
+
+    def memories(self):
+        return list(self._memories)
+
+    def library(self, rank):
+        return self._libraries[rank]
+
+    def barrier(self):
+        """Release + acquire for every rank (BSP superstep boundary)."""
+        # Release: propagate diffs of all dirty pages to their homes,
+        # zero-copy out of each rank's own page copies.
+        all_dirty = set()
+        for rank, memory in enumerate(self._memories):
+            diffs = memory.collect_diffs()
+            for page, runs in diffs.items():
+                all_dirty.add(page)
+                home = self.region.home_of(page)
+                handle = self._handles[rank][home]
+                page_base = page * params.PAGE_SIZE
+                home_base = self.region.page_offset_in_home_block(page)
+                for offset, data in runs:
+                    self._post_store(
+                        self._libraries[rank],
+                        self.region.vaddr(page_base + offset),
+                        len(data), handle, home_base + offset)
+                    self.diff_stores += 1
+                    self.diff_bytes += len(data)
+            all_dirty.update(memory.written_pages())
+        self.cluster.run_until_quiet()
+        for library in self._libraries:
+            library.complete()
+
+        # Acquire: write notices invalidate every copy of a written page
+        # (the home keeps the merged authoritative copy).
+        for memory in self._memories:
+            memory.clear_dirty()
+            memory.invalidate(all_dirty)
+        self.barriers += 1
+
+    # -- whole-region access (init / verification, via the homes) --------------------
+
+    def scatter(self, offset, data):
+        """Write authoritative region contents directly at the homes."""
+        cursor = 0
+        while cursor < len(data):
+            page = self.region.page_of_offset(offset + cursor)
+            page_end = (page + 1) * params.PAGE_SIZE
+            chunk = min(len(data) - cursor, page_end - (offset + cursor))
+            home = self.region.home_of(page)
+            self._libraries[home].write_memory(
+                self.region.vaddr(offset + cursor),
+                data[cursor:cursor + chunk])
+            cursor += chunk
+
+    def gather(self, offset, nbytes):
+        """Read authoritative region contents from the homes."""
+        out = []
+        cursor = 0
+        while cursor < nbytes:
+            page = self.region.page_of_offset(offset + cursor)
+            page_end = (page + 1) * params.PAGE_SIZE
+            chunk = min(nbytes - cursor, page_end - (offset + cursor))
+            home = self.region.home_of(page)
+            out.append(self._libraries[home].read_memory(
+                self.region.vaddr(offset + cursor), chunk))
+            cursor += chunk
+        return b"".join(out)
+
+    # -- statistics --------------------------------------------------------------------
+
+    def translation_stats(self):
+        """Merged UTLB stats across all ranks."""
+        from repro.core.stats import TranslationStats
+        return TranslationStats.merged(
+            library.stats for library in self._libraries)
+
+    def total_fetches(self):
+        return sum(memory.fetches for memory in self._memories)
+
+    def check_invariants(self):
+        for memory in self._memories:
+            memory.check_invariants()
+        for library in self._libraries:
+            library.utlb.check_invariants()
+        return True

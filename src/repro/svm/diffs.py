@@ -1,0 +1,53 @@
+"""Diff creation for the home-based SVM protocol.
+
+HLRC propagates page *diffs*: at a release point, each dirty page is
+compared against its twin (the copy saved before the first write) and
+only the changed byte runs travel to the home.  Runs closer than
+``GAP_TOLERANCE`` bytes are coalesced — sending one slightly longer run
+is cheaper than two VMMC requests.
+"""
+
+#: Merge changed runs separated by fewer than this many unchanged bytes.
+GAP_TOLERANCE = 32
+
+
+def compute_diffs(twin, current, gap_tolerance=GAP_TOLERANCE):
+    """Changed byte runs between ``twin`` and ``current``.
+
+    Returns a list of ``(offset, bytes)`` pairs covering every changed
+    byte, coalesced per the gap tolerance.  Both inputs must be equal
+    length.
+    """
+    if len(twin) != len(current):
+        raise ValueError("twin (%d B) and current (%d B) differ in length"
+                         % (len(twin), len(current)))
+    runs = []
+    start = None
+    last_change = None
+    for index in range(len(twin)):
+        if twin[index] != current[index]:
+            if start is None:
+                start = index
+            elif index - last_change > gap_tolerance:
+                runs.append((start, bytes(current[start:last_change + 1])))
+                start = index
+            last_change = index
+    if start is not None:
+        runs.append((start, bytes(current[start:last_change + 1])))
+    return runs
+
+
+def apply_diffs(base, diffs):
+    """Apply ``(offset, bytes)`` runs to ``base``; returns new bytes."""
+    out = bytearray(base)
+    for offset, data in diffs:
+        if offset < 0 or offset + len(data) > len(out):
+            raise ValueError("diff [%d, %d) outside the %d-byte page"
+                             % (offset, offset + len(data), len(out)))
+        out[offset:offset + len(data)] = data
+    return bytes(out)
+
+
+def diff_bytes(diffs):
+    """Total payload bytes across a diff list."""
+    return sum(len(data) for _, data in diffs)

@@ -1,0 +1,161 @@
+"""Per-rank SVM memory: page states, twins, and the access protocol.
+
+Each rank sees the shared region at the same virtual address.  Pages the
+rank homes are always valid locally (remote writers push diffs straight
+into the home's physical memory through VMMC).  Other pages follow the
+HLRC state machine:
+
+* INVALID — no local copy; a read or write first *fetches* the page from
+  its home (a VMMC remote fetch = real NIC translation traffic);
+* CLEAN — valid local copy, no local modifications;
+* DIRTY — locally modified; a *twin* of the pre-write contents is kept so
+  the release (barrier) can compute and send diffs.
+
+All offsets in the public API are region-relative.
+"""
+
+import struct
+
+from repro import params
+from repro.svm.diffs import compute_diffs
+
+INVALID = "invalid"
+CLEAN = "clean"
+DIRTY = "dirty"
+
+_I32 = struct.Struct("<i")
+
+
+class SvmMemory:
+    """One rank's view of the shared region."""
+
+    def __init__(self, rank, region, library, home_handles, fetcher):
+        self.rank = rank
+        self.region = region
+        self.library = library
+        self._home_handles = home_handles      # home rank -> ImportHandle
+        self._fetcher = fetcher                # callable: run a fetch now
+        self._states = {}                      # page -> state (default INVALID)
+        self._twins = {}                       # page -> bytes
+        self._home_written = set()             # home pages written locally
+        self.fetches = 0
+        self.bytes_fetched = 0
+
+    # -- state machine ------------------------------------------------------------
+
+    def state_of(self, page):
+        if self.region.home_of(page) == self.rank:
+            return CLEAN            # home pages are always valid locally
+        return self._states.get(page, INVALID)
+
+    def is_home(self, page):
+        return self.region.home_of(page) == self.rank
+
+    def dirty_pages(self):
+        return sorted(p for p, s in self._states.items() if s == DIRTY)
+
+    def twin_of(self, page):
+        return self._twins.get(page)
+
+    def _ensure_valid(self, page):
+        """Fault handler: fetch an INVALID page from its home."""
+        if self.is_home(page) or self._states.get(page, INVALID) != INVALID:
+            return
+        home = self.region.home_of(page)
+        vaddr = self.region.vaddr(page * params.PAGE_SIZE)
+        self._fetcher(self.library, vaddr, params.PAGE_SIZE,
+                      self._home_handles[home],
+                      self.region.page_offset_in_home_block(page))
+        self._states[page] = CLEAN
+        self.fetches += 1
+        self.bytes_fetched += params.PAGE_SIZE
+
+    def _ensure_writable(self, page):
+        self._ensure_valid(page)
+        if self.is_home(page):
+            # Home writes are directly authoritative (no twin), but they
+            # still generate a write notice so other ranks' cached copies
+            # are invalidated at the next release.
+            self._home_written.add(page)
+            return
+        if self._states.get(page) != DIRTY:
+            vaddr = self.region.vaddr(page * params.PAGE_SIZE)
+            self._twins[page] = self.library.read_memory(
+                vaddr, params.PAGE_SIZE)
+            self._states[page] = DIRTY
+
+    # -- data access ------------------------------------------------------------------
+
+    def read(self, offset, nbytes):
+        """Read region bytes (faulting pages in from their homes)."""
+        for page in self.region.pages_of_span(offset, nbytes):
+            self._ensure_valid(page)
+        return self.library.read_memory(self.region.vaddr(offset), nbytes)
+
+    def write(self, offset, data):
+        """Write region bytes (twinning pages on first write)."""
+        if not data:
+            return
+        for page in self.region.pages_of_span(offset, len(data)):
+            self._ensure_writable(page)
+        self.library.write_memory(self.region.vaddr(offset), data)
+
+    # -- typed helpers (apps work in 32-bit ints) -----------------------------------------
+
+    def read_i32(self, offset):
+        return _I32.unpack(self.read(offset, 4))[0]
+
+    def write_i32(self, offset, value):
+        self.write(offset, _I32.pack(value))
+
+    def read_i32s(self, offset, count):
+        raw = self.read(offset, 4 * count)
+        return list(struct.unpack("<%di" % count, raw))
+
+    def write_i32s(self, offset, values):
+        self.write(offset, struct.pack("<%di" % len(values), *values))
+
+    # -- release support ---------------------------------------------------------------------
+
+    def collect_diffs(self):
+        """Diffs of every dirty page: {page: [(offset, bytes), ...]}."""
+        out = {}
+        for page in self.dirty_pages():
+            vaddr = self.region.vaddr(page * params.PAGE_SIZE)
+            current = self.library.read_memory(vaddr, params.PAGE_SIZE)
+            runs = compute_diffs(self._twins[page], current)
+            if runs:
+                out[page] = runs
+        return out
+
+    def invalidate(self, pages):
+        """Write-notice processing: drop local copies of ``pages``."""
+        for page in pages:
+            if self.is_home(page):
+                continue
+            self._states[page] = INVALID
+            self._twins.pop(page, None)
+
+    def written_pages(self):
+        """Every page this rank wrote since the last release (dirty
+        non-home pages plus written home pages) — the write notices."""
+        return sorted(set(self.dirty_pages()) | self._home_written)
+
+    def clear_dirty(self):
+        """After a release: dirty copies are stale until refetched."""
+        for page in self.dirty_pages():
+            self._states[page] = INVALID
+            self._twins.pop(page, None)
+        self._home_written.clear()
+
+    def check_invariants(self):
+        """Twins exist exactly for dirty pages; home pages never tracked."""
+        for page, state in self._states.items():
+            assert not self.is_home(page), (
+                "home page %d has tracked state %s" % (page, state))
+            if state == DIRTY:
+                assert page in self._twins, "dirty page %d has no twin" % page
+            else:
+                assert page not in self._twins, (
+                    "non-dirty page %d has a twin" % page)
+        return True

@@ -1,0 +1,84 @@
+"""Shared-region geometry for the SVM layer.
+
+The paper's traces come from SPLASH-2 programs running on a home-based
+release-consistency SVM protocol (HLRC [48, 39]) over VMMC.  Our SVM
+layer reproduces that substrate: a shared region of 4 KB pages, each page
+assigned a *home* rank that holds its authoritative copy.
+
+Homes use a block distribution (rank r homes a contiguous slice), which
+keeps each home segment a single exported VMMC buffer.
+"""
+
+from repro import params
+from repro.errors import ConfigError
+
+#: Base virtual address of the shared region in every rank (SPMD layout).
+SVM_BASE = 0x60000000
+
+
+class SharedRegion:
+    """Geometry of one shared region: pages, homes, address mapping."""
+
+    def __init__(self, num_pages, num_ranks, base_vaddr=SVM_BASE):
+        if num_pages <= 0:
+            raise ConfigError("shared region needs at least one page")
+        if num_ranks <= 0:
+            raise ConfigError("need at least one rank")
+        if base_vaddr % params.PAGE_SIZE:
+            raise ConfigError("region base must be page aligned")
+        self.num_pages = num_pages
+        self.num_ranks = num_ranks
+        self.base_vaddr = base_vaddr
+        self.size = num_pages * params.PAGE_SIZE
+        self._block = (num_pages + num_ranks - 1) // num_ranks
+
+    # -- homes ---------------------------------------------------------------
+
+    def home_of(self, page_index):
+        """The rank holding the authoritative copy of a region page."""
+        self._check_page(page_index)
+        return min(page_index // self._block, self.num_ranks - 1)
+
+    def home_block(self, rank):
+        """The contiguous range of region pages homed by ``rank``."""
+        if not 0 <= rank < self.num_ranks:
+            raise ConfigError("rank %r out of range" % (rank,))
+        start = rank * self._block
+        end = min(start + self._block, self.num_pages)
+        if start >= self.num_pages:
+            return range(0)
+        return range(start, end)
+
+    # -- addressing ------------------------------------------------------------
+
+    def vaddr(self, offset):
+        """Virtual address of a region-relative byte offset."""
+        if not 0 <= offset <= self.size:
+            raise ConfigError("offset %d outside the %d-byte region"
+                              % (offset, self.size))
+        return self.base_vaddr + offset
+
+    def page_of_offset(self, offset):
+        """Region page index containing a region-relative offset."""
+        if not 0 <= offset < self.size:
+            raise ConfigError("offset %d outside the region" % (offset,))
+        return offset // params.PAGE_SIZE
+
+    def pages_of_span(self, offset, nbytes):
+        """Region pages touched by [offset, offset+nbytes)."""
+        if nbytes <= 0:
+            return range(0)
+        if offset < 0 or offset + nbytes > self.size:
+            raise ConfigError("span [%d, %d) outside the region"
+                              % (offset, offset + nbytes))
+        return range(offset // params.PAGE_SIZE,
+                     (offset + nbytes - 1) // params.PAGE_SIZE + 1)
+
+    def page_offset_in_home_block(self, page_index):
+        """Byte offset of a page within its home's exported segment."""
+        home = self.home_of(page_index)
+        return (page_index - self.home_block(home).start) * params.PAGE_SIZE
+
+    def _check_page(self, page_index):
+        if not 0 <= page_index < self.num_pages:
+            raise ConfigError("region page %r out of range" % (page_index,))

@@ -1,0 +1,33 @@
+"""Trace infrastructure: records, (de)serialization, timestamp merging,
+and the synthetic SPLASH-2-like workload generators."""
+
+from repro.traces.io import read_binary, read_text, write_binary, write_text
+from repro.traces.merge import (
+    merge_sorted_iters,
+    merge_streams,
+    split_by_node,
+    split_by_pid,
+)
+from repro.traces.record import (
+    OP_FETCH,
+    OP_SEND,
+    TraceRecord,
+    count_lookups,
+    footprint_pages,
+)
+
+__all__ = [
+    "OP_FETCH",
+    "OP_SEND",
+    "TraceRecord",
+    "count_lookups",
+    "footprint_pages",
+    "merge_sorted_iters",
+    "merge_streams",
+    "read_binary",
+    "read_text",
+    "split_by_node",
+    "split_by_pid",
+    "write_binary",
+    "write_text",
+]

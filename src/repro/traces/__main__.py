@@ -1,0 +1,125 @@
+"""Trace-file command-line tool.
+
+Usage::
+
+    python -m repro.traces generate --app fft --out fft.bin [--scale S]
+    python -m repro.traces info fft.bin
+    python -m repro.traces simulate fft.bin [--mechanism utlb]
+                                            [--cache-entries N] ...
+
+``generate`` writes a synthetic application trace (binary format);
+``info`` summarizes any trace file; ``simulate`` replays one through a
+translation mechanism and prints the per-lookup rates.
+"""
+
+import argparse
+import sys
+
+from repro.sim.config import SimConfig
+from repro.sim.sweep import MECHANISMS, run_on_traces
+from repro.traces.io import read_binary, read_text, write_binary
+from repro.traces.merge import merge_streams, split_by_node, split_by_pid
+from repro.traces.record import count_lookups, footprint_pages
+from repro.traces.synth import APPS, make_app
+
+
+def _read_any(path):
+    """Read a trace file, auto-detecting binary vs text."""
+    with open(path, "rb") as handle:
+        magic = handle.read(4)
+    if magic == b"UTLB":
+        return list(read_binary(path))
+    return list(read_text(path))
+
+
+def cmd_generate(args):
+    app = make_app(args.app)
+    traces = app.generate_cluster(nodes=args.nodes, seed=args.seed,
+                                  scale=args.scale)
+    merged = merge_streams([traces[node] for node in sorted(traces)])
+    count = write_binary(args.out, merged)
+    print("wrote %d records (%d nodes, scale %.2f) to %s"
+          % (count, args.nodes, args.scale, args.out))
+    return 0
+
+
+def cmd_info(args):
+    records = _read_any(args.trace)
+    if not records:
+        print("%s: empty trace" % args.trace)
+        return 0
+    by_node = split_by_node(records)
+    print("%s:" % args.trace)
+    print("  records:   %d" % len(records))
+    print("  lookups:   %d" % count_lookups(records))
+    print("  footprint: %d pages" % footprint_pages(records))
+    print("  nodes:     %d   processes: %d"
+          % (len(by_node), len(split_by_pid(records))))
+    print("  time span: %d .. %d"
+          % (records[0].timestamp, records[-1].timestamp))
+    ops = {}
+    for record in records:
+        ops[record.op] = ops.get(record.op, 0) + 1
+    print("  operations: "
+          + ", ".join("%s=%d" % kv for kv in sorted(ops.items())))
+    return 0
+
+
+def cmd_simulate(args):
+    records = _read_any(args.trace)
+    config = SimConfig(cache_entries=args.cache_entries,
+                       associativity=args.associativity,
+                       offsetting=not args.no_offsetting,
+                       prefetch=args.prefetch,
+                       prepin=args.prepin,
+                       memory_limit_bytes=(args.memory_limit_mb
+                                           * 1024 * 1024
+                                           if args.memory_limit_mb else None),
+                       pin_policy=args.pin_policy)
+    result = run_on_traces(split_by_node(records), config, args.mechanism)
+    stats = result.stats
+    print("mechanism=%s  %s" % (args.mechanism, config.describe()))
+    print("  lookups:          %d" % stats.lookups)
+    print("  check miss rate:  %.4f" % stats.check_miss_rate)
+    print("  NI miss rate:     %.4f" % stats.ni_miss_rate)
+    print("  unpin rate:       %.4f" % stats.unpin_rate)
+    print("  interrupts:       %d" % stats.interrupts)
+    print("  avg lookup cost:  %.2f us" % stats.avg_lookup_cost_us)
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="python -m repro.traces")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a synthetic app trace")
+    gen.add_argument("--app", choices=sorted(APPS), required=True)
+    gen.add_argument("--out", required=True)
+    gen.add_argument("--scale", type=float, default=1.0)
+    gen.add_argument("--nodes", type=int, default=1)
+    gen.add_argument("--seed", type=int, default=1)
+    gen.set_defaults(func=cmd_generate)
+
+    info = sub.add_parser("info", help="summarize a trace file")
+    info.add_argument("trace")
+    info.set_defaults(func=cmd_info)
+
+    sim = sub.add_parser("simulate", help="replay a trace file")
+    sim.add_argument("trace")
+    sim.add_argument("--mechanism", choices=MECHANISMS, default="utlb")
+    sim.add_argument("--cache-entries", type=int, default=8192)
+    sim.add_argument("--associativity", type=int, default=1)
+    sim.add_argument("--no-offsetting", action="store_true")
+    sim.add_argument("--prefetch", type=int, default=1)
+    sim.add_argument("--prepin", type=int, default=1)
+    sim.add_argument("--memory-limit-mb", type=int, default=None)
+    sim.add_argument("--pin-policy", default="lru",
+                     choices=("lru", "mru", "lfu", "mfu", "random"))
+    sim.set_defaults(func=cmd_simulate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""Trace serialization: a text format and a compact binary format.
+
+Text format (one record per line, ``#`` comments allowed)::
+
+    # timestamp node pid op vaddr nbytes
+    1040 0 3 send 0x10004000 4096
+
+Binary format: an 16-byte header (magic, version, record count) followed
+by fixed 28-byte records, little-endian.
+"""
+
+import struct
+
+from repro.errors import TraceError
+from repro.traces.record import (
+    OP_CODES,
+    OP_FROM_CODE,
+    TraceRecord,
+)
+
+MAGIC = b"UTLB"
+VERSION = 1
+
+_HEADER = struct.Struct("<4sII")
+_RECORD = struct.Struct("<QIIIIi")     # timestamp, node, pid, op, vaddr, nbytes
+
+
+# -- text ---------------------------------------------------------------------
+
+def write_text(path, records):
+    """Write records as text; returns the record count."""
+    count = 0
+    with open(path, "w") as handle:
+        handle.write("# timestamp node pid op vaddr nbytes\n")
+        for record in records:
+            handle.write("%d %d %d %s 0x%x %d\n" % (
+                record.timestamp, record.node, record.pid, record.op,
+                record.vaddr, record.nbytes))
+            count += 1
+    return count
+
+
+def read_text(path):
+    """Yield records from a text trace."""
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if len(fields) != 6:
+                raise TraceError("%s:%d: expected 6 fields, got %d"
+                                 % (path, line_no, len(fields)))
+            try:
+                yield TraceRecord(
+                    timestamp=int(fields[0]),
+                    node=int(fields[1]),
+                    pid=int(fields[2]),
+                    op=fields[3],
+                    vaddr=int(fields[4], 0),
+                    nbytes=int(fields[5]))
+            except (ValueError, TraceError) as exc:
+                raise TraceError("%s:%d: bad record: %s"
+                                 % (path, line_no, exc))
+
+
+# -- binary --------------------------------------------------------------------
+
+def write_binary(path, records):
+    """Write records in the binary format; returns the record count."""
+    records = list(records)
+    with open(path, "wb") as handle:
+        handle.write(_HEADER.pack(MAGIC, VERSION, len(records)))
+        for record in records:
+            handle.write(_RECORD.pack(
+                record.timestamp, record.node, record.pid,
+                OP_CODES[record.op], record.vaddr, record.nbytes))
+    return len(records)
+
+
+def read_binary(path):
+    """Yield records from a binary trace."""
+    with open(path, "rb") as handle:
+        header = handle.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise TraceError("%s: truncated header" % (path,))
+        magic, version, count = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise TraceError("%s: bad magic %r" % (path, magic))
+        if version != VERSION:
+            raise TraceError("%s: unsupported version %d" % (path, version))
+        for index in range(count):
+            raw = handle.read(_RECORD.size)
+            if len(raw) != _RECORD.size:
+                raise TraceError("%s: truncated at record %d" % (path, index))
+            timestamp, node, pid, op_code, vaddr, nbytes = _RECORD.unpack(raw)
+            if op_code not in OP_FROM_CODE:
+                raise TraceError("%s: record %d has bad op code %d"
+                                 % (path, index, op_code))
+            yield TraceRecord(timestamp, node, pid, OP_FROM_CODE[op_code],
+                              vaddr, nbytes)

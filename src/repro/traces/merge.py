@@ -1,0 +1,66 @@
+"""Timestamp serialization of per-process traces.
+
+"Time stamps are used to serialize the traces from the five processes on
+each SMP" (Section 6).  The merge is stable: ties are broken by
+(timestamp, pid, arrival order) so a given set of per-process streams
+always serializes identically.
+"""
+
+import heapq
+
+from repro.errors import TraceError
+
+
+def merge_streams(streams):
+    """Merge per-process record lists into one timestamp-ordered list.
+
+    ``streams`` is an iterable of record sequences, each already sorted by
+    timestamp (they are verified).  Returns a single sorted list.
+    """
+    decorated = []
+    for stream_index, stream in enumerate(streams):
+        last = None
+        for order, record in enumerate(stream):
+            if last is not None and record.timestamp < last:
+                raise TraceError(
+                    "stream %d not timestamp-sorted at record %d"
+                    % (stream_index, order))
+            last = record.timestamp
+            decorated.append(
+                ((record.timestamp, record.pid, stream_index, order), record))
+    decorated.sort(key=lambda pair: pair[0])
+    return [record for _, record in decorated]
+
+
+def merge_sorted_iters(iterables):
+    """Lazily merge already-sorted record iterables (for big trace files)."""
+    keyed = (
+        ((record.timestamp, record.pid, index), record)
+        for index, it in enumerate(iterables)
+        for record in it
+    )
+    # heapq.merge needs each input sorted; we sort the flattened stream
+    # lazily per input by wrapping each iterable with its own generator.
+    def _keyed(index, iterable):
+        for record in iterable:
+            yield (record.timestamp, record.pid, index), record
+
+    merged = heapq.merge(*[_keyed(i, it) for i, it in enumerate(iterables)])
+    for _, record in merged:
+        yield record
+
+
+def split_by_node(records):
+    """Group a merged trace into per-node streams (dict node -> list)."""
+    by_node = {}
+    for record in records:
+        by_node.setdefault(record.node, []).append(record)
+    return by_node
+
+
+def split_by_pid(records):
+    """Group a trace into per-process streams (dict pid -> list)."""
+    by_pid = {}
+    for record in records:
+        by_pid.setdefault(record.pid, []).append(record)
+    return by_pid

@@ -1,0 +1,82 @@
+"""Trace records: the unit of the paper's trace-driven analysis.
+
+The Princeton group instrumented the VMMC software "to trace each send and
+remote read request along with a globally-synchronized clock" (Section 6).
+A record is therefore: a timestamp, the node and process that issued the
+request, the operation (send or fetch/remote-read), and the virtual buffer
+(address + length).
+"""
+
+from repro.core import addresses
+from repro.errors import TraceError
+
+OP_SEND = "send"
+OP_FETCH = "fetch"
+
+OPS = (OP_SEND, OP_FETCH)
+
+#: Numeric codes for the binary trace format.
+OP_CODES = {OP_SEND: 0, OP_FETCH: 1}
+OP_FROM_CODE = {code: op for op, code in OP_CODES.items()}
+
+
+class TraceRecord:
+    """One communication request."""
+
+    __slots__ = ("timestamp", "node", "pid", "op", "vaddr", "nbytes")
+
+    def __init__(self, timestamp, node, pid, op, vaddr, nbytes):
+        if op not in OPS:
+            raise TraceError("unknown trace operation %r" % (op,))
+        if nbytes <= 0:
+            raise TraceError("trace record with non-positive length %r"
+                             % (nbytes,))
+        if timestamp < 0:
+            raise TraceError("negative timestamp %r" % (timestamp,))
+        addresses.validate_vaddr(vaddr)
+        addresses.validate_vaddr(vaddr + nbytes - 1)
+        self.timestamp = timestamp
+        self.node = node
+        self.pid = pid
+        self.op = op
+        self.vaddr = vaddr
+        self.nbytes = nbytes
+
+    def pages(self):
+        """Virtual pages this request touches (one lookup per page)."""
+        return addresses.page_range(self.vaddr, self.nbytes)
+
+    @property
+    def num_pages(self):
+        return len(self.pages())
+
+    def as_tuple(self):
+        return (self.timestamp, self.node, self.pid, self.op, self.vaddr,
+                self.nbytes)
+
+    def __eq__(self, other):
+        return (isinstance(other, TraceRecord)
+                and self.as_tuple() == other.as_tuple())
+
+    def __hash__(self):
+        return hash(self.as_tuple())
+
+    def __repr__(self):
+        return ("TraceRecord(t=%d, node=%d, pid=%d, %s, vaddr=%#x, "
+                "nbytes=%d)" % (self.timestamp, self.node, self.pid,
+                                self.op, self.vaddr, self.nbytes))
+
+
+def count_lookups(records):
+    """Total translation lookups a record stream induces (one per page)."""
+    return sum(record.num_pages for record in records)
+
+
+def footprint_pages(records):
+    """Distinct (pid, vpage) pairs — the communication memory footprint
+    as Table 3 counts it (distinct virtual pages used in communication)."""
+    seen = set()
+    for record in records:
+        for vpage in record.pages():
+            seen.add((record.pid, vpage))
+    return len(seen)

@@ -1,0 +1,63 @@
+"""Synthetic SPLASH-2-like trace generators, one per paper application.
+
+``APPS`` maps application name to generator class in the paper's Table 3
+order; ``make_app(name)`` instantiates by name.
+"""
+
+from repro.errors import ConfigError
+from repro.traces.synth.barnes import BarnesApp
+from repro.traces.synth.base import DATA_BASE, SyntheticApp
+from repro.traces.synth.mixed import MixedWorkload
+from repro.traces.synth.fft import FftApp
+from repro.traces.synth.lu import LuApp
+from repro.traces.synth.radix import RadixApp
+from repro.traces.synth.raytrace import RaytraceApp
+from repro.traces.synth.volrend import VolrendApp
+from repro.traces.synth.water import WaterApp
+
+#: Table 3 order.
+APPS = {
+    "fft": FftApp,
+    "lu": LuApp,
+    "barnes": BarnesApp,
+    "radix": RadixApp,
+    "raytrace": RaytraceApp,
+    "volrend": VolrendApp,
+    "water-spatial": WaterApp,
+}
+
+#: Paper order for Tables 4/5/8 and Figure 7 (columns).
+TABLE_ORDER = ("barnes", "fft", "lu", "radix", "raytrace", "volrend",
+               "water-spatial")
+
+
+def make_app(name):
+    """Instantiate a generator by application name."""
+    try:
+        return APPS[name]()
+    except KeyError:
+        raise ConfigError("unknown application %r (choose from %s)"
+                          % (name, sorted(APPS)))
+
+
+def all_apps():
+    """Instances of every application, in Table 3 order."""
+    return [cls() for cls in APPS.values()]
+
+
+__all__ = [
+    "APPS",
+    "TABLE_ORDER",
+    "DATA_BASE",
+    "MixedWorkload",
+    "SyntheticApp",
+    "BarnesApp",
+    "FftApp",
+    "LuApp",
+    "RadixApp",
+    "RaytraceApp",
+    "VolrendApp",
+    "WaterApp",
+    "make_app",
+    "all_apps",
+]

@@ -1,0 +1,45 @@
+"""Barnes: Barnes-Hut N-body simulation (irregular, spatially local).
+
+"Each process gets a partition of the particles ... Communication in this
+application is moderate as the particle partition exhibits spatial
+locality."  The smallest miss rates in the suite: a modest footprint
+(2,235 pages) re-touched ~16 times (35,904 lookups), with a hot set of
+tree-top pages and a locality-preserving walk over the particle pages.
+"""
+
+from repro.traces.synth.base import SyntheticApp
+
+
+class BarnesApp(SyntheticApp):
+    name = "barnes"
+    problem_size = "32K particles"
+    footprint_pages = 2235
+    lookups = 35904
+    category = "irregular"
+
+    #: One access in LONG_EVERY revisits a random far particle page
+    #: (cross-partition gravity terms).
+    LONG_EVERY = 20
+
+    def _pattern(self, rng, footprint, lookups):
+        # The hot working set: tree top + this partition's boundary pages.
+        hot = max(8, footprint // 10)
+        produced = 0
+        # Tree build: one pass over the particle partition (exact
+        # footprint coverage).
+        for page in range(footprint):
+            yield page
+            produced += 1
+            if produced >= lookups:
+                return
+        # Force-computation time steps: the boundary/tree pages are
+        # exchanged over and over (the partition "exhibits spatial
+        # locality"), with an occasional far touch.
+        position = 0
+        while produced < lookups:
+            if produced % self.LONG_EVERY == 0:
+                yield rng.randrange(footprint)
+            else:
+                position = (position + 1) % hot
+                yield position
+            produced += 1

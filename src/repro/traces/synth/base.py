@@ -1,0 +1,252 @@
+"""Framework for the synthetic SPLASH-2-like communication traces.
+
+The paper's traces come from seven SPLASH-2 applications running on a
+home-based release-consistency SVM protocol over VMMC, on four 4-way SMP
+nodes: "on each SMP, there are four application processes and a protocol
+process, all of which use Myrinet" (Section 6).  We cannot rerun that
+testbed, so each application is modelled as a *reference-stream generator*
+whose per-node communication footprint and lookup count match Table 3 and
+whose access-pattern class matches the paper's description of the
+application (Section 6.1).
+
+Model choices that matter for the results:
+
+* SVM moves one 4 KB page per request, so every record is a page-sized
+  send (the paper notes its SVM applications "typically transfer one page
+  of data at a time").
+* All processes place their shared-data region at the same virtual base
+  address (real SPMD programs do) — this is what makes the no-offsetting
+  cache configuration collide across processes (Table 8 "direct-nohash").
+* Each node runs four application processes plus one protocol process;
+  the protocol process hammers a small set of protocol/message pages.
+* Per-process generators are deterministic functions of (seed, node, pid)
+  and are merged by timestamp, exactly like the paper's serialized traces.
+"""
+
+import math
+import random
+
+from repro import params
+from repro.errors import ConfigError
+from repro.traces.merge import merge_streams
+from repro.traces.record import OP_SEND, TraceRecord
+
+#: Every process maps its communication region here (SPMD layout).
+DATA_BASE = 0x10000000
+
+#: Fraction of a node's footprint/lookups belonging to the SVM protocol
+#: process; the four application processes split the rest evenly.
+PROTOCOL_SHARE = 0.08
+
+#: The protocol process reuses a small ring of message/control pages.
+PROTOCOL_HOT_PAGES = 24
+
+#: Mean microseconds between requests from one process.
+MEAN_GAP_US = 40
+
+
+def _pid_of(node, local_index):
+    """Cluster-unique pid; at most 8 per node, well under the 4-bit tag."""
+    return node * 8 + local_index
+
+
+class SyntheticApp:
+    """Base class for one application's trace generator.
+
+    Subclasses define the class attributes ``name``, ``problem_size``,
+    ``footprint_pages``, ``lookups`` (the Table 3 per-node values), and
+    ``category`` ('regular' or 'irregular'), plus :meth:`_pattern`, a
+    generator of page indices in ``[0, footprint)`` for one application
+    process.  The pattern contract: the first ``footprint`` *distinct*
+    pages it produces must cover the whole range (so the process footprint
+    is exact), and it must be able to produce at least ``lookups`` entries
+    (it is truncated, never padded).
+    """
+
+    name = "base"
+    problem_size = ""
+    footprint_pages = 0
+    lookups = 0
+    category = "irregular"
+
+    def _pattern(self, rng, footprint, lookups):
+        raise NotImplementedError
+
+    # -- sizing -------------------------------------------------------------------
+
+    def scaled_sizes(self, scale):
+        """(footprint, lookups) per node at a given scale factor."""
+        if scale <= 0:
+            raise ConfigError("scale must be positive")
+        footprint = max(64, int(round(self.footprint_pages * scale)))
+        lookups = max(footprint, int(round(self.lookups * scale)))
+        return footprint, lookups
+
+    def _process_sizes(self, scale):
+        """Per-process (footprint, lookups) for the 4 app + 1 protocol
+        processes, summing to (about) the node totals."""
+        node_fp, node_lk = self.scaled_sizes(scale)
+        proto_fp = max(PROTOCOL_HOT_PAGES, int(node_fp * PROTOCOL_SHARE))
+        proto_lk = max(proto_fp, int(node_lk * PROTOCOL_SHARE))
+        app_fp = (node_fp - proto_fp) // 4
+        app_lk = (node_lk - proto_lk) // 4
+        if app_fp <= 0 or app_lk <= 0:
+            raise ConfigError("scale too small for %s" % (self.name,))
+        sizes = [(app_fp, app_lk)] * 4 + [(proto_fp, proto_lk)]
+        return sizes
+
+    # -- generation ----------------------------------------------------------------
+
+    def generate_node(self, node=0, seed=0, scale=1.0):
+        """The serialized (merged) trace of one node."""
+        streams = []
+        for local_index, (footprint, lookups) in enumerate(
+                self._process_sizes(scale)):
+            pid = _pid_of(node, local_index)
+            rng = random.Random((seed * 1000003 + node) * 31 + local_index)
+            if local_index < 4:
+                pages = self._pattern(rng, footprint, lookups)
+            else:
+                pages = self._protocol_pattern(rng, footprint, lookups)
+            streams.append(self._records(node, pid, rng, pages, lookups))
+        return merge_streams(streams)
+
+    def generate_cluster(self, nodes=params.TRACE_NODES, seed=0, scale=1.0):
+        """Per-node traces for the whole cluster: {node: [records]}."""
+        return {node: self.generate_node(node, seed=seed, scale=scale)
+                for node in range(nodes)}
+
+    def _records(self, node, pid, rng, pages, lookups):
+        """Wrap a page-index stream into timestamped TraceRecords."""
+        records = []
+        timestamp = rng.randrange(0, MEAN_GAP_US)
+        for count, page in enumerate(pages):
+            if count >= lookups:
+                break
+            records.append(TraceRecord(
+                timestamp=timestamp,
+                node=node,
+                pid=pid,
+                op=OP_SEND,
+                vaddr=DATA_BASE + page * params.PAGE_SIZE,
+                nbytes=params.PAGE_SIZE))
+            timestamp += rng.randrange(MEAN_GAP_US // 2,
+                                       MEAN_GAP_US + MEAN_GAP_US // 2)
+        return records
+
+    def _protocol_pattern(self, rng, footprint, lookups):
+        """The SVM protocol process: a hot ring of message/control pages
+        plus a slowly growing set of per-page protocol metadata pages."""
+        hot = min(PROTOCOL_HOT_PAGES, footprint)
+        cold = footprint - hot
+        produced = 0
+        # Startup: walk the per-page protocol metadata once (cold pages),
+        # mixing in the hot message ring.
+        for cold_page in range(cold):
+            yield hot + cold_page
+            produced += 1
+            if produced >= lookups:
+                return
+            if cold_page % 4 == 3:
+                yield produced % hot
+                produced += 1
+                if produced >= lookups:
+                    return
+        # Steady state: cycle the hot message/control ring.
+        while produced < lookups:
+            yield produced % hot
+            produced += 1
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def table3_row(self, scale=1.0):
+        footprint, lookups = self.scaled_sizes(scale)
+        return {
+            "application": self.name,
+            "problem_size": self.problem_size,
+            "footprint_pages": footprint,
+            "lookups": lookups,
+        }
+
+
+# -- shared pattern building blocks ------------------------------------------------
+
+
+def sequential_sweep(footprint):
+    """One pass over every page in address order."""
+    return iter(range(footprint))
+
+
+def strided_sweep(footprint, stride):
+    """One pass over every page in a strided (column-major) order."""
+    if stride <= 0:
+        raise ConfigError("stride must be positive")
+    for start in range(stride):
+        for page in range(start, footprint, stride):
+            yield page
+
+
+def shuffled_sweep(footprint, rng, run_length=1):
+    """One pass over every page in random order, optionally in short
+    sequential runs (run_length > 1 models scatter with local structure).
+    """
+    if run_length <= 1:
+        order = list(range(footprint))
+        rng.shuffle(order)
+        for page in order:
+            yield page
+        return
+    starts = list(range(0, footprint, run_length))
+    rng.shuffle(starts)
+    for start in starts:
+        for page in range(start, min(start + run_length, footprint)):
+            yield page
+
+
+def repeat_pattern(make_pass, lookups):
+    """Chain passes produced by ``make_pass(pass_index)`` until ``lookups``
+    accesses have been emitted."""
+    produced = 0
+    pass_index = 0
+    while produced < lookups:
+        for page in make_pass(pass_index):
+            yield page
+            produced += 1
+            if produced >= lookups:
+                return
+        pass_index += 1
+
+
+def column_stride(footprint):
+    """A stride approximating the row length of a square matrix spread
+    over ``footprint`` pages (used by FFT's transpose phases)."""
+    return max(2, int(round(math.sqrt(footprint))))
+
+
+def touch_repeat(pages, repeat):
+    """Touch each page of ``pages`` ``repeat`` times consecutively.
+
+    Models compute phases that re-read a freshly communicated page while
+    it is still hot: the re-touches have near-zero reuse distance, so they
+    hit in any reasonable cache — the key reason measured NI miss rates
+    sit well below 1.0 even when every *pass* over the data misses.
+    """
+    for page in pages:
+        for _ in range(repeat):
+            yield page
+
+
+def inject_long(pages, rng, footprint, every):
+    """Interleave a uniform-random page after every ``every`` items.
+
+    The random touches are *long-distance* re-references (protocol
+    metadata, histograms, neighbour data): they miss while the footprint
+    exceeds the cache and start hitting once it fits — the component that
+    makes NI miss rates fall with cache size.  ``every=0`` disables.
+    """
+    count = 0
+    for page in pages:
+        yield page
+        count += 1
+        if every and count % every == 0:
+            yield rng.randrange(footprint)

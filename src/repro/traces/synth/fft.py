@@ -1,0 +1,45 @@
+"""FFT: parallel 2-D Fast Fourier Transform (regular, strided).
+
+"This program exhibits a high degree of data communication" — the largest
+footprint-to-lookup ratio in the suite (each page is touched ~4 times,
+Table 3: 10,803 pages / 43,132 lookups per node).  The transpose phases
+access the matrix column-wise, i.e. with a stride of one matrix row of
+pages; this strided pattern is why 16-page pre-pinning backfires for FFT
+(Section 6.5): the pages after a strided touch are pre-pinned but never
+accessed.
+"""
+
+from repro.traces.synth.base import (
+    SyntheticApp,
+    column_stride,
+    repeat_pattern,
+    sequential_sweep,
+    strided_sweep,
+    touch_repeat,
+)
+
+
+class FftApp(SyntheticApp):
+    name = "fft"
+    problem_size = "4M elements"
+    footprint_pages = 10803
+    lookups = 43132
+    category = "regular"
+
+    #: Each transposed page is recomputed in place right after it arrives.
+    COMPUTE_TOUCHES = 3
+
+    def _pattern(self, rng, footprint, lookups):
+        stride = column_stride(footprint)
+
+        def make_pass(index):
+            if index == 0:
+                # Initial 1-D FFTs: one row-major pass over the matrix.
+                return sequential_sweep(footprint)
+            # Transpose: fetch pages column-major (strided — the access
+            # pattern that defeats pre-pinning, Section 6.5), then compute
+            # on each page while it is hot.
+            return touch_repeat(strided_sweep(footprint, stride),
+                                self.COMPUTE_TOUCHES)
+
+        return repeat_pattern(make_pass, lookups)

@@ -1,0 +1,74 @@
+"""Mixed multiprogramming workloads — the paper's limitation #1.
+
+"Our traces are from shared memory parallel programs ... Thus, they may
+not reveal certain behaviors that multiple independent programs have"
+(Section 7).  A :class:`MixedWorkload` composes the per-process streams
+of *different* applications onto one node: each constituent app
+contributes its application processes (its protocol process is kept —
+each independent program brings its own runtime), pids are renumbered to
+stay unique, and everything is serialized by timestamp.
+
+This is the workload the Shared UTLB-Cache's process tags and index
+offsetting were designed for, finally exercised with heterogeneous
+programs.
+"""
+
+from repro import params
+from repro.errors import ConfigError
+from repro.traces.merge import merge_streams, split_by_pid
+from repro.traces.record import TraceRecord
+
+
+class MixedWorkload:
+    """Several independent applications timesharing one node."""
+
+    def __init__(self, app_names, scale=1.0):
+        # Imported here: the synth package's __init__ re-exports this
+        # class, so a module-level import would be circular.
+        from repro.traces.synth import make_app
+        if not app_names:
+            raise ConfigError("a mixed workload needs at least one app")
+        self.apps = [make_app(name) for name in app_names]
+        self.scale = scale
+        total = sum(1 for _ in self.apps) * params.TRACE_PROCESSES_PER_NODE
+        if total > params.MAX_PROCESSES_PER_NIC:
+            raise ConfigError(
+                "%d constituent processes exceed the NIC's %d process tags"
+                % (total, params.MAX_PROCESSES_PER_NIC))
+        self.name = "+".join(app.name for app in self.apps)
+
+    def generate_node(self, node=0, seed=0, scale=None):
+        """One node's serialized trace of all constituent programs."""
+        scale = self.scale if scale is None else scale
+        streams = []
+        next_pid = node * params.MAX_PROCESSES_PER_NIC
+        for index, app in enumerate(self.apps):
+            # Each app generated with its own seed stream, then its pids
+            # renumbered into this node's unique range.
+            records = app.generate_node(node, seed=seed * 131 + index,
+                                        scale=scale)
+            pid_map = {}
+            renumbered = []
+            for record in records:
+                if record.pid not in pid_map:
+                    pid_map[record.pid] = next_pid
+                    next_pid += 1
+                renumbered.append(TraceRecord(
+                    record.timestamp, record.node, pid_map[record.pid],
+                    record.op, record.vaddr, record.nbytes))
+            streams.append(renumbered)
+        return merge_streams(streams)
+
+    def generate_cluster(self, nodes=params.TRACE_NODES, seed=0,
+                         scale=None):
+        return {node: self.generate_node(node, seed=seed, scale=scale)
+                for node in range(nodes)}
+
+    def constituent_processes(self, records):
+        """{app name: sorted pids} attribution of a generated trace."""
+        per_app = len(split_by_pid(records)) // len(self.apps)
+        pids = sorted(split_by_pid(records))
+        out = {}
+        for index, app in enumerate(self.apps):
+            out[app.name] = pids[index * per_app:(index + 1) * per_app]
+        return out

@@ -1,0 +1,64 @@
+"""Radix: parallel radix sort (irregular, phase-structured).
+
+"During a phase, each process sorts a contiguous sequence of the keys ...
+At the end of the phase, the results from each process are combined to
+form a new array."  Each phase reads the local key segment sequentially
+then scatters keys into the global output array in short sequential runs
+(keys with equal digits land together).  The sequential structure inside
+both halves is why prefetching pays off so well for Radix (Figure 8).
+"""
+
+from repro.traces.synth.base import (
+    SyntheticApp,
+    inject_long,
+    shuffled_sweep,
+    touch_repeat,
+)
+
+
+class RadixApp(SyntheticApp):
+    name = "radix"
+    problem_size = "4M keys"
+    footprint_pages = 6393
+    lookups = 11775
+    category = "irregular"
+
+    #: Scatter run length: consecutive pages per digit bucket.
+    RUN_LENGTH = 6
+    #: Output pages get written twice (two key batches land per page).
+    SCATTER_TOUCHES = 2
+    #: One access in LONG_EVERY re-reads a random page (the global
+    #: histogram / rank exchange).
+    LONG_EVERY = 8
+    #: Hot histogram pages cycled between phases.
+    HOT_PAGES = 32
+
+    def _pattern(self, rng, footprint, lookups):
+        half = footprint // 2
+        produced = 0
+        while produced < lookups:
+            # Read the local key segment in order ...
+            for page in inject_long(range(half), rng, footprint,
+                                    self.LONG_EVERY):
+                yield page
+                produced += 1
+                if produced >= lookups:
+                    return
+            # ... then scatter into the output region: random bucket
+            # order, sequential pages inside a bucket, each page written
+            # by a couple of key batches while hot.
+            scatter = touch_repeat(
+                shuffled_sweep(footprint - half, rng,
+                               run_length=self.RUN_LENGTH),
+                self.SCATTER_TOUCHES)
+            for offset in scatter:
+                yield half + offset
+                produced += 1
+                if produced >= lookups:
+                    return
+            # Rank/histogram combine between phases: a hot ring.
+            for spin in range(footprint // 4):
+                yield spin % self.HOT_PAGES
+                produced += 1
+                if produced >= lookups:
+                    return

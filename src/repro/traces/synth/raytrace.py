@@ -1,0 +1,57 @@
+"""Raytrace: task-farm ray tracing (irregular, queue-centred).
+
+"Communication in Raytrace revolves around the task queues": a small set
+of queue pages is touched constantly, while rays pull scene data from
+effectively random pages of the (large) scene.  Scene reuse distances are
+huge, so NI miss rates stay near the compulsory floor across cache sizes
+(Table 4: 0.48 at 1K vs 0.43 at 16K).
+"""
+
+from repro.traces.synth.base import SyntheticApp, inject_long, shuffled_sweep
+
+
+class RaytraceApp(SyntheticApp):
+    name = "raytrace"
+    problem_size = "256 x 256 car"
+    footprint_pages = 6319
+    lookups = 14594
+    category = "irregular"
+
+    #: Task-queue pages (constantly reused).
+    QUEUE_PAGES = 16
+    #: One access in QUEUE_PERIOD goes to the task queue.
+    QUEUE_PERIOD = 5
+
+    #: Fraction (1 in N scene touches) that re-reads a random far page
+    #: (shadow/reflection rays leaving the current object).
+    LONG_EVERY = 9
+
+    def _pattern(self, rng, footprint, lookups):
+        queue = min(self.QUEUE_PAGES, max(1, footprint // 16))
+        scene = footprint - queue
+        produced = 0
+        scene_stream = self._scene_stream(rng, scene)
+        while produced < lookups:
+            if produced % self.QUEUE_PERIOD == 0:
+                # Grab work from (or post results to) a task queue page.
+                yield rng.randrange(queue)
+            else:
+                yield queue + next(scene_stream)
+            produced += 1
+
+    #: Probability a ray bundle re-reads the object page it just fetched.
+    RETOUCH_PROB = 0.6
+
+    def _scene_stream(self, rng, scene):
+        """Rays visit scene objects in effectively random order, but a ray
+        bundle often re-reads the object it is traversing while it is hot
+        (object coherence), with occasional far re-reads (shadow rays)."""
+        while True:
+            def coherent_pass():
+                for page in shuffled_sweep(scene, rng):
+                    yield page
+                    if rng.random() < self.RETOUCH_PROB:
+                        yield page
+            for page in inject_long(coherent_pass(), rng, scene,
+                                    self.LONG_EVERY):
+                yield page

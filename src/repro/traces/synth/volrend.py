@@ -1,0 +1,55 @@
+"""Volrend: task-farm volume rendering (irregular, queue-centred).
+
+"Communication in this application also centers on the task queues", but
+rays through a volume touch *blocks* of adjacent voxel pages, so Volrend
+has more spatial structure than Raytrace: shuffled block order with
+sequential pages inside a block.
+"""
+
+from repro.traces.synth.base import (
+    SyntheticApp,
+    inject_long,
+    shuffled_sweep,
+    touch_repeat,
+)
+
+
+class VolrendApp(SyntheticApp):
+    name = "volrend"
+    problem_size = "256^3 CST head"
+    footprint_pages = 2371
+    lookups = 9438
+    category = "irregular"
+
+    QUEUE_PAGES = 8
+    QUEUE_PERIOD = 7
+    #: Adjacent voxel pages a ray touches together.
+    BLOCK_PAGES = 4
+    #: Rays through a block resample its pages while they are hot.
+    RESAMPLE_TOUCHES = 3
+    #: One access in LONG_EVERY crosses into a far block (oblique ray).
+    LONG_EVERY = 11
+
+    def _pattern(self, rng, footprint, lookups):
+        queue = min(self.QUEUE_PAGES, max(1, footprint // 16))
+        volume = footprint - queue
+        produced = 0
+        volume_stream = self._volume_stream(rng, volume)
+        while produced < lookups:
+            if produced % self.QUEUE_PERIOD == 0:
+                yield rng.randrange(queue)
+            else:
+                yield queue + next(volume_stream)
+            produced += 1
+
+    def _volume_stream(self, rng, volume):
+        """Full passes over the volume in shuffled blocks of adjacent
+        pages, each page resampled while hot, with occasional oblique-ray
+        far touches; reshuffled per rendered frame."""
+        while True:
+            pass_pages = touch_repeat(
+                shuffled_sweep(volume, rng, run_length=self.BLOCK_PAGES),
+                self.RESAMPLE_TOUCHES)
+            for page in inject_long(pass_pages, rng, volume,
+                                    self.LONG_EVERY):
+                yield page

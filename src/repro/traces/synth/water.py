@@ -1,0 +1,43 @@
+"""Water-spatial: molecular dynamics with spatial decomposition.
+
+"Water calculates movements of molecules using a spatialized algorithm to
+exploit data locality": molecules live in boxes, and each time step
+processes a box together with its neighbour boxes.  The stream is a
+sweep over boxes with immediate-neighbour revisits — strong short-range
+locality over a small footprint, repeated for several time steps.
+"""
+
+from repro.traces.synth.base import SyntheticApp
+
+
+class WaterApp(SyntheticApp):
+    name = "water-spatial"
+    problem_size = "15,625 molecules"
+    footprint_pages = 1890
+    lookups = 8488
+    category = "irregular"
+
+    #: Pages per spatial box.
+    BOX_PAGES = 3
+    #: Intra-box force evaluation re-reads each page while hot.
+    BOX_TOUCHES = 3
+
+    def _pattern(self, rng, footprint, lookups):
+        produced = 0
+        while produced < lookups:
+            # One molecular-dynamics time step: sweep the boxes; each
+            # box's pages are read repeatedly during force evaluation,
+            # plus one far interaction page per box.
+            for box_start in range(0, footprint, self.BOX_PAGES):
+                box_end = min(box_start + self.BOX_PAGES, footprint)
+                for _ in range(self.BOX_TOUCHES):
+                    for page in range(box_start, box_end):
+                        yield page
+                        produced += 1
+                        if produced >= lookups:
+                            return
+                # Long-range correction: a far molecule page.
+                yield rng.randrange(footprint)
+                produced += 1
+                if produced >= lookups:
+                    return

@@ -1,0 +1,28 @@
+"""VMMC: Virtual Memory-Mapped Communication (Section 4).
+
+The protected user-level communication model the UTLB serves: exported
+receive buffers, remote store, remote fetch, transfer redirection, and
+reliable delivery, running on simulated hosts and NICs.
+"""
+
+from repro.vmmc.api import barrier, remote_fetch, remote_store
+from repro.vmmc.buffers import ExportRegistry, ExportedBuffer, ImportHandle
+from repro.vmmc.driver import VmmcDriver
+from repro.vmmc.library import VmmcLibrary
+from repro.vmmc.node import Cluster, ClusterNode
+from repro.vmmc.redirection import clear_redirect, redirect
+
+__all__ = [
+    "Cluster",
+    "ClusterNode",
+    "ExportRegistry",
+    "ExportedBuffer",
+    "ImportHandle",
+    "VmmcDriver",
+    "VmmcLibrary",
+    "barrier",
+    "clear_redirect",
+    "redirect",
+    "remote_fetch",
+    "remote_store",
+]

@@ -1,0 +1,40 @@
+"""High-level VMMC operations: synchronous remote store and remote fetch.
+
+The library posts commands asynchronously (that is the whole point — the
+common path never blocks in the OS).  These helpers wrap post-and-drain
+for programs that want RPC-style semantics: post, drive the cluster until
+the fabric drains, release the eviction holds.
+"""
+
+from repro.errors import NetworkError
+
+
+def remote_store(cluster, sender, local_vaddr, nbytes, handle,
+                 remote_offset=0, max_steps=100000):
+    """Send ``nbytes`` from the sender's buffer into an imported buffer
+    and wait for delivery.  Returns the number of fabric steps taken."""
+    seq = sender.send(local_vaddr, nbytes, handle, remote_offset)
+    steps = cluster.run_until_quiet(max_steps=max_steps)
+    sender.complete(seq)
+    return steps
+
+
+def remote_fetch(cluster, fetcher, local_vaddr, nbytes, handle,
+                 remote_offset=0, max_steps=100000):
+    """Fetch ``nbytes`` from an imported buffer into the fetcher's local
+    buffer and wait for the data.  Returns the number of fabric steps."""
+    seq = fetcher.fetch(local_vaddr, nbytes, handle, remote_offset)
+    steps = cluster.run_until_quiet(max_steps=max_steps)
+    fetcher.complete(seq)
+    return steps
+
+
+def barrier(cluster, max_steps=100000):
+    """Drain everything outstanding in the cluster."""
+    steps = cluster.run_until_quiet(max_steps=max_steps)
+    for node in cluster.nodes():
+        for library in node.libraries():
+            library.complete()
+    if not cluster.quiescent():
+        raise NetworkError("cluster still busy after barrier")
+    return steps

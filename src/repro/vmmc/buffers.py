@@ -1,0 +1,105 @@
+"""Exported receive buffers and import handles (the VMMC model, Fig. 5).
+
+"The receive buffer is made visible to applications on remote hosts
+through an export system call.  An application gains access rights to an
+exported receive buffer by importing it."  Exported buffers are pinned for
+their lifetime; their translations live in the owner's Hierarchical-UTLB
+translation table, so the receive path resolves addresses through exactly
+the same NIC machinery as the send path (the Section 3.3 unification).
+"""
+
+import itertools
+
+from repro.core import addresses
+from repro.errors import ProtectionError
+
+_export_ids = itertools.count(1)
+
+
+class ExportedBuffer:
+    """One exported receive buffer on its owning node."""
+
+    def __init__(self, pid, vaddr, nbytes, node_id):
+        if nbytes <= 0:
+            raise ProtectionError("cannot export an empty buffer")
+        addresses.validate_vaddr(vaddr)
+        addresses.validate_vaddr(vaddr + nbytes - 1)
+        self.export_id = next(_export_ids)
+        self.pid = pid
+        self.vaddr = vaddr
+        self.nbytes = nbytes
+        self.node_id = node_id
+        self.redirect_vaddr = None
+        self.bytes_received = 0
+
+    def delivery_vaddr(self):
+        """Where incoming data lands: the redirect target when set."""
+        if self.redirect_vaddr is not None:
+            return self.redirect_vaddr
+        return self.vaddr
+
+    @property
+    def num_pages(self):
+        return len(addresses.page_range(self.vaddr, self.nbytes))
+
+    def __repr__(self):
+        return ("ExportedBuffer(id=%d, pid=%r, vaddr=%#x, nbytes=%d, "
+                "redirect=%r)" % (self.export_id, self.pid, self.vaddr,
+                                  self.nbytes, self.redirect_vaddr))
+
+
+class ImportHandle:
+    """A remote process's capability to a buffer exported elsewhere."""
+
+    __slots__ = ("node_id", "export_id", "nbytes")
+
+    def __init__(self, node_id, export_id, nbytes):
+        self.node_id = node_id
+        self.export_id = export_id
+        self.nbytes = nbytes
+
+    def __repr__(self):
+        return "ImportHandle(node=%r, export=%d, nbytes=%d)" % (
+            self.node_id, self.export_id, self.nbytes)
+
+
+class ExportRegistry:
+    """All buffers exported from one node (lives on that node's NIC)."""
+
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self._exports = {}
+
+    def register(self, export):
+        if export.node_id != self.node_id:
+            raise ProtectionError(
+                "export for node %r registered on node %r"
+                % (export.node_id, self.node_id))
+        self._exports[export.export_id] = export
+        return export.export_id
+
+    def lookup(self, export_id):
+        try:
+            return self._exports[export_id]
+        except KeyError:
+            raise ProtectionError(
+                "node %r has no export %r" % (self.node_id, export_id))
+
+    def unregister(self, export_id):
+        export = self.lookup(export_id)
+        del self._exports[export_id]
+        return export
+
+    def exports_for(self, pid):
+        return [e for e in self._exports.values() if e.pid == pid]
+
+    def __len__(self):
+        return len(self._exports)
+
+    def __contains__(self, export_id):
+        return export_id in self._exports
+
+    def sram_bytes(self):
+        """Accounting: the descriptor footprint on the NIC (vaddr, length,
+        pid tag, redirect pointer — 16 bytes each)."""
+        return len(self._exports) * 16

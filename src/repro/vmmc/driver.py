@@ -1,0 +1,54 @@
+"""The VMMC device driver.
+
+The kernel-resident half of the system (Figure 6): it owns the garbage
+page, registers an ioctl entry point with the (unmodified) OS, and
+services pin/unpin requests from the user-level library — "An ioctl() call
+is added to the VMMC device driver for pinning virtual pages and storing
+physical addresses in the translation table" (Section 4.2).
+
+The driver implements the driver protocol that
+:class:`~repro.core.utlb.HierarchicalUtlb` expects (``pin_pages`` /
+``unpin_pages``), routing each call through ``SimulatedOS.ioctl`` so
+syscall counts stay honest.
+"""
+
+from repro.errors import ProtectionError
+
+DEVICE_NAME = "vmmc"
+
+REQ_PIN = "pin"
+REQ_UNPIN = "unpin"
+
+
+class VmmcDriver:
+    """Device driver instance for one host."""
+
+    def __init__(self, os):
+        self.os = os
+        os.register_ioctl(DEVICE_NAME, self._handle_ioctl)
+        # "The device driver allocates and pins a 'garbage' page" — all
+        # invalid translations resolve here (Section 4.2).
+        self._garbage_owner = os.create_process(pid="<vmmc-driver>")
+        self.garbage_frame = self._garbage_owner.space.pin(0)
+        self.ioctl_count = 0
+
+    # -- ioctl entry point -------------------------------------------------------
+
+    def _handle_ioctl(self, pid, request, **kwargs):
+        self.ioctl_count += 1
+        space = self.os.process(pid).space
+        if request == REQ_PIN:
+            return self.os.pin_facility.pin_pages(space, kwargs["vpages"])
+        if request == REQ_UNPIN:
+            return self.os.pin_facility.unpin_pages(space, kwargs["vpages"])
+        raise ProtectionError("unknown VMMC ioctl request %r" % (request,))
+
+    # -- the HierarchicalUtlb driver protocol ---------------------------------------
+
+    def pin_pages(self, pid, vpages):
+        """Pin pages on behalf of the user library (one ioctl)."""
+        return self.os.ioctl(pid, DEVICE_NAME, REQ_PIN, vpages=list(vpages))
+
+    def unpin_pages(self, pid, vpages):
+        """Unpin pages on behalf of the user library (one ioctl)."""
+        return self.os.ioctl(pid, DEVICE_NAME, REQ_UNPIN, vpages=list(vpages))

@@ -1,0 +1,189 @@
+"""The user-level VMMC library — the API applications program against.
+
+One :class:`VmmcLibrary` per process.  It implements the send path of
+Figure 2: look up the buffer in the user-level structure, pin missing
+pages through the driver, then post the request (with no OS involvement)
+to the process's command buffer on the NIC.  It also provides export /
+import / remote fetch / transfer redirection (Section 4.1).
+"""
+
+from repro.core import addresses
+from repro.errors import ProtectionError
+from repro.nic.command_queue import FetchCommand, SendCommand
+from repro.vmmc.buffers import ExportedBuffer, ImportHandle
+
+
+class VmmcLibrary:
+    """User-level communication library for one process.
+
+    Parameters
+    ----------
+    process:
+        The owning :class:`~repro.memsim.os_kernel.Process`.
+    utlb:
+        The process's :class:`~repro.core.utlb.HierarchicalUtlb`.
+    queue:
+        The process's NIC command queue.
+    exports:
+        The node's export registry.
+    cluster:
+        The :class:`~repro.vmmc.node.Cluster`, used to validate imports
+        (the connection-setup control path, which may use the OS freely —
+        only the data path must avoid it).
+    """
+
+    def __init__(self, process, utlb, queue, exports, cluster, node_id,
+                 notifier=None):
+        self.process = process
+        self.utlb = utlb
+        self.queue = queue
+        self.exports = exports
+        self.cluster = cluster
+        self.node_id = node_id
+        self.notifier = notifier
+        self._imports = {}
+        # Optional instrumentation (repro.traces.capture.TraceRecorder):
+        # records every send/fetch like the paper's traced VMMC build.
+        self.trace_recorder = None
+        self.trace_node = node_id
+
+    @property
+    def pid(self):
+        return self.process.pid
+
+    # -- buffer setup ------------------------------------------------------------
+
+    def export(self, vaddr, nbytes):
+        """Export a receive buffer; returns its export id.
+
+        The buffer is pinned for its exported lifetime and its
+        translations enter the Hierarchical-UTLB table, so the NIC can
+        deliver into it without host involvement.
+        """
+        export = ExportedBuffer(self.pid, vaddr, nbytes, self.node_id)
+        self.utlb.ensure_pinned(vaddr, nbytes)
+        for vpage in addresses.page_range(vaddr, nbytes):
+            self.utlb.hold(vpage)      # exported pages are never evicted
+        return self.exports.register(export)
+
+    def unexport(self, export_id):
+        """Withdraw an export; its pages become evictable again."""
+        export = self.exports.lookup(export_id)
+        if export.pid != self.pid:
+            raise ProtectionError("export %d belongs to pid %r"
+                                  % (export_id, export.pid))
+        for vpage in addresses.page_range(export.vaddr, export.nbytes):
+            self.utlb.release(vpage)
+        return self.exports.unregister(export_id)
+
+    def enable_notifications(self, export_id, mode="poll"):
+        """Turn on arrival notifications for an export this process owns.
+
+        ``mode='poll'`` keeps the data path interrupt-free (the UTLB
+        philosophy); ``mode='interrupt'`` additionally wakes the host per
+        arrival.
+        """
+        export = self.exports.lookup(export_id)
+        if export.pid != self.pid:
+            raise ProtectionError("export %d belongs to pid %r"
+                                  % (export_id, export.pid))
+        if self.notifier is None:
+            raise ProtectionError("this node has no notification support")
+        self.notifier.enable(export, mode=mode)
+
+    def poll_notifications(self, max_records=None):
+        """Drain pending arrival notifications (user-level, no syscall)."""
+        if self.notifier is None:
+            return []
+        return self.notifier.poll(self.pid, max_records=max_records)
+
+    def import_buffer(self, remote_node, export_id):
+        """Gain access to a remote exported buffer; returns a handle."""
+        export = self.cluster.lookup_export(remote_node, export_id)
+        handle = ImportHandle(remote_node, export_id, export.nbytes)
+        self._imports[(remote_node, export_id)] = handle
+        return handle
+
+    # -- data transfer (the common path: no syscalls, no interrupts) -----------------
+
+    def send(self, local_vaddr, nbytes, handle, remote_offset=0):
+        """Remote store: send a local buffer into an imported buffer.
+
+        Performs the user-level UTLB check (pinning on demand), protects
+        the pages while the send is outstanding, and posts the command to
+        the NIC.  Returns the command sequence number.
+        """
+        self._check_import(handle, remote_offset, nbytes)
+        if self.trace_recorder is not None:
+            self.trace_recorder.record(self, "send", local_vaddr, nbytes)
+        pages = list(addresses.page_range(local_vaddr, nbytes))
+        for vpage in pages:
+            self.utlb.user_check_page(vpage)
+        for vpage in pages:
+            self.utlb.hold(vpage)
+        command = SendCommand(self.pid, local_vaddr, nbytes, handle,
+                              remote_offset)
+        seq = self.queue.post(command)
+        # The functional simulation completes commands synchronously once
+        # the MCP runs, so the hold window is command-lifetime; the MCP
+        # cannot observe an unpinned source page mid-transfer.
+        self._pending_holds = getattr(self, "_pending_holds", [])
+        self._pending_holds.append((seq, pages))
+        return seq
+
+    def fetch(self, local_vaddr, nbytes, handle, remote_offset=0):
+        """Remote fetch: pull remote exported data into a local buffer."""
+        self._check_import(handle, remote_offset, nbytes)
+        if self.trace_recorder is not None:
+            self.trace_recorder.record(self, "fetch", local_vaddr, nbytes)
+        pages = list(addresses.page_range(local_vaddr, nbytes))
+        for vpage in pages:
+            self.utlb.user_check_page(vpage)
+        for vpage in pages:
+            self.utlb.hold(vpage)
+        command = FetchCommand(self.pid, local_vaddr, nbytes, handle,
+                               remote_offset)
+        seq = self.queue.post(command)
+        self._pending_holds = getattr(self, "_pending_holds", [])
+        self._pending_holds.append((seq, pages))
+        return seq
+
+    def complete(self, seq=None):
+        """Release the eviction holds of completed sends/fetches.
+
+        ``seq=None`` releases everything (call after the cluster drains).
+        """
+        pending = getattr(self, "_pending_holds", [])
+        keep = []
+        for entry_seq, pages in pending:
+            if seq is None or entry_seq == seq:
+                for vpage in pages:
+                    self.utlb.release(vpage)
+            else:
+                keep.append((entry_seq, pages))
+        self._pending_holds = keep
+
+    def _check_import(self, handle, offset, nbytes):
+        key = (handle.node_id, handle.export_id)
+        if key not in self._imports:
+            raise ProtectionError(
+                "pid %r has not imported buffer %r" % (self.pid, key))
+        if offset < 0 or nbytes <= 0 or offset + nbytes > handle.nbytes:
+            raise ProtectionError(
+                "transfer [%d, %d) outside imported buffer of %d bytes"
+                % (offset, offset + nbytes, handle.nbytes))
+
+    # -- convenience -------------------------------------------------------------------
+
+    def write_memory(self, vaddr, data):
+        """Write into this process's (virtual) memory."""
+        self.process.space.write(vaddr, data)
+
+    def read_memory(self, vaddr, nbytes):
+        """Read from this process's (virtual) memory."""
+        return self.process.space.read(vaddr, nbytes)
+
+    @property
+    def stats(self):
+        """The process's translation statistics."""
+        return self.utlb.stats

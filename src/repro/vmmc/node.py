@@ -1,0 +1,185 @@
+"""Cluster nodes: one host + NIC, wired into a fabric.
+
+:class:`ClusterNode` composes the whole per-host stack of Figure 6 —
+simulated OS, physical memory, VMMC driver, NIC SRAM, DMA engine, Shared
+UTLB-Cache, command queues, MCP firmware, and the reliable endpoint —
+and :class:`Cluster` owns the fabric plus the node set, with a driving
+loop (`step` / `run_until_quiet`) that moves commands and packets until
+the system drains.
+"""
+
+from repro import params
+from repro.core.costs import DEFAULT_COST_MODEL
+from repro.core.shared_cache import SharedUtlbCache
+from repro.core.utlb import HierarchicalUtlb
+from repro.errors import ConfigError, NetworkError, ProtectionError
+from repro.memsim.os_kernel import SimulatedOS
+from repro.memsim.physical import PhysicalMemory
+from repro.network.switch import Fabric
+from repro.nic.command_queue import CommandQueue
+from repro.nic.dma import DmaEngine
+from repro.nic.interrupts import (
+    InterruptLine,
+    VECTOR_MESSAGE_ARRIVED,
+    VECTOR_TABLE_SWAPPED,
+)
+from repro.nic.lanai import LanaiProcessor
+from repro.nic.mcp import Mcp
+from repro.nic.sram import NicSram
+from repro.network.reliability import ReliableEndpoint
+from repro.vmmc.buffers import ExportRegistry
+from repro.vmmc.driver import VmmcDriver
+from repro.vmmc.library import VmmcLibrary
+from repro.vmmc.notifications import Notifier
+
+
+class ClusterNode:
+    """One host with its network interface."""
+
+    def __init__(self, node_id, cluster, fabric, memory_bytes,
+                 cache_entries, associativity, cost_model, timeout_steps=8):
+        self.node_id = node_id
+        self.cluster = cluster
+        self.cost_model = cost_model
+        self.os = SimulatedOS(PhysicalMemory(memory_bytes),
+                              cost_model=cost_model)
+        self.sram = NicSram()
+        self.dma = DmaEngine(self.os.physical, self.sram)
+        self.cache = SharedUtlbCache(cache_entries,
+                                     associativity=associativity)
+        self.sram.allocate("utlb-cache", self.cache.sram_bytes())
+        self.driver = VmmcDriver(self.os)
+        self.exports = ExportRegistry(node_id)
+        self.interrupts = InterruptLine(self.os)
+        self.notifier = Notifier(interrupt_line=self.interrupts)
+        self.lanai = LanaiProcessor()
+        self.endpoint = ReliableEndpoint(node_id, fabric, deliver=None,
+                                         timeout_steps=timeout_steps)
+        self.mcp = Mcp(node_id, self.sram, self.dma, self.endpoint,
+                       self.exports, interrupt_line=self.interrupts,
+                       notifier=self.notifier, lanai=self.lanai)
+        fabric.attach(node_id, self.endpoint.handle_packet)
+        self.os.register_interrupt(VECTOR_TABLE_SWAPPED,
+                                   self._handle_table_swapped)
+        self.os.register_interrupt(VECTOR_MESSAGE_ARRIVED,
+                                   self._handle_message_arrived)
+        self.arrival_interrupts = 0
+        self._libraries = {}
+
+    def _handle_table_swapped(self, pid, dir_index):
+        """Host handler: page a second-level translation table back in."""
+        self.mcp.utlb_for(pid).table.swap_in_table(dir_index)
+
+    def _handle_message_arrived(self, pid, export_id):
+        """Host handler for interrupt-mode arrival notifications (wakes
+        a sleeping receiver; the record itself is already queued)."""
+        self.arrival_interrupts += 1
+
+    # -- process / library creation ------------------------------------------------
+
+    def create_process(self, memory_limit_pages=None, pin_policy="lru",
+                       prepin=1, prefetch=1, seed=0):
+        """Create a process with its VMMC library; returns the library."""
+        process = self.os.create_process()
+        # Each process gets its page directory in NIC SRAM (Section 3.3).
+        self.sram.allocate("utlb-dir:%r" % (process.pid,),
+                           params.DIRECTORY_ENTRIES * 4)
+        utlb = HierarchicalUtlb(
+            process.pid, self.cache, driver=self.driver,
+            cost_model=self.cost_model,
+            memory_limit_pages=memory_limit_pages, pin_policy=pin_policy,
+            prepin=prepin, prefetch=prefetch,
+            garbage_frame=self.driver.garbage_frame, seed=seed)
+        queue = CommandQueue(process.pid, self.sram)
+        self.mcp.register_process(process.pid, queue, utlb)
+        library = VmmcLibrary(process, utlb, queue, self.exports,
+                              self.cluster, self.node_id,
+                              notifier=self.notifier)
+        self._libraries[process.pid] = library
+        return library
+
+    def library(self, pid):
+        try:
+            return self._libraries[pid]
+        except KeyError:
+            raise ProtectionError("node %r has no process %r"
+                                  % (self.node_id, pid))
+
+    def libraries(self):
+        return list(self._libraries.values())
+
+    @property
+    def pending_commands(self):
+        return sum(lib.queue.pending for lib in self._libraries.values())
+
+
+class Cluster:
+    """A Myrinet cluster: fabric + nodes + the driving loop."""
+
+    def __init__(self, num_nodes=2, memory_bytes=256 * 1024 * 1024,
+                 cache_entries=params.DEFAULT_UTLB_CACHE_ENTRIES,
+                 associativity=1, latency_steps=1, loss_rate=0.0, seed=0,
+                 cost_model=None, timeout_steps=8):
+        if num_nodes < 1:
+            raise ConfigError("a cluster needs at least one node")
+        cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        self.fabric = Fabric(latency_steps=latency_steps,
+                             loss_rate=loss_rate, seed=seed)
+        self._nodes = {}
+        for node_id in range(num_nodes):
+            self._nodes[node_id] = ClusterNode(
+                node_id, self, self.fabric, memory_bytes, cache_entries,
+                associativity, cost_model, timeout_steps=timeout_steps)
+
+    # -- topology ----------------------------------------------------------------------
+
+    def node(self, node_id):
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise ConfigError("no node %r in the cluster" % (node_id,))
+
+    def nodes(self):
+        return [self._nodes[k] for k in sorted(self._nodes)]
+
+    def lookup_export(self, node_id, export_id):
+        """Cluster-wide export directory (connection-setup control path)."""
+        return self.node(node_id).exports.lookup(export_id)
+
+    # -- the driving loop -----------------------------------------------------------------
+
+    def step(self, n=1):
+        """One simulation step: MCPs poll, the fabric moves, timers tick."""
+        for _ in range(n):
+            for node in self._nodes.values():
+                node.mcp.poll()
+            self.fabric.step()
+            for node in self._nodes.values():
+                node.endpoint.tick()
+        return self.fabric.now
+
+    def quiescent(self):
+        """True when no command, packet, or unacked send remains."""
+        for node in self._nodes.values():
+            if node.pending_commands:
+                return False
+            if not node.endpoint.all_acked():
+                return False
+        for node_id in self._nodes:
+            if self.fabric.uplink(node_id).in_flight:
+                return False
+            if self.fabric.downlink(node_id).in_flight:
+                return False
+        return True
+
+    def run_until_quiet(self, max_steps=100000):
+        """Step until quiescent; returns steps taken.  Raises
+        :class:`NetworkError` when the budget runs out (livelock)."""
+        for steps in range(max_steps):
+            if self.quiescent():
+                return steps
+            self.step()
+        if self.quiescent():
+            return max_steps
+        raise NetworkError(
+            "cluster did not quiesce within %d steps" % (max_steps,))

@@ -1,0 +1,114 @@
+"""Receive notifications for VMMC.
+
+VMMC lets receivers learn about message arrival without blocking in the
+OS.  Two modes, mirroring the design space the paper discusses:
+
+* **poll** (default) — the NIC appends a record to a user-visible
+  notification queue in host memory; the application polls it from user
+  level.  No interrupts: this is the mode consistent with UTLB's goal of
+  an interrupt-free common path.
+* **interrupt** — the NIC also raises a host interrupt per arrival; an
+  application that sleeps can be woken, at the cost the paper quantifies
+  (10 µs per interrupt).
+
+Notifications are per-export and disabled unless the owner enables them.
+"""
+
+import itertools
+from collections import deque
+
+from repro.errors import ConfigError
+
+MODE_POLL = "poll"
+MODE_INTERRUPT = "interrupt"
+
+MODES = (MODE_POLL, MODE_INTERRUPT)
+
+_notification_ids = itertools.count()
+
+
+class NotificationRecord:
+    """One arrival: which export, where in it, and how many bytes."""
+
+    __slots__ = ("notification_id", "export_id", "offset", "nbytes",
+                 "from_node")
+
+    def __init__(self, export_id, offset, nbytes, from_node):
+        self.notification_id = next(_notification_ids)
+        self.export_id = export_id
+        self.offset = offset
+        self.nbytes = nbytes
+        self.from_node = from_node
+
+    def __repr__(self):
+        return ("NotificationRecord(#%d export=%d offset=%d nbytes=%d "
+                "from=%r)" % (self.notification_id, self.export_id,
+                              self.offset, self.nbytes, self.from_node))
+
+
+class Notifier:
+    """Per-node notification machinery (owned by the ClusterNode)."""
+
+    def __init__(self, interrupt_line=None, queue_depth=256):
+        if queue_depth <= 0:
+            raise ConfigError("notification queue depth must be positive")
+        self.interrupt_line = interrupt_line
+        self.queue_depth = queue_depth
+        self._queues = {}           # pid -> deque of NotificationRecord
+        self._modes = {}            # export_id -> mode
+        self.delivered = 0
+        self.dropped = 0
+
+    # -- configuration (receiver side, control path) -----------------------------
+
+    def enable(self, export, mode=MODE_POLL):
+        """Turn on notifications for an export."""
+        if mode not in MODES:
+            raise ConfigError("unknown notification mode %r" % (mode,))
+        self._modes[export.export_id] = mode
+        self._queues.setdefault(export.pid, deque())
+
+    def disable(self, export):
+        self._modes.pop(export.export_id, None)
+
+    def mode_of(self, export_id):
+        return self._modes.get(export_id)
+
+    # -- NIC side -------------------------------------------------------------------
+
+    def notify(self, export, offset, nbytes, from_node):
+        """Called by the MCP after delivering data into an export."""
+        mode = self._modes.get(export.export_id)
+        if mode is None:
+            return False
+        queue = self._queues.setdefault(export.pid, deque())
+        if len(queue) >= self.queue_depth:
+            # A full queue drops the oldest record (the application is
+            # not draining); data delivery itself is unaffected.
+            queue.popleft()
+            self.dropped += 1
+        queue.append(NotificationRecord(export.export_id, offset, nbytes,
+                                        from_node))
+        self.delivered += 1
+        if mode == MODE_INTERRUPT and self.interrupt_line is not None:
+            from repro.nic.interrupts import VECTOR_MESSAGE_ARRIVED
+            self.interrupt_line.raise_interrupt(
+                VECTOR_MESSAGE_ARRIVED, pid=export.pid,
+                export_id=export.export_id)
+        return True
+
+    # -- user side ---------------------------------------------------------------------
+
+    def poll(self, pid, max_records=None):
+        """Drain (up to ``max_records``) pending notifications for a
+        process — a user-level read of the notification queue."""
+        queue = self._queues.get(pid)
+        if not queue:
+            return []
+        count = len(queue) if max_records is None else min(max_records,
+                                                           len(queue))
+        return [queue.popleft() for _ in range(count)]
+
+    def pending(self, pid):
+        queue = self._queues.get(pid)
+        return len(queue) if queue else 0

@@ -1,0 +1,58 @@
+"""Transfer redirection (Section 4.1, enabled by the UTLB).
+
+"Transfer-redirection 'redirects' incoming data from its default location
+to another user buffer specified by the application.  This enables
+zero-copy implementations of high-level communication APIs."
+
+The receiver nominates an alternate destination for an exported buffer;
+from then on incoming remote stores land in the alternate buffer instead
+of the export's home address.  The alternate buffer must be pinned and
+translated — which is exactly what the UTLB provides without a syscall on
+the data path: only the (rare) redirect call itself pins pages.
+"""
+
+from repro.core import addresses
+from repro.errors import ProtectionError
+
+
+def redirect(library, export_id, new_vaddr):
+    """Redirect an export owned by ``library``'s process to ``new_vaddr``.
+
+    The new buffer must be as large as the export.  Its pages are pinned
+    via the UTLB (and held against eviction); the pages of any previous
+    redirect target are released.  Returns the list of newly pinned pages.
+    """
+    export = library.exports.lookup(export_id)
+    if export.pid != library.pid:
+        raise ProtectionError(
+            "pid %r cannot redirect export %d owned by pid %r"
+            % (library.pid, export_id, export.pid))
+    addresses.validate_vaddr(new_vaddr)
+    addresses.validate_vaddr(new_vaddr + export.nbytes - 1)
+
+    newly_pinned = library.utlb.ensure_pinned(new_vaddr, export.nbytes)
+    for vpage in addresses.page_range(new_vaddr, export.nbytes):
+        library.utlb.hold(vpage)
+
+    _release_target(library, export)
+    export.redirect_vaddr = new_vaddr
+    return newly_pinned
+
+
+def clear_redirect(library, export_id):
+    """Restore an export's default delivery location."""
+    export = library.exports.lookup(export_id)
+    if export.pid != library.pid:
+        raise ProtectionError(
+            "pid %r cannot modify export %d owned by pid %r"
+            % (library.pid, export_id, export.pid))
+    _release_target(library, export)
+    export.redirect_vaddr = None
+
+
+def _release_target(library, export):
+    """Drop the eviction holds of the current redirect target, if any."""
+    if export.redirect_vaddr is None:
+        return
+    for vpage in addresses.page_range(export.redirect_vaddr, export.nbytes):
+        library.utlb.release(vpage)

@@ -1,0 +1,183 @@
+"""The generic set-associative cache substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cachesim.cache import SetAssociativeCache
+from repro.errors import ConfigError
+
+
+class TestConstruction:
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ConfigError):
+            SetAssociativeCache(0)
+
+    def test_rejects_indivisible_associativity(self):
+        with pytest.raises(ConfigError):
+            SetAssociativeCache(10, associativity=4)
+
+    def test_geometry(self):
+        cache = SetAssociativeCache(64, associativity=4)
+        assert cache.num_sets == 16
+
+    def test_fully_associative(self):
+        cache = SetAssociativeCache(8, associativity=8)
+        assert cache.num_sets == 1
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        cache = SetAssociativeCache(4)
+        hit, payload = cache.lookup("a")
+        assert not hit and payload is None
+        cache.insert("a", 1)
+        hit, payload = cache.lookup("a")
+        assert hit and payload == 1
+
+    def test_insert_existing_updates_payload(self):
+        cache = SetAssociativeCache(4)
+        cache.insert("a", 1)
+        assert cache.insert("a", 2) is None
+        assert cache.peek("a") == (True, 2)
+
+    def test_eviction_on_full_set(self):
+        cache = SetAssociativeCache(2, associativity=2,
+                                    index_fn=lambda k: 0)
+        cache.insert("a", 1)
+        cache.insert("b", 2)
+        evicted = cache.insert("c", 3)
+        assert evicted == ("a", 1)
+        assert cache.stats.evictions == 1
+
+    def test_peek_does_not_count(self):
+        cache = SetAssociativeCache(4)
+        cache.peek("a")
+        assert cache.stats.accesses == 0
+
+
+class TestLruWithinSet:
+    def test_hit_refreshes_recency(self):
+        cache = SetAssociativeCache(2, associativity=2,
+                                    index_fn=lambda k: 0)
+        cache.insert("a", 1)
+        cache.insert("b", 2)
+        cache.lookup("a")               # a becomes most recent
+        evicted = cache.insert("c", 3)
+        assert evicted[0] == "b"
+
+    def test_fifo_ignores_hits(self):
+        cache = SetAssociativeCache(2, associativity=2,
+                                    index_fn=lambda k: 0,
+                                    replacement="fifo")
+        cache.insert("a", 1)
+        cache.insert("b", 2)
+        cache.lookup("a")
+        evicted = cache.insert("c", 3)
+        assert evicted[0] == "a"
+
+    def test_random_replacement_deterministic_by_seed(self):
+        def run(seed):
+            cache = SetAssociativeCache(4, associativity=4,
+                                        index_fn=lambda k: 0,
+                                        replacement="random", seed=seed)
+            for key in range(10):
+                cache.insert(key, key)
+            return sorted(k for k, _ in cache.items())
+        assert run(1) == run(1)
+
+
+class TestInvalidate:
+    def test_invalidate_present(self):
+        cache = SetAssociativeCache(4)
+        cache.insert("a", 1)
+        assert cache.invalidate("a")
+        assert cache.peek("a") == (False, None)
+
+    def test_invalidate_absent(self):
+        assert not SetAssociativeCache(4).invalidate("a")
+
+    def test_invalidate_where(self):
+        cache = SetAssociativeCache(8, associativity=8)
+        for key in range(6):
+            cache.insert(("p1" if key < 3 else "p2", key), key)
+        dropped = cache.invalidate_where(lambda k, v: k[0] == "p1")
+        assert dropped == 3
+        assert len(cache) == 3
+
+    def test_clear(self):
+        cache = SetAssociativeCache(8)
+        cache.insert("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestOccupancy:
+    def test_occupancy_fraction(self):
+        cache = SetAssociativeCache(4)
+        cache.insert(0, 0)
+        assert cache.occupancy() == 0.25
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=300),
+           st.sampled_from([(8, 1), (8, 2), (8, 8), (16, 4)]))
+    def test_size_never_exceeds_capacity(self, keys, geometry):
+        entries, assoc = geometry
+        cache = SetAssociativeCache(entries, associativity=assoc)
+        for key in keys:
+            hit, _ = cache.lookup(key)
+            if not hit:
+                cache.insert(key, key)
+        assert len(cache) <= entries
+        per_set = {}
+        for key, _ in cache.items():
+            per_set[cache.set_index(key)] = \
+                per_set.get(cache.set_index(key), 0) + 1
+        assert all(count <= assoc for count in per_set.values())
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=200))
+    def test_direct_mapped_equals_one_way(self, keys):
+        """A direct-mapped cache IS a 1-way set-associative cache; both
+        code paths must agree exactly."""
+        a = SetAssociativeCache(16, associativity=1,
+                                index_fn=lambda k: k)
+        b = SetAssociativeCache(16, associativity=1,
+                                index_fn=lambda k: k, replacement="fifo")
+        for key in keys:
+            ha, _ = a.lookup(key)
+            hb, _ = b.lookup(key)
+            assert ha == hb      # with 1-way sets, policy is irrelevant
+            if not ha:
+                a.insert(key, key)
+                b.insert(key, key)
+        assert a.stats.misses == b.stats.misses
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=40), max_size=200))
+    def test_bigger_fully_associative_lru_never_worse(self, keys):
+        """LRU inclusion property: a larger fully-associative LRU cache
+        never misses more than a smaller one on the same stream."""
+        small = SetAssociativeCache(4, associativity=4)
+        big = SetAssociativeCache(16, associativity=16)
+        for key in keys:
+            for cache in (small, big):
+                hit, _ = cache.lookup(key)
+                if not hit:
+                    cache.insert(key, key)
+        assert big.stats.misses <= small.stats.misses
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=40), max_size=200))
+    def test_stats_accounting_consistent(self, keys):
+        cache = SetAssociativeCache(8, associativity=2)
+        for key in keys:
+            hit, _ = cache.lookup(key)
+            if not hit:
+                cache.insert(key, key)
+        stats = cache.stats
+        assert stats.accesses == len(keys)
+        assert stats.hits + stats.misses == stats.accesses
+        assert stats.fills == stats.misses
+        assert len(cache) == stats.fills - stats.evictions

@@ -1,0 +1,128 @@
+"""3C miss classification (Hill): compulsory / capacity / conflict."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cachesim.cache import SetAssociativeCache
+from repro.cachesim.classify import (
+    CAPACITY,
+    COMPULSORY,
+    CONFLICT,
+    ThreeCClassifier,
+)
+
+
+def run_classified(keys, entries, associativity=1):
+    """Drive a real cache + classifier over a key stream."""
+    cache = SetAssociativeCache(entries, associativity=associativity,
+                                index_fn=lambda k: k)
+    classifier = ThreeCClassifier(entries)
+    for key in keys:
+        hit, _ = cache.lookup(key)
+        classifier.observe_access(key, hit)
+        if not hit:
+            cache.insert(key, key)
+    return cache, classifier
+
+
+class TestBasics:
+    def test_first_reference_is_compulsory(self):
+        _, c = run_classified([1, 2, 3], entries=8)
+        assert c.breakdown.compulsory == 3
+        assert c.breakdown.capacity == 0
+        assert c.breakdown.conflict == 0
+
+    def test_hit_classified_as_none(self):
+        cache = SetAssociativeCache(8, index_fn=lambda k: k)
+        classifier = ThreeCClassifier(8)
+        cache.insert(1, 1)
+        classifier.observe_fill(1)
+        hit, _ = cache.lookup(1)
+        assert classifier.observe_access(1, hit) is None
+
+    def test_capacity_miss_when_working_set_too_big(self):
+        # Cyclic scan of 5 keys through a 4-entry cache: re-misses are
+        # capacity (the fully associative shadow misses too).
+        keys = [0, 1, 2, 3, 4] * 3
+        _, c = run_classified(keys, entries=4, associativity=4)
+        assert c.breakdown.capacity > 0
+        assert c.breakdown.conflict == 0
+
+    def test_conflict_miss_in_direct_mapped(self):
+        # Keys 0 and 8 collide in an 8-set direct-mapped cache but fit a
+        # fully-associative one: the re-misses are conflict misses.
+        keys = [0, 8, 0, 8, 0, 8]
+        _, c = run_classified(keys, entries=8, associativity=1)
+        assert c.breakdown.conflict == 4
+        assert c.breakdown.capacity == 0
+        assert c.breakdown.compulsory == 2
+
+    def test_fully_associative_has_no_conflict_misses(self):
+        keys = list(range(12)) * 4
+        cache = SetAssociativeCache(8, associativity=8)
+        classifier = ThreeCClassifier(8)
+        for key in keys:
+            hit, _ = cache.lookup(key)
+            classifier.observe_access(key, hit)
+            if not hit:
+                cache.insert(key, key)
+        assert classifier.breakdown.conflict == 0
+
+    def test_invalidation_reaccess_not_compulsory(self):
+        cache = SetAssociativeCache(8, index_fn=lambda k: k)
+        classifier = ThreeCClassifier(8)
+        hit, _ = cache.lookup(1)
+        classifier.observe_access(1, hit)
+        cache.insert(1, 1)
+        cache.invalidate(1)
+        classifier.observe_invalidate(1)
+        hit, _ = cache.lookup(1)
+        kind = classifier.observe_access(1, hit)
+        assert kind in (CAPACITY, CONFLICT)
+
+    def test_reset_counts_keeps_history(self):
+        _, c = run_classified([1, 2], entries=8)
+        c.reset_counts()
+        assert c.breakdown.accesses == 0
+        # 1 was seen before the reset: re-missing it is not compulsory.
+        assert c.observe_access(1, False) != COMPULSORY
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ThreeCClassifier(0)
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=40), max_size=300),
+           st.sampled_from([(8, 1), (8, 2), (16, 1), (16, 4)]))
+    def test_classes_partition_misses(self, keys, geometry):
+        entries, assoc = geometry
+        cache, c = run_classified(keys, entries, assoc)
+        b = c.breakdown
+        assert b.accesses == len(keys)
+        assert b.total_misses == cache.stats.misses
+        # Every distinct key misses exactly once compulsorily.
+        assert b.compulsory == len(set(keys))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=40), max_size=300))
+    def test_fully_associative_shadow_agrees_with_itself(self, keys):
+        """Running the classifier against a fully-associative LRU cache of
+        the same capacity must classify every non-compulsory miss as
+        capacity (shadow == real cache)."""
+        cache = SetAssociativeCache(8, associativity=8)
+        classifier = ThreeCClassifier(8)
+        for key in keys:
+            hit, _ = cache.lookup(key)
+            classifier.observe_access(key, hit)
+            if not hit:
+                cache.insert(key, key)
+        assert classifier.breakdown.conflict == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=200))
+    def test_rates_sum_to_miss_rate(self, keys):
+        cache, c = run_classified(keys, 8)
+        rates = c.breakdown.rates()
+        assert sum(rates.values()) == pytest.approx(c.breakdown.miss_rate)

@@ -1,0 +1,63 @@
+"""Within-set replacement policies for the cache substrate."""
+
+from collections import OrderedDict
+
+import pytest
+
+from repro.cachesim.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.errors import ConfigError
+
+
+def filled_set(keys):
+    state = OrderedDict()
+    for key in keys:
+        state[key] = key
+    return state
+
+
+class TestLru:
+    def test_victim_is_oldest(self):
+        policy = LruPolicy()
+        state = filled_set(["a", "b", "c"])
+        assert policy.victim(state) == "a"
+
+    def test_touch_moves_to_back(self):
+        policy = LruPolicy()
+        state = filled_set(["a", "b", "c"])
+        policy.touch(state, "a")
+        assert policy.victim(state) == "b"
+
+
+class TestFifo:
+    def test_touch_does_not_reorder(self):
+        policy = FifoPolicy()
+        state = filled_set(["a", "b", "c"])
+        policy.touch(state, "a")
+        assert policy.victim(state) == "a"
+
+
+class TestRandom:
+    def test_victim_is_member(self):
+        policy = RandomPolicy(seed=5)
+        state = filled_set(["a", "b", "c"])
+        assert policy.victim(state) in state
+
+    def test_seeded_determinism(self):
+        state = filled_set(list(range(10)))
+        assert (RandomPolicy(seed=5).victim(state)
+                == RandomPolicy(seed=5).victim(state))
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["lru", "fifo", "random"])
+    def test_known_names(self, name):
+        assert make_policy(name).name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            make_policy("plru")

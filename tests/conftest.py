@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.core.costs import CostModel
+from repro.core.shared_cache import SharedUtlbCache
+from repro.core.utlb import CountingFrameDriver, HierarchicalUtlb
+
+
+@pytest.fixture
+def cost_model():
+    """The paper-calibrated cost model."""
+    return CostModel()
+
+
+@pytest.fixture
+def small_cache():
+    """A small direct-mapped Shared UTLB-Cache for fast tests."""
+    return SharedUtlbCache(num_entries=64)
+
+
+@pytest.fixture
+def utlb(small_cache):
+    """A Hierarchical-UTLB for pid 1 over the small cache, no limit."""
+    return HierarchicalUtlb(1, small_cache, driver=CountingFrameDriver())
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)
+
+
+def make_utlb(cache=None, **kwargs):
+    """Helper used by many tests: a fresh UTLB over a fresh small cache."""
+    if cache is None:
+        cache = SharedUtlbCache(num_entries=kwargs.pop("cache_entries", 64))
+    kwargs.setdefault("driver", CountingFrameDriver())
+    pid = kwargs.pop("pid", 1)
+    return HierarchicalUtlb(pid, cache, **kwargs)

@@ -1,0 +1,154 @@
+"""Address arithmetic: page splitting, two-level indices, validation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import params
+from repro.core import addresses
+from repro.errors import AddressError
+
+VA_MAX = (1 << params.VA_BITS) - 1
+
+
+class TestValidation:
+    def test_valid_address_returned(self):
+        assert addresses.validate_vaddr(0x1234) == 0x1234
+
+    def test_zero_is_valid(self):
+        assert addresses.validate_vaddr(0) == 0
+
+    def test_max_address_is_valid(self):
+        assert addresses.validate_vaddr(VA_MAX) == VA_MAX
+
+    def test_negative_rejected(self):
+        with pytest.raises(AddressError):
+            addresses.validate_vaddr(-1)
+
+    def test_too_large_rejected(self):
+        with pytest.raises(AddressError):
+            addresses.validate_vaddr(1 << params.VA_BITS)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(AddressError):
+            addresses.validate_vaddr("0x1000")
+
+    def test_bool_rejected(self):
+        with pytest.raises(AddressError):
+            addresses.validate_vaddr(True)
+
+
+class TestPageArithmetic:
+    def test_vpage_of_page_zero(self):
+        assert addresses.vpage_of(0) == 0
+        assert addresses.vpage_of(params.PAGE_SIZE - 1) == 0
+
+    def test_vpage_of_boundary(self):
+        assert addresses.vpage_of(params.PAGE_SIZE) == 1
+
+    def test_page_offset(self):
+        assert addresses.page_offset(params.PAGE_SIZE + 17) == 17
+
+    def test_vaddr_of_page_roundtrip(self):
+        va = addresses.vaddr_of_page(5, 100)
+        assert addresses.vpage_of(va) == 5
+        assert addresses.page_offset(va) == 100
+
+    def test_vaddr_of_page_rejects_bad_offset(self):
+        with pytest.raises(AddressError):
+            addresses.vaddr_of_page(0, params.PAGE_SIZE)
+
+    def test_vaddr_of_page_rejects_bad_page(self):
+        with pytest.raises(AddressError):
+            addresses.vaddr_of_page(params.NUM_VPAGES, 0)
+
+    @given(st.integers(min_value=0, max_value=VA_MAX))
+    def test_vpage_offset_recompose(self, va):
+        vpage = addresses.vpage_of(va)
+        offset = addresses.page_offset(va)
+        assert addresses.vaddr_of_page(vpage, offset) == va
+
+
+class TestPageRange:
+    def test_empty_buffer_touches_nothing(self):
+        assert list(addresses.page_range(0x1000, 0)) == []
+
+    def test_single_byte(self):
+        assert list(addresses.page_range(0x1000, 1)) == [1]
+
+    def test_straddles_boundary(self):
+        assert list(addresses.page_range(0x0FFF, 2)) == [0, 1]
+
+    def test_exact_page(self):
+        assert list(addresses.page_range(0x1000, params.PAGE_SIZE)) == [1]
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(AddressError):
+            addresses.page_range(0, -1)
+
+    def test_overflow_end_rejected(self):
+        with pytest.raises(AddressError):
+            addresses.page_range(VA_MAX, 2)
+
+    @given(st.integers(min_value=0, max_value=VA_MAX - 65536),
+           st.integers(min_value=1, max_value=65536))
+    def test_range_covers_first_and_last_byte(self, va, nbytes):
+        pages = list(addresses.page_range(va, nbytes))
+        assert pages[0] == addresses.vpage_of(va)
+        assert pages[-1] == addresses.vpage_of(va + nbytes - 1)
+        # Pages are consecutive.
+        assert pages == list(range(pages[0], pages[-1] + 1))
+
+
+class TestSplitAtPageBoundaries:
+    def test_within_one_page(self):
+        assert list(addresses.split_at_page_boundaries(0x100, 16)) == [
+            (0x100, 16)]
+
+    def test_crossing_split(self):
+        chunks = list(addresses.split_at_page_boundaries(0x0FF0, 0x30))
+        assert chunks == [(0x0FF0, 0x10), (0x1000, 0x20)]
+
+    def test_zero_length_yields_nothing(self):
+        assert list(addresses.split_at_page_boundaries(0, 0)) == []
+
+    @given(st.integers(min_value=0, max_value=VA_MAX - 65536),
+           st.integers(min_value=1, max_value=65536))
+    def test_chunks_partition_the_buffer(self, va, nbytes):
+        chunks = list(addresses.split_at_page_boundaries(va, nbytes))
+        assert sum(length for _, length in chunks) == nbytes
+        cursor = va
+        for chunk_va, length in chunks:
+            assert chunk_va == cursor
+            # No chunk crosses a page boundary.
+            assert (addresses.vpage_of(chunk_va)
+                    == addresses.vpage_of(chunk_va + length - 1))
+            cursor += length
+
+
+class TestTwoLevelIndices:
+    def test_directory_index_of_low_page(self):
+        assert addresses.directory_index(0) == 0
+
+    def test_table_index_wraps(self):
+        assert addresses.table_index(params.TABLE_ENTRIES) == 0
+        assert addresses.directory_index(params.TABLE_ENTRIES) == 1
+
+    def test_recompose(self):
+        vpage = 0x12345
+        assert addresses.vpage_from_indices(
+            addresses.directory_index(vpage),
+            addresses.table_index(vpage)) == vpage
+
+    @given(st.integers(min_value=0, max_value=params.NUM_VPAGES - 1))
+    def test_indices_roundtrip(self, vpage):
+        d = addresses.directory_index(vpage)
+        t = addresses.table_index(vpage)
+        assert 0 <= d < params.DIRECTORY_ENTRIES
+        assert 0 <= t < params.TABLE_ENTRIES
+        assert addresses.vpage_from_indices(d, t) == vpage
+
+    def test_bad_indices_rejected(self):
+        with pytest.raises(AddressError):
+            addresses.vpage_from_indices(params.DIRECTORY_ENTRIES, 0)
+        with pytest.raises(AddressError):
+            addresses.vpage_from_indices(0, params.TABLE_ENTRIES)

@@ -1,0 +1,147 @@
+"""The pinned-status bit vector (Hierarchical-UTLB user-level structure)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bitvector import BitVector
+from repro.errors import AddressError
+
+
+class TestBasics:
+    def test_new_vector_is_empty(self):
+        bv = BitVector(100)
+        assert bv.count == 0
+        assert not bv.test(0)
+        assert not bv.test(99)
+
+    def test_set_and_test(self):
+        bv = BitVector()
+        assert bv.set(5)
+        assert bv.test(5)
+        assert not bv.test(4)
+        assert not bv.test(6)
+
+    def test_set_is_idempotent_but_reports_change(self):
+        bv = BitVector()
+        assert bv.set(7) is True
+        assert bv.set(7) is False
+        assert bv.count == 1
+
+    def test_clear(self):
+        bv = BitVector()
+        bv.set(3)
+        assert bv.clear(3) is True
+        assert not bv.test(3)
+        assert bv.count == 0
+
+    def test_clear_unset_bit_reports_no_change(self):
+        bv = BitVector()
+        assert bv.clear(3) is False
+
+    def test_contains(self):
+        bv = BitVector()
+        bv.set(42)
+        assert 42 in bv
+        assert 41 not in bv
+
+    def test_negative_index_rejected(self):
+        bv = BitVector()
+        with pytest.raises(AddressError):
+            bv.test(-1)
+        with pytest.raises(AddressError):
+            bv.set(-1)
+
+    def test_bool_index_rejected(self):
+        with pytest.raises(AddressError):
+            BitVector().set(True)
+
+    def test_large_sparse_indices(self):
+        bv = BitVector()
+        bv.set(10**6)
+        assert bv.test(10**6)
+        assert bv.count == 1
+
+
+class TestRangeOperations:
+    def test_all_set_on_full_range(self):
+        bv = BitVector()
+        for i in range(10, 14):
+            bv.set(i)
+        assert bv.all_set(10, 4)
+
+    def test_all_set_with_hole(self):
+        bv = BitVector()
+        bv.set(10)
+        bv.set(12)
+        assert not bv.all_set(10, 3)
+
+    def test_all_set_empty_range_is_true(self):
+        assert BitVector().all_set(5, 0)
+
+    def test_clear_indices_finds_holes(self):
+        bv = BitVector()
+        bv.set(10)
+        bv.set(12)
+        assert bv.clear_indices(10, 4) == [11, 13]
+
+    def test_clear_indices_none_missing(self):
+        bv = BitVector()
+        for i in range(8):
+            bv.set(i)
+        assert bv.clear_indices(0, 8) == []
+
+    def test_set_indices_sorted(self):
+        bv = BitVector()
+        for i in (9, 2, 5):
+            bv.set(i)
+        assert bv.set_indices() == [2, 5, 9]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(AddressError):
+            BitVector().all_set(0, -1)
+
+
+class TestProperties:
+    @given(st.sets(st.integers(min_value=0, max_value=4096)))
+    def test_count_matches_distinct_sets(self, indices):
+        bv = BitVector()
+        for index in indices:
+            bv.set(index)
+        assert bv.count == len(indices)
+        assert bv.set_indices() == sorted(indices)
+
+    @given(st.sets(st.integers(min_value=0, max_value=512)),
+           st.integers(min_value=0, max_value=512),
+           st.integers(min_value=0, max_value=64))
+    def test_all_set_agrees_with_membership(self, indices, start, count):
+        bv = BitVector()
+        for index in indices:
+            bv.set(index)
+        expected = all(i in indices for i in range(start, start + count))
+        assert bv.all_set(start, count) == expected
+
+    @given(st.sets(st.integers(min_value=0, max_value=512)),
+           st.integers(min_value=0, max_value=512),
+           st.integers(min_value=0, max_value=64))
+    def test_clear_indices_complement(self, indices, start, count):
+        bv = BitVector()
+        for index in indices:
+            bv.set(index)
+        missing = bv.clear_indices(start, count)
+        assert missing == [i for i in range(start, start + count)
+                           if i not in indices]
+
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.integers(min_value=0, max_value=256))))
+    def test_set_clear_sequence_tracks_reference_set(self, ops):
+        bv = BitVector()
+        reference = set()
+        for is_set, index in ops:
+            if is_set:
+                bv.set(index)
+                reference.add(index)
+            else:
+                bv.clear(index)
+                reference.discard(index)
+        assert bv.count == len(reference)
+        assert set(bv.set_indices()) == reference

@@ -1,0 +1,144 @@
+"""The calibrated cost model: Table 1, Table 2, and Section 6.2 equations.
+
+These tests pin the model to the paper's published numbers — if a
+constant drifts, the reproduction of Tables 1, 2, and 6 silently breaks,
+so this is where it gets caught.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.costs import (
+    CostModel,
+    DEFAULT_COST_MODEL,
+    MEASURED_SIZES,
+)
+from repro.errors import ConfigError
+
+
+class TestTable1Values:
+    """Host-side measured values (Table 1)."""
+
+    @pytest.mark.parametrize("n,expected", zip(MEASURED_SIZES,
+                                               (27, 30, 36, 47, 70, 115)))
+    def test_pin_cost_at_measured_points(self, n, expected):
+        assert DEFAULT_COST_MODEL.pin_cost(n) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("n,expected", zip(MEASURED_SIZES,
+                                               (25, 30, 36, 50, 80, 139)))
+    def test_unpin_cost_at_measured_points(self, n, expected):
+        assert DEFAULT_COST_MODEL.unpin_cost(n) == pytest.approx(expected)
+
+    def test_check_min_flat(self):
+        for n in MEASURED_SIZES:
+            assert DEFAULT_COST_MODEL.check_cost(n) == pytest.approx(0.2)
+
+    def test_check_max_range(self):
+        assert DEFAULT_COST_MODEL.check_cost(1, worst_case=True) == \
+            pytest.approx(0.4)
+        assert DEFAULT_COST_MODEL.check_cost(32, worst_case=True) == \
+            pytest.approx(0.7)
+
+
+class TestTable2Values:
+    """NIC-side measured values (Table 2)."""
+
+    @pytest.mark.parametrize("n,expected", zip(MEASURED_SIZES,
+                                               (1.5, 1.6, 1.6, 1.9, 2.1, 2.5)))
+    def test_dma_cost(self, n, expected):
+        assert DEFAULT_COST_MODEL.dma_cost(n) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("n,expected", zip(MEASURED_SIZES,
+                                               (1.8, 1.9, 1.9, 2.3, 2.8, 3.2)))
+    def test_miss_cost(self, n, expected):
+        assert DEFAULT_COST_MODEL.miss_cost(n) == pytest.approx(expected)
+
+    def test_hit_cost_constant(self):
+        assert DEFAULT_COST_MODEL.ni_check_hit == pytest.approx(0.8)
+
+
+class TestInterpolation:
+    def test_between_points_interpolates(self):
+        # pin(3) should be between pin(2)=30 and pin(4)=36.
+        assert DEFAULT_COST_MODEL.pin_cost(3) == pytest.approx(33.0)
+
+    def test_extrapolates_beyond_last_point(self):
+        # Beyond 32 pages, the final slope ((115-70)/16) continues.
+        assert DEFAULT_COST_MODEL.pin_cost(48) == pytest.approx(
+            115 + 45 / 16 * 16)
+
+    def test_zero_batch_rejected(self):
+        with pytest.raises(ConfigError):
+            DEFAULT_COST_MODEL.pin_cost(0)
+
+    @given(st.integers(min_value=1, max_value=200))
+    def test_pin_cost_monotone_nondecreasing(self, n):
+        cm = DEFAULT_COST_MODEL
+        assert cm.pin_cost(n + 1) >= cm.pin_cost(n)
+
+    @given(st.integers(min_value=2, max_value=64))
+    def test_batched_pin_cheaper_per_page(self, n):
+        """Pinning a batch is always cheaper per page than pinning one at
+        a time — the premise of sequential pre-pinning (Section 6.5)."""
+        cm = DEFAULT_COST_MODEL
+        assert cm.pin_cost(n) / n < cm.pin_cost(1)
+
+
+class TestKernelRates:
+    def test_kernel_pin_excludes_context_switch(self):
+        cm = DEFAULT_COST_MODEL
+        assert cm.kernel_pin_cost(1) == pytest.approx(17.0)
+        assert cm.kernel_unpin_cost(1) == pytest.approx(15.0)
+
+    def test_kernel_rates_never_negative(self):
+        cm = CostModel(context_switch_cost=1000.0)
+        assert cm.kernel_pin_cost(1) == 0.0
+
+
+class TestLookupEquations:
+    """Section 6.2 equations must regenerate Table 6 from Table 4 rates."""
+
+    def test_fft_1k_utlb(self):
+        # Table 4 FFT@1K: check 0.25, NI 0.50, unpins 0 -> Table 6: 9.0 us.
+        cost = DEFAULT_COST_MODEL.utlb_lookup_cost(0.25, 0.50, 0.0)
+        assert cost == pytest.approx(9.0, abs=0.1)
+
+    def test_fft_1k_intr(self):
+        # Table 4 FFT@1K Intr: NI 0.50, unpins 0.49 -> Table 6: 21.7 us.
+        cost = DEFAULT_COST_MODEL.intr_lookup_cost(0.50, 0.49)
+        assert cost == pytest.approx(21.7, abs=0.4)
+
+    def test_barnes_1k_utlb(self):
+        cost = DEFAULT_COST_MODEL.utlb_lookup_cost(0.04, 0.10, 0.0)
+        assert cost == pytest.approx(2.6, abs=0.1)
+
+    def test_barnes_1k_intr(self):
+        cost = DEFAULT_COST_MODEL.intr_lookup_cost(0.10, 0.09)
+        assert cost == pytest.approx(4.9, abs=0.1)
+
+    def test_barnes_16k_crossover(self):
+        """At 16K entries Barnes' Intr cost (1.9) undercuts UTLB (2.5):
+        the paper's Table 6 crossover."""
+        cm = DEFAULT_COST_MODEL
+        utlb = cm.utlb_lookup_cost(0.04, 0.04, 0.0)
+        intr = cm.intr_lookup_cost(0.04, 0.00)
+        assert intr < utlb
+        assert intr == pytest.approx(1.9, abs=0.1)
+        assert utlb == pytest.approx(2.5, abs=0.1)
+
+    def test_prefetch_reduces_miss_term_slowly(self):
+        """Fetching 32 entries costs less than 2x fetching one — the
+        economics behind Figure 8."""
+        cm = DEFAULT_COST_MODEL
+        assert cm.miss_cost(32) < 2 * cm.miss_cost(1)
+
+
+class TestConstruction:
+    def test_bad_table_length_rejected(self):
+        with pytest.raises(ConfigError):
+            CostModel(pin_table=(1.0, 2.0))
+
+    def test_custom_model_overrides(self):
+        cm = CostModel(user_check_hit=1.0, interrupt_cost=50.0)
+        assert cm.utlb_lookup_cost(0, 0, 0) == pytest.approx(1.8)
+        assert cm.intr_lookup_cost(1.0, 0) == pytest.approx(0.8 + 50 + 17)

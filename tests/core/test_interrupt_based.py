@@ -1,0 +1,149 @@
+"""The interrupt-based baseline: pinned set == cached set, interrupts on
+every miss, unpin on every eviction."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.interrupt_based import InterruptBasedNode
+from repro.core.shared_cache import SharedUtlbCache
+from repro.errors import ConfigError
+
+
+def make_node(num_entries=8, **cache_kwargs):
+    cache = SharedUtlbCache(num_entries=num_entries, **cache_kwargs)
+    return InterruptBasedNode(cache)
+
+
+class TestBasics:
+    def test_miss_interrupts_and_pins(self):
+        node = make_node()
+        node.register_process(1)
+        node.access_page(1, 10)
+        stats = node.stats_for(1)
+        assert stats.ni_misses == 1
+        assert stats.interrupts == 1
+        assert stats.pages_pinned == 1
+
+    def test_hit_does_not_interrupt(self):
+        node = make_node()
+        node.register_process(1)
+        node.access_page(1, 10)
+        node.access_page(1, 10)
+        stats = node.stats_for(1)
+        assert stats.ni_hits == 1
+        assert stats.interrupts == 1
+
+    def test_every_miss_interrupts(self):
+        """Unlike UTLB, there is no user-level filter: each NIC miss costs
+        an interrupt."""
+        node = make_node(num_entries=2)
+        node.register_process(1)
+        for page in (0, 1, 2, 0):     # page 0 evicted, then re-missed
+            node.access_page(1, page)
+        stats = node.stats_for(1)
+        assert stats.interrupts == stats.ni_misses == 4
+
+    def test_unregistered_pid_rejected(self):
+        node = make_node()
+        with pytest.raises(ConfigError):
+            node.access_page(9, 0)
+
+    def test_double_register_rejected(self):
+        node = make_node()
+        node.register_process(1)
+        with pytest.raises(ConfigError):
+            node.register_process(1)
+
+
+class TestEvictionUnpins:
+    def test_cache_eviction_unpins_page(self):
+        node = make_node(num_entries=2, max_processes=1)
+        node.register_process(1)
+        node.access_page(1, 0)
+        node.access_page(1, 1)
+        node.access_page(1, 2)      # evicts one entry -> unpin
+        stats = node.stats_for(1)
+        assert stats.pages_unpinned == 1
+        node.check_invariants()
+
+    def test_cross_process_eviction_charges_owner(self):
+        """A fill by process A may evict (and unpin) process B's page."""
+        cache = SharedUtlbCache(num_entries=2, offsetting=False,
+                                max_processes=4)
+        node = InterruptBasedNode(cache)
+        node.register_process(1)
+        node.register_process(2)
+        node.access_page(1, 0)
+        node.access_page(1, 1)
+        node.access_page(2, 0)      # same set as pid 1's page 0 (nohash)
+        assert (node.stats_for(1).pages_unpinned
+                + node.stats_for(2).pages_unpinned) == 1
+        node.check_invariants()
+
+    def test_kernel_rates_charged(self):
+        """Pin/unpin in the interrupt handler run at kernel rates."""
+        node = make_node(num_entries=1, max_processes=1)
+        node.register_process(1)
+        node.access_page(1, 0)
+        node.access_page(1, 1)      # miss: pin 1, evict+unpin 0
+        stats = node.stats_for(1)
+        cm = node.cost_model
+        assert stats.pin_time_us == pytest.approx(2 * cm.kernel_pin_cost(1))
+        assert stats.unpin_time_us == pytest.approx(cm.kernel_unpin_cost(1))
+        assert stats.interrupt_time_us == pytest.approx(
+            2 * cm.interrupt_cost)
+
+
+class TestMemoryLimit:
+    def test_limit_enforced(self):
+        node = make_node(num_entries=64)
+        node.register_process(1, memory_limit_pages=4)
+        for page in range(10):
+            node.access_page(1, page)
+        node.check_invariants()
+        assert len(node._processes[1].pinned) <= 4
+
+    def test_limit_forces_cache_invalidation(self):
+        node = make_node(num_entries=64)
+        node.register_process(1, memory_limit_pages=2)
+        for page in range(4):
+            node.access_page(1, page)
+        # Pages evicted for the limit must leave the cache too.
+        cached = {v for v, _ in node.cache.entries_for(1)}
+        assert cached == set(node._processes[1].pinned)
+
+    def test_bad_limit_rejected(self):
+        node = make_node()
+        with pytest.raises(ConfigError):
+            node.register_process(1, memory_limit_pages=0)
+
+
+class TestCostEquation:
+    def test_measured_time_matches_intr_equation(self):
+        node = make_node(num_entries=16, max_processes=1)
+        node.register_process(1)
+        rng = random.Random(0)
+        for _ in range(500):
+            node.access_page(1, rng.randrange(40))
+        s = node.stats_for(1)
+        expected = s.lookups * node.cost_model.intr_lookup_cost(
+            s.ni_miss_rate, s.unpin_rate)
+        assert s.total_time_us == pytest.approx(expected, rel=1e-9)
+
+
+class TestInvariantUnderRandomWorkload:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.integers(min_value=1, max_value=3),
+                              st.integers(min_value=0, max_value=50)),
+                    min_size=1, max_size=300),
+           st.integers(min_value=4, max_value=32))
+    def test_pinned_equals_cached(self, accesses, entries):
+        cache = SharedUtlbCache(num_entries=entries, max_processes=4)
+        node = InterruptBasedNode(cache)
+        for pid in (1, 2, 3):
+            node.register_process(pid, memory_limit_pages=16)
+        for pid, page in accesses:
+            node.access_page(pid, page)
+        assert node.check_invariants()

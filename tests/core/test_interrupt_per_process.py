@@ -1,0 +1,132 @@
+"""The original-VMMC baseline: per-process NIC table, interrupt-managed."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.interrupt_per_process import (
+    InterruptPerProcessUtlb,
+    simulate_node_intr_pp,
+)
+from repro.errors import ConfigError
+
+
+class TestBasics:
+    def test_miss_interrupts_and_pins(self):
+        utlb = InterruptPerProcessUtlb(1, num_slots=4)
+        utlb.access_page(10)
+        assert utlb.stats.interrupts == 1
+        assert utlb.stats.pages_pinned == 1
+
+    def test_hit_is_quiet(self):
+        utlb = InterruptPerProcessUtlb(1, num_slots=4)
+        utlb.access_page(10)
+        utlb.access_page(10)
+        assert utlb.stats.interrupts == 1
+        assert utlb.stats.ni_hits == 1
+
+    def test_frame_stable_while_resident(self):
+        utlb = InterruptPerProcessUtlb(1, num_slots=4)
+        assert utlb.access_page(10) == utlb.access_page(10)
+
+    def test_full_table_evicts_lru_and_unpins(self):
+        utlb = InterruptPerProcessUtlb(1, num_slots=2)
+        utlb.access_page(0)
+        utlb.access_page(1)
+        utlb.access_page(0)        # refresh 0; 1 becomes LRU
+        utlb.access_page(2)        # evicts 1
+        assert utlb.resident_pages() == [0, 2]
+        assert utlb.stats.pages_unpinned == 1
+        utlb.check_invariants()
+
+    def test_memory_limit_tightens_capacity(self):
+        utlb = InterruptPerProcessUtlb(1, num_slots=8,
+                                       memory_limit_pages=3)
+        for page in range(6):
+            utlb.access_page(page)
+        assert len(utlb) <= 3
+        utlb.check_invariants()
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigError):
+            InterruptPerProcessUtlb(1, num_slots=0)
+        with pytest.raises(ConfigError):
+            InterruptPerProcessUtlb(1, memory_limit_pages=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=30),
+                    min_size=1, max_size=200),
+           st.integers(min_value=1, max_value=16))
+    def test_pinned_always_equals_table(self, accesses, slots):
+        utlb = InterruptPerProcessUtlb(1, num_slots=slots)
+        for page in accesses:
+            utlb.access_page(page)
+        assert utlb.check_invariants()
+
+
+class TestDesignSpaceMatrix:
+    """The four-quadrant comparison the paper's Section 2/3 implies."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        from repro.traces.synth import make_app
+        return make_app("barnes").generate_node(0, seed=1, scale=0.1)
+
+    def test_all_four_mechanisms_agree_on_lookups(self, trace):
+        from repro.sim.config import SimConfig
+        from repro.sim.intr_simulator import simulate_node_intr
+        from repro.sim.pp_simulator import simulate_node_pp
+        from repro.sim.simulator import simulate_node
+        from repro.traces.record import count_lookups
+
+        config = SimConfig(cache_entries=512)
+        results = [
+            simulate_node(trace, config),
+            simulate_node_intr(trace, config),
+            simulate_node_pp(trace, config, sram_entries=512),
+            simulate_node_intr_pp(trace, config),
+        ]
+        expected = count_lookups(trace)
+        assert all(r.stats.lookups == expected for r in results)
+
+    def test_user_managed_quadrants_never_interrupt(self, trace):
+        from repro.sim.config import SimConfig
+        from repro.sim.pp_simulator import simulate_node_pp
+        from repro.sim.simulator import simulate_node
+
+        config = SimConfig(cache_entries=512)
+        assert simulate_node(trace, config).stats.interrupts == 0
+        assert simulate_node_pp(trace, config,
+                                sram_entries=512).stats.interrupts == 0
+
+    def test_interrupt_managed_quadrants_interrupt_per_miss(self, trace):
+        from repro.sim.config import SimConfig
+        from repro.sim.intr_simulator import simulate_node_intr
+
+        config = SimConfig(cache_entries=512)
+        intr = simulate_node_intr(trace, config).stats
+        intr_pp = simulate_node_intr_pp(trace, config).stats
+        assert intr.interrupts == intr.ni_misses > 0
+        assert intr_pp.interrupts == intr_pp.ni_misses > 0
+
+    def test_utlb_cheapest_under_translation_pressure(self, trace):
+        """The paper's thesis, across the whole quadrant: when the NIC's
+        translation state is scarce relative to the footprint (the regime
+        the paper targets), user-managed + shared cache has the lowest
+        average lookup cost.  (With caches big enough to swallow the app,
+        interrupt-based variants can win — the Table 6 Barnes crossover —
+        so the pressure case is the discriminating one.)"""
+        from repro.sim.config import SimConfig
+        from repro.sim.intr_simulator import simulate_node_intr
+        from repro.sim.pp_simulator import simulate_node_pp
+        from repro.sim.simulator import simulate_node
+
+        config = SimConfig(cache_entries=64)
+        utlb = simulate_node(trace, config).stats.avg_lookup_cost_us
+        others = [
+            simulate_node_intr(trace, config).stats.avg_lookup_cost_us,
+            simulate_node_pp(trace, config,
+                             sram_entries=64).stats.avg_lookup_cost_us,
+            simulate_node_intr_pp(
+                trace, config).stats.avg_lookup_cost_us,
+        ]
+        assert utlb < min(others)

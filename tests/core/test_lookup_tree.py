@@ -1,0 +1,113 @@
+"""The two-level user-level lookup tree (per-process UTLB, Section 3.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import params
+from repro.core.lookup_tree import TwoLevelLookupTree
+from repro.errors import TranslationError
+
+
+class TestBasics:
+    def test_missing_page_returns_none(self):
+        tree = TwoLevelLookupTree()
+        assert tree.lookup(42) is None
+
+    def test_install_and_lookup(self):
+        tree = TwoLevelLookupTree()
+        tree.install(42, 7)
+        assert tree.lookup(42) == 7
+
+    def test_install_overwrites(self):
+        tree = TwoLevelLookupTree()
+        tree.install(42, 7)
+        tree.install(42, 9)
+        assert tree.lookup(42) == 9
+        assert len(tree) == 1
+
+    def test_remove_returns_index(self):
+        tree = TwoLevelLookupTree()
+        tree.install(42, 7)
+        assert tree.remove(42) == 7
+        assert tree.lookup(42) is None
+        assert len(tree) == 0
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(TranslationError):
+            TwoLevelLookupTree().remove(42)
+
+    def test_invalid_index_rejected(self):
+        tree = TwoLevelLookupTree()
+        with pytest.raises(TranslationError):
+            tree.install(42, None)
+        with pytest.raises(TranslationError):
+            tree.install(42, -1)
+
+    def test_contains(self):
+        tree = TwoLevelLookupTree()
+        tree.install(5, 1)
+        assert 5 in tree
+        assert 6 not in tree
+
+
+class TestTwoLevelStructure:
+    def test_lookup_costs_two_references(self):
+        tree = TwoLevelLookupTree()
+        tree.install(1, 1)
+        before = tree.memory_references
+        tree.lookup(1)
+        tree.lookup(999999)     # miss also costs two references
+        assert tree.memory_references == before + 4
+
+    def test_pages_in_same_table_share_a_second_level(self):
+        tree = TwoLevelLookupTree()
+        tree.install(0, 1)
+        tree.install(params.TABLE_ENTRIES - 1, 2)
+        assert tree.second_level_tables == 1
+        tree.install(params.TABLE_ENTRIES, 3)
+        assert tree.second_level_tables == 2
+
+    def test_second_level_freed_when_empty(self):
+        tree = TwoLevelLookupTree()
+        tree.install(0, 1)
+        tree.remove(0)
+        assert tree.second_level_tables == 0
+
+    def test_memory_footprint_grows_with_tables(self):
+        tree = TwoLevelLookupTree()
+        base = tree.memory_bytes
+        tree.install(0, 1)
+        assert tree.memory_bytes > base
+
+    def test_items_sorted_by_vpage(self):
+        tree = TwoLevelLookupTree()
+        pages = [5000, 3, 1024, 70000]
+        for index, page in enumerate(pages):
+            tree.install(page, index)
+        assert [page for page, _ in tree.items()] == sorted(pages)
+
+
+class TestProperties:
+    @given(st.dictionaries(
+        st.integers(min_value=0, max_value=params.NUM_VPAGES - 1),
+        st.integers(min_value=0, max_value=8191),
+        max_size=200))
+    def test_tree_matches_reference_dict(self, mapping):
+        tree = TwoLevelLookupTree()
+        for vpage, index in mapping.items():
+            tree.install(vpage, index)
+        assert len(tree) == len(mapping)
+        for vpage, index in mapping.items():
+            assert tree.lookup(vpage) == index
+        assert dict(tree.items()) == mapping
+
+    @given(st.lists(st.integers(min_value=0, max_value=5000),
+                    unique=True, max_size=100))
+    def test_install_remove_all_leaves_empty(self, pages):
+        tree = TwoLevelLookupTree()
+        for page in pages:
+            tree.install(page, page % 100)
+        for page in pages:
+            tree.remove(page)
+        assert len(tree) == 0
+        assert tree.second_level_tables == 0

@@ -1,0 +1,127 @@
+"""Per-process UTLB (Section 3.1): NIC-SRAM table, slots, capacity."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.per_process import PerProcessUtlb
+from repro.errors import ConfigError
+
+
+def make(num_slots=8, **kwargs):
+    return PerProcessUtlb(1, num_slots=num_slots, **kwargs)
+
+
+class TestBasics:
+    def test_first_access_pins_and_installs(self):
+        utlb = make()
+        frame = utlb.access_page(10)
+        assert frame is not None
+        assert utlb.stats.check_misses == 1
+        assert utlb.stats.pages_pinned == 1
+        assert utlb.tree.lookup(10) is not None
+
+    def test_second_access_is_cheap(self):
+        utlb = make()
+        utlb.access_page(10)
+        utlb.access_page(10)
+        assert utlb.stats.check_misses == 1
+        assert utlb.stats.pin_calls == 1
+
+    def test_nic_never_misses(self):
+        """The whole table is in SRAM: NIC lookups always hit."""
+        utlb = make(num_slots=4)
+        for page in range(20):       # far exceeds the table
+            utlb.access_page(page % 10)
+        assert utlb.stats.ni_misses == 0
+        assert utlb.stats.ni_hits == utlb.stats.lookups
+
+    def test_frame_stable_while_installed(self):
+        utlb = make()
+        assert utlb.access_page(5) == utlb.access_page(5)
+
+
+class TestCapacity:
+    def test_table_full_forces_eviction(self):
+        utlb = make(num_slots=2, pin_policy="lru")
+        utlb.access_page(0)
+        utlb.access_page(1)
+        utlb.access_page(2)
+        assert utlb.capacity_evictions == 1
+        assert utlb.stats.pages_unpinned == 1
+        assert 0 not in utlb.tree
+        utlb.check_invariants()
+
+    def test_eviction_frees_slot_for_reuse(self):
+        utlb = make(num_slots=2)
+        utlb.access_page(0)
+        utlb.access_page(1)
+        utlb.access_page(2)
+        assert utlb.table.used_slots == 2
+
+    def test_explicit_memory_limit_tightens(self):
+        utlb = make(num_slots=8, memory_limit_pages=2)
+        for page in range(5):
+            utlb.access_page(page)
+        assert len(utlb.pool) <= 2
+        utlb.check_invariants()
+
+    def test_evicted_page_reaccess_is_check_miss(self):
+        utlb = make(num_slots=2)
+        utlb.access_page(0)
+        utlb.access_page(1)
+        utlb.access_page(2)
+        utlb.access_page(0)
+        assert utlb.stats.check_misses == 4
+
+
+class TestPrepin:
+    def test_prepin_uses_one_call(self):
+        utlb = make(num_slots=8, prepin=4)
+        utlb.access_page(0)
+        assert utlb.stats.pin_calls == 1
+        assert utlb.stats.pages_pinned == 4
+        assert utlb.table.used_slots == 4
+
+    def test_bad_prepin_rejected(self):
+        with pytest.raises(ConfigError):
+            make(prepin=0)
+
+
+class TestFragmentation:
+    def test_scattered_evictions_fragment_table(self):
+        """Complex access patterns scatter free slots — the fragmentation
+        problem Hierarchical-UTLB eliminates (Section 3.3)."""
+        utlb = make(num_slots=16, pin_policy="random", seed=3)
+        for page in range(16):
+            utlb.access_page(page)
+        for page in range(16, 24):      # random evictions make holes
+            utlb.access_page(page)
+        # Re-fill different pages; slots are reused out of order.
+        assert utlb.table.used_slots == 16
+        utlb.check_invariants()
+
+
+class TestHolds:
+    def test_held_page_not_evicted(self):
+        utlb = make(num_slots=2, pin_policy="lru")
+        utlb.access_page(0)
+        utlb.hold(0)
+        utlb.access_page(1)
+        utlb.access_page(2)
+        assert 0 in utlb.tree
+        assert 1 not in utlb.tree
+        utlb.release(0)
+
+
+class TestInvariantsUnderRandomWorkload:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=40),
+                    min_size=1, max_size=200),
+           st.sampled_from(["lru", "mru", "lfu", "mfu", "random"]),
+           st.integers(min_value=1, max_value=4))
+    def test_invariants_hold(self, accesses, policy, prepin):
+        utlb = make(num_slots=8, pin_policy=policy, prepin=prepin)
+        for page in accesses:
+            utlb.access_page(page)
+        assert utlb.check_invariants()
+        assert utlb.table.used_slots <= 8

@@ -1,0 +1,108 @@
+"""The pinned-page pool: limits, eviction, outstanding-send holds."""
+
+import pytest
+
+from repro.core.pinner import PinnedPagePool
+from repro.errors import CapacityError, PinningError
+
+
+class TestUnlimited:
+    def test_no_limit_always_has_room(self):
+        pool = PinnedPagePool(None)
+        assert pool.room_for(10**6)
+        assert pool.victims_for(10**6) == []
+
+
+class TestLimit:
+    def test_room_under_limit(self):
+        pool = PinnedPagePool(4)
+        for page in range(3):
+            pool.note_pin(page)
+        assert pool.room_for(1)
+        assert not pool.room_for(2)
+
+    def test_victims_cover_overflow(self):
+        pool = PinnedPagePool(4, policy="lru")
+        for page in range(4):
+            pool.note_pin(page)
+        assert pool.victims_for(2) == [0, 1]
+
+    def test_victims_respect_access_order(self):
+        pool = PinnedPagePool(3, policy="lru")
+        for page in range(3):
+            pool.note_pin(page)
+        pool.note_access(0)
+        assert pool.victims_for(1) == [1]
+
+    def test_request_larger_than_limit_rejected(self):
+        pool = PinnedPagePool(4)
+        with pytest.raises(CapacityError):
+            pool.victims_for(5)
+
+    def test_zero_limit_rejected(self):
+        with pytest.raises(CapacityError):
+            PinnedPagePool(0)
+
+
+class TestHolds:
+    def test_held_pages_never_evicted(self):
+        pool = PinnedPagePool(3, policy="lru")
+        for page in range(3):
+            pool.note_pin(page)
+        pool.hold(0)                 # oldest, but protected
+        assert pool.victims_for(1) == [1]
+
+    def test_unpin_held_page_rejected(self):
+        pool = PinnedPagePool(None)
+        pool.note_pin(1)
+        pool.hold(1)
+        with pytest.raises(PinningError):
+            pool.note_unpin(1)
+
+    def test_release_reenables_eviction(self):
+        pool = PinnedPagePool(None)
+        pool.note_pin(1)
+        pool.hold(1)
+        pool.release(1)
+        pool.note_unpin(1)
+        assert 1 not in pool
+
+    def test_nested_holds(self):
+        pool = PinnedPagePool(None)
+        pool.note_pin(1)
+        pool.hold(1)
+        pool.hold(1)
+        pool.release(1)
+        with pytest.raises(PinningError):
+            pool.note_unpin(1)       # still one hold left
+        pool.release(1)
+        pool.note_unpin(1)
+
+    def test_hold_unpinned_page_rejected(self):
+        with pytest.raises(PinningError):
+            PinnedPagePool(None).hold(1)
+
+    def test_release_without_hold_rejected(self):
+        pool = PinnedPagePool(None)
+        pool.note_pin(1)
+        with pytest.raises(PinningError):
+            pool.release(1)
+
+    def test_all_held_cannot_evict(self):
+        pool = PinnedPagePool(2)
+        pool.note_pin(1)
+        pool.note_pin(2)
+        pool.hold(1)
+        pool.hold(2)
+        with pytest.raises(CapacityError):
+            pool.victims_for(1)
+
+
+class TestPolicySelection:
+    def test_policy_by_name(self):
+        assert PinnedPagePool(None, policy="mru").policy.name == "mru"
+
+    def test_policy_by_instance(self):
+        from repro.core.policies import MfuPolicy
+        policy = MfuPolicy()
+        assert PinnedPagePool(None, policy=policy).policy is policy

@@ -1,0 +1,212 @@
+"""The five user-level pinned-page replacement policies (Section 3.4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.policies import (
+    PIN_POLICIES,
+    LfuPolicy,
+    LruPolicy,
+    MfuPolicy,
+    MruPolicy,
+    RandomPolicy,
+    make_pin_policy,
+)
+from repro.errors import CapacityError, ConfigError
+
+
+class TestRegistry:
+    def test_all_five_policies_exist(self):
+        assert set(PIN_POLICIES) == {"lru", "mru", "lfu", "mfu", "random"}
+
+    @pytest.mark.parametrize("name", sorted(PIN_POLICIES))
+    def test_make_by_name(self, name):
+        policy = make_pin_policy(name)
+        assert policy.name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError):
+            make_pin_policy("clock")
+
+
+class TestLru:
+    def test_evicts_least_recent(self):
+        policy = LruPolicy()
+        for page in (1, 2, 3):
+            policy.on_pin(page)
+        policy.on_access(1)             # 2 is now the oldest
+        assert policy.select_victims(1) == [2]
+
+    def test_exclude_skips_protected(self):
+        policy = LruPolicy()
+        for page in (1, 2, 3):
+            policy.on_pin(page)
+        assert policy.select_victims(1, exclude={1}) == [2]
+
+    def test_multiple_victims_in_order(self):
+        policy = LruPolicy()
+        for page in (1, 2, 3, 4):
+            policy.on_pin(page)
+        policy.on_access(2)
+        assert policy.select_victims(2) == [1, 3]
+
+
+class TestMru:
+    def test_evicts_most_recent(self):
+        policy = MruPolicy()
+        for page in (1, 2, 3):
+            policy.on_pin(page)
+        assert policy.select_victims(1) == [3]
+
+    def test_access_changes_victim(self):
+        policy = MruPolicy()
+        for page in (1, 2, 3):
+            policy.on_pin(page)
+        policy.on_access(1)
+        assert policy.select_victims(1) == [1]
+
+    def test_mru_beats_lru_on_cyclic_scan(self):
+        """A cyclic scan over pool_size+1 pages: LRU always evicts the
+        page needed next (0% reuse); MRU keeps most of the pool."""
+        def run(policy_name):
+            policy = make_pin_policy(policy_name)
+            limit = 8
+            pages = list(range(limit + 1))
+            evictions = 0
+            pinned = set()
+            for _ in range(5):                  # 5 scan passes
+                for page in pages:
+                    if page in pinned:
+                        policy.on_access(page)
+                        continue
+                    if len(pinned) >= limit:
+                        victim = policy.select_victims(1)[0]
+                        policy.on_unpin(victim)
+                        pinned.remove(victim)
+                        evictions += 1
+                    policy.on_pin(page)
+                    pinned.add(page)
+            return evictions
+
+        assert run("mru") < run("lru")
+
+
+class TestFrequencyPolicies:
+    def test_lfu_evicts_cold_page(self):
+        policy = LfuPolicy()
+        for page in (1, 2, 3):
+            policy.on_pin(page)
+        for _ in range(5):
+            policy.on_access(1)
+            policy.on_access(3)
+        assert policy.select_victims(1) == [2]
+
+    def test_mfu_evicts_hot_page(self):
+        policy = MfuPolicy()
+        for page in (1, 2, 3):
+            policy.on_pin(page)
+        for _ in range(5):
+            policy.on_access(2)
+        assert policy.select_victims(1) == [2]
+
+    def test_lfu_tie_break_deterministic(self):
+        policy = LfuPolicy()
+        for page in (10, 20, 30):
+            policy.on_pin(page)
+        # All counts equal: the earliest-pinned page goes first.
+        assert policy.select_victims(1) == [10]
+
+    def test_counts_reset_on_repin(self):
+        policy = LfuPolicy()
+        policy.on_pin(1)
+        for _ in range(10):
+            policy.on_access(1)
+        policy.on_unpin(1)
+        policy.on_pin(1)
+        policy.on_pin(2)
+        policy.on_access(2)
+        # Page 1's old hotness is gone; both have low counts, 1 is older.
+        assert policy.select_victims(1) == [1]
+
+
+class TestRandom:
+    def test_deterministic_under_seed(self):
+        a = RandomPolicy(seed=7)
+        b = RandomPolicy(seed=7)
+        for page in range(20):
+            a.on_pin(page)
+            b.on_pin(page)
+        assert a.select_victims(5) == b.select_victims(5)
+
+    def test_victims_are_members(self):
+        policy = RandomPolicy(seed=1)
+        for page in range(10):
+            policy.on_pin(page)
+        victims = policy.select_victims(4, exclude={0, 1})
+        assert len(victims) == 4
+        assert all(0 <= v < 10 and v not in (0, 1) for v in victims)
+
+
+class TestProtocolErrors:
+    @pytest.mark.parametrize("name", sorted(PIN_POLICIES))
+    def test_double_pin_rejected(self, name):
+        policy = make_pin_policy(name)
+        policy.on_pin(1)
+        with pytest.raises(CapacityError):
+            policy.on_pin(1)
+
+    @pytest.mark.parametrize("name", sorted(PIN_POLICIES))
+    def test_unpin_unknown_rejected(self, name):
+        with pytest.raises(CapacityError):
+            make_pin_policy(name).on_unpin(1)
+
+    @pytest.mark.parametrize("name", sorted(PIN_POLICIES))
+    def test_too_many_victims_rejected(self, name):
+        policy = make_pin_policy(name)
+        policy.on_pin(1)
+        policy.on_pin(2)
+        with pytest.raises(CapacityError):
+            policy.select_victims(2, exclude={1})
+
+    @pytest.mark.parametrize("name", sorted(PIN_POLICIES))
+    def test_zero_victims_is_empty(self, name):
+        policy = make_pin_policy(name)
+        policy.on_pin(1)
+        assert policy.select_victims(0) == []
+
+
+class TestPolicyProperties:
+    @pytest.mark.parametrize("name", sorted(PIN_POLICIES))
+    @given(ops=st.lists(st.tuples(st.sampled_from(["pin", "access", "unpin"]),
+                                  st.integers(min_value=0, max_value=30)),
+                        max_size=150))
+    def test_membership_tracks_reference(self, name, ops):
+        policy = make_pin_policy(name)
+        reference = set()
+        for op, page in ops:
+            if op == "pin" and page not in reference:
+                policy.on_pin(page)
+                reference.add(page)
+            elif op == "access":
+                policy.on_access(page)
+            elif op == "unpin" and page in reference:
+                policy.on_unpin(page)
+                reference.remove(page)
+        assert len(policy) == len(reference)
+        assert all(page in policy for page in reference)
+
+    @pytest.mark.parametrize("name", sorted(PIN_POLICIES))
+    @given(pages=st.sets(st.integers(min_value=0, max_value=100),
+                         min_size=5, max_size=30),
+           n=st.integers(min_value=1, max_value=5))
+    def test_victims_distinct_members_respecting_exclude(self, name,
+                                                         pages, n):
+        policy = make_pin_policy(name)
+        for page in sorted(pages):
+            policy.on_pin(page)
+        exclude = set(sorted(pages)[:2])
+        n = min(n, len(pages) - len(exclude))
+        victims = policy.select_victims(n, exclude=exclude)
+        assert len(victims) == n
+        assert len(set(victims)) == n
+        assert all(v in pages and v not in exclude for v in victims)

@@ -1,0 +1,138 @@
+"""Dynamic pinning limits and OS reclaim (Section 3.4's open issue)."""
+
+import pytest
+
+from repro.core.reclaim import ReclaimCoordinator
+from repro.core.shared_cache import SharedUtlbCache
+from repro.core.utlb import CountingFrameDriver, HierarchicalUtlb
+from repro.errors import CapacityError, ConfigError
+
+
+def build_host(num_processes=2, pinned_each=20):
+    cache = SharedUtlbCache(num_entries=256)
+    driver = CountingFrameDriver()
+    coordinator = ReclaimCoordinator()
+    utlbs = []
+    for pid in range(num_processes):
+        utlb = HierarchicalUtlb(pid, cache, driver=driver)
+        coordinator.register(utlb)
+        for page in range(pinned_each):
+            utlb.access_page(page)
+        utlbs.append(utlb)
+    return coordinator, utlbs
+
+
+class TestRegistration:
+    def test_double_register_rejected(self):
+        coordinator, utlbs = build_host(1)
+        with pytest.raises(ConfigError):
+            coordinator.register(utlbs[0])
+
+    def test_pinned_accounting(self):
+        coordinator, _ = build_host(2, pinned_each=15)
+        assert coordinator.pinned_pages(0) == 15
+        assert coordinator.pinned_pages() == 30
+
+
+class TestDynamicLimit:
+    def test_shrinking_limit_evicts_overflow(self):
+        coordinator, utlbs = build_host(1, pinned_each=20)
+        evicted = coordinator.set_limit(0, 12)
+        assert evicted == 8
+        assert len(utlbs[0].pool) == 12
+        utlbs[0].check_invariants()
+
+    def test_growing_limit_evicts_nothing(self):
+        coordinator, utlbs = build_host(1, pinned_each=20)
+        assert coordinator.set_limit(0, 100) == 0
+        assert len(utlbs[0].pool) == 20
+
+    def test_new_limit_enforced_on_future_pins(self):
+        coordinator, utlbs = build_host(1, pinned_each=20)
+        coordinator.set_limit(0, 10)
+        utlbs[0].access_page(999)
+        assert len(utlbs[0].pool) <= 10
+        utlbs[0].check_invariants()
+
+    def test_limit_none_removes_bound(self):
+        coordinator, utlbs = build_host(1, pinned_each=20)
+        coordinator.set_limit(0, 10)
+        coordinator.set_limit(0, None)
+        for page in range(100, 150):
+            utlbs[0].access_page(page)
+        assert len(utlbs[0].pool) == 60
+
+    def test_bad_limit_rejected(self):
+        coordinator, _ = build_host(1)
+        with pytest.raises(ConfigError):
+            coordinator.set_limit(0, 0)
+
+    def test_unknown_pid_rejected(self):
+        coordinator, _ = build_host(1)
+        with pytest.raises(ConfigError):
+            coordinator.set_limit(99, 10)
+
+
+class TestReclaim:
+    def test_reclaim_frees_requested_pages(self):
+        coordinator, utlbs = build_host(2, pinned_each=20)
+        assert coordinator.reclaim(10) == 10
+        assert coordinator.pinned_pages() == 30
+        for utlb in utlbs:
+            utlb.check_invariants()
+
+    def test_reclaim_prefers_biggest_pinner(self):
+        coordinator, utlbs = build_host(2, pinned_each=10)
+        for page in range(10, 40):
+            utlbs[1].access_page(page)       # pid 1 now pins 40
+        coordinator.reclaim(10)
+        assert len(utlbs[1].pool) < 40
+        assert len(utlbs[0].pool) == 10      # small pinner untouched
+
+    def test_reclaimed_pages_fully_invalidated(self):
+        coordinator, utlbs = build_host(1, pinned_each=10)
+        coordinator.reclaim(5)
+        utlb = utlbs[0]
+        remaining = set(utlb.pool.policy._pool)
+        for page in range(10):
+            in_pool = page in remaining
+            assert utlb.bitvector.test(page) == in_pool
+            assert (utlb.table.lookup(page) is not None) == in_pool
+
+    def test_held_pages_never_reclaimed(self):
+        coordinator, utlbs = build_host(1, pinned_each=10)
+        for page in range(8):
+            utlbs[0].hold(page)
+        coordinator.reclaim(2)
+        for page in range(8):
+            assert utlbs[0].bitvector.test(page)
+
+    def test_reclaim_beyond_evictable_raises(self):
+        coordinator, utlbs = build_host(1, pinned_each=5)
+        for page in range(5):
+            utlbs[0].hold(page)
+        with pytest.raises(CapacityError):
+            coordinator.reclaim(1)
+
+    def test_zero_request_is_noop(self):
+        coordinator, _ = build_host(1)
+        assert coordinator.reclaim(0) == 0
+
+    def test_reaccess_after_reclaim_repins(self):
+        coordinator, utlbs = build_host(1, pinned_each=10)
+        coordinator.reclaim(10)
+        utlb = utlbs[0]
+        before = utlb.stats.pages_pinned
+        utlb.access_page(3)
+        assert utlb.stats.pages_pinned == before + 1
+        utlb.check_invariants()
+
+
+class TestStats:
+    def test_counters(self):
+        coordinator, _ = build_host(2, pinned_each=20)
+        coordinator.set_limit(0, 10)
+        coordinator.reclaim(5)
+        assert coordinator.stats.limit_changes == 1
+        assert coordinator.stats.reclaim_calls == 1
+        assert coordinator.stats.pages_reclaimed == 15

@@ -1,0 +1,171 @@
+"""The Shared UTLB-Cache: tags, offsetting, prefetch fills, invalidation."""
+
+import pytest
+
+from repro.core.shared_cache import SharedUtlbCache
+from repro.errors import CapacityError
+
+
+def make_cache(**kwargs):
+    kwargs.setdefault("num_entries", 64)
+    cache = SharedUtlbCache(**kwargs)
+    cache.register_process(1)
+    return cache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        hit, _ = cache.lookup(1, 5)
+        assert not hit
+        cache.fill(1, 5, 500)
+        hit, frame = cache.lookup(1, 5)
+        assert hit and frame == 500
+
+    def test_processes_do_not_alias(self):
+        cache = make_cache()
+        cache.register_process(2)
+        cache.fill(1, 5, 500)
+        hit, _ = cache.lookup(2, 5)
+        assert not hit
+
+    def test_unregistered_process_rejected(self):
+        cache = make_cache()
+        with pytest.raises(CapacityError):
+            cache.lookup(99, 5)
+
+    def test_register_idempotent(self):
+        cache = make_cache()
+        assert cache.register_process(1) == cache.register_process(1)
+
+    def test_process_tag_space_limited(self):
+        cache = make_cache(max_processes=2)
+        cache.register_process(2)
+        with pytest.raises(CapacityError):
+            cache.register_process(3)
+
+    def test_stats_counted(self):
+        cache = make_cache()
+        cache.lookup(1, 5)
+        cache.fill(1, 5, 500)
+        cache.lookup(1, 5)
+        assert cache.stats.accesses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+
+class TestOffsetting:
+    def test_offsets_spread_processes(self):
+        cache = make_cache(num_entries=64, offsetting=True, max_processes=4)
+        cache.register_process(2)
+        # Same vpage from different processes lands in different sets.
+        set1 = cache._cache.set_index((1, 10))
+        set2 = cache._cache.set_index((2, 10))
+        assert set1 != set2
+
+    def test_nohash_collides_across_processes(self):
+        cache = make_cache(num_entries=64, offsetting=False)
+        cache.register_process(2)
+        assert (cache._cache.set_index((1, 10))
+                == cache._cache.set_index((2, 10)))
+
+    def test_nohash_direct_mapped_thrashes(self):
+        """Two processes ping-ponging the same vpage: offsetting keeps
+        both resident; nohash evicts on every access — the Table 8
+        'direct-nohash' effect in miniature."""
+        def misses(offsetting):
+            cache = SharedUtlbCache(num_entries=64, offsetting=offsetting,
+                                    max_processes=4)
+            cache.register_process(1)
+            cache.register_process(2)
+            for _ in range(50):
+                for pid in (1, 2):
+                    hit, _ = cache.lookup(pid, 10)
+                    if not hit:
+                        cache.fill(pid, 10, 1)
+            return cache.stats.misses
+
+        assert misses(True) == 2            # compulsory only
+        assert misses(False) == 100         # every access misses
+
+
+class TestPrefetchFill:
+    def test_fill_block_skips_invalid(self):
+        cache = make_cache()
+        cache.fill_block(1, [(10, 100), (11, None), (12, 120)])
+        assert (1, 10) in cache
+        assert (1, 11) not in cache
+        assert (1, 12) in cache
+
+    def test_fill_block_returns_evicted(self):
+        cache = make_cache(num_entries=2, max_processes=1)
+        cache.fill(1, 0, 1)
+        cache.fill(1, 1, 2)
+        evicted = cache.fill_block(1, [(2, 3), (3, 4)])
+        assert len(evicted) == 2
+
+    def test_prefetched_entries_hit_later(self):
+        cache = make_cache()
+        cache.fill_block(1, [(10, 100), (11, 110), (12, 120), (13, 130)])
+        for vpage in (11, 12, 13):
+            hit, frame = cache.lookup(1, vpage)
+            assert hit and frame == vpage * 10
+
+
+class TestInvalidation:
+    def test_invalidate_single(self):
+        cache = make_cache()
+        cache.fill(1, 5, 500)
+        assert cache.invalidate(1, 5)
+        hit, _ = cache.lookup(1, 5)
+        assert not hit
+
+    def test_invalidate_absent_returns_false(self):
+        assert not make_cache().invalidate(1, 5)
+
+    def test_invalidate_process_drops_only_theirs(self):
+        cache = make_cache()
+        cache.register_process(2)
+        cache.fill(1, 5, 500)
+        cache.fill(1, 6, 600)
+        cache.fill(2, 5, 700)
+        assert cache.invalidate_process(1) == 2
+        assert (2, 5) in cache
+        assert len(cache) == 1
+
+
+class TestClassifierIntegration:
+    def test_classifier_attached_when_requested(self):
+        cache = make_cache(classify=True)
+        cache.lookup(1, 5)
+        cache.fill(1, 5, 500)
+        cache.lookup(1, 5)
+        assert cache.classifier.breakdown.compulsory == 1
+        assert cache.classifier.breakdown.accesses == 2
+
+    def test_invalidated_reaccess_is_not_compulsory(self):
+        cache = make_cache(classify=True, num_entries=64)
+        cache.lookup(1, 5)
+        cache.fill(1, 5, 500)
+        cache.invalidate(1, 5)
+        cache.lookup(1, 5)
+        b = cache.classifier.breakdown
+        assert b.compulsory == 1
+        assert b.total_misses == 2
+
+
+class TestGeometry:
+    def test_entries_for_process(self):
+        cache = make_cache()
+        cache.fill(1, 5, 500)
+        cache.fill(1, 9, 900)
+        assert sorted(cache.entries_for(1)) == [(5, 500), (9, 900)]
+
+    def test_sram_accounting(self):
+        cache = make_cache(num_entries=8192)
+        assert cache.sram_bytes() == 32 * 1024     # the paper's 32 KB
+
+    def test_associativity_exposed(self):
+        cache = make_cache(num_entries=64, associativity=4)
+        assert cache.associativity == 4
+        assert cache.num_sets == 16

@@ -1,0 +1,88 @@
+"""TranslationStats: rates, time accounting, merging."""
+
+import pytest
+
+from repro.core.stats import TranslationStats
+
+
+class TestRates:
+    def test_empty_rates_are_zero(self):
+        stats = TranslationStats()
+        assert stats.check_miss_rate == 0.0
+        assert stats.ni_miss_rate == 0.0
+        assert stats.unpin_rate == 0.0
+        assert stats.avg_lookup_cost_us == 0.0
+
+    def test_rates_divide_by_lookups(self):
+        stats = TranslationStats()
+        stats.lookups = 100
+        stats.check_misses = 25
+        stats.ni_misses = 50
+        stats.pages_unpinned = 10
+        assert stats.check_miss_rate == pytest.approx(0.25)
+        assert stats.ni_miss_rate == pytest.approx(0.50)
+        assert stats.unpin_rate == pytest.approx(0.10)
+
+    def test_total_time_sums_components(self):
+        stats = TranslationStats()
+        stats.check_time_us = 1.0
+        stats.pin_time_us = 2.0
+        stats.unpin_time_us = 3.0
+        stats.ni_hit_time_us = 4.0
+        stats.ni_miss_time_us = 5.0
+        stats.interrupt_time_us = 6.0
+        assert stats.total_time_us == pytest.approx(21.0)
+
+    def test_amortized_costs(self):
+        stats = TranslationStats()
+        stats.lookups = 10
+        stats.pin_time_us = 50.0
+        stats.unpin_time_us = 20.0
+        assert stats.amortized_pin_cost_us == pytest.approx(5.0)
+        assert stats.amortized_unpin_cost_us == pytest.approx(2.0)
+
+
+class TestMerge:
+    def test_merge_adds_counters(self):
+        a = TranslationStats()
+        b = TranslationStats()
+        a.lookups, b.lookups = 10, 30
+        a.ni_misses, b.ni_misses = 5, 5
+        a.merge(b)
+        assert a.lookups == 40
+        assert a.ni_miss_rate == pytest.approx(0.25)
+
+    def test_merged_classmethod(self):
+        parts = []
+        for count in (1, 2, 3):
+            s = TranslationStats()
+            s.lookups = count
+            s.pin_time_us = float(count)
+            parts.append(s)
+        total = TranslationStats.merged(parts)
+        assert total.lookups == 6
+        assert total.pin_time_us == pytest.approx(6.0)
+
+    def test_merge_returns_self(self):
+        a = TranslationStats()
+        assert a.merge(TranslationStats()) is a
+
+    def test_merged_rate_is_lookup_weighted(self):
+        """Merging must weight rates by lookups, not average them."""
+        a = TranslationStats()
+        a.lookups, a.ni_misses = 100, 100       # rate 1.0
+        b = TranslationStats()
+        b.lookups, b.ni_misses = 900, 0         # rate 0.0
+        total = TranslationStats.merged([a, b])
+        assert total.ni_miss_rate == pytest.approx(0.1)
+
+
+class TestSnapshot:
+    def test_snapshot_contains_counters_and_rates(self):
+        stats = TranslationStats()
+        stats.lookups = 4
+        stats.check_misses = 1
+        snap = stats.snapshot()
+        assert snap["lookups"] == 4
+        assert snap["check_miss_rate"] == pytest.approx(0.25)
+        assert "avg_lookup_cost_us" in snap

@@ -1,0 +1,225 @@
+"""Hierarchical and per-process translation tables."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import params
+from repro.core.translation_table import (
+    HierarchicalTranslationTable,
+    PerProcessTranslationTable,
+    TableSwappedError,
+)
+from repro.errors import CapacityError, TranslationError
+
+
+class TestHierarchicalBasics:
+    def test_lookup_missing_is_none(self):
+        table = HierarchicalTranslationTable(1)
+        assert table.lookup(42) is None
+
+    def test_install_lookup(self):
+        table = HierarchicalTranslationTable(1)
+        table.install(42, 1000)
+        assert table.lookup(42) == 1000
+        assert 42 in table
+
+    def test_invalidate_returns_frame(self):
+        table = HierarchicalTranslationTable(1)
+        table.install(42, 1000)
+        assert table.invalidate(42) == 1000
+        assert table.lookup(42) is None
+
+    def test_invalidate_missing_raises(self):
+        with pytest.raises(TranslationError):
+            HierarchicalTranslationTable(1).invalidate(42)
+
+    def test_install_bad_frame_rejected(self):
+        table = HierarchicalTranslationTable(1)
+        with pytest.raises(TranslationError):
+            table.install(42, None)
+        with pytest.raises(TranslationError):
+            table.install(42, -5)
+
+    def test_entries_counted_once_per_page(self):
+        table = HierarchicalTranslationTable(1)
+        table.install(42, 1)
+        table.install(42, 2)        # re-install same page
+        assert len(table) == 1
+        assert table.lookup(42) == 2
+
+    def test_mapped_pages_sorted(self):
+        table = HierarchicalTranslationTable(1)
+        for page in (9000, 5, 2048):
+            table.install(page, page + 1)
+        assert [p for p, _ in table.mapped_pages()] == [5, 2048, 9000]
+
+    def test_second_level_table_reclaimed(self):
+        table = HierarchicalTranslationTable(1)
+        table.install(5, 1)
+        assert table.second_level_tables == 1
+        table.invalidate(5)
+        assert table.second_level_tables == 0
+        assert table.memory_bytes == 0
+
+
+class TestGarbagePage:
+    def test_lookup_or_garbage_falls_back(self):
+        table = HierarchicalTranslationTable(1, garbage_frame=777)
+        assert table.lookup_or_garbage(42) == 777
+
+    def test_lookup_or_garbage_prefers_real_entry(self):
+        table = HierarchicalTranslationTable(1, garbage_frame=777)
+        table.install(42, 5)
+        assert table.lookup_or_garbage(42) == 5
+
+    def test_no_garbage_frame_raises(self):
+        table = HierarchicalTranslationTable(1)
+        with pytest.raises(TranslationError):
+            table.lookup_or_garbage(42)
+
+
+class TestReadBlock:
+    def test_block_includes_invalid_entries_as_none(self):
+        table = HierarchicalTranslationTable(1)
+        table.install(10, 100)
+        table.install(12, 120)
+        block = table.read_block(10, 4)
+        assert block == [(10, 100), (11, None), (12, 120), (13, None)]
+
+    def test_block_truncated_at_table_boundary(self):
+        table = HierarchicalTranslationTable(1)
+        last = params.TABLE_ENTRIES - 2
+        table.install(last, 1)
+        block = table.read_block(last, 8)
+        assert len(block) == 2          # only 2 entries left in this table
+        assert block[0] == (last, 1)
+
+    def test_zero_block_rejected(self):
+        with pytest.raises(TranslationError):
+            HierarchicalTranslationTable(1).read_block(0, 0)
+
+
+class TestTableSwapping:
+    def test_swap_out_and_lookup_raises(self):
+        table = HierarchicalTranslationTable(1)
+        table.install(5, 1)
+        block = table.swap_out_table(0)
+        with pytest.raises(TableSwappedError) as exc:
+            table.lookup(5)
+        assert exc.value.disk_block == block
+        assert not table.is_table_resident(0)
+
+    def test_swap_in_restores_entries(self):
+        table = HierarchicalTranslationTable(1)
+        table.install(5, 99)
+        table.swap_out_table(0)
+        table.swap_in_table(0)
+        assert table.lookup(5) == 99
+
+    def test_install_into_swapped_table_raises(self):
+        table = HierarchicalTranslationTable(1)
+        table.install(5, 1)
+        table.swap_out_table(0)
+        with pytest.raises(TableSwappedError):
+            table.install(6, 2)
+
+    def test_double_swap_out_raises(self):
+        table = HierarchicalTranslationTable(1)
+        table.swap_out_table(3)
+        with pytest.raises(TranslationError):
+            table.swap_out_table(3)
+
+    def test_swap_in_unswapped_raises(self):
+        with pytest.raises(TranslationError):
+            HierarchicalTranslationTable(1).swap_in_table(3)
+
+    def test_contains_sees_swapped_entries(self):
+        table = HierarchicalTranslationTable(1)
+        table.install(5, 1)
+        table.swap_out_table(0)
+        assert 5 in table
+
+
+class TestPerProcessTable:
+    def test_install_read(self):
+        table = PerProcessTranslationTable(1, num_slots=16)
+        table.install(3, 42, 1000)
+        assert table.read_slot(3) == 1000
+        assert table.used_slots == 1
+
+    def test_free_slot_reads_garbage(self):
+        table = PerProcessTranslationTable(1, num_slots=16, garbage_frame=9)
+        assert table.read_slot(5) == 9
+
+    def test_free_slot_without_garbage_raises(self):
+        table = PerProcessTranslationTable(1, num_slots=16)
+        with pytest.raises(TranslationError):
+            table.read_slot(5)
+
+    def test_out_of_range_slot_rejected(self):
+        table = PerProcessTranslationTable(1, num_slots=16)
+        with pytest.raises(TranslationError):
+            table.read_slot(16)
+        with pytest.raises(TranslationError):
+            table.install(-1, 0, 0)
+
+    def test_double_install_rejected(self):
+        table = PerProcessTranslationTable(1, num_slots=16)
+        table.install(3, 42, 1000)
+        with pytest.raises(TranslationError):
+            table.install(3, 43, 1001)
+
+    def test_free_returns_entry(self):
+        table = PerProcessTranslationTable(1, num_slots=16)
+        table.install(3, 42, 1000)
+        assert table.free(3) == (42, 1000)
+        assert table.free_slots == 16
+
+    def test_free_empty_slot_raises(self):
+        with pytest.raises(TranslationError):
+            PerProcessTranslationTable(1, num_slots=16).free(3)
+
+    def test_find_free_slots(self):
+        table = PerProcessTranslationTable(1, num_slots=8)
+        table.install(0, 1, 1)
+        table.install(2, 2, 2)
+        assert table.find_free_slots(3) == [1, 3, 4]
+
+    def test_find_free_slots_exhausted(self):
+        table = PerProcessTranslationTable(1, num_slots=2)
+        table.install(0, 1, 1)
+        table.install(1, 2, 2)
+        with pytest.raises(CapacityError):
+            table.find_free_slots(1)
+
+
+class TestFragmentation:
+    def test_empty_table_unfragmented(self):
+        assert PerProcessTranslationTable(1, num_slots=16).fragmentation() == 0.0
+
+    def test_contiguous_use_unfragmented(self):
+        table = PerProcessTranslationTable(1, num_slots=16)
+        for slot in range(4):
+            table.install(slot, slot, slot)
+        assert table.fragmentation() == 0.0
+
+    def test_scattered_use_fragments(self):
+        table = PerProcessTranslationTable(1, num_slots=16)
+        for slot in (0, 4, 8, 12):
+            table.install(slot, slot, slot)
+        assert table.fragmentation() > 0.0
+
+
+class TestHierarchicalProperties:
+    @given(st.dictionaries(
+        st.integers(min_value=0, max_value=params.NUM_VPAGES - 1),
+        st.integers(min_value=1, max_value=1 << 20),
+        max_size=100))
+    def test_table_matches_reference_dict(self, mapping):
+        table = HierarchicalTranslationTable(1)
+        for vpage, frame in mapping.items():
+            table.install(vpage, frame)
+        assert dict(table.mapped_pages()) == mapping
+        assert len(table) == len(mapping)
+        for vpage, frame in mapping.items():
+            assert table.lookup(vpage) == frame

@@ -1,0 +1,253 @@
+"""Hierarchical-UTLB: the mechanism the paper evaluates (Section 3.3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.shared_cache import SharedUtlbCache
+from repro.core.utlb import CountingFrameDriver, HierarchicalUtlb
+from repro.errors import ConfigError, PinningError
+
+from tests.conftest import make_utlb
+
+
+class TestFastPath:
+    def test_first_access_is_check_and_ni_miss(self, utlb):
+        utlb.access_page(10)
+        assert utlb.stats.check_misses == 1
+        assert utlb.stats.ni_misses == 1
+        assert utlb.stats.pages_pinned == 1
+
+    def test_second_access_hits_everywhere(self, utlb):
+        frame1 = utlb.access_page(10)
+        frame2 = utlb.access_page(10)
+        assert frame1 == frame2
+        assert utlb.stats.check_misses == 1
+        assert utlb.stats.ni_misses == 1
+        assert utlb.stats.ni_hits == 1
+
+    def test_no_syscall_no_interrupt_on_hit_path(self, utlb):
+        """The headline claim: the common path has no OS involvement."""
+        utlb.access_page(10)
+        pins_before = utlb.stats.pin_calls
+        for _ in range(100):
+            utlb.access_page(10)
+        assert utlb.stats.pin_calls == pins_before
+        assert utlb.stats.unpin_calls == 0
+        assert utlb.stats.interrupts == 0
+
+    def test_translation_survives_cache_eviction(self):
+        """Unlike the interrupt-based baseline, UTLB keeps translations
+        alive in host memory after NIC-cache eviction: re-access is an NI
+        miss but NOT a check miss, and causes no pin/unpin."""
+        utlb = make_utlb(cache_entries=2)
+        for page in (0, 1, 2):      # page 0 evicted from the 2-entry cache
+            utlb.access_page(page)
+        pins = utlb.stats.pages_pinned
+        utlb.access_page(0)
+        assert utlb.stats.check_misses == 3
+        assert utlb.stats.ni_misses == 4
+        assert utlb.stats.pages_pinned == pins
+        assert utlb.stats.pages_unpinned == 0
+
+
+class TestCostAccounting:
+    def test_measured_time_matches_cost_equation(self):
+        """The simulator's accumulated time equals the Section 6.2
+        equation applied to its own rates — the Table 6 cross-check."""
+        utlb = make_utlb(cache_entries=8)
+        rng = random.Random(0)
+        for _ in range(500):
+            utlb.access_page(rng.randrange(30))
+        s = utlb.stats
+        expected = s.lookups * utlb.cost_model.utlb_lookup_cost(
+            s.check_miss_rate, s.ni_miss_rate, s.unpin_rate)
+        assert s.total_time_us == pytest.approx(expected, rel=1e-9)
+
+
+class TestMemoryLimit:
+    def test_limit_enforced(self):
+        utlb = make_utlb(memory_limit_pages=4)
+        for page in range(10):
+            utlb.access_page(page)
+        assert len(utlb.pool) <= 4
+        assert utlb.stats.pages_unpinned == 6
+        utlb.check_invariants()
+
+    def test_lru_evicts_oldest(self):
+        utlb = make_utlb(memory_limit_pages=2, pin_policy="lru")
+        utlb.access_page(0)
+        utlb.access_page(1)
+        utlb.access_page(2)          # evicts 0
+        assert not utlb.bitvector.test(0)
+        assert utlb.bitvector.test(1)
+        assert utlb.bitvector.test(2)
+
+    def test_unpinned_page_invalidated_everywhere(self):
+        utlb = make_utlb(memory_limit_pages=1)
+        utlb.access_page(0)
+        utlb.access_page(1)
+        assert utlb.table.lookup(0) is None
+        assert (utlb.pid, 0) not in utlb.cache
+        assert 0 not in utlb.pool
+
+    def test_reaccess_after_unpin_is_check_miss(self):
+        utlb = make_utlb(memory_limit_pages=1)
+        utlb.access_page(0)
+        utlb.access_page(1)
+        utlb.access_page(0)
+        assert utlb.stats.check_misses == 3
+
+    def test_held_pages_survive_pressure(self):
+        utlb = make_utlb(memory_limit_pages=2)
+        utlb.access_page(0)
+        utlb.hold(0)
+        utlb.access_page(1)
+        utlb.access_page(2)          # must evict 1, not held 0
+        assert utlb.bitvector.test(0)
+        assert not utlb.bitvector.test(1)
+        utlb.release(0)
+
+
+class TestPrepinning:
+    def test_prepin_pins_contiguous_pages(self):
+        utlb = make_utlb(prepin=4)
+        utlb.access_page(10)
+        assert utlb.stats.pages_pinned == 4
+        assert utlb.stats.pin_calls == 1
+        for page in (10, 11, 12, 13):
+            assert utlb.bitvector.test(page)
+
+    def test_prepin_skips_already_pinned(self):
+        utlb = make_utlb(prepin=4)
+        utlb.access_page(11)                 # pins 11..14
+        utlb.access_page(10)                 # pins only 10
+        assert utlb.stats.pages_pinned == 5
+
+    def test_prepinned_pages_are_check_hits(self):
+        utlb = make_utlb(prepin=4)
+        utlb.access_page(10)
+        utlb.access_page(11)
+        assert utlb.stats.check_misses == 1
+
+    def test_prepin_capped_by_limit(self):
+        utlb = make_utlb(prepin=8, memory_limit_pages=4)
+        utlb.access_page(10)
+        assert utlb.stats.pages_pinned == 4
+        utlb.check_invariants()
+
+    def test_prepin_cheaper_per_page(self, cost_model):
+        """The amortization argument of Section 6.5 on a sequential scan."""
+        def pin_time(prepin):
+            utlb = make_utlb(prepin=prepin)
+            for page in range(64):
+                utlb.access_page(page)
+            return utlb.stats.pin_time_us
+
+        assert pin_time(16) < pin_time(1)
+
+
+class TestPrefetch:
+    def test_prefetch_fills_neighbours(self):
+        utlb = make_utlb(prefetch=4, prepin=4)
+        utlb.access_page(10)
+        for page in (11, 12, 13):
+            assert (utlb.pid, page) in utlb.cache
+        # Accessing the prefetched pages causes no further NI misses.
+        for page in (11, 12, 13):
+            utlb.access_page(page)
+        assert utlb.stats.ni_misses == 1
+
+    def test_prefetch_reduces_misses_on_sequential_scan(self):
+        def misses(prefetch):
+            utlb = make_utlb(cache_entries=256, prefetch=prefetch,
+                             prepin=prefetch)
+            for page in range(128):
+                utlb.access_page(page)
+            return utlb.stats.ni_misses
+
+        assert misses(8) < misses(1)
+
+    def test_prefetch_only_valid_entries(self):
+        """Prefetch must not install translations for unpinned pages."""
+        utlb = make_utlb(prefetch=8, prepin=1)
+        utlb.access_page(10)         # only page 10 pinned
+        assert (utlb.pid, 11) not in utlb.cache
+
+    def test_entries_fetched_counted(self):
+        utlb = make_utlb(prefetch=8, prepin=1)
+        utlb.access_page(10)
+        assert utlb.stats.entries_fetched == 8
+
+
+class TestBufferTranslation:
+    def test_translate_buffer_yields_chunks(self, utlb):
+        chunks = list(utlb.translate_buffer(0x0FF0, 0x30))
+        assert len(chunks) == 2
+        assert chunks[0][1:] == (0x0FF0, 0x10)
+        assert chunks[1][1:] == (0x0, 0x20)
+        assert utlb.stats.lookups == 2
+
+    def test_ensure_pinned_no_lookup_stats(self, utlb):
+        newly = utlb.ensure_pinned(0x10000, 3 * 4096)
+        assert len(newly) == 3
+        assert utlb.stats.lookups == 0
+        assert utlb.stats.check_misses == 0
+        assert utlb.stats.pages_pinned == 3
+
+    def test_ensure_pinned_idempotent(self, utlb):
+        utlb.ensure_pinned(0x10000, 4096)
+        assert utlb.ensure_pinned(0x10000, 4096) == []
+        assert utlb.stats.pin_calls == 1
+
+
+class TestConfigValidation:
+    def test_bad_prepin_rejected(self):
+        with pytest.raises(ConfigError):
+            make_utlb(prepin=0)
+
+    def test_bad_prefetch_rejected(self):
+        with pytest.raises(ConfigError):
+            make_utlb(prefetch=0)
+
+
+class TestTeardown:
+    def test_unpin_all_releases_everything(self):
+        utlb = make_utlb()
+        for page in range(10):
+            utlb.access_page(page)
+        utlb.unpin_all()
+        assert utlb.bitvector.count == 0
+        assert len(utlb.table) == 0
+        assert len(utlb.pool) == 0
+        utlb.check_invariants()
+
+
+class TestInvariantsUnderRandomWorkload:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=60),
+                    min_size=1, max_size=300),
+           st.sampled_from(["lru", "mru", "lfu", "mfu", "random"]),
+           st.integers(min_value=1, max_value=4),
+           st.integers(min_value=1, max_value=8))
+    def test_invariants_hold(self, accesses, policy, prepin, prefetch):
+        utlb = make_utlb(cache_entries=16, memory_limit_pages=16,
+                         pin_policy=policy, prepin=prepin, prefetch=prefetch)
+        for page in accesses:
+            utlb.access_page(page)
+        assert utlb.check_invariants()
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=40),
+                    min_size=1, max_size=200))
+    def test_frames_stable_across_cache_evictions(self, accesses):
+        """A page's frame never changes while it stays pinned, no matter
+        what the NIC cache does."""
+        utlb = make_utlb(cache_entries=4)
+        frames = {}
+        for page in accesses:
+            frame = utlb.access_page(page)
+            if page in frames:
+                assert frames[page] == frame
+            frames[page] = frame

@@ -1,0 +1,114 @@
+"""Per-process address spaces: demand paging, pinning, swapping, data."""
+
+import pytest
+
+from repro import params
+from repro.errors import AddressError, PinningError
+from repro.memsim.address_space import AddressSpace
+from repro.memsim.physical import PhysicalMemory
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(1, PhysicalMemory(64 * params.PAGE_SIZE))
+
+
+class TestDemandPaging:
+    def test_touch_allocates_once(self, space):
+        frame = space.touch(5)
+        assert space.touch(5) == frame
+        assert space.page_faults == 1
+
+    def test_not_resident_initially(self, space):
+        assert not space.is_resident(5)
+
+    def test_frame_of_nonresident_raises(self, space):
+        with pytest.raises(AddressError):
+            space.frame_of(5)
+
+    def test_translate(self, space):
+        space.touch(2)
+        frame, offset = space.translate(2 * params.PAGE_SIZE + 17)
+        assert frame == space.frame_of(2)
+        assert offset == 17
+
+
+class TestPinning:
+    def test_pin_makes_resident(self, space):
+        space.pin(5)
+        assert space.is_resident(5)
+        assert space.is_pinned(5)
+        assert space.pinned_count == 1
+
+    def test_double_pin_raises(self, space):
+        space.pin(5)
+        with pytest.raises(PinningError):
+            space.pin(5)
+
+    def test_unpin(self, space):
+        space.pin(5)
+        space.unpin(5)
+        assert not space.is_pinned(5)
+        assert space.is_resident(5)     # still resident, just unpinned
+
+    def test_unpin_unpinned_raises(self, space):
+        with pytest.raises(PinningError):
+            space.unpin(5)
+
+    def test_pinned_pages_sorted(self, space):
+        for page in (9, 2, 5):
+            space.pin(page)
+        assert space.pinned_pages() == [2, 5, 9]
+
+
+class TestSwapping:
+    def test_swap_out_frees_frame(self, space):
+        space.touch(5)
+        before = space.physical.allocated_frames
+        space.swap_out(5)
+        assert space.physical.allocated_frames == before - 1
+        assert not space.is_resident(5)
+
+    def test_swap_preserves_contents(self, space):
+        space.write(5 * params.PAGE_SIZE, b"persistent")
+        space.swap_out(5)
+        assert space.read(5 * params.PAGE_SIZE, 10) == b"persistent"
+        assert space.swap_ins == 1
+
+    def test_pinned_page_cannot_swap(self, space):
+        space.pin(5)
+        with pytest.raises(PinningError):
+            space.swap_out(5)
+
+    def test_pinning_guarantee_under_memory_pressure(self):
+        """The whole point of pinning: pinned pages keep their frames even
+        when everything else must be evicted."""
+        mem = PhysicalMemory(4 * params.PAGE_SIZE)
+        space = AddressSpace(1, mem)
+        pinned_frame = space.pin(0)
+        for page in (1, 2, 3):
+            space.touch(page)
+        # Memory full: swap the unpinned pages out, pinned stays put.
+        for page in (1, 2, 3):
+            space.swap_out(page)
+        assert space.frame_of(0) == pinned_frame
+
+
+class TestDataAccess:
+    def test_write_read_roundtrip_across_pages(self, space):
+        data = bytes(range(256)) * 40       # 10240 bytes: 3 pages
+        space.write(0x1F00, data)
+        assert space.read(0x1F00, len(data)) == data
+
+    def test_read_faults_pages_in(self, space):
+        space.read(0, 10)
+        assert space.page_faults == 1
+
+
+class TestDestroy:
+    def test_destroy_releases_everything(self, space):
+        space.pin(1)
+        space.touch(2)
+        space.destroy()
+        assert space.physical.allocated_frames == 0
+        assert space.pinned_count == 0

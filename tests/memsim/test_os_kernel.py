@@ -1,0 +1,98 @@
+"""The simulated OS: processes, syscalls, ioctl dispatch, interrupts."""
+
+import pytest
+
+from repro.errors import ConfigError, ProtectionError
+from repro.memsim.os_kernel import SimulatedOS
+
+
+@pytest.fixture
+def os_sim():
+    return SimulatedOS()
+
+
+class TestProcesses:
+    def test_auto_pid_assignment(self, os_sim):
+        a = os_sim.create_process()
+        b = os_sim.create_process()
+        assert a.pid != b.pid
+
+    def test_explicit_pid(self, os_sim):
+        p = os_sim.create_process(pid=42)
+        assert os_sim.process(42) is p
+
+    def test_duplicate_pid_rejected(self, os_sim):
+        os_sim.create_process(pid=42)
+        with pytest.raises(ConfigError):
+            os_sim.create_process(pid=42)
+
+    def test_unknown_pid_raises(self, os_sim):
+        with pytest.raises(ProtectionError):
+            os_sim.process(99)
+
+    def test_destroy_releases_memory(self, os_sim):
+        p = os_sim.create_process()
+        p.space.pin(1)
+        os_sim.destroy_process(p.pid)
+        assert os_sim.physical.allocated_frames == 0
+        with pytest.raises(ProtectionError):
+            os_sim.process(p.pid)
+
+    def test_explicit_then_auto_pid_no_collision(self, os_sim):
+        os_sim.create_process(pid=5)
+        p = os_sim.create_process()
+        assert p.pid != 5
+
+
+class TestSyscalls:
+    def test_sys_pin_counts_syscall(self, os_sim):
+        p = os_sim.create_process()
+        frames = os_sim.sys_pin(p.pid, [1, 2])
+        assert len(frames) == 2
+        assert p.syscalls == 1
+        assert os_sim.syscalls == 1
+
+    def test_sys_unpin(self, os_sim):
+        p = os_sim.create_process()
+        os_sim.sys_pin(p.pid, [1])
+        assert os_sim.sys_unpin(p.pid, [1]) == 1
+        assert not p.space.is_pinned(1)
+
+
+class TestIoctl:
+    def test_dispatch_to_registered_driver(self, os_sim):
+        calls = []
+        os_sim.register_ioctl("dev", lambda pid, req, **kw:
+                              calls.append((pid, req, kw)) or "ok")
+        p = os_sim.create_process()
+        assert os_sim.ioctl(p.pid, "dev", "ping", x=1) == "ok"
+        assert calls == [(p.pid, "ping", {"x": 1})]
+        assert p.syscalls == 1
+
+    def test_unknown_device_raises(self, os_sim):
+        p = os_sim.create_process()
+        with pytest.raises(ConfigError):
+            os_sim.ioctl(p.pid, "nodev", "ping")
+
+    def test_duplicate_driver_rejected(self, os_sim):
+        os_sim.register_ioctl("dev", lambda *a, **k: None)
+        with pytest.raises(ConfigError):
+            os_sim.register_ioctl("dev", lambda *a, **k: None)
+
+    def test_ioctl_requires_valid_process(self, os_sim):
+        os_sim.register_ioctl("dev", lambda *a, **k: None)
+        with pytest.raises(ProtectionError):
+            os_sim.ioctl(99, "dev", "ping")
+
+
+class TestInterrupts:
+    def test_dispatch(self, os_sim):
+        seen = []
+        os_sim.register_interrupt("vec", lambda **kw: seen.append(kw))
+        os_sim.raise_interrupt("vec", data=5)
+        assert seen == [{"data": 5}]
+        assert os_sim.interrupts_delivered == 1
+
+    def test_unhandled_vector_raises(self, os_sim):
+        with pytest.raises(ConfigError):
+            os_sim.raise_interrupt("vec")

@@ -1,0 +1,126 @@
+"""Physical memory: frames, pinning, contents."""
+
+import pytest
+
+from repro import params
+from repro.errors import AddressError, CapacityError
+from repro.memsim.physical import PhysicalMemory
+
+
+def small_memory(frames=4):
+    return PhysicalMemory(total_bytes=frames * params.PAGE_SIZE)
+
+
+class TestAllocation:
+    def test_allocate_returns_distinct_frames(self):
+        mem = small_memory()
+        frames = {mem.allocate() for _ in range(4)}
+        assert len(frames) == 4
+
+    def test_exhaustion_raises(self):
+        mem = small_memory(2)
+        mem.allocate()
+        mem.allocate()
+        with pytest.raises(CapacityError):
+            mem.allocate()
+
+    def test_free_recycles(self):
+        mem = small_memory(1)
+        frame = mem.allocate()
+        mem.free(frame)
+        assert mem.allocate() == frame
+
+    def test_free_unallocated_raises(self):
+        with pytest.raises(AddressError):
+            small_memory().free(0)
+
+    def test_counters(self):
+        mem = small_memory()
+        frame = mem.allocate()
+        mem.free(frame)
+        assert mem.allocations == 1
+        assert mem.frees == 1
+        assert mem.free_frames == 4
+        assert mem.allocated_frames == 0
+
+    def test_owner_recorded(self):
+        mem = small_memory()
+        frame = mem.allocate(owner_pid=7)
+        assert mem.frame(frame).owner_pid == 7
+
+    def test_too_small_memory_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(total_bytes=100)
+
+
+class TestPinning:
+    def test_pin_blocks_free(self):
+        mem = small_memory()
+        frame = mem.allocate()
+        mem.pin_frame(frame)
+        with pytest.raises(AddressError):
+            mem.free(frame)
+
+    def test_unpin_allows_free(self):
+        mem = small_memory()
+        frame = mem.allocate()
+        mem.pin_frame(frame)
+        mem.unpin_frame(frame)
+        mem.free(frame)
+
+    def test_pin_counts_nest(self):
+        mem = small_memory()
+        frame = mem.allocate()
+        mem.pin_frame(frame)
+        mem.pin_frame(frame)
+        mem.unpin_frame(frame)
+        with pytest.raises(AddressError):
+            mem.free(frame)
+
+    def test_unpin_unpinned_raises(self):
+        mem = small_memory()
+        frame = mem.allocate()
+        with pytest.raises(AddressError):
+            mem.unpin_frame(frame)
+
+    def test_pinned_frames_listing(self):
+        mem = small_memory()
+        a = mem.allocate()
+        b = mem.allocate()
+        mem.pin_frame(b)
+        assert mem.pinned_frames() == [b]
+        assert a not in mem.pinned_frames()
+
+
+class TestContents:
+    def test_untouched_frame_reads_zero(self):
+        mem = small_memory()
+        frame = mem.allocate()
+        assert mem.read(frame, 0, 8) == bytes(8)
+
+    def test_write_read_roundtrip(self):
+        mem = small_memory()
+        frame = mem.allocate()
+        mem.write(frame, 100, b"hello")
+        assert mem.read(frame, 100, 5) == b"hello"
+        assert mem.read(frame, 99, 1) == b"\x00"
+
+    def test_cross_frame_access_rejected(self):
+        mem = small_memory()
+        frame = mem.allocate()
+        with pytest.raises(AddressError):
+            mem.read(frame, params.PAGE_SIZE - 2, 4)
+        with pytest.raises(AddressError):
+            mem.write(frame, params.PAGE_SIZE - 2, b"abcd")
+
+    def test_freed_frame_contents_cleared(self):
+        mem = small_memory(1)
+        frame = mem.allocate()
+        mem.write(frame, 0, b"secret")
+        mem.free(frame)
+        frame2 = mem.allocate()
+        assert mem.read(frame2, 0, 6) == bytes(6)
+
+    def test_access_to_unallocated_frame_rejected(self):
+        with pytest.raises(AddressError):
+            small_memory().read(0, 0, 4)

@@ -1,0 +1,72 @@
+"""The OS pin/unpin facility: batching, atomicity, cost accounting."""
+
+import pytest
+
+from repro import params
+from repro.core.costs import CostModel
+from repro.errors import PinningError
+from repro.memsim.address_space import AddressSpace
+from repro.memsim.physical import PhysicalMemory
+from repro.memsim.pinning import PinFacility
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(1, PhysicalMemory(64 * params.PAGE_SIZE))
+
+
+class TestBatching:
+    def test_pin_pages_returns_frames(self, space):
+        facility = PinFacility()
+        frames = facility.pin_pages(space, [1, 2, 3])
+        assert set(frames) == {1, 2, 3}
+        assert all(space.is_pinned(v) for v in (1, 2, 3))
+
+    def test_one_call_counted_per_batch(self, space):
+        facility = PinFacility()
+        facility.pin_pages(space, [1, 2, 3])
+        facility.unpin_pages(space, [1, 2])
+        assert facility.stats.pin_calls == 1
+        assert facility.stats.pages_pinned == 3
+        assert facility.stats.unpin_calls == 1
+        assert facility.stats.pages_unpinned == 2
+
+    def test_pin_atomic_on_conflict(self, space):
+        facility = PinFacility()
+        facility.pin_pages(space, [2])
+        with pytest.raises(PinningError):
+            facility.pin_pages(space, [1, 2, 3])
+        # Nothing from the failed batch is pinned.
+        assert not space.is_pinned(1)
+        assert not space.is_pinned(3)
+
+    def test_unpin_atomic_on_missing(self, space):
+        facility = PinFacility()
+        facility.pin_pages(space, [1])
+        with pytest.raises(PinningError):
+            facility.unpin_pages(space, [1, 2])
+        assert space.is_pinned(1)
+
+
+class TestCostAccounting:
+    def test_user_rates_charged(self, space):
+        facility = PinFacility(cost_model=CostModel())
+        facility.pin_pages(space, [1])
+        assert facility.stats.time_us == pytest.approx(27.0)
+        facility.unpin_pages(space, [1])
+        assert facility.stats.time_us == pytest.approx(27.0 + 25.0)
+
+    def test_kernel_rates_exclude_context_switch(self, space):
+        facility = PinFacility(cost_model=CostModel(), in_kernel=True)
+        facility.pin_pages(space, [1])
+        assert facility.stats.time_us == pytest.approx(17.0)
+
+    def test_batch_cost_sublinear(self, space):
+        facility = PinFacility(cost_model=CostModel())
+        facility.pin_pages(space, list(range(16)))
+        assert facility.stats.time_us == pytest.approx(70.0)   # not 16*27
+
+    def test_no_cost_model_no_time(self, space):
+        facility = PinFacility()
+        facility.pin_pages(space, [1])
+        assert facility.stats.time_us == 0.0

@@ -1,0 +1,99 @@
+"""Property-based testing of the memory substrate.
+
+Random interleavings of touch/pin/unpin/swap/write against a plain dict
+model: the address space must preserve contents across every transition
+and never violate the pinning guarantee.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import params
+from repro.errors import PinningError
+from repro.memsim.address_space import AddressSpace
+from repro.memsim.physical import PhysicalMemory
+
+PAGES = 8
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["touch", "pin", "unpin", "swap_out", "write",
+                         "read"]),
+        st.integers(min_value=0, max_value=PAGES - 1),
+        st.integers(min_value=0, max_value=255)),
+    max_size=80)
+
+
+class TestAddressSpaceModel:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=ops)
+    def test_contents_and_pins_track_model(self, ops):
+        space = AddressSpace(1, PhysicalMemory(32 * params.PAGE_SIZE))
+        contents = {}           # page -> last written fill byte
+        pinned = set()
+
+        for op, page, fill in ops:
+            vaddr = page * params.PAGE_SIZE
+            if op == "touch":
+                space.touch(page)
+            elif op == "pin":
+                if page in pinned:
+                    try:
+                        space.pin(page)
+                        assert False, "double pin must raise"
+                    except PinningError:
+                        pass
+                else:
+                    space.pin(page)
+                    pinned.add(page)
+            elif op == "unpin":
+                if page in pinned:
+                    space.unpin(page)
+                    pinned.remove(page)
+                else:
+                    try:
+                        space.unpin(page)
+                        assert False, "unpin of unpinned must raise"
+                    except PinningError:
+                        pass
+            elif op == "swap_out":
+                if page in pinned:
+                    try:
+                        space.swap_out(page)
+                        assert False, "swap of pinned must raise"
+                    except PinningError:
+                        pass
+                elif space.is_resident(page):
+                    space.swap_out(page)
+            elif op == "write":
+                space.write(vaddr, bytes([fill]) * 64)
+                contents[page] = fill
+            elif op == "read":
+                expected = bytes([contents.get(page, 0)]) * 64
+                if page not in contents:
+                    expected = bytes(64)
+                assert space.read(vaddr, 64) == expected
+
+        # Final audit: every written page still holds its data (resident
+        # or swapped), and the pinned set matches.
+        for page, fill in contents.items():
+            assert space.read(page * params.PAGE_SIZE, 64) == \
+                bytes([fill]) * 64
+        assert set(space.pinned_pages()) == pinned
+        for page in pinned:
+            assert space.is_resident(page)
+
+    @settings(max_examples=30, deadline=None)
+    @given(pages=st.lists(st.integers(min_value=0, max_value=PAGES - 1),
+                          min_size=1, max_size=30))
+    def test_swap_roundtrip_preserves_every_byte(self, pages):
+        space = AddressSpace(1, PhysicalMemory(32 * params.PAGE_SIZE))
+        for index, page in enumerate(pages):
+            space.write(page * params.PAGE_SIZE, bytes([index % 251]) * 128)
+        expected = {}
+        for index, page in enumerate(pages):
+            expected[page] = bytes([index % 251]) * 128   # last write wins
+        for page in set(pages):
+            space.swap_out(page)
+            assert not space.is_resident(page)
+        for page, data in expected.items():
+            assert space.read(page * params.PAGE_SIZE, 128) == data

@@ -1,0 +1,84 @@
+"""Point-to-point links: latency, loss, failure."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.link import Link
+from repro.network.packet import KIND_DATA, Packet
+
+
+def packet(src=0, dst=1):
+    return Packet(src, dst, KIND_DATA, data_bytes=64)
+
+
+class TestDelivery:
+    def test_delivers_after_latency(self):
+        link = Link("l", latency_steps=2)
+        p = packet()
+        link.send(p, now=0)
+        assert link.deliver(now=1) == []
+        assert link.deliver(now=2) == [p]
+
+    def test_order_preserved(self):
+        link = Link("l", latency_steps=1)
+        a, b = packet(), packet()
+        link.send(a, now=0)
+        link.send(b, now=0)
+        assert link.deliver(now=1) == [a, b]
+
+    def test_in_flight_counted(self):
+        link = Link("l", latency_steps=5)
+        link.send(packet(), now=0)
+        assert link.in_flight == 1
+        link.deliver(now=5)
+        assert link.in_flight == 0
+
+    def test_bytes_accounted(self):
+        link = Link("l")
+        p = packet()
+        link.send(p, now=0)
+        assert link.stats.bytes == p.wire_bytes
+
+
+class TestLoss:
+    def test_lossless_by_default(self):
+        link = Link("l")
+        for _ in range(50):
+            link.send(packet(), now=0)
+        assert link.stats.dropped == 0
+
+    def test_lossy_link_drops_some(self):
+        link = Link("l", loss_rate=0.5, seed=3)
+        for _ in range(200):
+            link.send(packet(), now=0)
+        assert 50 < link.stats.dropped < 150
+
+    def test_loss_deterministic_by_seed(self):
+        def run(seed):
+            link = Link("l", loss_rate=0.3, seed=seed)
+            return [link.send(packet(), now=0) for _ in range(50)]
+        assert run(9) == run(9)
+
+    def test_invalid_loss_rate(self):
+        with pytest.raises(NetworkError):
+            Link("l", loss_rate=1.0)
+
+
+class TestFailure:
+    def test_down_link_drops_everything(self):
+        link = Link("l", latency_steps=3)
+        link.send(packet(), now=0)
+        link.take_down()
+        assert link.in_flight == 0
+        assert link.send(packet(), now=1) is False
+        assert link.stats.dropped == 2
+
+    def test_bring_up_restores(self):
+        link = Link("l")
+        link.take_down()
+        link.bring_up()
+        assert link.send(packet(), now=0) is True
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(NetworkError):
+            Link("l", latency_steps=0)

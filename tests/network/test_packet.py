@@ -1,0 +1,31 @@
+"""Packet framing."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.packet import HEADER_BYTES, KIND_DATA, Packet
+
+
+class TestPacket:
+    def test_wire_bytes_include_header(self):
+        packet = Packet(0, 1, KIND_DATA, data_bytes=100)
+        assert packet.wire_bytes == HEADER_BYTES + 100
+
+    def test_header_only_packet(self):
+        packet = Packet(0, 1, "ack")
+        assert packet.wire_bytes == HEADER_BYTES
+
+    def test_loopback_rejected(self):
+        with pytest.raises(NetworkError):
+            Packet(3, 3, KIND_DATA)
+
+    def test_ids_unique(self):
+        a = Packet(0, 1, KIND_DATA)
+        b = Packet(0, 1, KIND_DATA)
+        assert a.packet_id != b.packet_id
+
+    def test_payload_defaults_to_empty_dict(self):
+        assert Packet(0, 1, KIND_DATA).payload == {}
+
+    def test_seq_unset_until_reliability_layer(self):
+        assert Packet(0, 1, KIND_DATA).seq is None

@@ -1,0 +1,80 @@
+"""The crossbar fabric: routing, stepping, node remapping."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.packet import KIND_DATA, Packet
+from repro.network.switch import Fabric
+
+
+def build(n=3, **kwargs):
+    fabric = Fabric(**kwargs)
+    inboxes = {node: [] for node in range(n)}
+    for node in range(n):
+        fabric.attach(node, inboxes[node].append)
+    return fabric, inboxes
+
+
+class TestRouting:
+    def test_packet_reaches_destination(self):
+        fabric, inboxes = build()
+        fabric.send(Packet(0, 2, KIND_DATA))
+        fabric.step(2)          # one step up-link, one step down-link
+        assert len(inboxes[2]) == 1
+        assert inboxes[0] == [] and inboxes[1] == []
+
+    def test_bidirectional(self):
+        fabric, inboxes = build()
+        fabric.send(Packet(0, 1, KIND_DATA))
+        fabric.send(Packet(1, 0, KIND_DATA))
+        fabric.step(2)
+        assert len(inboxes[0]) == 1
+        assert len(inboxes[1]) == 1
+
+    def test_unattached_source_rejected(self):
+        fabric, _ = build()
+        with pytest.raises(NetworkError):
+            fabric.send(Packet(9, 0, KIND_DATA))
+
+    def test_unattached_destination_rejected(self):
+        fabric, _ = build()
+        with pytest.raises(NetworkError):
+            fabric.send(Packet(0, 9, KIND_DATA))
+
+    def test_duplicate_attach_rejected(self):
+        fabric, _ = build()
+        with pytest.raises(NetworkError):
+            fabric.attach(0, lambda p: None)
+
+    def test_loopback_packets_rejected(self):
+        with pytest.raises(NetworkError):
+            Packet(0, 0, KIND_DATA)
+
+    def test_clock_advances(self):
+        fabric, _ = build()
+        assert fabric.step(5) == 5
+        assert fabric.now == 5
+
+
+class TestNodeRemapping:
+    def test_remap_loses_in_flight_but_restores_routing(self):
+        fabric, inboxes = build()
+        fabric.send(Packet(0, 1, KIND_DATA))
+        fabric.step(1)              # packet now on node 1's down-link
+        fabric.remap_node(1)        # port failure: in-flight packet lost
+        fabric.step(3)
+        assert inboxes[1] == []
+        # New traffic flows through the replacement port.
+        fabric.send(Packet(0, 1, KIND_DATA))
+        fabric.step(2)
+        assert len(inboxes[1]) == 1
+
+    def test_remap_unknown_node_rejected(self):
+        fabric, _ = build()
+        with pytest.raises(NetworkError):
+            fabric.remap_node(9)
+
+    def test_remap_returns_fresh_port(self):
+        fabric, _ = build()
+        port = fabric.remap_node(0)
+        assert port >= 3            # the first three ports were taken

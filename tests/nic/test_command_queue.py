@@ -1,0 +1,73 @@
+"""Command post buffers: FIFO order, bounds, protection."""
+
+import pytest
+
+from repro.errors import CapacityError, NicError
+from repro.nic.command_queue import CommandQueue, FetchCommand, SendCommand
+from repro.nic.sram import NicSram
+
+
+def make_queue(depth=4):
+    return CommandQueue(1, NicSram(size=64 * 1024), depth=depth)
+
+
+def send_cmd(pid=1, vaddr=0x1000):
+    return SendCommand(pid, vaddr, 100, None, 0)
+
+
+class TestPosting:
+    def test_fifo_order(self):
+        queue = make_queue()
+        first = send_cmd(vaddr=0x1000)
+        second = send_cmd(vaddr=0x2000)
+        queue.post(first)
+        queue.post(second)
+        assert queue.poll() is first
+        assert queue.poll() is second
+
+    def test_sequence_numbers_monotone(self):
+        queue = make_queue()
+        seqs = [queue.post(send_cmd()) for _ in range(3)]
+        assert seqs == [0, 1, 2]
+
+    def test_full_queue_rejects(self):
+        queue = make_queue(depth=2)
+        queue.post(send_cmd())
+        queue.post(send_cmd())
+        with pytest.raises(CapacityError):
+            queue.post(send_cmd())
+
+    def test_poll_empty_returns_none(self):
+        assert make_queue().poll() is None
+
+    def test_wrong_pid_rejected(self):
+        queue = make_queue()
+        with pytest.raises(NicError):
+            queue.post(send_cmd(pid=2))
+
+    def test_counters(self):
+        queue = make_queue()
+        queue.post(send_cmd())
+        queue.poll()
+        assert queue.posted == 1
+        assert queue.processed == 1
+        assert queue.pending == 0
+
+
+class TestSramFootprint:
+    def test_queue_consumes_sram(self):
+        sram = NicSram(size=64 * 1024)
+        before = sram.free
+        CommandQueue(1, sram, depth=64)
+        assert sram.free < before
+
+
+class TestCommandKinds:
+    def test_send_command_fields(self):
+        cmd = SendCommand(1, 0x1000, 256, "handle", 64)
+        assert cmd.kind == "send"
+        assert cmd.remote_offset == 64
+
+    def test_fetch_command_fields(self):
+        cmd = FetchCommand(1, 0x1000, 256, "handle", 0)
+        assert cmd.kind == "fetch"

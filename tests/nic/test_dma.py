@@ -1,0 +1,81 @@
+"""The DMA engine: data movement and bus timing."""
+
+import pytest
+
+from repro import params
+from repro.errors import NicError
+from repro.memsim.physical import PhysicalMemory
+from repro.nic.dma import DmaEngine
+from repro.nic.sram import NicSram
+
+
+@pytest.fixture
+def engine():
+    return DmaEngine(PhysicalMemory(16 * params.PAGE_SIZE),
+                     NicSram(size=64 * 1024))
+
+
+class TestDataMovement:
+    def test_host_to_nic(self, engine):
+        frame = engine.physical.allocate()
+        engine.physical.write(frame, 10, b"payload")
+        engine.host_to_nic(frame, 10, 0, 7)
+        assert engine.sram.read(0, 7) == b"payload"
+
+    def test_nic_to_host(self, engine):
+        frame = engine.physical.allocate()
+        engine.sram.write(100, b"incoming")
+        engine.nic_to_host(100, frame, 50, 8)
+        assert engine.physical.read(frame, 50, 8) == b"incoming"
+
+    def test_roundtrip(self, engine):
+        src = engine.physical.allocate()
+        dst = engine.physical.allocate()
+        engine.physical.write(src, 0, b"x" * 256)
+        engine.host_to_nic(src, 0, 0, 256)
+        engine.nic_to_host(0, dst, 0, 256)
+        assert engine.physical.read(dst, 0, 256) == b"x" * 256
+
+
+class TestFirmwareLimit:
+    def test_transfer_capped_at_one_page(self, engine):
+        frame = engine.physical.allocate()
+        with pytest.raises(NicError):
+            engine.host_to_nic(frame, 0, 0, params.PAGE_SIZE + 1)
+
+    def test_full_page_allowed(self, engine):
+        frame = engine.physical.allocate()
+        engine.host_to_nic(frame, 0, 0, params.PAGE_SIZE)
+
+    def test_zero_length_rejected(self, engine):
+        frame = engine.physical.allocate()
+        with pytest.raises(NicError):
+            engine.host_to_nic(frame, 0, 0, 0)
+
+
+class TestTiming:
+    def test_time_has_setup_plus_bandwidth(self, engine):
+        frame = engine.physical.allocate()
+        engine.host_to_nic(frame, 0, 0, 1280)
+        assert engine.stats.time_us == pytest.approx(1.5 + 1280 / 128.0)
+
+    def test_bytes_accounted_by_direction(self, engine):
+        frame = engine.physical.allocate()
+        engine.host_to_nic(frame, 0, 0, 100)
+        engine.nic_to_host(0, frame, 0, 50)
+        assert engine.stats.bytes_host_to_nic == 100
+        assert engine.stats.bytes_nic_to_host == 50
+        assert engine.stats.total_bytes == 150
+        assert engine.stats.transfers == 2
+
+
+class TestTranslationFetch:
+    def test_entry_fetch_counts_bytes_and_time(self, engine):
+        nbytes = engine.fetch_translation_entries(8)
+        assert nbytes == 8 * params.UTLB_CACHE_ENTRY_BYTES
+        assert engine.stats.bytes_host_to_nic == nbytes
+        assert engine.stats.time_us > 0
+
+    def test_zero_entries_rejected(self, engine):
+        with pytest.raises(NicError):
+            engine.fetch_translation_entries(0)

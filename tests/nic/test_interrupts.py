@@ -1,0 +1,38 @@
+"""The NIC -> host interrupt line."""
+
+import pytest
+
+from repro.errors import NicError
+from repro.memsim.os_kernel import SimulatedOS
+from repro.nic.interrupts import InterruptLine
+
+
+class TestInterruptLine:
+    def test_dispatches_to_os_handler(self):
+        os_sim = SimulatedOS()
+        seen = []
+        os_sim.register_interrupt("vec", lambda **kw: seen.append(kw))
+        line = InterruptLine(os_sim)
+        line.raise_interrupt("vec", page=5)
+        assert seen == [{"page": 5}]
+
+    def test_counts_by_vector(self):
+        os_sim = SimulatedOS()
+        os_sim.register_interrupt("a", lambda **kw: None)
+        os_sim.register_interrupt("b", lambda **kw: None)
+        line = InterruptLine(os_sim)
+        line.raise_interrupt("a")
+        line.raise_interrupt("a")
+        line.raise_interrupt("b")
+        assert line.raised == 3
+        assert line.by_vector == {"a": 2, "b": 1}
+
+    def test_empty_vector_rejected(self):
+        line = InterruptLine(SimulatedOS())
+        with pytest.raises(NicError):
+            line.raise_interrupt("")
+
+    def test_returns_handler_result(self):
+        os_sim = SimulatedOS()
+        os_sim.register_interrupt("vec", lambda **kw: "handled")
+        assert InterruptLine(os_sim).raise_interrupt("vec") == "handled"

@@ -1,0 +1,92 @@
+"""The LANai processor cycle model and its MCP integration."""
+
+import pytest
+
+from repro import params
+from repro.errors import NicError
+from repro.nic.lanai import CYCLES, LanaiProcessor
+from repro.vmmc import Cluster, remote_store
+
+RECV = 0x40000000
+SEND = 0x10000000
+
+
+class TestCycleAccounting:
+    def test_charge_accumulates(self):
+        lanai = LanaiProcessor()
+        lanai.charge("cache_probe", 3)
+        assert lanai.cycles == 3 * CYCLES["cache_probe"]
+
+    def test_busy_time_conversion(self):
+        lanai = LanaiProcessor(clock_mhz=33.0)
+        lanai.charge("cache_probe")    # 26 cycles ~ 0.79 us
+        assert lanai.busy_us == pytest.approx(26 / 33.0)
+
+    def test_probe_cost_matches_measured_hit_cost(self):
+        """The cycle estimate for a cache probe must land on the paper's
+        measured 0.8 us hit time (within the clock's resolution)."""
+        lanai = LanaiProcessor()
+        lanai.charge("cache_probe")
+        assert lanai.busy_us == pytest.approx(0.8, abs=0.05)
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(NicError):
+            LanaiProcessor().charge("warp_drive")
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(NicError):
+            LanaiProcessor().charge("cache_probe", -1)
+
+    def test_breakdown_sorted_descending(self):
+        lanai = LanaiProcessor()
+        lanai.charge("poll_empty", 1)
+        lanai.charge("dma_setup", 10)
+        breakdown = list(lanai.breakdown_us())
+        assert breakdown[0] == "dma_setup"
+
+    def test_occupancy(self):
+        lanai = LanaiProcessor()
+        lanai.charge("dma_setup", 33)    # 48*33 cycles = 48 us
+        assert lanai.occupancy(96.0) == pytest.approx(0.5)
+        assert lanai.occupancy(0.0) == 0.0
+        assert lanai.occupancy(1.0) == 1.0     # clamped
+
+
+class TestMcpIntegration:
+    def test_transfer_charges_firmware_work(self):
+        cluster = Cluster(num_nodes=2)
+        a = cluster.node(0).create_process()
+        b = cluster.node(1).create_process()
+        handle = a.import_buffer(1, b.export(RECV, 2 * params.PAGE_SIZE))
+        a.write_memory(SEND, b"x" * 6000)
+        remote_store(cluster, a, SEND, 6000, handle)
+
+        sender = cluster.node(0).lanai
+        receiver = cluster.node(1).lanai
+        assert sender.by_operation["command_dispatch"] > 0
+        assert sender.by_operation["cache_probe"] > 0
+        assert sender.by_operation["packet_build"] > 0
+        assert receiver.by_operation["packet_receive"] > 0
+        assert receiver.by_operation["dma_setup"] > 0
+
+    def test_miss_path_charges_table_walk(self):
+        cluster = Cluster(num_nodes=2)
+        a = cluster.node(0).create_process()
+        b = cluster.node(1).create_process()
+        handle = a.import_buffer(1, b.export(RECV, params.PAGE_SIZE))
+        a.write_memory(SEND, b"y")
+        remote_store(cluster, a, SEND, 1, handle)
+        # The first translation of the send buffer missed in the cache.
+        assert cluster.node(0).lanai.by_operation.get("table_walk", 0) > 0
+
+    def test_hit_path_charges_only_probe(self):
+        cluster = Cluster(num_nodes=2)
+        a = cluster.node(0).create_process()
+        b = cluster.node(1).create_process()
+        handle = a.import_buffer(1, b.export(RECV, params.PAGE_SIZE))
+        a.write_memory(SEND, b"z")
+        remote_store(cluster, a, SEND, 1, handle)
+        walks_before = cluster.node(0).lanai.by_operation["table_walk"]
+        remote_store(cluster, a, SEND, 1, handle)   # all hits now
+        assert cluster.node(0).lanai.by_operation["table_walk"] == \
+            walks_before

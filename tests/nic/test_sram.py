@@ -1,0 +1,69 @@
+"""NIC SRAM: region allocation and byte access."""
+
+import pytest
+
+from repro.errors import CapacityError, NicError
+from repro.nic.sram import NicSram
+
+
+class TestAllocation:
+    def test_regions_do_not_overlap(self):
+        sram = NicSram(size=1024)
+        a = sram.allocate("a", 100)
+        b = sram.allocate("b", 200)
+        assert a.base + a.size <= b.base
+
+    def test_exhaustion(self):
+        sram = NicSram(size=256)
+        sram.allocate("a", 200)
+        with pytest.raises(CapacityError):
+            sram.allocate("b", 100)
+
+    def test_duplicate_name_rejected(self):
+        sram = NicSram(size=256)
+        sram.allocate("a", 10)
+        with pytest.raises(NicError):
+            sram.allocate("a", 10)
+
+    def test_lookup_by_name(self):
+        sram = NicSram(size=256)
+        region = sram.allocate("a", 10)
+        assert sram.region("a") is region
+        with pytest.raises(NicError):
+            sram.region("missing")
+
+    def test_accounting(self):
+        sram = NicSram(size=256)
+        sram.allocate("a", 100)
+        assert sram.used == 100
+        assert sram.free == 156
+
+    def test_zero_size_region_rejected(self):
+        with pytest.raises(NicError):
+            NicSram(size=256).allocate("a", 0)
+
+    def test_regions_sorted_by_base(self):
+        sram = NicSram(size=256)
+        sram.allocate("a", 10)
+        sram.allocate("b", 10)
+        assert [r.name for r in sram.regions()] == ["a", "b"]
+
+
+class TestByteAccess:
+    def test_roundtrip(self):
+        sram = NicSram(size=256)
+        sram.write(10, b"abc")
+        assert sram.read(10, 3) == b"abc"
+
+    def test_initially_zero(self):
+        assert NicSram(size=256).read(0, 4) == bytes(4)
+
+    def test_out_of_range_rejected(self):
+        sram = NicSram(size=256)
+        with pytest.raises(NicError):
+            sram.read(250, 10)
+        with pytest.raises(NicError):
+            sram.write(-1, b"x")
+
+    def test_default_size_is_one_megabyte(self):
+        assert NicSram().size == 1 << 20

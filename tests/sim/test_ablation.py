@@ -1,0 +1,114 @@
+"""The ablation library module."""
+
+import pytest
+
+from repro.sim.ablation import (
+    POLICIES,
+    QUADRANT,
+    design_quadrant,
+    mixed_workload_grid,
+    policy_grid,
+    render_design_quadrant,
+    render_mixed_grid,
+    render_policy_grid,
+)
+
+
+class TestDesignQuadrant:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return design_quadrant(app_names=("barnes", "fft"),
+                               sram_entries=128, scale=0.05, seed=1)
+
+    def test_all_cells_present(self, data):
+        labels = {label for label, _ in QUADRANT}
+        for cells in data.values():
+            assert set(cells) == labels
+
+    def test_lookup_counts_agree(self, data):
+        for cells in data.values():
+            lookups = {stats.lookups for stats in cells.values()}
+            assert len(lookups) == 1
+
+    def test_user_managed_never_interrupt(self, data):
+        for cells in data.values():
+            assert cells["UTLB (user+shared)"].interrupts == 0
+            assert cells["per-proc (user)"].interrupts == 0
+            assert cells["intr+shared (UNet-MM)"].interrupts > 0
+            assert cells["intr+per-proc (VMMC'97)"].interrupts > 0
+
+    def test_render(self, data):
+        text = render_design_quadrant(data, sram_entries=128)
+        assert "UNet-MM" in text and "us/lookup" in text
+
+    def test_unknown_mechanism_rejected(self):
+        from repro.sim.ablation import _simulate
+        from repro.sim.config import SimConfig
+        with pytest.raises(ValueError):
+            _simulate([], SimConfig(), "magic", 64)
+
+
+class TestPolicyGrid:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return policy_grid(scale=0.05, cache_entries=512)
+
+    def test_all_policies_all_apps(self, grid):
+        assert len(grid) == 7
+        for per_policy in grid.values():
+            assert set(per_policy) == set(POLICIES)
+
+    def test_rates_are_rates(self, grid):
+        for per_policy in grid.values():
+            for rate in per_policy.values():
+                assert rate >= 0.0
+
+    def test_render(self, grid):
+        assert "lru" in render_policy_grid(grid)
+
+
+class TestFragmentation:
+    def test_fresh_sequential_fill_is_contiguous(self):
+        from repro.core.per_process import PerProcessUtlb
+        from repro.sim.ablation import buffer_scatter
+        utlb = PerProcessUtlb(1, num_slots=64, prepin=8)
+        for page in range(0, 64, 8):
+            utlb.access_page(page)
+        assert buffer_scatter(utlb) == 0.0
+
+    def test_churn_scatters_buffers(self):
+        from repro.sim.ablation import fragmentation_over_time
+        points = fragmentation_over_time(num_slots=64, working_set=128,
+                                         accesses=1000,
+                                         pin_policy="random", seed=2)
+        assert points[-1][1] > 0.5
+
+    def test_empty_table_scatter_zero(self):
+        from repro.core.per_process import PerProcessUtlb
+        from repro.sim.ablation import buffer_scatter
+        assert buffer_scatter(PerProcessUtlb(1, num_slots=8)) == 0.0
+
+    def test_render(self):
+        from repro.sim.ablation import render_fragmentation
+        text = render_fragmentation([(100, 0.5)], slots=64)
+        assert "scatter" in text and "slots=64" in text
+
+
+class TestMixedGrid:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return mixed_workload_grid(mixes=(("barnes", "volrend"),),
+                                   sizes=(256,), scale=0.05, seed=1)
+
+    def test_structure(self, data):
+        assert "barnes+volrend" in data
+        cells = data["barnes+volrend"]
+        assert set(cells) == {(256, "direct"), (256, "4-way"),
+                              (256, "direct-nohash")}
+
+    def test_offsetting_beats_nohash(self, data):
+        cells = data["barnes+volrend"]
+        assert cells[(256, "direct")] <= cells[(256, "direct-nohash")]
+
+    def test_render(self, data):
+        assert "nohash" in render_mixed_grid(data)

@@ -1,0 +1,74 @@
+"""Paper-data transcription and the automated comparison machinery."""
+
+import pytest
+
+from repro import paperdata
+from repro.sim.compare import compare_table3, compare_table4, compare_table8
+
+
+class TestPaperData:
+    def test_table3_has_all_seven_apps(self):
+        assert len(paperdata.TABLE3) == 7
+
+    def test_table4_internal_consistency(self):
+        """In the paper's Table 4, UTLB and Intr share the NI miss rate
+        (same cache structures) — verify our transcription kept that."""
+        for app, per_size in paperdata.TABLE4.items():
+            for size, cell in per_size.items():
+                assert cell["utlb"][1] == cell["intr"][0], (app, size)
+
+    def test_table4_utlb_never_unpins(self):
+        for per_size in paperdata.TABLE4.values():
+            for cell in per_size.values():
+                assert cell["utlb"][2] == 0.0
+
+    def test_table4_check_rate_size_independent(self):
+        for app, per_size in paperdata.TABLE4.items():
+            checks = {cell["utlb"][0] for cell in per_size.values()}
+            assert len(checks) == 1, app
+
+    def test_table6_fft_utlb_wins_everywhere(self):
+        for utlb_us, intr_us in paperdata.TABLE6["fft"].values():
+            assert utlb_us < intr_us
+
+    def test_table6_barnes_crossover(self):
+        assert paperdata.TABLE6["barnes"][1024][0] < \
+            paperdata.TABLE6["barnes"][1024][1]
+        assert paperdata.TABLE6["barnes"][16384][0] > \
+            paperdata.TABLE6["barnes"][16384][1]
+
+    def test_table7_fft_pathology(self):
+        pin_1, pin_16 = paperdata.TABLE7["fft"]["pin"]
+        unpin_1, unpin_16 = paperdata.TABLE7["fft"]["unpin"]
+        assert pin_16 > pin_1
+        assert unpin_16 > 100 * unpin_1
+
+    def test_table8_nohash_always_worst_or_equal(self):
+        for app, cells in paperdata.TABLE8.items():
+            sizes = {size for size, _ in cells}
+            for size in sizes:
+                assert cells[(size, "direct-nohash")] >= \
+                    cells[(size, "direct")], (app, size)
+
+    def test_headline_fast_path_sums(self):
+        h = paperdata.HEADLINE
+        assert h["fast_path_host_us"] + h["fast_path_nic_us"] == \
+            pytest.approx(h["fast_path_total_us"])
+
+
+class TestComparison:
+    TINY = dict(scale=0.05, nodes=1, seed=1)
+
+    def test_table3_rows_for_every_app(self):
+        rows, text = compare_table3(**self.TINY)
+        assert len(rows) == 7
+        assert "paper fp" in text
+
+    def test_table4_shape_criteria_pass(self):
+        findings, text = compare_table4(sizes=(128, 1024), **self.TINY)
+        assert all(passed for _, passed in findings), text
+        assert "[ok]" in text
+
+    def test_table8_shape_criteria_pass(self):
+        findings, text = compare_table8(sizes=(128, 1024), **self.TINY)
+        assert all(passed for _, passed in findings), text

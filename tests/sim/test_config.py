@@ -1,0 +1,54 @@
+"""Simulation configuration."""
+
+import pytest
+
+from repro import params
+from repro.errors import ConfigError
+from repro.sim.config import SimConfig
+
+
+class TestDefaults:
+    def test_headline_configuration(self):
+        config = SimConfig()
+        assert config.cache_entries == 8192
+        assert config.associativity == 1
+        assert config.offsetting
+        assert config.prefetch == 1
+        assert config.prepin == 1
+        assert config.memory_limit_pages is None
+        assert config.pin_policy == "lru"
+
+
+class TestValidation:
+    def test_bad_cache_entries(self):
+        with pytest.raises(ConfigError):
+            SimConfig(cache_entries=0)
+
+    def test_indivisible_associativity(self):
+        with pytest.raises(ConfigError):
+            SimConfig(cache_entries=10, associativity=4)
+
+    def test_bad_prefetch(self):
+        with pytest.raises(ConfigError):
+            SimConfig(prefetch=0)
+
+    def test_bad_memory_limit(self):
+        with pytest.raises(ConfigError):
+            SimConfig(memory_limit_bytes=-1)
+
+
+class TestDerived:
+    def test_memory_limit_pages(self):
+        config = SimConfig(memory_limit_bytes=4 * 1024 * 1024)
+        assert config.memory_limit_pages == 1024
+
+    def test_replace_overrides_one_field(self):
+        base = SimConfig()
+        changed = base.replace(cache_entries=1024)
+        assert changed.cache_entries == 1024
+        assert changed.prefetch == base.prefetch
+        assert base.cache_entries == 8192       # original untouched
+
+    def test_describe_mentions_key_fields(self):
+        text = SimConfig(memory_limit_bytes=4 * 1024 * 1024).describe()
+        assert "4MB" in text and "cache=8192" in text

@@ -1,0 +1,50 @@
+"""The per-component cost-breakdown extension experiment."""
+
+import pytest
+
+from repro.sim import experiments as exp
+
+TINY = dict(scale=0.05, nodes=1, seed=1)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return exp.cost_breakdown(cache_entries=256, **TINY)
+
+
+class TestBreakdown:
+    def test_all_apps_both_mechanisms(self, data):
+        assert len(data) == 7
+        for per_mech in data.values():
+            assert set(per_mech) == {"utlb", "intr"}
+
+    def test_components_sum_to_total(self, data):
+        for per_mech in data.values():
+            for cell in per_mech.values():
+                total = sum(cell[c] for c in exp.BREAKDOWN_COMPONENTS)
+                assert total == pytest.approx(cell["total_us"])
+
+    def test_utlb_structure(self, data):
+        """UTLB: pays user check + pinning, never interrupts."""
+        for per_mech in data.values():
+            utlb = per_mech["utlb"]
+            assert utlb["check_us"] == pytest.approx(0.5)
+            assert utlb["interrupt_us"] == 0.0
+            assert utlb["pin_us"] > 0.0
+
+    def test_intr_structure(self, data):
+        """Baseline: no user-level work, pays interrupts per miss."""
+        for per_mech in data.values():
+            intr = per_mech["intr"]
+            assert intr["check_us"] == 0.0
+            assert intr["interrupt_us"] > 0.0
+            assert intr["ni_miss_us"] == 0.0    # install, not DMA fetch
+
+    def test_ni_hit_charged_every_lookup(self, data):
+        for per_mech in data.values():
+            for cell in per_mech.values():
+                assert cell["ni_hit_us"] == pytest.approx(0.8)
+
+    def test_render(self, data):
+        text = exp.render_cost_breakdown(data)
+        assert "interrupt" in text and "total" in text

@@ -1,0 +1,231 @@
+"""The per-table/figure experiment functions (tiny scale for speed)."""
+
+import pytest
+
+from repro.sim import experiments as exp
+
+TINY = dict(scale=0.06, nodes=1, seed=1)
+
+
+@pytest.fixture(scope="module")
+def table4_data():
+    return exp.table4(sizes=(128, 1024), **TINY)
+
+
+class TestTable1:
+    def test_paper_values(self):
+        data = exp.table1()
+        assert data["pin"][0] == pytest.approx(27.0)
+        assert data["unpin"][-1] == pytest.approx(139.0)
+
+    def test_render_contains_rows(self):
+        text = exp.render_table1(exp.table1())
+        assert "pin (us)" in text and "115.0" in text
+
+
+class TestTable2:
+    def test_paper_values(self):
+        data = exp.table2()
+        assert data["dma_cost"][0] == pytest.approx(1.5)
+        assert data["miss_cost"][-1] == pytest.approx(3.2)
+        assert data["hit_cost"] == pytest.approx(0.8)
+
+    def test_render(self):
+        assert "hit cost" in exp.render_table2(exp.table2())
+
+
+class TestTable3:
+    def test_all_apps_present(self):
+        data = exp.table3(**TINY)
+        assert len(data) == 7
+        for row in data.values():
+            assert row["footprint_pages"] > 0
+            assert row["lookups"] >= row["footprint_pages"]
+
+    def test_full_scale_targets_recorded(self):
+        data = exp.table3(**TINY)
+        assert data["fft"]["target_footprint"] == 10803
+        assert data["fft"]["target_lookups"] == 43132
+
+    def test_render(self):
+        text = exp.render_table3(exp.table3(**TINY))
+        assert "fft" in text and "4M elements" in text
+
+
+class TestTable4:
+    def test_structure(self, table4_data):
+        assert set(table4_data) == {"barnes", "fft", "lu", "radix",
+                                    "raytrace", "volrend", "water-spatial"}
+        cell = table4_data["fft"][128]
+        assert set(cell) == {"utlb", "intr"}
+        assert "check_misses" in cell["utlb"]
+
+    def test_paper_shape_utlb_no_unpins(self, table4_data):
+        for app in table4_data:
+            for size in table4_data[app]:
+                assert table4_data[app][size]["utlb"]["unpins"] == 0.0
+
+    def test_paper_shape_intr_unpins_fall_with_size(self, table4_data):
+        for app in ("fft", "lu", "radix"):
+            small = table4_data[app][128]["intr"]["unpins"]
+            large = table4_data[app][1024]["intr"]["unpins"]
+            assert small >= large
+
+    def test_paper_shape_equal_ni_misses(self, table4_data):
+        for app in table4_data:
+            for size in table4_data[app]:
+                cell = table4_data[app][size]
+                assert cell["utlb"]["ni_misses"] == pytest.approx(
+                    cell["intr"]["ni_misses"])
+
+    def test_render(self, table4_data):
+        text = exp.render_table4(table4_data)
+        assert "check misses" in text and "unpins" in text
+
+
+class TestTable5:
+    def test_memory_limit_forces_utlb_unpins(self):
+        data = exp.table5(sizes=(256,), memory_limit_bytes=4 * 1024 * 1024,
+                          **TINY)
+        assert any(data[app][256]["utlb"]["unpins"] > 0
+                   for app in ("fft", "lu", "radix"))
+
+    def test_render(self):
+        data = exp.table5(sizes=(256,), **TINY)
+        assert "4 MB" in exp.render_table5(data)
+
+
+class TestTable6:
+    def test_reuses_table4_rates(self, table4_data):
+        data = exp.table6(table4_data=table4_data, sizes=(128, 1024))
+        cell = data["fft"][128]
+        assert cell["utlb_us"] > 0
+        assert cell["intr_us"] > cell["utlb_us"]    # UTLB wins at small cache
+
+    def test_equation_matches_measured_time(self, table4_data):
+        """The Section 6.2 equations and the simulator's accumulated time
+        must agree — Table 6's built-in cross-check."""
+        data = exp.table6(table4_data=table4_data, sizes=(128, 1024))
+        for app in data:
+            for size in data[app]:
+                cell = data[app][size]
+                assert cell["utlb_us"] == pytest.approx(
+                    cell["utlb_measured_us"], rel=1e-6)
+                assert cell["intr_us"] == pytest.approx(
+                    cell["intr_measured_us"], rel=1e-6)
+
+    def test_render(self, table4_data):
+        text = exp.render_table6(
+            exp.table6(table4_data=table4_data, sizes=(128, 1024)))
+        assert "us" in text
+
+
+class TestTable7:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return exp.table7(cache_entries=512, **TINY)
+
+    def test_structure(self, data):
+        assert set(next(iter(data.values()))) == {1, 16}
+
+    def test_fft_prepin_pathology(self, data):
+        """FFT: 16-page pre-pinning explodes the unpin cost (paper: 0.1
+        -> 93 us/lookup)."""
+        fft = data["fft"]
+        assert fft[16]["unpin_us"] > 3 * fft[1]["unpin_us"]
+
+    def test_prepin_helps_an_irregular_app(self, data):
+        helped = [app for app in ("barnes", "water-spatial", "lu", "radix",
+                                  "raytrace")
+                  if data[app][16]["pin_us"] < data[app][1]["pin_us"]]
+        assert len(helped) >= 3
+
+    def test_render(self, data):
+        text = exp.render_table7(data)
+        assert "pin" in text and "16" in text
+
+
+class TestTable8:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return exp.table8(sizes=(128, 512), **TINY)
+
+    def test_grid_complete(self, data):
+        labels = {label for _, label in next(iter(data.values()))}
+        assert labels == {"direct", "2-way", "4-way", "direct-nohash"}
+
+    def test_nohash_worst_for_most_apps(self, data):
+        worse = 0
+        for app in data:
+            for size in (128, 512):
+                if data[app][(size, "direct-nohash")] > \
+                        data[app][(size, "direct")]:
+                    worse += 1
+        assert worse >= 10          # out of 14 app x size cells
+
+    def test_miss_rates_fall_with_size(self, data):
+        for app in data:
+            assert data[app][(512, "direct")] <= \
+                data[app][(128, "direct")] + 0.02
+
+    def test_render(self, data):
+        text = exp.render_table8(data)
+        assert "direct-nohash" in text
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return exp.figure7(sizes=(128, 1024), **TINY)
+
+    def test_rates_present(self, data):
+        for app in data:
+            for size in data[app]:
+                rates = data[app][size]
+                assert set(rates) == {"compulsory", "capacity", "conflict"}
+
+    def test_compulsory_dominates_at_large_size(self, data):
+        dominant = sum(
+            1 for app in data
+            if data[app][1024]["compulsory"] >
+            data[app][1024]["capacity"] + data[app][1024]["conflict"])
+        assert dominant >= 5
+
+    def test_capacity_conflict_shrink_with_size(self, data):
+        for app in data:
+            small = data[app][128]
+            large = data[app][1024]
+            assert (large["capacity"] + large["conflict"]
+                    <= small["capacity"] + small["conflict"] + 0.02)
+
+    def test_render(self, data):
+        text = exp.render_figure7(data)
+        assert "compulsory" in text
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return exp.figure8(sizes=(256,), degrees=(1, 4, 16), **TINY)
+
+    def test_miss_rate_falls_with_prefetch(self, data):
+        curve = data[256]
+        assert curve[16]["miss_rate"] < curve[4]["miss_rate"] \
+            < curve[1]["miss_rate"]
+
+    def test_lookup_cost_falls_with_prefetch(self, data):
+        curve = data[256]
+        assert curve[16]["lookup_cost_us"] < curve[1]["lookup_cost_us"]
+
+    def test_render(self, data):
+        text = exp.render_figure8(data)
+        assert "RADIX" in text and "prefetch" in text
+
+
+class TestRunAll:
+    def test_produces_every_section(self):
+        report = exp.run_all(scale=0.04, nodes=1, seed=1)
+        for marker in ("Table 1", "Table 2", "Table 3", "Table 4",
+                       "Table 5", "Table 6", "Table 7", "Table 8",
+                       "Figure 7", "Figure 8"):
+            assert marker in report

@@ -1,0 +1,145 @@
+"""Differential testing: the full simulator vs an independent oracle.
+
+A deliberately tiny, dependency-free reimplementation of the UTLB
+semantics (infinite memory, direct-mapped cache with offsetting, no
+prefetch/prepin) recomputes check misses and NI misses for arbitrary
+traces.  The layered simulator must agree *exactly* — any divergence in
+cache indexing, registration order, invalidation, or counting shows up
+here.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import params
+from repro.core.shared_cache import SharedUtlbCache
+from repro.sim.config import SimConfig
+from repro.sim.simulator import simulate_node
+from repro.traces.record import OP_SEND, TraceRecord
+from repro.traces.synth import make_app
+
+
+def oracle(records, cache_entries):
+    """Independent model: returns (check_misses, ni_misses)."""
+    pids = sorted({r.pid for r in records})
+    offsets = {pid: (index * SharedUtlbCache.OFFSET_MULTIPLIER)
+               % cache_entries
+               for index, pid in enumerate(pids)}
+    pinned = set()                 # (pid, vpage), never unpinned
+    sets = {}                      # cache index -> (pid, vpage)
+    check_misses = 0
+    ni_misses = 0
+    for record in records:
+        for vpage in record.pages():
+            key = (record.pid, vpage)
+            if key not in pinned:
+                check_misses += 1
+                pinned.add(key)
+            index = (vpage + offsets[record.pid]) % cache_entries
+            if sets.get(index) != key:
+                ni_misses += 1
+                sets[index] = key
+    return check_misses, ni_misses
+
+
+def run_both(records, cache_entries):
+    result = simulate_node(records, SimConfig(cache_entries=cache_entries))
+    expected = oracle(records, cache_entries)
+    got = (result.stats.check_misses, result.stats.ni_misses)
+    return expected, got
+
+
+def random_trace(seed, num_pids, num_pages, length):
+    rng = random.Random(seed)
+    records = []
+    for index in range(length):
+        records.append(TraceRecord(
+            timestamp=index,
+            node=0,
+            pid=rng.randrange(num_pids),
+            op=OP_SEND,
+            vaddr=0x10000000 + rng.randrange(num_pages) * params.PAGE_SIZE,
+            nbytes=params.PAGE_SIZE))
+    return records
+
+
+def oracle_intr(records, cache_entries):
+    """Independent model of the interrupt baseline: returns
+    (ni_misses, interrupts, pages_pinned, pages_unpinned)."""
+    pids = sorted({r.pid for r in records})
+    offsets = {pid: (index * SharedUtlbCache.OFFSET_MULTIPLIER)
+               % cache_entries
+               for index, pid in enumerate(pids)}
+    sets = {}                      # cache index -> (pid, vpage)
+    ni_misses = 0
+    pinned = 0
+    unpinned = 0
+    for record in records:
+        for vpage in record.pages():
+            key = (record.pid, vpage)
+            index = (vpage + offsets[record.pid]) % cache_entries
+            if sets.get(index) == key:
+                continue
+            ni_misses += 1
+            if index in sets:
+                unpinned += 1       # eviction unpins the old page
+            sets[index] = key
+            pinned += 1
+    return ni_misses, ni_misses, pinned, unpinned
+
+
+class TestIntrDifferential:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6),
+           num_pids=st.integers(min_value=1, max_value=6),
+           num_pages=st.integers(min_value=1, max_value=200),
+           length=st.integers(min_value=1, max_value=400),
+           entries=st.sampled_from([16, 64, 256]))
+    def test_intr_simulator_matches_oracle(self, seed, num_pids,
+                                           num_pages, length, entries):
+        from repro.sim.intr_simulator import simulate_node_intr
+        records = random_trace(seed, num_pids, num_pages, length)
+        result = simulate_node_intr(records,
+                                    SimConfig(cache_entries=entries))
+        stats = result.stats
+        assert (stats.ni_misses, stats.interrupts, stats.pages_pinned,
+                stats.pages_unpinned) == oracle_intr(records, entries)
+
+    @pytest.mark.parametrize("name", ["barnes", "fft", "radix"])
+    def test_intr_oracle_on_app_traces(self, name):
+        from repro.sim.intr_simulator import simulate_node_intr
+        records = make_app(name).generate_node(0, seed=3, scale=0.05)
+        result = simulate_node_intr(records, SimConfig(cache_entries=256))
+        stats = result.stats
+        assert (stats.ni_misses, stats.interrupts, stats.pages_pinned,
+                stats.pages_unpinned) == oracle_intr(records, 256)
+
+
+class TestDifferential:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6),
+           num_pids=st.integers(min_value=1, max_value=6),
+           num_pages=st.integers(min_value=1, max_value=200),
+           length=st.integers(min_value=1, max_value=400),
+           entries=st.sampled_from([16, 64, 256]))
+    def test_simulator_matches_oracle_on_random_traces(
+            self, seed, num_pids, num_pages, length, entries):
+        records = random_trace(seed, num_pids, num_pages, length)
+        expected, got = run_both(records, entries)
+        assert got == expected
+
+    @pytest.mark.parametrize("name", ["barnes", "fft", "radix", "volrend"])
+    def test_simulator_matches_oracle_on_app_traces(self, name):
+        records = make_app(name).generate_node(0, seed=3, scale=0.05)
+        expected, got = run_both(records, 256)
+        assert got == expected
+
+    def test_multi_page_records(self):
+        records = [TraceRecord(i, 0, 0, OP_SEND,
+                               0x10000000 + i * params.PAGE_SIZE,
+                               3 * params.PAGE_SIZE)
+                   for i in range(40)]
+        expected, got = run_both(records, 64)
+        assert got == expected

@@ -1,0 +1,83 @@
+"""Per-process UTLB trace simulator (the Section 7 missing comparison)."""
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.pp_simulator import simulate_node_pp
+from repro.sim.simulator import simulate_node
+from repro.sim.sweep import run_on_traces
+from repro.traces.record import count_lookups
+from repro.traces.synth import make_app
+
+SCALE = 0.1
+SEED = 1
+
+
+@pytest.fixture(scope="module")
+def barnes_trace():
+    return make_app("barnes").generate_node(0, seed=SEED, scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def fft_trace():
+    return make_app("fft").generate_node(0, seed=SEED, scale=SCALE)
+
+
+class TestBasics:
+    def test_lookups_match_trace(self, barnes_trace):
+        result = simulate_node_pp(barnes_trace, SimConfig(),
+                                  sram_entries=2048)
+        assert result.stats.lookups == count_lookups(barnes_trace)
+
+    def test_nic_never_misses(self, barnes_trace):
+        result = simulate_node_pp(barnes_trace, SimConfig(),
+                                  sram_entries=2048)
+        assert result.stats.ni_misses == 0
+        assert result.stats.ni_hits == result.stats.lookups
+
+    def test_sram_divided_among_processes(self, barnes_trace):
+        result = simulate_node_pp(barnes_trace, SimConfig(),
+                                  sram_entries=1000)
+        assert result.cache["slots_per_process"] == 200    # 5 processes
+
+    def test_invariants(self, barnes_trace):
+        simulate_node_pp(barnes_trace, SimConfig(), sram_entries=512,
+                         check_invariants=True)
+
+
+class TestSharedVsPerProcess:
+    """The Section 3.2 argument, measured: with the same SRAM budget the
+    per-process design suffers capacity evictions (forced unpins) on big
+    footprints, while the shared-cache design keeps translations alive in
+    host memory and never unpins."""
+
+    def test_per_process_evicts_where_shared_does_not(self, fft_trace):
+        budget = 1024          # entries of NIC SRAM
+        config = SimConfig()
+        pp = simulate_node_pp(fft_trace, config, sram_entries=budget)
+        shared = simulate_node(fft_trace,
+                               config.replace(cache_entries=budget))
+        assert pp.stats.pages_unpinned > 0
+        assert shared.stats.pages_unpinned == 0
+
+    def test_per_process_pin_traffic_exceeds_shared(self, fft_trace):
+        budget = 1024
+        config = SimConfig()
+        pp = simulate_node_pp(fft_trace, config, sram_entries=budget)
+        shared = simulate_node(fft_trace,
+                               config.replace(cache_entries=budget))
+        assert pp.stats.pages_pinned > shared.stats.pages_pinned
+
+    def test_small_footprint_apps_fit_either_way(self, barnes_trace):
+        config = SimConfig()
+        pp = simulate_node_pp(barnes_trace, config, sram_entries=8192)
+        assert pp.stats.pages_unpinned == 0
+
+
+class TestSweepIntegration:
+    def test_pp_mechanism_via_run_on_traces(self):
+        traces = make_app("volrend").generate_cluster(nodes=2, seed=SEED,
+                                                      scale=SCALE)
+        result = run_on_traces(traces, SimConfig(), mechanism="pp")
+        assert result.stats.lookups == sum(
+            count_lookups(t) for t in traces.values())

@@ -1,0 +1,68 @@
+"""Report rendering: tables, stacked bars, line charts."""
+
+from repro.sim.report import (
+    format_table,
+    render_breakdown_chart,
+    render_line_chart,
+    stacked_bar,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.50" in text and "0.25" in text
+
+    def test_precision(self):
+        text = format_table(["x"], [[1.23456]], precision=3)
+        assert "1.235" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestStackedBar:
+    def test_widths_proportional(self):
+        bar = stacked_bar([("#", 0.5), (".", 0.5)], total_width=10)
+        assert bar == "#####....."
+
+    def test_scale_max(self):
+        bar = stacked_bar([("#", 0.25)], total_width=8, scale_max=0.5)
+        assert bar == "####"
+
+    def test_zero_components(self):
+        assert stacked_bar([("#", 0.0)], total_width=10) == ""
+
+
+class TestBreakdownChart:
+    def test_legend_and_bars(self):
+        chart = render_breakdown_chart(
+            [("app 1K", {"compulsory": 0.2, "capacity": 0.1,
+                         "conflict": 0.05})])
+        assert "compulsory" in chart
+        assert "app 1K" in chart
+        assert "#" in chart
+
+    def test_empty_entries(self):
+        assert "legend" in render_breakdown_chart([])
+
+
+class TestLineChart:
+    def test_plots_series(self):
+        chart = render_line_chart(
+            {"1K": [(1, 0.6), (16, 0.2)], "16K": [(1, 0.5), (16, 0.1)]},
+            x_label="prefetch")
+        assert "legend" in chart
+        assert "1K" in chart and "16K" in chart
+        assert "prefetch" in chart
+
+    def test_no_data(self):
+        assert render_line_chart({}) == "(no data)"
+
+    def test_flat_series_no_crash(self):
+        chart = render_line_chart({"s": [(1, 0.5), (2, 0.5)]})
+        assert "legend" in chart

@@ -1,0 +1,234 @@
+"""Trace-driven simulators: paper-shape assertions at reduced scale.
+
+These are the headline scientific claims of the reproduction; each test
+states the paper finding it checks.
+"""
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.intr_simulator import simulate_node_intr
+from repro.sim.simulator import simulate_node
+from repro.sim.sweep import run_on_traces
+from repro.traces.record import count_lookups, footprint_pages
+from repro.traces.synth import make_app
+
+SCALE = 0.15
+SEED = 1
+
+
+@pytest.fixture(scope="module")
+def barnes_trace():
+    return make_app("barnes").generate_node(0, seed=SEED, scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def fft_trace():
+    return make_app("fft").generate_node(0, seed=SEED, scale=SCALE)
+
+
+class TestBasicAccounting:
+    def test_lookups_match_trace(self, barnes_trace):
+        result = simulate_node(barnes_trace, SimConfig(cache_entries=256))
+        assert result.stats.lookups == count_lookups(barnes_trace)
+
+    def test_per_pid_stats_sum_to_total(self, barnes_trace):
+        result = simulate_node(barnes_trace, SimConfig(cache_entries=256))
+        assert sum(s.lookups for s in result.per_pid.values()) == \
+            result.stats.lookups
+
+    def test_invariants_hold_after_run(self, barnes_trace):
+        simulate_node(barnes_trace,
+                      SimConfig(cache_entries=128,
+                                memory_limit_bytes=64 * 4096),
+                      check_invariants=True)
+
+
+class TestPaperClaimInfiniteMemory:
+    """Table 4: with infinite memory UTLB never unpins; Intr always does."""
+
+    def test_utlb_never_unpins(self, fft_trace):
+        result = simulate_node(fft_trace, SimConfig(cache_entries=256))
+        assert result.stats.pages_unpinned == 0
+
+    def test_intr_unpins_on_eviction(self, fft_trace):
+        result = simulate_node_intr(fft_trace, SimConfig(cache_entries=256))
+        assert result.stats.pages_unpinned > 0
+
+    def test_ni_miss_rates_equal_same_cache(self, fft_trace):
+        """'We assume that the cache structures are the same for both
+        cases': identical streams through identical caches miss alike."""
+        config = SimConfig(cache_entries=256)
+        utlb = simulate_node(fft_trace, config)
+        intr = simulate_node_intr(fft_trace, config)
+        assert utlb.stats.ni_misses == intr.stats.ni_misses
+
+    def test_check_miss_rate_is_compulsory_floor(self, fft_trace):
+        """With infinite memory, a page is pinned exactly once: the check
+        miss rate equals footprint / lookups."""
+        result = simulate_node(fft_trace, SimConfig(cache_entries=256))
+        floor = footprint_pages(fft_trace) / count_lookups(fft_trace)
+        assert result.stats.check_miss_rate == pytest.approx(floor)
+
+    def test_check_miss_rate_independent_of_cache_size(self, fft_trace):
+        small = simulate_node(fft_trace, SimConfig(cache_entries=64))
+        large = simulate_node(fft_trace, SimConfig(cache_entries=4096))
+        assert small.stats.check_misses == large.stats.check_misses
+
+    def test_intr_interrupts_every_miss_utlb_never(self, fft_trace):
+        config = SimConfig(cache_entries=256)
+        utlb = simulate_node(fft_trace, config)
+        intr = simulate_node_intr(fft_trace, config)
+        assert utlb.stats.interrupts == 0
+        assert intr.stats.interrupts == intr.stats.ni_misses
+
+
+class TestPaperClaimLimitedMemory:
+    """Table 5: under a memory limit both mechanisms unpin, but UTLB
+    performs fewer pin+unpin operations."""
+
+    def test_utlb_unpins_under_limit(self, fft_trace):
+        config = SimConfig(cache_entries=256,
+                           memory_limit_bytes=150 * 4096)
+        result = simulate_node(fft_trace, config)
+        assert result.stats.pages_unpinned > 0
+
+    def test_utlb_fewer_pin_unpin_ops_than_intr(self, fft_trace):
+        config = SimConfig(cache_entries=256,
+                           memory_limit_bytes=150 * 4096)
+        utlb = simulate_node(fft_trace, config)
+        intr = simulate_node_intr(fft_trace, config)
+        utlb_ops = utlb.stats.pages_pinned + utlb.stats.pages_unpinned
+        intr_ops = intr.stats.pages_pinned + intr.stats.pages_unpinned
+        assert utlb_ops < intr_ops
+
+
+class TestPaperClaimCacheSize:
+    """Conclusions: miss rates fall with cache size; UTLB is less
+    sensitive to cache size than Intr (its costs don't track misses)."""
+
+    def test_ni_misses_monotone_nonincreasing(self, barnes_trace):
+        misses = [simulate_node(barnes_trace,
+                                SimConfig(cache_entries=n)).stats.ni_misses
+                  for n in (128, 512, 2048)]
+        assert misses[0] >= misses[1] >= misses[2]
+
+    def test_utlb_cost_less_size_sensitive_than_intr(self, barnes_trace):
+        def costs(mechanism):
+            out = []
+            for entries in (128, 2048):
+                config = SimConfig(cache_entries=entries)
+                if mechanism == "utlb":
+                    result = simulate_node(barnes_trace, config)
+                else:
+                    result = simulate_node_intr(barnes_trace, config)
+                out.append(result.stats.avg_lookup_cost_us)
+            return out
+
+        utlb_small, utlb_big = costs("utlb")
+        intr_small, intr_big = costs("intr")
+        assert (utlb_small - utlb_big) < (intr_small - intr_big)
+
+
+class TestPrefetchClaim:
+    """Figure 8: prefetching reduces miss rate and average lookup cost
+    for Radix (sequential structure)."""
+
+    def test_prefetch_reduces_radix_misses(self):
+        # Prefetch needs valid neighbouring translations, which
+        # sequential pre-pinning supplies (Section 6.5): prepin couples
+        # with prefetch, as in the Figure 8 sweep.
+        trace = make_app("radix").generate_node(0, seed=SEED, scale=SCALE)
+        base = SimConfig(cache_entries=512)
+        no_prefetch = simulate_node(trace, base)
+        prefetch = simulate_node(trace, base.replace(prefetch=8, prepin=8))
+        assert prefetch.stats.ni_misses < 0.5 * no_prefetch.stats.ni_misses
+        assert (prefetch.stats.avg_lookup_cost_us
+                < no_prefetch.stats.avg_lookup_cost_us)
+
+    def test_prefetch_useless_without_valid_neighbours(self):
+        """Without pre-pinning, compulsory misses have nothing to
+        prefetch: the paper's availability caveat, observable."""
+        trace = make_app("radix").generate_node(0, seed=SEED, scale=SCALE)
+        base = SimConfig(cache_entries=512)
+        no_prefetch = simulate_node(trace, base)
+        prefetch = simulate_node(trace, base.replace(prefetch=8))
+        assert prefetch.stats.ni_misses > 0.8 * no_prefetch.stats.ni_misses
+
+
+class TestPrepinClaim:
+    """Table 7: 16-page pre-pinning cuts amortized pin cost for most
+    apps; FFT's strided pattern makes it backfire (wasted pins)."""
+
+    def test_prepin_helps_water(self):
+        trace = make_app("water-spatial").generate_node(0, seed=SEED,
+                                                        scale=SCALE)
+        limit = 60 * 4096           # binding, as in Table 7
+        one = simulate_node(trace, SimConfig(memory_limit_bytes=limit))
+        sixteen = simulate_node(trace, SimConfig(memory_limit_bytes=limit,
+                                                 prepin=16))
+        assert (sixteen.stats.amortized_pin_cost_us
+                < one.stats.amortized_pin_cost_us)
+
+    def test_prepin_wastes_pins_for_fft(self):
+        trace = make_app("fft").generate_node(0, seed=SEED, scale=SCALE)
+        limit = 120 * 4096          # binding: limit < per-process footprint
+        one = simulate_node(trace, SimConfig(memory_limit_bytes=limit))
+        sixteen = simulate_node(trace, SimConfig(memory_limit_bytes=limit,
+                                                 prepin=16))
+        # Strided access skips most pre-pinned pages: far more pages get
+        # pinned (and later unpinned) than with demand pinning.
+        assert sixteen.stats.pages_pinned > 1.5 * one.stats.pages_pinned
+        assert (sixteen.stats.amortized_unpin_cost_us
+                > 3 * one.stats.amortized_unpin_cost_us)
+
+
+class TestOffsettingClaim:
+    """Table 8: index offsetting rescues the direct-mapped cache from
+    multiprogramming conflicts."""
+
+    def test_offsetting_beats_nohash(self):
+        trace = make_app("barnes").generate_node(0, seed=SEED, scale=SCALE)
+        offset = simulate_node(trace, SimConfig(cache_entries=256))
+        nohash = simulate_node(trace, SimConfig(cache_entries=256,
+                                                offsetting=False))
+        assert offset.stats.ni_misses < nohash.stats.ni_misses
+
+
+class TestClassification:
+    """Figure 7: compulsory misses dominate at large cache sizes."""
+
+    def test_compulsory_dominates_at_large_size(self, barnes_trace):
+        config = SimConfig(cache_entries=4096, classify=True)
+        result = simulate_node(barnes_trace, config)
+        b = result.breakdown
+        assert b.compulsory > b.capacity + b.conflict
+
+    def test_breakdown_partitions_misses(self, barnes_trace):
+        config = SimConfig(cache_entries=256, classify=True)
+        result = simulate_node(barnes_trace, config)
+        assert result.breakdown.total_misses == result.stats.ni_misses
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self, barnes_trace):
+        config = SimConfig(cache_entries=256)
+        a = simulate_node(barnes_trace, config)
+        b = simulate_node(barnes_trace, config)
+        assert a.stats.snapshot() == b.stats.snapshot()
+
+
+class TestSweepHelpers:
+    def test_run_on_traces_aggregates_nodes(self):
+        traces = make_app("volrend").generate_cluster(nodes=2, seed=SEED,
+                                                      scale=SCALE)
+        result = run_on_traces(traces, SimConfig(cache_entries=256))
+        assert result.stats.lookups == sum(
+            count_lookups(t) for t in traces.values())
+        assert len(result.per_node) == 2
+
+    def test_unknown_mechanism_rejected(self):
+        from repro.errors import ConfigError
+        traces = {0: []}
+        with pytest.raises(ConfigError):
+            run_on_traces(traces, SimConfig(), mechanism="magic")

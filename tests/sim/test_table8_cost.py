@@ -1,0 +1,78 @@
+"""The Section 6.3 cost argument: direct-mapped wins once serial
+firmware probing is charged."""
+
+import pytest
+
+from repro.core.costs import DEFAULT_COST_MODEL
+from repro.errors import ConfigError
+from repro.sim import experiments as exp
+
+
+class TestProbeCostModel:
+    def test_direct_mapped_hit_is_one_probe(self):
+        assert DEFAULT_COST_MODEL.ni_probe_cost(1, 0.0) == \
+            pytest.approx(0.8)
+
+    def test_four_way_hit_averages_2_5_probes(self):
+        assert DEFAULT_COST_MODEL.ni_probe_cost(4, 0.0) == \
+            pytest.approx(0.8 * 2.5)
+
+    def test_miss_probes_every_way(self):
+        assert DEFAULT_COST_MODEL.ni_probe_cost(4, 1.0) == \
+            pytest.approx(0.8 * 4)
+
+    def test_more_ways_always_cost_more_at_same_miss_rate(self):
+        cm = DEFAULT_COST_MODEL
+        for miss_rate in (0.0, 0.3, 1.0):
+            assert cm.ni_probe_cost(1, miss_rate) \
+                < cm.ni_probe_cost(2, miss_rate) \
+                < cm.ni_probe_cost(4, miss_rate)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DEFAULT_COST_MODEL.ni_probe_cost(0, 0.5)
+        with pytest.raises(ConfigError):
+            DEFAULT_COST_MODEL.ni_probe_cost(1, 1.5)
+
+
+class TestTable8Cost:
+    @pytest.fixture(scope="class")
+    def data(self):
+        miss_rates = exp.table8(scale=0.05, nodes=1, seed=1,
+                                sizes=(256, 1024))
+        return miss_rates, exp.table8_cost(miss_rates)
+
+    def test_direct_beats_set_associative_on_cost(self, data):
+        """The paper's design decision, as a measured outcome: even where
+        set-associativity wins a little on miss rate, it loses on
+        effective lookup cost."""
+        _, costs = data
+        wins = 0
+        cells = 0
+        for app, per_key in costs.items():
+            sizes = sorted({size for size, _ in per_key})
+            for size in sizes:
+                cells += 1
+                if (per_key[(size, "direct")]
+                        <= per_key[(size, "2-way")] + 1e-9
+                        and per_key[(size, "direct")]
+                        <= per_key[(size, "4-way")] + 1e-9):
+                    wins += 1
+        assert wins == cells        # direct wins every cell on cost
+
+    def test_cost_consistent_with_miss_rates(self, data):
+        miss_rates, costs = data
+        cm = DEFAULT_COST_MODEL
+        for app in costs:
+            for key, cost in costs[app].items():
+                size, org = key
+                assoc = {"direct": 1, "2-way": 2, "4-way": 4,
+                         "direct-nohash": 1}[org]
+                rate = miss_rates[app][key]
+                assert cost == pytest.approx(
+                    cm.ni_probe_cost(assoc, rate) + cm.miss_cost(1) * rate)
+
+    def test_render(self, data):
+        _, costs = data
+        text = exp.render_table8_cost(costs)
+        assert "direct mapping" in text

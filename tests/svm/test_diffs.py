@@ -1,0 +1,93 @@
+"""Diff computation and application."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.svm.diffs import apply_diffs, compute_diffs, diff_bytes
+
+
+class TestComputeDiffs:
+    def test_identical_pages_no_diffs(self):
+        page = bytes(range(256))
+        assert compute_diffs(page, page) == []
+
+    def test_single_changed_byte(self):
+        twin = bytes(256)
+        current = bytearray(256)
+        current[100] = 7
+        diffs = compute_diffs(twin, bytes(current))
+        assert diffs == [(100, b"\x07")]
+
+    def test_distant_runs_stay_separate(self):
+        twin = bytes(256)
+        current = bytearray(256)
+        current[0] = 1
+        current[200] = 2
+        diffs = compute_diffs(twin, bytes(current))
+        assert len(diffs) == 2
+
+    def test_close_runs_coalesce(self):
+        twin = bytes(256)
+        current = bytearray(256)
+        current[0] = 1
+        current[10] = 2                   # gap 9 < tolerance
+        diffs = compute_diffs(twin, bytes(current), gap_tolerance=16)
+        assert len(diffs) == 1
+        assert diffs[0][0] == 0
+        assert len(diffs[0][1]) == 11
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            compute_diffs(bytes(4), bytes(5))
+
+    def test_diff_bytes_total(self):
+        assert diff_bytes([(0, b"abc"), (9, b"de")]) == 5
+
+
+class TestApplyDiffs:
+    def test_roundtrip(self):
+        twin = bytes(range(256))
+        current = bytearray(twin)
+        current[3:6] = b"xyz"
+        current[200] = 0
+        diffs = compute_diffs(twin, bytes(current))
+        assert apply_diffs(twin, diffs) == bytes(current)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            apply_diffs(bytes(4), [(3, b"ab")])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.binary(min_size=64, max_size=64),
+           st.lists(st.tuples(st.integers(min_value=0, max_value=63),
+                              st.integers(min_value=0, max_value=255)),
+                    max_size=20))
+    def test_apply_compute_is_identity(self, twin, writes):
+        current = bytearray(twin)
+        for index, value in writes:
+            current[index] = value
+        diffs = compute_diffs(twin, bytes(current))
+        assert apply_diffs(twin, diffs) == bytes(current)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.binary(min_size=64, max_size=64),
+           st.binary(min_size=64, max_size=64))
+    def test_diffs_cover_every_change(self, twin, current):
+        diffs = compute_diffs(twin, current)
+        assert apply_diffs(twin, diffs) == current
+
+
+class TestMergeSemantics:
+    def test_disjoint_writers_merge_at_home(self):
+        """Two ranks changing different bytes of the same page: applying
+        both diff sets to the home copy preserves both writes (HLRC's
+        multiple-writer protocol)."""
+        home = bytes(128)
+        writer_a = bytearray(home)
+        writer_a[0:4] = b"AAAA"
+        writer_b = bytearray(home)
+        writer_b[64:68] = b"BBBB"
+        merged = apply_diffs(home, compute_diffs(home, bytes(writer_a)))
+        merged = apply_diffs(merged, compute_diffs(home, bytes(writer_b)))
+        assert merged[0:4] == b"AAAA"
+        assert merged[64:68] == b"BBBB"

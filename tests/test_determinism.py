@@ -1,0 +1,78 @@
+"""End-to-end determinism: identical inputs produce identical outputs.
+
+The whole point of a reproduction is that someone else gets the same
+numbers.  These tests re-run entire pipelines and compare rendered text
+byte-for-byte.
+"""
+
+from repro.sim import experiments as exp
+from repro.sim.compare import compare_table4
+
+TINY = dict(scale=0.04, nodes=1, seed=7)
+
+
+class TestExperimentDeterminism:
+    def test_table4_renders_identically_twice(self):
+        first = exp.render_table4(exp.table4(sizes=(128, 512), **TINY))
+        second = exp.render_table4(exp.table4(sizes=(128, 512), **TINY))
+        assert first == second
+
+    def test_figure8_renders_identically_twice(self):
+        first = exp.render_figure8(
+            exp.figure8(sizes=(128,), degrees=(1, 8), **TINY))
+        second = exp.render_figure8(
+            exp.figure8(sizes=(128,), degrees=(1, 8), **TINY))
+        assert first == second
+
+    def test_different_seed_changes_nothing_structural(self):
+        """A different seed changes traces but not table structure or
+        the qualitative findings."""
+        a = exp.table4(sizes=(128,), scale=0.04, nodes=1, seed=1)
+        b = exp.table4(sizes=(128,), scale=0.04, nodes=1, seed=2)
+        assert set(a) == set(b)
+        for app in a:
+            assert a[app][128]["utlb"]["unpins"] == 0.0
+            assert b[app][128]["utlb"]["unpins"] == 0.0
+
+    def test_comparison_deterministic(self):
+        _, first = compare_table4(sizes=(128,), **TINY)
+        _, second = compare_table4(sizes=(128,), **TINY)
+        assert first == second
+
+
+class TestFunctionalDeterminism:
+    def test_lossy_transfer_reproduces_exactly(self):
+        """Same seed, same loss pattern, same retransmission count."""
+        from repro import params
+        from repro.vmmc import Cluster, remote_store
+
+        def run():
+            cluster = Cluster(num_nodes=2, loss_rate=0.3, seed=99)
+            a = cluster.node(0).create_process()
+            b = cluster.node(1).create_process()
+            handle = a.import_buffer(
+                1, b.export(0x40000000, 2 * params.PAGE_SIZE))
+            a.write_memory(0x10000000, b"deterministic" * 100)
+            steps = remote_store(cluster, a, 0x10000000, 1300, handle)
+            return steps, cluster.node(0).endpoint.stats.retransmitted
+
+        assert run() == run()
+
+    def test_svm_kernel_reproduces_exactly(self):
+        import random
+
+        from repro.svm import SvmCluster
+        from repro.svm.apps import parallel_stencil
+        from repro.traces.capture import TraceRecorder
+
+        def run():
+            rng = random.Random(5)
+            grid = [[rng.randrange(50) for _ in range(16)]
+                    for _ in range(16)]
+            recorder = TraceRecorder()
+            svm = SvmCluster(num_ranks=3, region_pages=8, nodes=2,
+                             recorder=recorder)
+            parallel_stencil(svm, grid, 2)
+            return [r.as_tuple() for r in recorder.records()]
+
+        assert run() == run()

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs clean end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "examples")
+
+EXAMPLES = [
+    ("quickstart.py", []),
+    ("trace_analysis.py", ["0.05"]),
+    ("custom_replacement_policy.py", []),
+    ("prefetch_tuning.py", ["0.05"]),
+    ("fault_tolerance.py", []),
+    ("svm_application.py", []),
+    ("dynamic_limits.py", []),
+    ("message_channel.py", []),
+]
+
+
+def test_cli_compare():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--compare",
+         "--scale", "0.04", "--nodes", "1"],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert "[ok]" in result.stdout
+    assert "FAIL" not in result.stdout
+
+
+@pytest.mark.parametrize("script,args",
+                         EXAMPLES, ids=[name for name, _ in EXAMPLES])
+def test_example_runs_clean(script, args):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path] + args,
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()        # every example reports something
+
+
+def test_cli_single_table():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--only", "table1"],
+        capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0, result.stderr
+    assert "Table 1" in result.stdout
+
+
+def test_cli_scaled_table4():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--only", "table4",
+         "--scale", "0.04", "--nodes", "1"],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert "check misses" in result.stdout

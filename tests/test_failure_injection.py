@@ -1,0 +1,126 @@
+"""Failure injection: exhausted resources and broken invariants must
+fail loudly and atomically, never corrupt state silently."""
+
+import pytest
+
+from repro import params
+from repro.core import HierarchicalUtlb, SharedUtlbCache
+from repro.errors import CapacityError, PinningError
+from repro.memsim.os_kernel import SimulatedOS
+from repro.memsim.physical import PhysicalMemory
+from repro.vmmc import Cluster, remote_store
+from repro.vmmc.driver import VmmcDriver
+
+RECV = 0x40000000
+SEND = 0x10000000
+
+
+class TestPhysicalMemoryExhaustion:
+    def build_tiny_host(self, frames):
+        os_sim = SimulatedOS(PhysicalMemory(frames * params.PAGE_SIZE))
+        driver = VmmcDriver(os_sim)
+        process = os_sim.create_process()
+        cache = SharedUtlbCache(64)
+        utlb = HierarchicalUtlb(process.pid, cache, driver=driver,
+                                garbage_frame=driver.garbage_frame)
+        return os_sim, process, utlb
+
+    def test_pin_fails_when_memory_exhausted(self):
+        # 4 frames: 1 is the driver's garbage page, 3 are pinnable.
+        os_sim, process, utlb = self.build_tiny_host(frames=4)
+        utlb.access_page(0)
+        utlb.access_page(1)
+        utlb.access_page(2)
+        with pytest.raises(CapacityError):
+            utlb.access_page(3)
+
+    def test_failed_pin_leaves_structures_consistent(self):
+        os_sim, process, utlb = self.build_tiny_host(frames=4)
+        for page in range(3):
+            utlb.access_page(page)
+        with pytest.raises(CapacityError):
+            utlb.access_page(3)
+        # The failed page must not be half-installed anywhere.
+        assert not utlb.bitvector.test(3)
+        assert utlb.table.lookup(3) is None
+        assert 3 not in utlb.pool
+        utlb.check_invariants()
+        # Unpinning alone keeps the page resident; once the OS swaps the
+        # frame out, the same access succeeds.
+        utlb._unpin_page(0)
+        process.space.swap_out(0)
+        utlb.access_page(3)
+        utlb.check_invariants()
+
+
+class TestQueueExhaustion:
+    def test_command_queue_overflow_raises_cleanly(self):
+        cluster = Cluster(num_nodes=2)
+        a = cluster.node(0).create_process()
+        b = cluster.node(1).create_process()
+        handle = a.import_buffer(1, b.export(RECV, params.PAGE_SIZE))
+        a.write_memory(SEND, b"x")
+        with pytest.raises(CapacityError):
+            for _ in range(1000):
+                a.send(SEND, 1, handle)
+        # Draining recovers; subsequent sends work.
+        cluster.run_until_quiet()
+        a.complete()
+        remote_store(cluster, a, SEND, 1, handle)
+        assert b.read_memory(RECV, 1) == b"x"
+
+
+class TestEvictionDeadlocks:
+    def test_all_pages_held_fails_not_corrupts(self):
+        from tests.conftest import make_utlb
+        utlb = make_utlb(memory_limit_pages=2)
+        utlb.access_page(0)
+        utlb.access_page(1)
+        utlb.hold(0)
+        utlb.hold(1)
+        with pytest.raises(CapacityError):
+            utlb.access_page(2)
+        assert not utlb.bitvector.test(2)
+        utlb.check_invariants()
+        utlb.release(0)
+        utlb.access_page(2)     # now possible
+        utlb.check_invariants()
+
+    def test_unpin_held_page_directly_rejected(self):
+        from tests.conftest import make_utlb
+        utlb = make_utlb()
+        utlb.access_page(0)
+        utlb.hold(0)
+        with pytest.raises(PinningError):
+            utlb._unpin_page(0)
+        assert utlb.bitvector.test(0)
+
+
+class TestSramExhaustion:
+    def test_too_many_processes_for_sram(self):
+        """Creating processes until NIC SRAM runs out fails with a
+        capacity error, not corruption."""
+        cluster = Cluster(num_nodes=1, cache_entries=8192)
+        created = 0
+        with pytest.raises(CapacityError):
+            # The 4-bit process tag (16) limits registration before SRAM
+            # does with default sizes.
+            for _ in range(64):
+                cluster.node(0).create_process()
+                created += 1
+        assert created >= 8
+
+
+class TestLossyWorstCase:
+    def test_everything_lost_eventually_raises(self):
+        cluster = Cluster(num_nodes=2, timeout_steps=2)
+        a = cluster.node(0).create_process()
+        b = cluster.node(1).create_process()
+        handle = a.import_buffer(1, b.export(RECV, params.PAGE_SIZE))
+        cluster.node(0).endpoint.max_retries = 5
+        cluster.fabric.uplink(0).take_down()
+        a.write_memory(SEND, b"x")
+        a.send(SEND, 1, handle)
+        from repro.errors import NetworkError
+        with pytest.raises(NetworkError):
+            cluster.run_until_quiet(max_steps=500)

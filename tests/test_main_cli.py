@@ -1,0 +1,34 @@
+"""The python -m repro entry point (direct invocation for speed)."""
+
+import io
+
+import pytest
+
+from repro.__main__ import SECTIONS, main
+
+
+class TestSections:
+    def test_every_table_and_figure_has_a_section(self):
+        assert set(SECTIONS) == {
+            "table1", "table2", "table3", "table4", "table5", "table6",
+            "table7", "table8", "figure7", "figure8"}
+
+    @pytest.mark.parametrize("section", ["table1", "table2"])
+    def test_cost_model_sections_run_instantly(self, section, capsys):
+        assert main(["--only", section]) == 0
+        out = capsys.readouterr().out
+        assert section.replace("table", "Table ") in out
+
+    def test_scaled_simulation_section(self, capsys):
+        assert main(["--only", "table3", "--scale", "0.04",
+                     "--nodes", "1"]) == 0
+        assert "fft" in capsys.readouterr().out
+
+    def test_compare_mode(self, capsys):
+        assert main(["--compare", "--scale", "0.04", "--nodes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "[ok]" in out and "FAIL" not in out
+
+    def test_bad_section_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--only", "table99"])

@@ -1,0 +1,72 @@
+"""Global constants and helpers."""
+
+import pytest
+
+from repro import params
+from repro.errors import (
+    AddressError,
+    CapacityError,
+    ConfigError,
+    NetworkError,
+    NicError,
+    PinningError,
+    ProtectionError,
+    ReproError,
+    TraceError,
+    TranslationError,
+)
+
+
+class TestGeometry:
+    def test_page_size_is_4k(self):
+        assert params.PAGE_SIZE == 4096
+        assert 1 << params.PAGE_SHIFT == params.PAGE_SIZE
+
+    def test_two_level_split_covers_va_space(self):
+        assert (params.DIRECTORY_BITS + params.TABLE_BITS
+                + params.PAGE_SHIFT == params.VA_BITS)
+        assert (params.DIRECTORY_ENTRIES * params.TABLE_ENTRIES
+                == params.NUM_VPAGES)
+
+    def test_paper_cache_geometry(self):
+        # 8 K entries at 4 B each = the paper's 32 KB Shared UTLB-Cache.
+        assert (params.DEFAULT_UTLB_CACHE_ENTRIES
+                * params.UTLB_CACHE_ENTRY_BYTES == 32 * 1024)
+
+    def test_process_tag_space(self):
+        assert params.MAX_PROCESSES_PER_NIC == 16
+
+
+class TestPagesForBytes:
+    def test_exact_page(self):
+        assert params.pages_for_bytes(params.PAGE_SIZE) == 1
+
+    def test_one_byte_over(self):
+        assert params.pages_for_bytes(params.PAGE_SIZE + 1) == 2
+
+    def test_zero(self):
+        assert params.pages_for_bytes(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            params.pages_for_bytes(-1)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        AddressError, CapacityError, ConfigError, NetworkError, NicError,
+        PinningError, ProtectionError, TraceError, TranslationError])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_value_errors_double_as_value_error(self):
+        """Config and address errors also satisfy ValueError, so generic
+        callers can catch them idiomatically."""
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(AddressError, ValueError)
+
+    def test_catching_the_family(self):
+        try:
+            raise PinningError("x")
+        except ReproError:
+            pass

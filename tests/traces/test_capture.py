@@ -1,0 +1,91 @@
+"""The live trace recorder."""
+
+import pytest
+
+from repro import params
+from repro.traces.capture import TraceRecorder
+from repro.vmmc import Cluster, barrier
+
+RECV = 0x40000000
+SEND = 0x10000000
+
+
+@pytest.fixture
+def wired():
+    cluster = Cluster(num_nodes=2)
+    recorder = TraceRecorder()
+    a = recorder.attach(cluster.node(0).create_process())
+    b = recorder.attach(cluster.node(1).create_process())
+    handle = a.import_buffer(1, b.export(RECV, 2 * params.PAGE_SIZE))
+    return cluster, recorder, a, b, handle
+
+
+class TestRecording:
+    def test_send_recorded(self, wired):
+        cluster, recorder, a, _, handle = wired
+        a.write_memory(SEND, b"x" * 100)
+        a.send(SEND, 100, handle)
+        barrier(cluster)
+        records = recorder.records()
+        assert len(records) == 1
+        assert records[0].op == "send"
+        assert records[0].vaddr == SEND
+        assert records[0].nbytes == 100
+
+    def test_fetch_recorded(self, wired):
+        cluster, recorder, a, _, handle = wired
+        a.fetch(SEND, 64, handle)
+        barrier(cluster)
+        assert recorder.records()[0].op == "fetch"
+
+    def test_clock_monotone_across_libraries(self, wired):
+        cluster, recorder, a, b, handle = wired
+        export = a.export(0x50000000, params.PAGE_SIZE)
+        handle_b = b.import_buffer(0, export)
+        a.write_memory(SEND, b"x")
+        b.write_memory(SEND, b"y")
+        a.send(SEND, 1, handle)
+        b.send(SEND, 1, handle_b)
+        a.send(SEND, 1, handle)
+        barrier(cluster)
+        timestamps = [r.timestamp for r in recorder.records()]
+        assert timestamps == sorted(timestamps)
+        assert len(set(timestamps)) == len(timestamps)   # global clock
+
+    def test_node_attribution(self, wired):
+        cluster, recorder, a, b, handle = wired
+        a.write_memory(SEND, b"x")
+        a.send(SEND, 1, handle)
+        barrier(cluster)
+        assert recorder.records_for_node(0)
+        assert not recorder.records_for_node(1)
+
+    def test_clear(self, wired):
+        cluster, recorder, a, _, handle = wired
+        a.write_memory(SEND, b"x")
+        a.send(SEND, 1, handle)
+        barrier(cluster)
+        recorder.clear()
+        assert len(recorder) == 0
+
+    def test_unattached_library_records_nothing(self):
+        cluster = Cluster(num_nodes=2)
+        recorder = TraceRecorder()
+        a = cluster.node(0).create_process()
+        b = recorder.attach(cluster.node(1).create_process())
+        handle = a.import_buffer(1, b.export(RECV, params.PAGE_SIZE))
+        a.write_memory(SEND, b"x")
+        a.send(SEND, 1, handle)
+        barrier(cluster)
+        assert len(recorder) == 0
+
+    def test_bad_clock_increment_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(time_per_request_us=0)
+
+    def test_string_pids_normalized(self, wired):
+        cluster, recorder, a, _, handle = wired
+        a.write_memory(SEND, b"x")
+        a.send(SEND, 1, handle)
+        barrier(cluster)
+        assert isinstance(recorder.records()[0].pid, int)

@@ -1,0 +1,67 @@
+"""The trace-file CLI: generate / info / simulate."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args, timeout=120):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.traces"] + list(args),
+        capture_output=True, text=True, timeout=timeout)
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "barnes.bin"
+    result = run_cli("generate", "--app", "barnes", "--out", str(path),
+                     "--scale", "0.05")
+    assert result.returncode == 0, result.stderr
+    return path
+
+
+class TestGenerate:
+    def test_writes_trace(self, trace_file):
+        assert trace_file.exists()
+        assert trace_file.read_bytes()[:4] == b"UTLB"
+
+    def test_unknown_app_rejected(self, tmp_path):
+        result = run_cli("generate", "--app", "doom",
+                         "--out", str(tmp_path / "x.bin"))
+        assert result.returncode != 0
+
+
+class TestInfo:
+    def test_summarizes(self, trace_file):
+        result = run_cli("info", str(trace_file))
+        assert result.returncode == 0, result.stderr
+        assert "lookups" in result.stdout
+        assert "footprint" in result.stdout
+
+
+class TestSimulate:
+    @pytest.mark.parametrize("mechanism", ["utlb", "intr", "pp"])
+    def test_each_mechanism(self, trace_file, mechanism):
+        result = run_cli("simulate", str(trace_file),
+                         "--mechanism", mechanism,
+                         "--cache-entries", "256")
+        assert result.returncode == 0, result.stderr
+        assert "avg lookup cost" in result.stdout
+
+    def test_interrupt_free_claim_visible(self, trace_file):
+        utlb = run_cli("simulate", str(trace_file),
+                       "--cache-entries", "128").stdout
+        intr = run_cli("simulate", str(trace_file), "--mechanism", "intr",
+                       "--cache-entries", "128").stdout
+        assert "interrupts:       0" in utlb
+        assert "interrupts:       0" not in intr
+
+    def test_options_parsed(self, trace_file):
+        result = run_cli("simulate", str(trace_file),
+                         "--cache-entries", "256", "--prefetch", "4",
+                         "--prepin", "4", "--memory-limit-mb", "1",
+                         "--pin-policy", "mru", "--no-offsetting")
+        assert result.returncode == 0, result.stderr
+        assert "policy=mru" in result.stdout
+        assert "nohash" in result.stdout

@@ -1,0 +1,89 @@
+"""Trace serialization: text and binary round trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import params
+from repro.errors import TraceError
+from repro.traces.io import read_binary, read_text, write_binary, write_text
+from repro.traces.record import OP_FETCH, OP_SEND, TraceRecord
+
+records_strategy = st.lists(
+    st.builds(
+        TraceRecord,
+        st.integers(min_value=0, max_value=10**9),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=31),
+        st.sampled_from([OP_SEND, OP_FETCH]),
+        st.integers(min_value=0, max_value=(1 << 31)).map(
+            lambda v: v & ~params.PAGE_OFFSET_MASK),
+        st.integers(min_value=1, max_value=4 * params.PAGE_SIZE)),
+    max_size=50)
+
+
+class TestTextFormat:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        records = [TraceRecord(10, 0, 1, OP_SEND, 0x1000, 4096),
+                   TraceRecord(20, 1, 2, OP_FETCH, 0x2000, 100)]
+        assert write_text(path, records) == 2
+        assert list(read_text(path)) == records
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# comment\n\n10 0 1 send 0x1000 4096\n")
+        assert len(list(read_text(path))) == 1
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("10 0 1 send\n")
+        with pytest.raises(TraceError, match=":1"):
+            list(read_text(path))
+
+    def test_bad_field_rejected(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("10 0 1 send zzz 4096\n")
+        with pytest.raises(TraceError):
+            list(read_text(path))
+
+    @settings(max_examples=20, deadline=None)
+    @given(records=records_strategy)
+    def test_roundtrip_property(self, tmp_path_factory, records):
+        path = tmp_path_factory.mktemp("t") / "trace.txt"
+        write_text(path, records)
+        assert list(read_text(path)) == records
+
+
+class TestBinaryFormat:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        records = [TraceRecord(10, 0, 1, OP_SEND, 0x1000, 4096),
+                   TraceRecord(20, 1, 2, OP_FETCH, 0x2000, 100)]
+        assert write_binary(path, records) == 2
+        assert list(read_binary(path)) == records
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        path.write_bytes(b"XXXX" + bytes(12))
+        with pytest.raises(TraceError, match="magic"):
+            list(read_binary(path))
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        write_binary(path, [TraceRecord(10, 0, 1, OP_SEND, 0x1000, 4096)])
+        data = path.read_bytes()
+        path.write_bytes(data[:-4])
+        with pytest.raises(TraceError, match="truncated"):
+            list(read_binary(path))
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        write_binary(path, [])
+        assert list(read_binary(path)) == []
+
+    @settings(max_examples=20, deadline=None)
+    @given(records=records_strategy)
+    def test_roundtrip_property(self, tmp_path_factory, records):
+        path = tmp_path_factory.mktemp("t") / "trace.bin"
+        write_binary(path, records)
+        assert list(read_binary(path)) == records

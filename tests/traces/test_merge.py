@@ -1,0 +1,71 @@
+"""Timestamp serialization of per-process traces."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TraceError
+from repro.traces.merge import (
+    merge_sorted_iters,
+    merge_streams,
+    split_by_node,
+    split_by_pid,
+)
+from repro.traces.record import OP_SEND, TraceRecord
+
+
+def rec(ts, pid=1, node=0, vaddr=0x1000):
+    return TraceRecord(ts, node, pid, OP_SEND, vaddr, 4096)
+
+
+class TestMergeStreams:
+    def test_interleaves_by_timestamp(self):
+        a = [rec(1, pid=1), rec(5, pid=1)]
+        b = [rec(3, pid=2), rec(4, pid=2)]
+        merged = merge_streams([a, b])
+        assert [r.timestamp for r in merged] == [1, 3, 4, 5]
+
+    def test_ties_broken_by_pid(self):
+        a = [rec(5, pid=2)]
+        b = [rec(5, pid=1)]
+        merged = merge_streams([a, b])
+        assert [r.pid for r in merged] == [1, 2]
+
+    def test_unsorted_stream_rejected(self):
+        with pytest.raises(TraceError):
+            merge_streams([[rec(5), rec(1)]])
+
+    def test_empty_streams(self):
+        assert merge_streams([[], []]) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.lists(st.integers(min_value=0, max_value=1000),
+                             max_size=30),
+                    max_size=5))
+    def test_merge_is_sorted_and_complete(self, timestamp_lists):
+        streams = [[rec(ts, pid=index) for ts in sorted(ts_list)]
+                   for index, ts_list in enumerate(timestamp_lists)]
+        merged = merge_streams(streams)
+        assert len(merged) == sum(len(s) for s in streams)
+        assert all(merged[i].timestamp <= merged[i + 1].timestamp
+                   for i in range(len(merged) - 1))
+
+
+class TestLazyMerge:
+    def test_matches_eager_merge(self):
+        a = [rec(1, pid=1), rec(5, pid=1)]
+        b = [rec(3, pid=2)]
+        assert list(merge_sorted_iters([iter(a), iter(b)])) == \
+            merge_streams([a, b])
+
+
+class TestSplitters:
+    def test_split_by_node(self):
+        records = [rec(1, node=0), rec(2, node=1), rec(3, node=0)]
+        by_node = split_by_node(records)
+        assert len(by_node[0]) == 2
+        assert len(by_node[1]) == 1
+
+    def test_split_by_pid_preserves_order(self):
+        records = [rec(1, pid=1), rec(2, pid=2), rec(3, pid=1)]
+        by_pid = split_by_pid(records)
+        assert [r.timestamp for r in by_pid[1]] == [1, 3]

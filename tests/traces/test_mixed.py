@@ -1,0 +1,96 @@
+"""Mixed multiprogramming workloads (the paper's limitation #1)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.config import SimConfig
+from repro.sim.simulator import simulate_node
+from repro.traces.merge import split_by_pid
+from repro.traces.record import count_lookups
+from repro.traces.synth import MixedWorkload, make_app
+
+
+class TestGeneration:
+    def test_two_apps_ten_processes(self):
+        mix = MixedWorkload(["barnes", "fft"], scale=0.05)
+        trace = mix.generate_node(0, seed=1)
+        assert len(split_by_pid(trace)) == 10
+
+    def test_pids_unique_across_apps(self):
+        mix = MixedWorkload(["barnes", "barnes"], scale=0.05)
+        trace = mix.generate_node(0, seed=1)
+        assert len(split_by_pid(trace)) == 10
+
+    def test_lookups_sum_of_constituents(self):
+        mix = MixedWorkload(["volrend", "water-spatial"], scale=0.05)
+        trace = mix.generate_node(0, seed=1)
+        separate = sum(
+            count_lookups(make_app(name).generate_node(
+                0, seed=1 * 131 + index, scale=0.05))
+            for index, name in enumerate(["volrend", "water-spatial"]))
+        assert count_lookups(trace) == separate
+
+    def test_timestamp_sorted(self):
+        mix = MixedWorkload(["radix", "volrend"], scale=0.05)
+        trace = mix.generate_node(0, seed=1)
+        assert all(trace[i].timestamp <= trace[i + 1].timestamp
+                   for i in range(len(trace) - 1))
+
+    def test_too_many_apps_rejected(self):
+        with pytest.raises(ConfigError):
+            MixedWorkload(["barnes", "fft", "lu", "radix"])
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ConfigError):
+            MixedWorkload([])
+
+    def test_name_composed(self):
+        assert MixedWorkload(["barnes", "fft"]).name == "barnes+fft"
+
+    def test_deterministic(self):
+        mix = MixedWorkload(["barnes", "fft"], scale=0.05)
+        assert mix.generate_node(0, seed=5) == mix.generate_node(0, seed=5)
+
+    def test_cluster_generation(self):
+        mix = MixedWorkload(["volrend", "water-spatial"], scale=0.05)
+        traces = mix.generate_cluster(nodes=2, seed=1)
+        pids0 = set(split_by_pid(traces[0]))
+        pids1 = set(split_by_pid(traces[1]))
+        assert not pids0 & pids1
+
+
+class TestHeterogeneousMultiprogramming:
+    def test_mix_simulates_cleanly(self):
+        mix = MixedWorkload(["barnes", "fft"], scale=0.05)
+        trace = mix.generate_node(0, seed=1)
+        result = simulate_node(trace, SimConfig(cache_entries=512),
+                               check_invariants=True)
+        assert result.stats.lookups == count_lookups(trace)
+        assert len(result.per_pid) == 10
+
+    def test_offsetting_still_rescues_the_mix(self):
+        """Heterogeneous programs share page numbers too (same SPMD
+        layout): offsetting must keep helping."""
+        mix = MixedWorkload(["barnes", "water-spatial"], scale=0.05)
+        trace = mix.generate_node(0, seed=1)
+        offset = simulate_node(trace, SimConfig(cache_entries=512))
+        nohash = simulate_node(trace, SimConfig(cache_entries=512,
+                                                offsetting=False))
+        assert offset.stats.ni_misses < nohash.stats.ni_misses
+
+    def test_mix_misses_at_least_worst_constituent(self):
+        """Sharing a cache with a stranger never helps: the mix's overall
+        miss rate is at least the lookup-weighted combination of what the
+        constituents achieve running alone."""
+        size = 512
+        mix = MixedWorkload(["barnes", "fft"], scale=0.05)
+        mixed = simulate_node(mix.generate_node(0, seed=1),
+                              SimConfig(cache_entries=size)).stats
+        alone = [simulate_node(
+            make_app(name).generate_node(0, seed=1 * 131 + index,
+                                         scale=0.05),
+            SimConfig(cache_entries=size)).stats
+            for index, name in enumerate(["barnes", "fft"])]
+        weighted = (sum(s.ni_misses for s in alone)
+                    / sum(s.lookups for s in alone))
+        assert mixed.ni_miss_rate >= weighted - 0.01

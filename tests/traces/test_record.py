@@ -1,0 +1,63 @@
+"""Trace records: validation, page counting, footprint."""
+
+import pytest
+
+from repro import params
+from repro.errors import TraceError
+from repro.traces.record import (
+    OP_SEND,
+    TraceRecord,
+    count_lookups,
+    footprint_pages,
+)
+
+
+def rec(vaddr=0x1000, nbytes=params.PAGE_SIZE, pid=1, ts=0, op=OP_SEND):
+    return TraceRecord(ts, 0, pid, op, vaddr, nbytes)
+
+
+class TestValidation:
+    def test_valid_record(self):
+        record = rec()
+        assert record.num_pages == 1
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(TraceError):
+            rec(op="recv")
+
+    def test_nonpositive_length_rejected(self):
+        with pytest.raises(TraceError):
+            rec(nbytes=0)
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(TraceError):
+            rec(ts=-1)
+
+    def test_buffer_overflowing_address_space_rejected(self):
+        with pytest.raises(Exception):
+            rec(vaddr=(1 << params.VA_BITS) - 10, nbytes=100)
+
+
+class TestPages:
+    def test_page_split(self):
+        record = rec(vaddr=0x0FFF, nbytes=2)
+        assert list(record.pages()) == [0, 1]
+
+    def test_equality_and_hash(self):
+        assert rec() == rec()
+        assert hash(rec()) == hash(rec())
+        assert rec() != rec(vaddr=0x2000)
+
+
+class TestAggregates:
+    def test_count_lookups_sums_pages(self):
+        records = [rec(), rec(nbytes=2 * params.PAGE_SIZE)]
+        assert count_lookups(records) == 3
+
+    def test_footprint_distinct_per_pid(self):
+        records = [rec(pid=1), rec(pid=1), rec(pid=2)]
+        assert footprint_pages(records) == 2
+
+    def test_footprint_counts_pages_not_records(self):
+        records = [rec(vaddr=0, nbytes=3 * params.PAGE_SIZE)]
+        assert footprint_pages(records) == 3

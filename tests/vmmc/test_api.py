@@ -1,0 +1,97 @@
+"""High-level VMMC operations: remote_store/remote_fetch/barrier."""
+
+import pytest
+
+from repro import params
+from repro.errors import NetworkError
+from repro.vmmc import Cluster, barrier, remote_fetch, remote_store
+
+RECV = 0x40000000
+SEND = 0x10000000
+
+
+@pytest.fixture
+def pair():
+    cluster = Cluster(num_nodes=2)
+    a = cluster.node(0).create_process()
+    b = cluster.node(1).create_process()
+    handle = a.import_buffer(1, b.export(RECV, 2 * params.PAGE_SIZE))
+    return cluster, a, b, handle
+
+
+class TestRemoteStore:
+    def test_returns_steps(self, pair):
+        cluster, a, b, handle = pair
+        a.write_memory(SEND, b"x")
+        steps = remote_store(cluster, a, SEND, 1, handle)
+        assert steps > 0
+
+    def test_releases_holds(self, pair):
+        cluster, a, b, handle = pair
+        a.write_memory(SEND, b"x")
+        remote_store(cluster, a, SEND, 1, handle)
+        assert a.utlb.pool.held_pages() == set()
+
+
+class TestRemoteFetch:
+    def test_releases_holds(self, pair):
+        cluster, a, b, handle = pair
+        b.write_memory(RECV, b"y")
+        remote_fetch(cluster, a, SEND, 1, handle)
+        assert a.utlb.pool.held_pages() == set()
+
+
+class TestBarrier:
+    def test_barrier_drains_everything(self, pair):
+        cluster, a, b, handle = pair
+        a.write_memory(SEND, b"z" * 1000)
+        for offset in range(4):
+            a.send(SEND, 1000, handle, remote_offset=offset * 1024)
+        steps = barrier(cluster)
+        assert cluster.quiescent()
+        assert steps > 0
+        assert a.utlb.pool.held_pages() == set()
+
+    def test_barrier_on_idle_cluster(self, pair):
+        cluster, _, _, _ = pair
+        assert barrier(cluster) == 0
+
+    def test_run_until_quiet_times_out_on_livelock(self, pair):
+        cluster, a, b, handle = pair
+        # Kill the destination's down-link permanently: the sender's
+        # retransmissions can never be delivered or acked.
+        a.write_memory(SEND, b"x")
+        a.send(SEND, 1, handle)
+        cluster.fabric.downlink(1).take_down()
+        cluster.node(0).endpoint.max_retries = 10**9
+        with pytest.raises(NetworkError):
+            cluster.run_until_quiet(max_steps=200)
+
+
+class TestClusterConfig:
+    def test_zero_nodes_rejected(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            Cluster(num_nodes=0)
+
+    def test_unknown_node_rejected(self, pair):
+        cluster, _, _, _ = pair
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            cluster.node(99)
+
+    def test_library_lookup(self, pair):
+        cluster, a, _, _ = pair
+        assert cluster.node(0).library(a.pid) is a
+        from repro.errors import ProtectionError
+        with pytest.raises(ProtectionError):
+            cluster.node(0).library("ghost")
+
+    def test_single_node_cluster_works_locally(self):
+        cluster = Cluster(num_nodes=1)
+        a = cluster.node(0).create_process()
+        b = cluster.node(0).create_process()
+        handle = a.import_buffer(0, b.export(RECV, params.PAGE_SIZE))
+        a.write_memory(SEND, b"local")
+        remote_store(cluster, a, SEND, 5, handle)
+        assert b.read_memory(RECV, 5) == b"local"

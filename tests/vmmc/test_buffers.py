@@ -1,0 +1,76 @@
+"""Export registry and import handles."""
+
+import pytest
+
+from repro import params
+from repro.errors import ProtectionError
+from repro.vmmc.buffers import ExportRegistry, ExportedBuffer, ImportHandle
+
+
+class TestExportedBuffer:
+    def test_page_count(self):
+        export = ExportedBuffer(1, 0x1000, params.PAGE_SIZE + 1, 0)
+        assert export.num_pages == 2
+
+    def test_delivery_vaddr_defaults_to_home(self):
+        export = ExportedBuffer(1, 0x1000, 100, 0)
+        assert export.delivery_vaddr() == 0x1000
+
+    def test_delivery_vaddr_follows_redirect(self):
+        export = ExportedBuffer(1, 0x1000, 100, 0)
+        export.redirect_vaddr = 0x9000
+        assert export.delivery_vaddr() == 0x9000
+
+    def test_empty_export_rejected(self):
+        with pytest.raises(ProtectionError):
+            ExportedBuffer(1, 0x1000, 0, 0)
+
+    def test_unique_ids(self):
+        a = ExportedBuffer(1, 0x1000, 100, 0)
+        b = ExportedBuffer(1, 0x2000, 100, 0)
+        assert a.export_id != b.export_id
+
+
+class TestRegistry:
+    def test_register_lookup(self):
+        registry = ExportRegistry(0)
+        export = ExportedBuffer(1, 0x1000, 100, 0)
+        export_id = registry.register(export)
+        assert registry.lookup(export_id) is export
+        assert export_id in registry
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(ProtectionError):
+            ExportRegistry(0).lookup(1234)
+
+    def test_wrong_node_rejected(self):
+        registry = ExportRegistry(0)
+        export = ExportedBuffer(1, 0x1000, 100, node_id=5)
+        with pytest.raises(ProtectionError):
+            registry.register(export)
+
+    def test_unregister(self):
+        registry = ExportRegistry(0)
+        export = ExportedBuffer(1, 0x1000, 100, 0)
+        export_id = registry.register(export)
+        assert registry.unregister(export_id) is export
+        assert len(registry) == 0
+
+    def test_exports_for_pid(self):
+        registry = ExportRegistry(0)
+        registry.register(ExportedBuffer(1, 0x1000, 100, 0))
+        registry.register(ExportedBuffer(2, 0x2000, 100, 0))
+        assert len(registry.exports_for(1)) == 1
+
+    def test_sram_accounting(self):
+        registry = ExportRegistry(0)
+        registry.register(ExportedBuffer(1, 0x1000, 100, 0))
+        assert registry.sram_bytes() == 16
+
+
+class TestImportHandle:
+    def test_fields(self):
+        handle = ImportHandle(3, 7, 4096)
+        assert handle.node_id == 3
+        assert handle.export_id == 7
+        assert handle.nbytes == 4096

@@ -1,0 +1,223 @@
+"""End-to-end VMMC integration: the full stack from library to fabric."""
+
+import pytest
+
+from repro import params
+from repro.errors import ProtectionError
+from repro.vmmc import (
+    Cluster,
+    barrier,
+    clear_redirect,
+    redirect,
+    remote_fetch,
+    remote_store,
+)
+
+RECV = 0x40000000
+SEND = 0x10000000
+ALT = 0x50000000
+
+
+@pytest.fixture
+def pair():
+    """A 2-node cluster with one process per node and an imported buffer."""
+    cluster = Cluster(num_nodes=2)
+    a = cluster.node(0).create_process()
+    b = cluster.node(1).create_process()
+    export_id = b.export(RECV, 4 * params.PAGE_SIZE)
+    handle = a.import_buffer(1, export_id)
+    return cluster, a, b, export_id, handle
+
+
+class TestRemoteStore:
+    def test_data_arrives_intact(self, pair):
+        cluster, a, b, _, handle = pair
+        message = bytes(range(256)) * 32        # 8 KB, two pages
+        a.write_memory(SEND, message)
+        remote_store(cluster, a, SEND, len(message), handle)
+        assert b.read_memory(RECV, len(message)) == message
+
+    def test_offset_delivery(self, pair):
+        cluster, a, b, _, handle = pair
+        a.write_memory(SEND, b"off")
+        remote_store(cluster, a, SEND, 3, handle, remote_offset=100)
+        assert b.read_memory(RECV + 100, 3) == b"off"
+
+    def test_unaligned_cross_page(self, pair):
+        cluster, a, b, _, handle = pair
+        message = b"z" * 6000
+        a.write_memory(SEND + 3000, message)
+        remote_store(cluster, a, SEND + 3000, len(message), handle,
+                     remote_offset=2000)
+        assert b.read_memory(RECV + 2000, len(message)) == message
+
+    def test_no_interrupts_on_common_path(self, pair):
+        cluster, a, b, _, handle = pair
+        a.write_memory(SEND, b"quiet")
+        remote_store(cluster, a, SEND, 5, handle)
+        assert cluster.node(0).interrupts.raised == 0
+        assert cluster.node(1).interrupts.raised == 0
+
+    def test_one_syscall_per_new_buffer_then_none(self, pair):
+        cluster, a, _, _, handle = pair
+        a.write_memory(SEND, b"x" * 100)
+        remote_store(cluster, a, SEND, 100, handle)
+        syscalls_after_first = a.process.syscalls
+        for _ in range(5):
+            remote_store(cluster, a, SEND, 100, handle)
+        assert a.process.syscalls == syscalls_after_first
+
+    def test_overrun_rejected_at_post_time(self, pair):
+        cluster, a, _, _, handle = pair
+        with pytest.raises(ProtectionError):
+            a.send(SEND, 5 * params.PAGE_SIZE, handle)
+
+    def test_send_without_import_rejected(self, pair):
+        cluster, a, b, _, _ = pair
+        other_export = b.export(ALT, params.PAGE_SIZE)
+        from repro.vmmc.buffers import ImportHandle
+        forged = ImportHandle(1, other_export, params.PAGE_SIZE)
+        with pytest.raises(ProtectionError):
+            a.send(SEND, 16, forged)
+
+
+class TestRemoteFetch:
+    def test_fetch_pulls_remote_data(self, pair):
+        cluster, a, b, _, handle = pair
+        b.write_memory(RECV, b"remote-contents")
+        remote_fetch(cluster, a, SEND, 15, handle)
+        assert a.read_memory(SEND, 15) == b"remote-contents"
+
+    def test_fetch_with_offsets(self, pair):
+        cluster, a, b, _, handle = pair
+        b.write_memory(RECV + 500, b"window")
+        remote_fetch(cluster, a, SEND + 100, 6, handle, remote_offset=500)
+        assert a.read_memory(SEND + 100, 6) == b"window"
+
+    def test_fetch_multi_page(self, pair):
+        cluster, a, b, _, handle = pair
+        blob = bytes([i % 251 for i in range(3 * params.PAGE_SIZE)])
+        b.write_memory(RECV, blob)
+        remote_fetch(cluster, a, SEND, len(blob), handle)
+        assert a.read_memory(SEND, len(blob)) == blob
+
+
+class TestRedirection:
+    def test_redirected_delivery(self, pair):
+        cluster, a, b, export_id, handle = pair
+        redirect(b, export_id, ALT)
+        a.write_memory(SEND, b"elsewhere")
+        remote_store(cluster, a, SEND, 9, handle)
+        assert b.read_memory(ALT, 9) == b"elsewhere"
+        assert b.read_memory(RECV, 9) == bytes(9)
+
+    def test_clear_redirect_restores_default(self, pair):
+        cluster, a, b, export_id, handle = pair
+        redirect(b, export_id, ALT)
+        clear_redirect(b, export_id)
+        a.write_memory(SEND, b"home")
+        remote_store(cluster, a, SEND, 4, handle)
+        assert b.read_memory(RECV, 4) == b"home"
+
+    def test_only_owner_may_redirect(self, pair):
+        cluster, a, b, export_id, _ = pair
+        other = cluster.node(1).create_process()
+        with pytest.raises(ProtectionError):
+            redirect(other, export_id, ALT)
+
+    def test_redirect_pins_target(self, pair):
+        cluster, a, b, export_id, handle = pair
+        pinned_before = b.utlb.bitvector.count
+        redirect(b, export_id, ALT)
+        assert b.utlb.bitvector.count == pinned_before + 4
+
+
+class TestLossyFabric:
+    def test_store_survives_packet_loss(self):
+        cluster = Cluster(num_nodes=2, loss_rate=0.3, seed=7)
+        a = cluster.node(0).create_process()
+        b = cluster.node(1).create_process()
+        export_id = b.export(RECV, 4 * params.PAGE_SIZE)
+        handle = a.import_buffer(1, export_id)
+        blob = bytes(range(256)) * 48
+        a.write_memory(SEND, blob)
+        remote_store(cluster, a, SEND, len(blob), handle)
+        assert b.read_memory(RECV, len(blob)) == blob
+        assert cluster.node(0).endpoint.stats.retransmitted > 0
+
+
+class TestMultiNode:
+    def test_all_to_one_gather(self):
+        cluster = Cluster(num_nodes=4)
+        root = cluster.node(0).create_process()
+        export_id = root.export(RECV, 4 * params.PAGE_SIZE)
+        senders = []
+        for node in (1, 2, 3):
+            lib = cluster.node(node).create_process()
+            handle = lib.import_buffer(0, export_id)
+            lib.write_memory(SEND, bytes([node]) * 100)
+            lib.send(SEND, 100, handle, remote_offset=node * 100)
+            senders.append(lib)
+        barrier(cluster)
+        for node in (1, 2, 3):
+            assert root.read_memory(RECV + node * 100, 100) == \
+                bytes([node]) * 100
+
+    def test_multiple_processes_per_node(self):
+        cluster = Cluster(num_nodes=2)
+        a1 = cluster.node(0).create_process()
+        a2 = cluster.node(0).create_process()
+        b = cluster.node(1).create_process()
+        export_id = b.export(RECV, 4 * params.PAGE_SIZE)
+        h1 = a1.import_buffer(1, export_id)
+        h2 = a2.import_buffer(1, export_id)
+        a1.write_memory(SEND, b"one")
+        a2.write_memory(SEND, b"two")
+        a1.send(SEND, 3, h1, remote_offset=0)
+        a2.send(SEND, 3, h2, remote_offset=10)
+        barrier(cluster)
+        assert b.read_memory(RECV, 3) == b"one"
+        assert b.read_memory(RECV + 10, 3) == b"two"
+
+
+class TestExportLifecycle:
+    def test_unexport_releases_holds(self, pair):
+        cluster, a, b, export_id, _ = pair
+        b.unexport(export_id)
+        assert len(cluster.node(1).exports) == 0
+
+    def test_import_of_unknown_export_rejected(self, pair):
+        cluster, a, _, _, _ = pair
+        with pytest.raises(ProtectionError):
+            a.import_buffer(1, 424242)
+
+    def test_exported_pages_survive_memory_pressure(self):
+        """Exported receive buffers are held: the pool may never evict
+        them, whatever else the process touches."""
+        cluster = Cluster(num_nodes=2)
+        b = cluster.node(1).create_process(memory_limit_pages=8)
+        export_id = b.export(RECV, 4 * params.PAGE_SIZE)
+        for page in range(40):      # heavy unrelated pinning traffic
+            b.utlb.access_page(0x70000 + page)
+        for page_index in range(4):
+            assert b.utlb.bitvector.test((RECV // params.PAGE_SIZE)
+                                         + page_index)
+        b.utlb.check_invariants()
+
+
+class TestTranslationConsistency:
+    def test_invariants_after_traffic(self, pair):
+        cluster, a, b, _, handle = pair
+        for round_index in range(6):
+            a.write_memory(SEND + round_index * 4096, b"r%d" % round_index)
+            remote_store(cluster, a, SEND + round_index * 4096, 2, handle,
+                         remote_offset=round_index * 16)
+        a.utlb.check_invariants()
+        b.utlb.check_invariants()
+
+    def test_dma_traffic_accounted(self, pair):
+        cluster, a, b, _, handle = pair
+        a.write_memory(SEND, b"x" * 5000)
+        remote_store(cluster, a, SEND, 5000, handle)
+        assert cluster.node(0).dma.stats.bytes_host_to_nic >= 5000
+        assert cluster.node(1).dma.stats.bytes_nic_to_host >= 5000

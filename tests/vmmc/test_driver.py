@@ -1,0 +1,61 @@
+"""The VMMC device driver: ioctl plumbing and the garbage page."""
+
+import pytest
+
+from repro.errors import ProtectionError
+from repro.memsim.os_kernel import SimulatedOS
+from repro.vmmc.driver import DEVICE_NAME, VmmcDriver
+
+
+@pytest.fixture
+def setup():
+    os_sim = SimulatedOS()
+    driver = VmmcDriver(os_sim)
+    process = os_sim.create_process()
+    return os_sim, driver, process
+
+
+class TestGarbagePage:
+    def test_garbage_page_allocated_and_pinned(self, setup):
+        os_sim, driver, _ = setup
+        frame = os_sim.physical.frame(driver.garbage_frame)
+        assert frame.pin_count >= 1
+
+    def test_garbage_page_owned_by_driver(self, setup):
+        os_sim, driver, _ = setup
+        frame = os_sim.physical.frame(driver.garbage_frame)
+        assert frame.owner_pid == "<vmmc-driver>"
+
+
+class TestIoctlPath:
+    def test_pin_through_ioctl(self, setup):
+        os_sim, driver, process = setup
+        frames = driver.pin_pages(process.pid, [10, 11])
+        assert set(frames) == {10, 11}
+        assert process.space.is_pinned(10)
+        assert process.syscalls == 1        # one ioctl per batch
+        assert driver.ioctl_count == 1
+
+    def test_unpin_through_ioctl(self, setup):
+        _, driver, process = setup
+        driver.pin_pages(process.pid, [10])
+        driver.unpin_pages(process.pid, [10])
+        assert not process.space.is_pinned(10)
+        assert driver.ioctl_count == 2
+
+    def test_unknown_request_rejected(self, setup):
+        os_sim, _, process = setup
+        with pytest.raises(ProtectionError):
+            os_sim.ioctl(process.pid, DEVICE_NAME, "format-disk")
+
+    def test_driver_works_with_utlb(self, setup):
+        """The driver satisfies the HierarchicalUtlb driver protocol."""
+        os_sim, driver, process = setup
+        from repro.core import HierarchicalUtlb, SharedUtlbCache
+        cache = SharedUtlbCache(num_entries=16)
+        utlb = HierarchicalUtlb(process.pid, cache, driver=driver,
+                                garbage_frame=driver.garbage_frame)
+        frame = utlb.access_page(5)
+        assert process.space.is_pinned(5)
+        assert frame == process.space.frame_of(5)
+        utlb.check_invariants()

@@ -1,0 +1,110 @@
+"""Receive notifications: poll mode (interrupt-free) and interrupt mode."""
+
+import pytest
+
+from repro import params
+from repro.errors import ConfigError, ProtectionError
+from repro.vmmc import Cluster, remote_store
+from repro.vmmc.notifications import Notifier
+
+RECV = 0x40000000
+SEND = 0x10000000
+
+
+@pytest.fixture
+def pair():
+    cluster = Cluster(num_nodes=2)
+    a = cluster.node(0).create_process()
+    b = cluster.node(1).create_process()
+    export_id = b.export(RECV, 4 * params.PAGE_SIZE)
+    handle = a.import_buffer(1, export_id)
+    return cluster, a, b, export_id, handle
+
+
+class TestPollMode:
+    def test_arrival_queued(self, pair):
+        cluster, a, b, export_id, handle = pair
+        b.enable_notifications(export_id)
+        a.write_memory(SEND, b"ding")
+        remote_store(cluster, a, SEND, 4, handle, remote_offset=32)
+        records = b.poll_notifications()
+        assert len(records) == 1
+        assert records[0].export_id == export_id
+        assert records[0].offset == 32
+        assert records[0].nbytes == 4
+        assert records[0].from_node == 0
+
+    def test_no_interrupts_in_poll_mode(self, pair):
+        cluster, a, b, export_id, handle = pair
+        b.enable_notifications(export_id, mode="poll")
+        a.write_memory(SEND, b"quiet")
+        remote_store(cluster, a, SEND, 5, handle)
+        assert cluster.node(1).interrupts.raised == 0
+        assert b.poll_notifications()
+
+    def test_poll_drains(self, pair):
+        cluster, a, b, export_id, handle = pair
+        b.enable_notifications(export_id)
+        a.write_memory(SEND, b"x")
+        remote_store(cluster, a, SEND, 1, handle)
+        assert len(b.poll_notifications()) == 1
+        assert b.poll_notifications() == []
+
+    def test_max_records(self, pair):
+        cluster, a, b, export_id, handle = pair
+        b.enable_notifications(export_id)
+        a.write_memory(SEND, b"x")
+        for offset in range(3):
+            remote_store(cluster, a, SEND, 1, handle, remote_offset=offset)
+        assert len(b.poll_notifications(max_records=2)) == 2
+        assert len(b.poll_notifications()) == 1
+
+    def test_multi_page_send_notifies_per_chunk(self, pair):
+        cluster, a, b, export_id, handle = pair
+        b.enable_notifications(export_id)
+        a.write_memory(SEND, b"y" * 2 * params.PAGE_SIZE)
+        remote_store(cluster, a, SEND, 2 * params.PAGE_SIZE, handle)
+        assert len(b.poll_notifications()) == 2    # one per page chunk
+
+    def test_disabled_exports_stay_silent(self, pair):
+        cluster, a, b, export_id, handle = pair
+        a.write_memory(SEND, b"x")
+        remote_store(cluster, a, SEND, 1, handle)
+        assert b.poll_notifications() == []
+
+
+class TestInterruptMode:
+    def test_arrival_raises_interrupt(self, pair):
+        cluster, a, b, export_id, handle = pair
+        b.enable_notifications(export_id, mode="interrupt")
+        a.write_memory(SEND, b"wake")
+        remote_store(cluster, a, SEND, 4, handle)
+        assert cluster.node(1).arrival_interrupts == 1
+        assert cluster.node(1).interrupts.by_vector["message-arrived"] == 1
+        assert len(b.poll_notifications()) == 1
+
+
+class TestProtection:
+    def test_only_owner_enables(self, pair):
+        cluster, a, b, export_id, _ = pair
+        stranger = cluster.node(1).create_process()
+        with pytest.raises(ProtectionError):
+            stranger.enable_notifications(export_id)
+
+    def test_unknown_mode_rejected(self, pair):
+        cluster, a, b, export_id, _ = pair
+        with pytest.raises(ConfigError):
+            b.enable_notifications(export_id, mode="callback")
+
+
+class TestQueueOverflow:
+    def test_oldest_dropped_when_full(self):
+        from repro.vmmc.buffers import ExportedBuffer
+        notifier = Notifier(queue_depth=2)
+        export = ExportedBuffer(1, 0x1000, 4096, 0)
+        notifier.enable(export)
+        for offset in range(3):
+            notifier.notify(export, offset, 1, from_node=9)
+        records = notifier.poll(1)
+        assert [r.offset for r in records] == [1, 2]
+        assert notifier.dropped == 1
