@@ -8,7 +8,6 @@ offsetting, showing how conflict misses scale with process count.
 
 import random
 
-from repro import params
 from repro.core.shared_cache import SharedUtlbCache
 from repro.core.utlb import CountingFrameDriver, HierarchicalUtlb
 from repro.sim.report import format_table

@@ -7,7 +7,6 @@ evictions (extra pin/unpin) once its table is smaller than the
 footprint; the shared cache keeps translations alive in host memory.
 """
 
-from repro import params
 from repro.core.per_process import PerProcessUtlb
 from repro.core.stats import TranslationStats
 from repro.core.utlb import CountingFrameDriver

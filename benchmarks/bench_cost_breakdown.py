@@ -10,10 +10,11 @@ from repro.sim import experiments as exp
 from benchmarks.conftest import run_once
 
 
-def bench_cost_breakdown(benchmark, bench_geometry):
+def bench_cost_breakdown(benchmark, bench_geometry, sweep_runner):
     scale, nodes, seed = bench_geometry
     data = run_once(benchmark, exp.cost_breakdown, scale=scale,
-                    nodes=nodes, seed=seed, cache_entries=1024)
+                    nodes=nodes, seed=seed, cache_entries=1024,
+                    runner=sweep_runner)
     print()
     print(exp.render_cost_breakdown(data))
     for app, per_mech in data.items():

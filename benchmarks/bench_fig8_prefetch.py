@@ -13,10 +13,11 @@ from benchmarks.conftest import run_once
 SIZES = (1024, 4096, 16384)
 
 
-def bench_fig8_prefetch(benchmark, bench_geometry):
+def bench_fig8_prefetch(benchmark, bench_geometry, sweep_runner):
     scale, nodes, seed = bench_geometry
     data = run_once(benchmark, exp.figure8, scale=scale, nodes=nodes,
-                    seed=seed, sizes=SIZES, degrees=params.PREFETCH_SWEEP)
+                    seed=seed, sizes=SIZES, degrees=params.PREFETCH_SWEEP,
+                    runner=sweep_runner)
     print()
     print(exp.render_figure8(data))
     for size in SIZES:

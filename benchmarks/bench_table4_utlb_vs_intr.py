@@ -11,10 +11,10 @@ from benchmarks.conftest import run_once
 SIZES = (1024, 4096, 16384)
 
 
-def bench_table4_utlb_vs_intr(benchmark, bench_geometry):
+def bench_table4_utlb_vs_intr(benchmark, bench_geometry, sweep_runner):
     scale, nodes, seed = bench_geometry
     data = run_once(benchmark, exp.table4, scale=scale, nodes=nodes,
-                    seed=seed, sizes=SIZES)
+                    seed=seed, sizes=SIZES, runner=sweep_runner)
     print()
     print(exp.render_table4(data))
     # Shape assertions (the paper's findings):

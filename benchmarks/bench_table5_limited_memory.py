@@ -8,11 +8,12 @@ from benchmarks.conftest import run_once
 SIZES = (1024, 4096, 16384)
 
 
-def bench_table5_limited_memory(benchmark, bench_geometry):
+def bench_table5_limited_memory(benchmark, bench_geometry, sweep_runner):
     scale, nodes, seed = bench_geometry
     data = run_once(benchmark, exp.table5, scale=scale, nodes=nodes,
                     seed=seed, sizes=SIZES,
-                    memory_limit_bytes=params.TABLE5_MEMORY_LIMIT_BYTES)
+                    memory_limit_bytes=params.TABLE5_MEMORY_LIMIT_BYTES,
+                    runner=sweep_runner)
     print()
     print(exp.render_table5(data))
     # UTLB performs essentially no more pin+unpin work than the baseline

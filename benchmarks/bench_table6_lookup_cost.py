@@ -12,10 +12,11 @@ from benchmarks.conftest import run_once
 SIZES = (1024, 4096, 16384)
 
 
-def bench_table6_lookup_cost(benchmark, bench_geometry):
+def bench_table6_lookup_cost(benchmark, bench_geometry, sweep_runner):
     scale, nodes, seed = bench_geometry
     data = run_once(benchmark, exp.table6, scale=scale, nodes=nodes,
-                    seed=seed, sizes=SIZES, apps=("barnes", "fft"))
+                    seed=seed, sizes=SIZES, apps=("barnes", "fft"),
+                    runner=sweep_runner)
     print()
     print(exp.render_table6(data))
     # UTLB wins for FFT while the cache is smaller than the footprint

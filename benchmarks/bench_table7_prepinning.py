@@ -10,10 +10,10 @@ from repro.sim import experiments as exp
 from benchmarks.conftest import run_once
 
 
-def bench_table7_prepinning(benchmark, bench_geometry):
+def bench_table7_prepinning(benchmark, bench_geometry, sweep_runner):
     scale, nodes, seed = bench_geometry
     data = run_once(benchmark, exp.table7, scale=scale, nodes=nodes,
-                    seed=seed, cache_entries=4096)
+                    seed=seed, cache_entries=4096, runner=sweep_runner)
     print()
     print(exp.render_table7(data))
     # Pre-pinning backfires (unpin cost grows) for at least one app with

@@ -8,15 +8,26 @@ Scale: benchmarks default to a reduced trace scale so the whole suite
 runs in minutes.  Set ``REPRO_BENCH_SCALE=1.0`` (and ``REPRO_BENCH_NODES=4``)
 to run the paper-sized experiments; EXPERIMENTS.md records a full-scale
 run via ``repro.sim.experiments.run_all``.
+
+Execution: experiment benches share one :class:`SweepRunner`;
+``REPRO_BENCH_WORKERS=N`` replays cells over N worker processes and
+``REPRO_BENCH_CACHE_DIR=...`` enables the on-disk result cache.  Each
+bench's structured run metrics (cells, cache hits, replay wall time)
+land in its ``extra_info``, so the benchmark JSON carries the runner's
+machine-readable report instead of ad-hoc numbers.
 """
 
 import os
 
 import pytest
 
+from repro.sim.runner import SweepRunner
+
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
 BENCH_NODES = int(os.environ.get("REPRO_BENCH_NODES", "1"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+BENCH_CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE_DIR") or None
 
 
 @pytest.fixture(scope="session")
@@ -25,8 +36,35 @@ def bench_geometry():
     return BENCH_SCALE, BENCH_NODES, BENCH_SEED
 
 
-def run_once(benchmark, func, *args, **kwargs):
+@pytest.fixture(scope="session")
+def sweep_runner():
+    """The sweep engine shared by all experiment benches."""
+    runner = SweepRunner(workers=BENCH_WORKERS, cache_dir=BENCH_CACHE_DIR)
+    yield runner
+    runner.close()
+
+
+def run_once(benchmark, func, *args, runner=None, **kwargs):
     """Time ``func`` with a single round (experiments are heavy and
-    deterministic; statistical repetition adds nothing)."""
-    return benchmark.pedantic(func, args=args, kwargs=kwargs,
-                              rounds=1, iterations=1)
+    deterministic; statistical repetition adds nothing).
+
+    With ``runner``, the call executes on that sweep engine and the
+    cells it ran land in the benchmark's ``extra_info`` as the structured
+    metrics delta (cells, cache hits/misses, replay wall time).
+    """
+    if runner is not None:
+        kwargs["runner"] = runner
+        before = len(runner.metrics.cells)
+    result = benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                rounds=1, iterations=1)
+    if runner is not None:
+        cells = runner.metrics.cells[before:]
+        benchmark.extra_info.update({
+            "workers": runner.metrics.workers,
+            "cells": len(cells),
+            "cache_hits": sum(1 for c in cells if c.cache_hit),
+            "cache_misses": sum(1 for c in cells if not c.cache_hit),
+            "replay_wall_time_s": sum(c.wall_time_s for c in cells),
+            "lookups": sum(c.lookups for c in cells),
+        })
+    return result

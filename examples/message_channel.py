@@ -12,7 +12,6 @@ UTLB design targets.
 Run:  python examples/message_channel.py
 """
 
-from repro import params
 from repro.vmmc import Cluster, barrier
 
 RING_SLOTS = 8

@@ -3,16 +3,27 @@
 Usage::
 
     python -m repro [--scale S] [--nodes N] [--seed K] [--only table4]
+                    [--workers W] [--no-cache] [--cache-dir DIR]
+                    [--metrics-json PATH]
 
 Prints every table and figure of the paper's Section 5/6 evaluation (or a
 single one with ``--only``).  ``--scale 1.0 --nodes 4`` is the
 paper-sized run recorded in EXPERIMENTS.md.
+
+``--workers N`` fans the trace replays out over N worker processes;
+results are byte-identical to a serial run.  Finished cells land in an
+on-disk cache (disable with ``--no-cache``), so a re-run only replays
+cells whose inputs changed.  ``--metrics-json PATH`` dumps the structured
+run report — per-cell wall time, cache hits/misses, worker count, stats
+snapshots — for machine consumption.
 """
 
 import argparse
+import json
 import sys
 
 from repro.sim import experiments as exp
+from repro.sim.runner import default_cache_dir
 
 SECTIONS = {
     "table1": lambda a: exp.render_table1(exp.table1()),
@@ -20,19 +31,26 @@ SECTIONS = {
     "table3": lambda a: exp.render_table3(
         exp.table3(scale=a.scale, nodes=a.nodes, seed=a.seed)),
     "table4": lambda a: exp.render_table4(
-        exp.table4(scale=a.scale, nodes=a.nodes, seed=a.seed)),
+        exp.table4(scale=a.scale, nodes=a.nodes, seed=a.seed,
+                   runner=a.runner)),
     "table5": lambda a: exp.render_table5(
-        exp.table5(scale=a.scale, nodes=a.nodes, seed=a.seed)),
+        exp.table5(scale=a.scale, nodes=a.nodes, seed=a.seed,
+                   runner=a.runner)),
     "table6": lambda a: exp.render_table6(
-        exp.table6(scale=a.scale, nodes=a.nodes, seed=a.seed)),
+        exp.table6(scale=a.scale, nodes=a.nodes, seed=a.seed,
+                   runner=a.runner)),
     "table7": lambda a: exp.render_table7(
-        exp.table7(scale=a.scale, nodes=a.nodes, seed=a.seed)),
+        exp.table7(scale=a.scale, nodes=a.nodes, seed=a.seed,
+                   runner=a.runner)),
     "table8": lambda a: exp.render_table8(
-        exp.table8(scale=a.scale, nodes=a.nodes, seed=a.seed)),
+        exp.table8(scale=a.scale, nodes=a.nodes, seed=a.seed,
+                   runner=a.runner)),
     "figure7": lambda a: exp.render_figure7(
-        exp.figure7(scale=a.scale, nodes=a.nodes, seed=a.seed)),
+        exp.figure7(scale=a.scale, nodes=a.nodes, seed=a.seed,
+                    runner=a.runner)),
     "figure8": lambda a: exp.render_figure8(
-        exp.figure8(scale=a.scale, nodes=a.nodes, seed=a.seed)),
+        exp.figure8(scale=a.scale, nodes=a.nodes, seed=a.seed,
+                    runner=a.runner)),
 }
 
 
@@ -51,18 +69,40 @@ def main(argv=None):
     parser.add_argument("--compare", action="store_true",
                         help="compare measured results against the "
                              "paper's published numbers")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for trace replay "
+                             "(default: REPRO_WORKERS or 1)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result cache directory (default: "
+                             "REPRO_CACHE_DIR or %s)" % default_cache_dir())
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    parser.add_argument("--metrics-json", default=None, metavar="PATH",
+                        help="dump the structured run metrics (per-cell "
+                             "wall time, cache hits, stats) as JSON")
     args = parser.parse_args(argv)
 
-    if args.compare:
-        from repro.sim.compare import run_comparison
-        run_comparison(scale=args.scale, nodes=args.nodes, seed=args.seed,
-                       stream=sys.stdout)
-        return 0
-    if args.only:
-        print(SECTIONS[args.only](args))
-        return 0
-    exp.run_all(scale=args.scale, nodes=args.nodes, seed=args.seed,
-                stream=sys.stdout)
+    args.runner = exp.make_runner(
+        workers=args.workers,
+        cache_dir=False if args.no_cache else args.cache_dir)
+    try:
+        if args.compare:
+            from repro.sim.compare import run_comparison
+            run_comparison(scale=args.scale, nodes=args.nodes,
+                           seed=args.seed, stream=sys.stdout,
+                           runner=args.runner)
+        elif args.only:
+            print(SECTIONS[args.only](args))
+        else:
+            exp.run_all(scale=args.scale, nodes=args.nodes, seed=args.seed,
+                        stream=sys.stdout, runner=args.runner)
+    finally:
+        args.runner.close()
+
+    if args.metrics_json:
+        with open(args.metrics_json, "w", encoding="utf-8") as handle:
+            json.dump(args.runner.metrics.to_dict(), handle, indent=2)
+            handle.write("\n")
     return 0
 
 

@@ -63,6 +63,43 @@ class MissBreakdown:
         })
         return out
 
+    # -- combination and serialization ----------------------------------------
+
+    def merge(self, other):
+        """Accumulate another breakdown into this one (in place)."""
+        self.accesses += other.accesses
+        self.compulsory += other.compulsory
+        self.capacity += other.capacity
+        self.conflict += other.conflict
+        return self
+
+    @classmethod
+    def merged(cls, breakdowns):
+        """A new breakdown summing every element of ``breakdowns``."""
+        total = cls()
+        for breakdown in breakdowns:
+            total.merge(breakdown)
+        return total
+
+    def to_dict(self):
+        """All four counters as a JSON-safe dict (lossless)."""
+        return {
+            "accesses": self.accesses,
+            COMPULSORY: self.compulsory,
+            CAPACITY: self.capacity,
+            CONFLICT: self.conflict,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a breakdown from :meth:`to_dict` output."""
+        breakdown = cls()
+        breakdown.accesses = int(data.get("accesses", 0))
+        breakdown.compulsory = int(data.get(COMPULSORY, 0))
+        breakdown.capacity = int(data.get(CAPACITY, 0))
+        breakdown.conflict = int(data.get(CONFLICT, 0))
+        return breakdown
+
 
 class ThreeCClassifier:
     """Classify each miss of a real cache into compulsory/capacity/conflict.

@@ -105,6 +105,25 @@ class CostModel:
         self._check_min = tuple(check_min_table)
         self._check_max = tuple(check_max_table)
 
+    def to_dict(self):
+        """Every calibration constant as a JSON-safe dict.
+
+        Used by the sweep result cache to fingerprint a configuration: two
+        cost models with identical parameters hash identically.
+        """
+        return {
+            "user_check_hit": self.user_check_hit,
+            "ni_check_hit": self.ni_check_hit,
+            "interrupt_cost": self.interrupt_cost,
+            "context_switch_cost": self.context_switch_cost,
+            "pin_table": list(self._pin),
+            "unpin_table": list(self._unpin),
+            "dma_table": list(self._dma),
+            "miss_table": list(self._miss),
+            "check_min_table": list(self._check_min),
+            "check_max_table": list(self._check_max),
+        }
+
     # -- host-side ----------------------------------------------------------
 
     def check_cost(self, num_pages, worst_case=False):

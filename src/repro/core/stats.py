@@ -107,6 +107,28 @@ class TranslationStats:
             total.merge(stats)
         return total
 
+    # -- serialization (result cache + cross-process transport) ---------------
+
+    def to_dict(self):
+        """Raw counters and times as a JSON-safe dict (lossless)."""
+        out = {field: getattr(self, field) for field in self.FIELDS}
+        out.update({field: getattr(self, field) for field in self.TIME_FIELDS})
+        return out
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a stats object from :meth:`to_dict` output.
+
+        Unknown keys (e.g. the derived rates a :meth:`snapshot` adds) are
+        ignored, so snapshots deserialize too.
+        """
+        stats = cls()
+        for field in cls.FIELDS:
+            setattr(stats, field, int(data.get(field, 0)))
+        for field in cls.TIME_FIELDS:
+            setattr(stats, field, float(data.get(field, 0.0)))
+        return stats
+
     def snapshot(self):
         """All counters, times, and derived rates as a plain dict."""
         out = {field: getattr(self, field) for field in self.FIELDS}

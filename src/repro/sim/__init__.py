@@ -9,6 +9,16 @@ from repro.sim import ablation, compare, experiments, report  # noqa: F401
 from repro.sim.config import SimConfig
 from repro.sim.intr_simulator import simulate_app_intr, simulate_node_intr
 from repro.sim.pp_simulator import simulate_app_pp, simulate_node_pp
+from repro.sim.runner import (
+    ResultCache,
+    SweepCell,
+    SweepMetrics,
+    SweepRunner,
+    cell_key,
+    default_cache_dir,
+    default_runner,
+    trace_fingerprint,
+)
 from repro.sim.simulator import (
     ClusterResult,
     NodeResult,
@@ -27,7 +37,15 @@ from repro.sim.sweep import (
 __all__ = [
     "ClusterResult",
     "NodeResult",
+    "ResultCache",
     "SimConfig",
+    "SweepCell",
+    "SweepMetrics",
+    "SweepRunner",
+    "cell_key",
+    "default_cache_dir",
+    "default_runner",
+    "trace_fingerprint",
     "generate_traces",
     "run_on_traces",
     "simulate_app",

@@ -31,9 +31,11 @@ def compare_table3(scale=1.0, nodes=4, seed=1):
         rows, title="Table 3: paper vs measured (scaled)")
 
 
-def compare_table4(scale=1.0, nodes=4, seed=1, sizes=(1024, 16384)):
+def compare_table4(scale=1.0, nodes=4, seed=1, sizes=(1024, 16384),
+                   runner=None):
     """Side-by-side NI miss rates and the shape criteria."""
-    measured = exp.table4(scale=scale, nodes=nodes, seed=seed, sizes=sizes)
+    measured = exp.table4(scale=scale, nodes=nodes, seed=seed, sizes=sizes,
+                          runner=runner)
     rows = []
     findings = []
     for app in paperdata.TABLE4:
@@ -81,9 +83,11 @@ def compare_table4(scale=1.0, nodes=4, seed=1, sizes=(1024, 16384)):
     return findings, table + "\nshape criteria:\n" + verdicts
 
 
-def compare_table8(scale=1.0, nodes=4, seed=1, sizes=(1024, 16384)):
+def compare_table8(scale=1.0, nodes=4, seed=1, sizes=(1024, 16384),
+                   runner=None):
     """The associativity findings, checked programmatically."""
-    measured = exp.table8(scale=scale, nodes=nodes, seed=seed, sizes=sizes)
+    measured = exp.table8(scale=scale, nodes=nodes, seed=seed, sizes=sizes,
+                          runner=runner)
     findings = []
     direct_close = all(
         measured[a][(s, "direct")] <= measured[a][(s, "4-way")] + 0.08
@@ -101,12 +105,12 @@ def compare_table8(scale=1.0, nodes=4, seed=1, sizes=(1024, 16384)):
     return findings, "Table 8 shape criteria:\n" + verdicts
 
 
-def run_comparison(scale=1.0, nodes=4, seed=1, stream=None):
+def run_comparison(scale=1.0, nodes=4, seed=1, stream=None, runner=None):
     """The full comparison report; returns the text."""
     sections = []
     for _, text in (compare_table3(scale, nodes, seed),
-                    compare_table4(scale, nodes, seed),
-                    compare_table8(scale, nodes, seed)):
+                    compare_table4(scale, nodes, seed, runner=runner),
+                    compare_table8(scale, nodes, seed, runner=runner)):
         sections.append(text)
         if stream is not None:
             stream.write(text + "\n\n")

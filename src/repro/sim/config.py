@@ -67,6 +67,26 @@ class SimConfig:
         fields.update(overrides)
         return SimConfig(**fields)
 
+    def to_dict(self):
+        """Every field as a JSON-safe dict (cost model expanded).
+
+        This is the cache-fingerprint form: any change to any field —
+        including a cost-model constant — yields a different dict and
+        therefore a different cache key.
+        """
+        return {
+            "cache_entries": self.cache_entries,
+            "associativity": self.associativity,
+            "offsetting": self.offsetting,
+            "prefetch": self.prefetch,
+            "prepin": self.prepin,
+            "memory_limit_bytes": self.memory_limit_bytes,
+            "pin_policy": self.pin_policy,
+            "classify": self.classify,
+            "cost_model": self.cost_model.to_dict(),
+            "seed": self.seed,
+        }
+
     def describe(self):
         limit = ("inf" if self.memory_limit_bytes is None
                  else "%dMB" % (self.memory_limit_bytes // (1024 * 1024)))

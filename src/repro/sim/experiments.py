@@ -10,7 +10,17 @@ Scaling: ``scale`` shrinks every application's footprint and lookup count
 proportionally (useful for quick runs); per-process memory limits (Tables
 5 and 7) are scaled by the same factor so the pressure ratio — limit vs
 footprint — matches the paper's setup at any scale.
+
+Execution: every replay-backed function takes a ``runner`` — a
+:class:`~repro.sim.runner.SweepRunner` — and submits its whole grid of
+cells at once, so one call fans out over worker processes and reuses the
+on-disk result cache.  With no runner the shared serial default is used;
+``run_all`` builds its own (workers from ``REPRO_WORKERS``, cache under
+``REPRO_CACHE_DIR`` or the user cache directory) so re-running the
+evaluation only replays cells whose inputs changed.
 """
+
+import os
 
 from repro import params
 from repro.core.costs import DEFAULT_COST_MODEL, MEASURED_SIZES
@@ -20,9 +30,14 @@ from repro.sim.report import (
     render_breakdown_chart,
     render_line_chart,
 )
+from repro.sim.runner import (
+    SweepCell,
+    SweepRunner,
+    default_cache_dir,
+    default_runner,
+)
 from repro.sim.sweep import (
     generate_traces,
-    run_on_traces,
     sweep_associativity,
     sweep_prefetch,
 )
@@ -144,7 +159,9 @@ def render_table3(data):
 # Tables 4 and 5 — UTLB vs interrupt-based
 # ---------------------------------------------------------------------------
 
-def _utlb_vs_intr(scale, nodes, seed, sizes, memory_limit_bytes):
+def _utlb_vs_intr(scale, nodes, seed, sizes, memory_limit_bytes,
+                  runner=None):
+    runner = runner or default_runner()
     limit = (None if memory_limit_bytes is None
              else _scaled_limit_pages(memory_limit_bytes, scale)
              * params.PAGE_SIZE)
@@ -152,11 +169,18 @@ def _utlb_vs_intr(scale, nodes, seed, sizes, memory_limit_bytes):
     data = {}
     for app in _apps():
         traces = generate_traces(app, nodes=nodes, seed=seed, scale=scale)
-        per_size = {}
+        cells = []
         for size in sizes:
             config = base.replace(cache_entries=size)
-            utlb = run_on_traces(traces, config, "utlb").stats
-            intr = run_on_traces(traces, config, "intr").stats
+            cells.append(SweepCell((app.name, size, "utlb"), traces,
+                                   config, "utlb"))
+            cells.append(SweepCell((app.name, size, "intr"), traces,
+                                   config, "intr"))
+        results = runner.run_cells(cells)
+        per_size = {}
+        for index, size in enumerate(sizes):
+            utlb = results[2 * index].stats
+            intr = results[2 * index + 1].stats
             per_size[size] = {
                 "utlb": {
                     "check_misses": utlb.check_miss_rate,
@@ -174,15 +198,17 @@ def _utlb_vs_intr(scale, nodes, seed, sizes, memory_limit_bytes):
     return data
 
 
-def table4(scale=1.0, nodes=DEFAULT_NODES, seed=DEFAULT_SEED, sizes=SIZES):
+def table4(scale=1.0, nodes=DEFAULT_NODES, seed=DEFAULT_SEED, sizes=SIZES,
+           runner=None):
     """UTLB vs Intr per-lookup rates with infinite host memory."""
-    return _utlb_vs_intr(scale, nodes, seed, sizes, None)
+    return _utlb_vs_intr(scale, nodes, seed, sizes, None, runner=runner)
 
 
 def table5(scale=1.0, nodes=DEFAULT_NODES, seed=DEFAULT_SEED, sizes=SIZES,
-           memory_limit_bytes=params.TABLE5_MEMORY_LIMIT_BYTES):
+           memory_limit_bytes=params.TABLE5_MEMORY_LIMIT_BYTES, runner=None):
     """UTLB vs Intr per-lookup rates with a 4 MB per-process limit."""
-    return _utlb_vs_intr(scale, nodes, seed, sizes, memory_limit_bytes)
+    return _utlb_vs_intr(scale, nodes, seed, sizes, memory_limit_bytes,
+                         runner=runner)
 
 
 def _render_utlb_vs_intr(data, title):
@@ -228,7 +254,7 @@ def render_table5(data):
 
 def table6(table4_data=None, scale=1.0, nodes=DEFAULT_NODES,
            seed=DEFAULT_SEED, sizes=(1024, 4096, 16384),
-           apps=("barnes", "fft"), cost_model=None):
+           apps=("barnes", "fft"), cost_model=None, runner=None):
     """Average translation lookup cost (us): UTLB vs Intr.
 
     Applies the Section 6.2 cost equations to the measured Table 4 rates,
@@ -237,7 +263,8 @@ def table6(table4_data=None, scale=1.0, nodes=DEFAULT_NODES,
     """
     cm = cost_model or DEFAULT_COST_MODEL
     if table4_data is None:
-        table4_data = _utlb_vs_intr(scale, nodes, seed, sizes, None)
+        table4_data = _utlb_vs_intr(scale, nodes, seed, sizes, None,
+                                    runner=runner)
     data = {}
     for app in apps:
         per_size = {}
@@ -283,7 +310,7 @@ def render_table6(data):
 def table7(scale=1.0, nodes=DEFAULT_NODES, seed=DEFAULT_SEED,
            cache_entries=params.DEFAULT_UTLB_CACHE_ENTRIES,
            memory_limit_bytes=params.TABLE7_MEMORY_LIMIT_BYTES,
-           prepin_degrees=(1, 16)):
+           prepin_degrees=(1, 16), runner=None):
     """Amortized pin/unpin cost per lookup for pre-pinning strategies.
 
     The paper's "16 MB limit" is read as a per-node budget shared by the
@@ -292,17 +319,22 @@ def table7(scale=1.0, nodes=DEFAULT_NODES, seed=DEFAULT_SEED,
     large-footprint applications and FFT's published pre-pinning
     pathology (unpin cost exploding to ~93 us/lookup) reproduces.
     """
+    runner = runner or default_runner()
     per_process = memory_limit_bytes // params.TRACE_PROCESSES_PER_NODE
     limit = (_scaled_limit_pages(per_process, scale)
              * params.PAGE_SIZE)
     data = {}
     for app in _apps():
         traces = generate_traces(app, nodes=nodes, seed=seed, scale=scale)
+        cells = [SweepCell((app.name, "prepin", degree), traces,
+                           SimConfig(cache_entries=cache_entries,
+                                     memory_limit_bytes=limit,
+                                     prepin=degree), "utlb")
+                 for degree in prepin_degrees]
+        results = runner.run_cells(cells)
         per_degree = {}
-        for degree in prepin_degrees:
-            config = SimConfig(cache_entries=cache_entries,
-                               memory_limit_bytes=limit, prepin=degree)
-            stats = run_on_traces(traces, config, "utlb").stats
+        for degree, result in zip(prepin_degrees, results):
+            stats = result.stats
             per_degree[degree] = {
                 "pin_us": stats.amortized_pin_cost_us,
                 "unpin_us": stats.amortized_unpin_cost_us,
@@ -335,12 +367,13 @@ def render_table7(data):
 # Table 8 — cache size and associativity
 # ---------------------------------------------------------------------------
 
-def table8(scale=1.0, nodes=DEFAULT_NODES, seed=DEFAULT_SEED, sizes=SIZES):
+def table8(scale=1.0, nodes=DEFAULT_NODES, seed=DEFAULT_SEED, sizes=SIZES,
+           runner=None):
     """Overall Shared UTLB-Cache miss rates vs size and associativity."""
     data = {}
     for app in _apps():
         traces = generate_traces(app, nodes=nodes, seed=seed, scale=scale)
-        grid = sweep_associativity(traces, sizes, SimConfig())
+        grid = sweep_associativity(traces, sizes, SimConfig(), runner=runner)
         data[app.name] = {
             key: result.stats.ni_miss_rate for key, result in grid.items()
         }
@@ -370,17 +403,19 @@ def render_table8(data):
 # ---------------------------------------------------------------------------
 
 def figure7(scale=1.0, nodes=DEFAULT_NODES, seed=DEFAULT_SEED,
-            sizes=(1024, 4096, 8192, 16384)):
+            sizes=(1024, 4096, 8192, 16384), runner=None):
     """3C breakdown of NIC translation-cache misses per app and size."""
+    runner = runner or default_runner()
     data = {}
     for app in _apps():
         traces = generate_traces(app, nodes=nodes, seed=seed, scale=scale)
-        per_size = {}
-        for size in sizes:
-            config = SimConfig(cache_entries=size, classify=True)
-            result = run_on_traces(traces, config, "utlb")
-            per_size[size] = result.breakdown.rates()
-        data[app.name] = per_size
+        cells = [SweepCell((app.name, "3c", size), traces,
+                           SimConfig(cache_entries=size, classify=True),
+                           "utlb")
+                 for size in sizes]
+        results = runner.run_cells(cells)
+        data[app.name] = {size: result.breakdown.rates()
+                          for size, result in zip(sizes, results)}
     return data
 
 
@@ -399,11 +434,13 @@ def render_figure7(data):
 # ---------------------------------------------------------------------------
 
 def figure8(scale=1.0, nodes=DEFAULT_NODES, seed=DEFAULT_SEED,
-            sizes=SIZES, degrees=params.PREFETCH_SWEEP, app_name="radix"):
+            sizes=SIZES, degrees=params.PREFETCH_SWEEP, app_name="radix",
+            runner=None):
     """Radix miss rate and lookup cost vs prefetch degree and size."""
     app = make_app(app_name)
     traces = generate_traces(app, nodes=nodes, seed=seed, scale=scale)
-    grid = sweep_prefetch(traces, sizes, degrees, SimConfig())
+    grid = sweep_prefetch(traces, sizes, degrees, SimConfig(),
+                          runner=runner)
     data = {}
     for (size, degree), result in grid.items():
         data.setdefault(size, {})[degree] = {
@@ -486,20 +523,27 @@ def render_table8_cost(data):
 # ---------------------------------------------------------------------------
 
 def cost_breakdown(scale=1.0, nodes=DEFAULT_NODES, seed=DEFAULT_SEED,
-                   cache_entries=params.DEFAULT_UTLB_CACHE_ENTRIES):
+                   cache_entries=params.DEFAULT_UTLB_CACHE_ENTRIES,
+                   runner=None):
     """Per-lookup time split into its components, per app and mechanism.
 
     Components: user check, pinning, NIC hit, NIC miss handling,
     unpinning, interrupts — the terms of the Section 6.2 equations,
     measured separately.
     """
+    runner = runner or default_runner()
     data = {}
     for app in _apps():
         traces = generate_traces(app, nodes=nodes, seed=seed, scale=scale)
         config = SimConfig(cache_entries=cache_entries)
+        mechanisms = ("utlb", "intr")
+        results = runner.run_cells(
+            [SweepCell((app.name, "breakdown", mechanism), traces, config,
+                       mechanism)
+             for mechanism in mechanisms])
         per_mech = {}
-        for mechanism in ("utlb", "intr"):
-            stats = run_on_traces(traces, config, mechanism).stats
+        for mechanism, result in zip(mechanisms, results):
+            stats = result.stats
             lookups = stats.lookups or 1
             per_mech[mechanism] = {
                 "check_us": stats.check_time_us / lookups,
@@ -537,12 +581,37 @@ def render_cost_breakdown(data):
 # Run everything
 # ---------------------------------------------------------------------------
 
-def run_all(scale=1.0, nodes=DEFAULT_NODES, seed=DEFAULT_SEED, stream=None):
+def make_runner(workers=None, cache_dir=None):
+    """The evaluation's default :class:`SweepRunner`.
+
+    ``workers=None`` reads ``REPRO_WORKERS`` (default 1).
+    ``cache_dir=None`` enables the cache at its default location
+    (``REPRO_CACHE_DIR`` or the user cache dir); pass ``cache_dir=False``
+    to disable caching.
+    """
+    if workers is None:
+        workers = int(os.environ.get("REPRO_WORKERS", "1"))
+    if cache_dir is None:
+        cache_dir = default_cache_dir()
+    elif cache_dir is False:
+        cache_dir = None
+    return SweepRunner(workers=workers, cache_dir=cache_dir)
+
+
+def run_all(scale=1.0, nodes=DEFAULT_NODES, seed=DEFAULT_SEED, stream=None,
+            runner=None, workers=None, cache_dir=None):
     """Run the full evaluation; returns the rendered report string.
 
     ``stream`` (e.g. sys.stdout) receives each section as it finishes so
-    long runs show progress.
+    long runs show progress.  With no ``runner``, one is built via
+    :func:`make_runner` — parallel if ``workers`` (or ``REPRO_WORKERS``)
+    says so, caching on by default so a re-run only replays cells whose
+    inputs changed.  The runner's ``metrics`` attribute holds the
+    machine-readable per-cell report afterwards.
     """
+    owned = runner is None
+    if owned:
+        runner = make_runner(workers=workers, cache_dir=cache_dir)
     sections = []
 
     def emit(text):
@@ -551,17 +620,25 @@ def run_all(scale=1.0, nodes=DEFAULT_NODES, seed=DEFAULT_SEED, stream=None):
             stream.write(text + "\n\n")
             stream.flush()
 
-    emit(render_table1(table1()))
-    emit(render_table2(table2()))
-    emit(render_table3(table3(scale=scale, nodes=nodes, seed=seed)))
-    t4 = table4(scale=scale, nodes=nodes, seed=seed)
-    emit(render_table4(t4))
-    emit(render_table5(table5(scale=scale, nodes=nodes, seed=seed)))
-    emit(render_table6(table6(table4_data=t4)))
-    emit(render_table7(table7(scale=scale, nodes=nodes, seed=seed)))
-    t8 = table8(scale=scale, nodes=nodes, seed=seed)
-    emit(render_table8(t8))
-    emit(render_table8_cost(table8_cost(t8)))
-    emit(render_figure7(figure7(scale=scale, nodes=nodes, seed=seed)))
-    emit(render_figure8(figure8(scale=scale, nodes=nodes, seed=seed)))
+    try:
+        emit(render_table1(table1()))
+        emit(render_table2(table2()))
+        emit(render_table3(table3(scale=scale, nodes=nodes, seed=seed)))
+        t4 = table4(scale=scale, nodes=nodes, seed=seed, runner=runner)
+        emit(render_table4(t4))
+        emit(render_table5(table5(scale=scale, nodes=nodes, seed=seed,
+                                  runner=runner)))
+        emit(render_table6(table6(table4_data=t4)))
+        emit(render_table7(table7(scale=scale, nodes=nodes, seed=seed,
+                                  runner=runner)))
+        t8 = table8(scale=scale, nodes=nodes, seed=seed, runner=runner)
+        emit(render_table8(t8))
+        emit(render_table8_cost(table8_cost(t8)))
+        emit(render_figure7(figure7(scale=scale, nodes=nodes, seed=seed,
+                                    runner=runner)))
+        emit(render_figure8(figure8(scale=scale, nodes=nodes, seed=seed,
+                                    runner=runner)))
+    finally:
+        if owned:
+            runner.close()
     return "\n\n".join(sections)

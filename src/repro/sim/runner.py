@@ -1,0 +1,414 @@
+"""Parallel sweep engine with on-disk result caching and run metrics.
+
+The paper's evaluation (Tables 4-8, Figures 7-8) is a grid of *cells*:
+one ``(traces, config, mechanism)`` replay each.  Cells are mutually
+independent, and so are the nodes inside one cell — each node replays its
+own merged trace against a fresh NIC.  :class:`SweepRunner` exploits both
+facts: every node replay becomes one work unit, fanned out over a
+``multiprocessing`` pool.  ``workers=1`` degenerates to a plain serial
+loop in submission order, the determinism baseline parallel runs are
+diffed against.
+
+Results travel as JSON-safe dicts (``NodeResult.to_dict``) in *all three*
+paths — serial, cross-process, and cached — so a warm cache run is
+byte-identical to a cold one by construction.
+
+The cache key is a content hash of everything that can change a cell's
+outcome: the per-node trace fingerprints, every :class:`SimConfig` field
+(cost-model constants included), the mechanism, and a digest of the
+simulator/core source files ("code version").  Any edit to any input
+yields a fresh key; stale entries are simply never read again.
+
+:class:`SweepMetrics` records what actually happened — per-cell wall
+time, cache hit or miss, worker count, and a stats snapshot — as the
+machine-readable report ``python -m repro --metrics-json`` dumps and the
+benchmarks attach to their results.
+"""
+
+import hashlib
+import json
+import os
+import time
+from multiprocessing import get_context
+
+from repro.errors import ConfigError
+from repro.sim.intr_simulator import simulate_node_intr
+from repro.sim.pp_simulator import simulate_node_pp
+from repro.sim.simulator import ClusterResult, simulate_node
+
+#: node-replay entry point per mechanism (Sections 3.1, 4, and 6).
+SIMULATORS = {
+    "utlb": simulate_node,
+    "intr": simulate_node_intr,
+    "pp": simulate_node_pp,
+}
+
+MECHANISMS = tuple(SIMULATORS)
+
+#: Cache entry layout version; bump to orphan every existing entry.
+CACHE_FORMAT = 1
+
+_CODE_VERSION = None
+
+
+# ---------------------------------------------------------------------------
+# Fingerprinting
+# ---------------------------------------------------------------------------
+
+def trace_fingerprint(records):
+    """Content hash of one node's trace (order-sensitive, as replay is)."""
+    digest = hashlib.sha256()
+    for record in records:
+        digest.update(repr(record.as_tuple()).encode("ascii"))
+    return digest.hexdigest()
+
+
+def code_version():
+    """Digest of every source file whose behaviour a cached cell bakes in.
+
+    Covers ``repro.core`` and ``repro.cachesim`` wholesale plus the replay
+    entry points and the trace record/merge modules.  Editing any of them
+    invalidates the whole cache (by changing every key), which is the
+    safe direction to fail in.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        sim_dir = os.path.dirname(os.path.abspath(__file__))
+        repro_dir = os.path.dirname(sim_dir)
+        paths = []
+        for package in ("core", "cachesim"):
+            root = os.path.join(repro_dir, package)
+            paths.extend(os.path.join(root, name)
+                         for name in sorted(os.listdir(root))
+                         if name.endswith(".py"))
+        paths.extend(os.path.join(sim_dir, name)
+                     for name in ("config.py", "intr_simulator.py",
+                                  "pp_simulator.py", "runner.py",
+                                  "simulator.py"))
+        paths.extend(os.path.join(repro_dir, "traces", name)
+                     for name in ("merge.py", "record.py"))
+        digest = hashlib.sha256()
+        for path in paths:
+            digest.update(os.path.basename(path).encode("ascii"))
+            with open(path, "rb") as handle:
+                digest.update(handle.read())
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def cell_key(traces, config, mechanism):
+    """The cache key: a hash over every input that shapes the result."""
+    payload = {
+        "format": CACHE_FORMAT,
+        "code": code_version(),
+        "mechanism": mechanism,
+        "config": config.to_dict(),
+        "traces": {str(node): trace_fingerprint(traces[node])
+                   for node in sorted(traces)},
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("ascii")).hexdigest()
+
+
+def default_cache_dir():
+    """``REPRO_CACHE_DIR`` or ``$XDG_CACHE_HOME/repro/sweeps``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return override
+    base = os.environ.get(
+        "XDG_CACHE_HOME", os.path.join(os.path.expanduser("~"), ".cache"))
+    return os.path.join(base, "repro", "sweeps")
+
+
+# ---------------------------------------------------------------------------
+# The on-disk result cache
+# ---------------------------------------------------------------------------
+
+class ResultCache:
+    """Finished cells as one JSON file per key under ``directory``."""
+
+    def __init__(self, directory):
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key):
+        return os.path.join(self.directory, key + ".json")
+
+    def load(self, key):
+        """The cached :class:`ClusterResult`, or None on a miss."""
+        try:
+            with open(self._path(key), "r", encoding="ascii") as handle:
+                payload = json.load(handle)
+            result = ClusterResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key, result, meta=None):
+        """Persist a finished cell (atomic rename; concurrent-run safe)."""
+        os.makedirs(self.directory, exist_ok=True)
+        payload = {
+            "format": CACHE_FORMAT,
+            "key": key,
+            "meta": meta or {},
+            "result": result.to_dict(),
+        }
+        tmp = self._path(key) + ".tmp.%d" % os.getpid()
+        with open(tmp, "w", encoding="ascii") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, self._path(key))
+
+    def __len__(self):
+        try:
+            return sum(1 for name in os.listdir(self.directory)
+                       if name.endswith(".json"))
+        except OSError:
+            return 0
+
+
+# ---------------------------------------------------------------------------
+# Structured run metrics
+# ---------------------------------------------------------------------------
+
+class CellMetrics:
+    """What one cell cost: identity, cache outcome, wall time, stats."""
+
+    def __init__(self, label, mechanism, config, nodes):
+        self.label = label
+        self.mechanism = mechanism
+        self.config = config.describe()
+        self.nodes = nodes
+        self.cache_hit = False
+        self.wall_time_s = 0.0
+        self.lookups = 0
+        self.stats = None               # TranslationStats snapshot (dict)
+
+    def to_dict(self):
+        return {
+            "label": str(self.label),
+            "mechanism": self.mechanism,
+            "config": self.config,
+            "nodes": self.nodes,
+            "cache_hit": self.cache_hit,
+            "wall_time_s": self.wall_time_s,
+            "lookups": self.lookups,
+            "stats": self.stats,
+        }
+
+
+class SweepMetrics:
+    """Machine-readable record of every cell a runner executed."""
+
+    def __init__(self, workers):
+        self.workers = workers
+        self.cells = []
+
+    def record(self, cell_metrics):
+        self.cells.append(cell_metrics)
+
+    @property
+    def cache_hits(self):
+        return sum(1 for c in self.cells if c.cache_hit)
+
+    @property
+    def cache_misses(self):
+        return sum(1 for c in self.cells if not c.cache_hit)
+
+    @property
+    def wall_time_s(self):
+        return sum(c.wall_time_s for c in self.cells)
+
+    def to_dict(self):
+        return {
+            "workers": self.workers,
+            "cells": [c.to_dict() for c in self.cells],
+            "totals": {
+                "cells": len(self.cells),
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "wall_time_s": self.wall_time_s,
+                "lookups": sum(c.lookups for c in self.cells),
+            },
+        }
+
+
+# ---------------------------------------------------------------------------
+# The runner
+# ---------------------------------------------------------------------------
+
+class SweepCell:
+    """One sweep cell: a label plus the replay inputs."""
+
+    __slots__ = ("label", "traces", "config", "mechanism")
+
+    def __init__(self, label, traces, config, mechanism="utlb"):
+        if mechanism not in SIMULATORS:
+            raise ConfigError("unknown mechanism %r (use one of %s)"
+                              % (mechanism, MECHANISMS))
+        self.label = label
+        self.traces = traces
+        self.config = config
+        self.mechanism = mechanism
+
+
+def _replay_unit(args):
+    """One work unit: replay a single node's trace (runs in a worker).
+
+    Returns ``(seconds, NodeResult.to_dict())`` — the dict form is the
+    single transport format for serial, parallel, and cached results.
+    """
+    records, config, mechanism = args
+    start = time.perf_counter()
+    result = SIMULATORS[mechanism](records, config)
+    return time.perf_counter() - start, result.to_dict()
+
+
+class SweepRunner:
+    """Execute sweep cells — optionally in parallel — with caching.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes.  1 (the default) runs every unit serially in
+        the calling process; parallel and serial runs produce identical
+        results, which the determinism tests diff directly.
+    cache_dir:
+        Directory for the on-disk result cache, or None to disable
+        caching entirely.
+    mp_context:
+        ``multiprocessing`` start method ("fork", "spawn", ...); None
+        uses the platform default.
+    """
+
+    def __init__(self, workers=1, cache_dir=None, mp_context=None):
+        if workers < 1:
+            raise ConfigError("workers must be at least 1, got %r"
+                              % (workers,))
+        self.workers = workers
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.metrics = SweepMetrics(workers)
+        self._mp_context = mp_context
+        self._pool = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self):
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def _pool_handle(self):
+        if self._pool is None:
+            context = get_context(self._mp_context)
+            self._pool = context.Pool(processes=self.workers)
+        return self._pool
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, traces, config, mechanism="utlb", label=None):
+        """Replay one cell; returns its :class:`ClusterResult`."""
+        return self.run_cells(
+            [SweepCell(label, traces, config, mechanism)])[0]
+
+    def run_cells(self, cells):
+        """Replay many cells; returns their results in submission order.
+
+        ``cells`` holds :class:`SweepCell` objects or plain
+        ``(label, traces, config, mechanism)`` tuples.  Cached cells are
+        answered from disk; the remaining node replays are flattened into
+        one work-unit list and executed serially (``workers=1``) or over
+        the pool — either way in deterministic order.
+        """
+        cells = [c if isinstance(c, SweepCell) else SweepCell(*c)
+                 for c in cells]
+        results = [None] * len(cells)
+        keys = [None] * len(cells)
+        cell_metrics = []
+        pending = []
+        for index, cell in enumerate(cells):
+            metrics = CellMetrics(cell.label, cell.mechanism, cell.config,
+                                  len(cell.traces))
+            cell_metrics.append(metrics)
+            if self.cache is not None:
+                start = time.perf_counter()
+                keys[index] = cell_key(cell.traces, cell.config,
+                                       cell.mechanism)
+                cached = self.cache.load(keys[index])
+                if cached is not None:
+                    results[index] = cached
+                    metrics.cache_hit = True
+                    metrics.wall_time_s = time.perf_counter() - start
+                    metrics.lookups = cached.stats.lookups
+                    metrics.stats = cached.stats.snapshot()
+                    continue
+            pending.append(index)
+
+        units = []                      # (cell index, node) per work unit
+        unit_args = []
+        for index in pending:
+            cell = cells[index]
+            for node in sorted(cell.traces):
+                units.append((index, node))
+                unit_args.append((cell.traces[node], cell.config,
+                                  cell.mechanism))
+
+        if not unit_args:
+            outcomes = []
+        elif self.workers == 1 or len(unit_args) == 1:
+            outcomes = [_replay_unit(args) for args in unit_args]
+        else:
+            outcomes = self._pool_handle().map(_replay_unit, unit_args)
+
+        node_dicts = {index: [] for index in pending}
+        for (index, _node), (seconds, node_dict) in zip(units, outcomes):
+            node_dicts[index].append(node_dict)
+            cell_metrics[index].wall_time_s += seconds
+
+        for index in pending:
+            result = ClusterResult.from_dict({"nodes": node_dicts[index]})
+            results[index] = result
+            metrics = cell_metrics[index]
+            metrics.lookups = result.stats.lookups
+            metrics.stats = result.stats.snapshot()
+            if self.cache is not None:
+                self.cache.store(keys[index], result, meta={
+                    "label": str(cells[index].label),
+                    "mechanism": cells[index].mechanism,
+                    "config": cells[index].config.describe(),
+                    "wall_time_s": metrics.wall_time_s,
+                })
+
+        for metrics in cell_metrics:
+            self.metrics.record(metrics)
+        return results
+
+
+# ---------------------------------------------------------------------------
+# The process-wide default (what legacy call sites fall back to)
+# ---------------------------------------------------------------------------
+
+_DEFAULT_RUNNER = None
+
+
+def default_runner():
+    """A shared runner for call sites that pass none.
+
+    Serial and cache-less unless ``REPRO_WORKERS`` asks for parallelism,
+    so existing code keeps its exact behaviour by default.
+    """
+    global _DEFAULT_RUNNER
+    if _DEFAULT_RUNNER is None:
+        workers = int(os.environ.get("REPRO_WORKERS", "1"))
+        _DEFAULT_RUNNER = SweepRunner(workers=workers)
+    return _DEFAULT_RUNNER

@@ -27,6 +27,29 @@ class NodeResult:
         self.cache = cache              # cache stats snapshot (dict)
         self.breakdown = breakdown      # MissBreakdown or None
 
+    def to_dict(self):
+        """JSON-safe dict: the result-cache and worker-transport format."""
+        return {
+            "stats": self.stats.to_dict(),
+            "per_pid": {str(pid): stats.to_dict()
+                        for pid, stats in self.per_pid.items()},
+            "cache": self.cache,
+            "breakdown": (None if self.breakdown is None
+                          else self.breakdown.to_dict()),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a node result from :meth:`to_dict` output."""
+        from repro.cachesim.classify import MissBreakdown
+        breakdown = data.get("breakdown")
+        return cls(
+            TranslationStats.from_dict(data["stats"]),
+            {int(pid): TranslationStats.from_dict(stats)
+             for pid, stats in data["per_pid"].items()},
+            data["cache"],
+            None if breakdown is None else MissBreakdown.from_dict(breakdown))
+
     def __repr__(self):
         return "NodeResult(%r)" % (self.stats,)
 
@@ -40,23 +63,22 @@ class ClusterResult:
             r.stats for r in node_results)
         self.breakdown = None
         if node_results and node_results[0].breakdown is not None:
-            self.breakdown = _merge_breakdowns(
-                [r.breakdown for r in node_results])
+            from repro.cachesim.classify import MissBreakdown
+            self.breakdown = MissBreakdown.merged(
+                r.breakdown for r in node_results)
 
     @property
     def per_node(self):
         return self.node_results
 
+    def to_dict(self):
+        """JSON-safe dict (per-node; aggregates are recomputed on load)."""
+        return {"nodes": [r.to_dict() for r in self.node_results]}
 
-def _merge_breakdowns(breakdowns):
-    from repro.cachesim.classify import MissBreakdown
-    total = MissBreakdown()
-    for b in breakdowns:
-        total.accesses += b.accesses
-        total.compulsory += b.compulsory
-        total.capacity += b.capacity
-        total.conflict += b.conflict
-    return total
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a cluster result from :meth:`to_dict` output."""
+        return cls([NodeResult.from_dict(n) for n in data["nodes"]])
 
 
 def simulate_node(records, config, check_invariants=False):

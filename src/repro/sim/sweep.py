@@ -4,33 +4,36 @@ Sweeps regenerate each application's traces once and replay them under
 many configurations — the expensive part of a sweep is the replay, not
 the generation, but reusing traces also guarantees every configuration
 sees the identical reference stream (as the paper's methodology does).
+
+Every sweep builds its full grid of cells up front and hands them to a
+:class:`~repro.sim.runner.SweepRunner`, so one call parallelises over
+both grid cells and the nodes inside each cell, and benefits from the
+runner's on-disk result cache.  Passing no runner keeps the historical
+serial, cache-less behaviour.
 """
 
-from repro.errors import ConfigError
-from repro.sim.intr_simulator import simulate_node_intr
-from repro.sim.pp_simulator import simulate_node_pp
-from repro.sim.simulator import ClusterResult, simulate_node
+from repro.sim.config import SimConfig  # noqa: F401  (re-export convenience)
+from repro.sim.runner import MECHANISMS, SweepCell, default_runner
 
-MECHANISMS = ("utlb", "intr", "pp")
+__all__ = [
+    "MECHANISMS",
+    "generate_traces",
+    "run_on_traces",
+    "sweep_associativity",
+    "sweep_cache_sizes",
+    "sweep_policies",
+    "sweep_prefetch",
+]
 
 
-def run_on_traces(traces, config, mechanism="utlb"):
+def run_on_traces(traces, config, mechanism="utlb", runner=None):
     """Replay per-node traces (dict node -> records) under one config.
 
     Mechanisms: 'utlb' (Hierarchical-UTLB + Shared UTLB-Cache), 'intr'
     (interrupt-based baseline), 'pp' (per-process UTLB, Section 3.1).
     """
-    if mechanism == "utlb":
-        simulate = simulate_node
-    elif mechanism == "intr":
-        simulate = simulate_node_intr
-    elif mechanism == "pp":
-        simulate = simulate_node_pp
-    else:
-        raise ConfigError("unknown mechanism %r (use one of %s)"
-                          % (mechanism, MECHANISMS))
-    results = [simulate(traces[node], config) for node in sorted(traces)]
-    return ClusterResult(results)
+    runner = runner or default_runner()
+    return runner.run(traces, config, mechanism)
 
 
 def generate_traces(app, nodes=4, seed=0, scale=1.0):
@@ -38,39 +41,44 @@ def generate_traces(app, nodes=4, seed=0, scale=1.0):
     return app.generate_cluster(nodes=nodes, seed=seed, scale=scale)
 
 
-def sweep_cache_sizes(traces, sizes, base_config, mechanism="utlb"):
+def sweep_cache_sizes(traces, sizes, base_config, mechanism="utlb",
+                      runner=None):
     """{cache size: ClusterResult} over the given entry counts."""
-    return {size: run_on_traces(traces,
-                                base_config.replace(cache_entries=size),
-                                mechanism)
-            for size in sizes}
+    runner = runner or default_runner()
+    cells = [SweepCell(size, traces, base_config.replace(cache_entries=size),
+                       mechanism)
+             for size in sizes]
+    return dict(zip(sizes, runner.run_cells(cells)))
 
 
 def sweep_associativity(traces, sizes, base_config, associativities=(1, 2, 4),
-                        include_nohash=True):
+                        include_nohash=True, runner=None):
     """Table 8 grid: {(size, label): ClusterResult}.
 
     Labels are 'direct', '2-way', '4-way' (all with index offsetting) and
     'direct-nohash' (direct-mapped, no offsetting).
     """
-    grid = {}
+    runner = runner or default_runner()
+    cells = []
     for size in sizes:
         for assoc in associativities:
             label = "direct" if assoc == 1 else "%d-way" % assoc
             config = base_config.replace(cache_entries=size,
                                          associativity=assoc,
                                          offsetting=True)
-            grid[(size, label)] = run_on_traces(traces, config, "utlb")
+            cells.append(SweepCell((size, label), traces, config, "utlb"))
         if include_nohash:
             config = base_config.replace(cache_entries=size,
                                          associativity=1,
                                          offsetting=False)
-            grid[(size, "direct-nohash")] = run_on_traces(traces, config,
-                                                          "utlb")
-    return grid
+            cells.append(SweepCell((size, "direct-nohash"), traces, config,
+                                   "utlb"))
+    return {cell.label: result
+            for cell, result in zip(cells, runner.run_cells(cells))}
 
 
-def sweep_prefetch(traces, sizes, degrees, base_config, couple_prepin=True):
+def sweep_prefetch(traces, sizes, degrees, base_config, couple_prepin=True,
+                   runner=None):
     """Figure 8 grid: {(size, prefetch degree): ClusterResult}.
 
     ``couple_prepin`` sets the pre-pinning degree equal to the prefetch
@@ -79,20 +87,24 @@ def sweep_prefetch(traces, sizes, degrees, base_config, couple_prepin=True):
     a miss", and sequential pre-pinning is the paper's way to ensure that.
     Without it, compulsory NIC misses have no valid neighbours to fetch.
     """
-    grid = {}
+    runner = runner or default_runner()
+    cells = []
     for size in sizes:
         for degree in degrees:
             config = base_config.replace(
                 cache_entries=size, prefetch=degree,
                 prepin=(degree if couple_prepin else base_config.prepin))
-            grid[(size, degree)] = run_on_traces(traces, config, "utlb")
-    return grid
+            cells.append(SweepCell((size, degree), traces, config, "utlb"))
+    return {cell.label: result
+            for cell, result in zip(cells, runner.run_cells(cells))}
 
 
 def sweep_policies(traces, base_config, policies=("lru", "mru", "lfu",
-                                                  "mfu", "random")):
+                                                  "mfu", "random"),
+                   runner=None):
     """{policy: ClusterResult} for the five Section 3.4 pin policies."""
-    return {policy: run_on_traces(traces,
-                                  base_config.replace(pin_policy=policy),
-                                  "utlb")
-            for policy in policies}
+    runner = runner or default_runner()
+    cells = [SweepCell(policy, traces,
+                       base_config.replace(pin_policy=policy), "utlb")
+             for policy in policies]
+    return dict(zip(policies, runner.run_cells(cells)))

@@ -2,38 +2,37 @@
 
 HLRC propagates page *diffs*: at a release point, each dirty page is
 compared against its twin (the copy saved before the first write) and
-only the changed byte runs travel to the home.  Runs closer than
-``GAP_TOLERANCE`` bytes are coalesced — sending one slightly longer run
-is cheaper than two VMMC requests.
+only the changed byte runs travel to the home.  Runs are exact — they
+contain changed bytes only, never unchanged gap bytes.  That exactness
+is what makes HLRC's multiple-writer protocol correct: diffs from
+concurrent writers of one page are applied at the home in arrival
+order, and a run that carried unchanged (twin-valued) bytes would
+overwrite another writer's concurrent update to those bytes.
 """
 
-#: Merge changed runs separated by fewer than this many unchanged bytes.
-GAP_TOLERANCE = 32
 
-
-def compute_diffs(twin, current, gap_tolerance=GAP_TOLERANCE):
+def compute_diffs(twin, current):
     """Changed byte runs between ``twin`` and ``current``.
 
-    Returns a list of ``(offset, bytes)`` pairs covering every changed
-    byte, coalesced per the gap tolerance.  Both inputs must be equal
-    length.
+    Returns a list of ``(offset, bytes)`` pairs, one per maximal run of
+    contiguous changed bytes.  Every byte in a run differs from the
+    twin, so applying the runs at the home touches exactly the bytes
+    this writer changed.  Both inputs must be equal length.
     """
     if len(twin) != len(current):
         raise ValueError("twin (%d B) and current (%d B) differ in length"
                          % (len(twin), len(current)))
     runs = []
     start = None
-    last_change = None
     for index in range(len(twin)):
         if twin[index] != current[index]:
             if start is None:
                 start = index
-            elif index - last_change > gap_tolerance:
-                runs.append((start, bytes(current[start:last_change + 1])))
-                start = index
-            last_change = index
+        elif start is not None:
+            runs.append((start, bytes(current[start:index])))
+            start = None
     if start is not None:
-        runs.append((start, bytes(current[start:last_change + 1])))
+        runs.append((start, bytes(current[start:])))
     return runs
 
 

@@ -1,12 +1,28 @@
 """Shared fixtures for the test suite."""
 
+import os
 import random
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.core.costs import CostModel
 from repro.core.shared_cache import SharedUtlbCache
 from repro.core.utlb import CountingFrameDriver, HierarchicalUtlb
+
+# Hypothesis profiles: "dev" is the library default; "ci" pins the
+# example count and derandomizes so every CI run executes the identical
+# test body (no flaky shrink phases, no cross-run example drift).
+# Select with HYPOTHESIS_PROFILE=ci (set by .github/workflows/ci.yml).
+settings.register_profile("dev", settings())
+settings.register_profile("ci", settings(
+    derandomize=True,
+    max_examples=25,
+    deadline=None,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+))
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

@@ -5,9 +5,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.shared_cache import SharedUtlbCache
-from repro.core.utlb import CountingFrameDriver, HierarchicalUtlb
-from repro.errors import ConfigError, PinningError
+from repro.errors import ConfigError
 
 from tests.conftest import make_utlb
 

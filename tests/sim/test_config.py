@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import params
 from repro.errors import ConfigError
 from repro.sim.config import SimConfig
 

@@ -1,0 +1,188 @@
+"""The parallel sweep engine: determinism, caching, metrics, JSON.
+
+Three properties carry the engine's whole value:
+
+* a parallel run is byte-identical to the serial baseline,
+* the cache answers identical inputs and never answers changed ones,
+* the structured metrics faithfully record what each cell cost.
+"""
+
+import json
+
+import pytest
+
+from repro.cachesim.classify import MissBreakdown
+from repro.core.stats import TranslationStats
+from repro.errors import ConfigError
+from repro.sim.config import SimConfig
+from repro.sim.runner import (
+    SweepCell,
+    SweepRunner,
+    cell_key,
+    code_version,
+    trace_fingerprint,
+)
+from repro.sim.simulator import ClusterResult, NodeResult, simulate_node
+from repro.traces.synth import make_app
+
+SCALE = 0.05
+SEED = 1
+
+
+@pytest.fixture(scope="module")
+def traces():
+    """Two-node FFT traces, small enough for many replays per test run."""
+    return make_app("fft").generate_cluster(nodes=2, seed=SEED, scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SimConfig(cache_entries=256)
+
+
+def run_dicts(results):
+    return [r.to_dict() for r in results]
+
+
+class TestJsonRoundTrip:
+    def test_node_result_round_trips(self, traces, config):
+        result = simulate_node(traces[0], config)
+        rebuilt = NodeResult.from_dict(result.to_dict())
+        assert rebuilt.to_dict() == result.to_dict()
+        assert rebuilt.stats.snapshot() == result.stats.snapshot()
+        assert sorted(rebuilt.per_pid) == sorted(result.per_pid)
+
+    def test_cluster_result_round_trips(self, traces, config):
+        runner = SweepRunner()
+        result = runner.run(traces, config)
+        rebuilt = ClusterResult.from_dict(result.to_dict())
+        assert rebuilt.to_dict() == result.to_dict()
+
+    def test_breakdown_round_trips(self, traces):
+        result = simulate_node(traces[0],
+                               SimConfig(cache_entries=256, classify=True))
+        assert result.breakdown is not None
+        rebuilt = MissBreakdown.from_dict(result.breakdown.to_dict())
+        assert rebuilt.to_dict() == result.breakdown.to_dict()
+
+    def test_stats_round_trips_through_json(self, traces, config):
+        stats = simulate_node(traces[0], config).stats
+        blob = json.dumps(stats.to_dict())
+        rebuilt = TranslationStats.from_dict(json.loads(blob))
+        assert rebuilt.snapshot() == stats.snapshot()
+
+
+class TestDeterminism:
+    def test_parallel_equals_serial(self, traces, config):
+        cells = [SweepCell(size, traces, config.replace(cache_entries=size))
+                 for size in (128, 256, 512)]
+        serial = SweepRunner(workers=1).run_cells(cells)
+        with SweepRunner(workers=2) as parallel_runner:
+            parallel = parallel_runner.run_cells(cells)
+        assert run_dicts(parallel) == run_dicts(serial)
+
+    def test_mechanisms_parallel_equals_serial(self, traces, config):
+        cells = [SweepCell(mech, traces, config, mech)
+                 for mech in ("utlb", "intr", "pp")]
+        serial = SweepRunner(workers=1).run_cells(cells)
+        with SweepRunner(workers=2) as parallel_runner:
+            parallel = parallel_runner.run_cells(cells)
+        assert run_dicts(parallel) == run_dicts(serial)
+
+    def test_results_returned_in_submission_order(self, traces, config):
+        sizes = (512, 128, 256)
+        cells = [SweepCell(size, traces, config.replace(cache_entries=size))
+                 for size in sizes]
+        results = SweepRunner().run_cells(cells)
+        direct = {size: SweepRunner().run(
+                      traces, config.replace(cache_entries=size))
+                  for size in sizes}
+        for size, result in zip(sizes, results):
+            assert result.to_dict() == direct[size].to_dict()
+
+
+class TestCache:
+    def test_warm_run_hits_and_matches(self, traces, config, tmp_path):
+        cold = SweepRunner(cache_dir=str(tmp_path))
+        first = cold.run(traces, config)
+        assert cold.cache.hits == 0 and cold.cache.misses == 1
+
+        warm = SweepRunner(cache_dir=str(tmp_path))
+        second = warm.run(traces, config)
+        assert warm.cache.hits == 1 and warm.cache.misses == 0
+        assert second.to_dict() == first.to_dict()
+
+    def test_any_config_field_change_misses(self, traces, config, tmp_path):
+        runner = SweepRunner(cache_dir=str(tmp_path))
+        runner.run(traces, config)
+        for changed in (config.replace(cache_entries=512),
+                        config.replace(associativity=2),
+                        config.replace(offsetting=False),
+                        config.replace(prefetch=4, prepin=4),
+                        config.replace(pin_policy="mru"),
+                        config.replace(memory_limit_bytes=1 << 20)):
+            assert cell_key(traces, changed, "utlb") != \
+                cell_key(traces, config, "utlb")
+        runner2 = SweepRunner(cache_dir=str(tmp_path))
+        runner2.run(traces, config.replace(cache_entries=512))
+        assert runner2.cache.hits == 0 and runner2.cache.misses == 1
+
+    def test_mechanism_and_trace_shape_key(self, traces, config):
+        base = cell_key(traces, config, "utlb")
+        assert cell_key(traces, config, "intr") != base
+        other = make_app("fft").generate_cluster(nodes=2, seed=SEED + 1,
+                                                 scale=SCALE)
+        assert cell_key(other, config, "utlb") != base
+        assert cell_key(traces, config, "utlb") == base   # stable
+
+    def test_corrupt_entry_is_a_miss(self, traces, config, tmp_path):
+        runner = SweepRunner(cache_dir=str(tmp_path))
+        runner.run(traces, config)
+        (entry,) = tmp_path.glob("*.json")
+        entry.write_text("{not json")
+        rerun = SweepRunner(cache_dir=str(tmp_path))
+        result = rerun.run(traces, config)
+        assert rerun.cache.misses == 1
+        assert result.stats.lookups > 0
+
+    def test_fingerprints_are_content_hashes(self, traces):
+        assert trace_fingerprint(traces[0]) == trace_fingerprint(traces[0])
+        assert trace_fingerprint(traces[0]) != trace_fingerprint(traces[1])
+        assert len(code_version()) == 16
+
+
+class TestMetrics:
+    def test_cells_record_cost_and_outcome(self, traces, config, tmp_path):
+        runner = SweepRunner(cache_dir=str(tmp_path))
+        runner.run(traces, config, label=("fft", 256))
+        runner.run(traces, config, label=("fft", 256))   # warm
+        report = runner.metrics.to_dict()
+        assert report["workers"] == 1
+        assert report["totals"]["cells"] == 2
+        assert report["totals"]["cache_hits"] == 1
+        assert report["totals"]["cache_misses"] == 1
+        cold_cell, warm_cell = report["cells"]
+        assert not cold_cell["cache_hit"] and warm_cell["cache_hit"]
+        for cell in (cold_cell, warm_cell):
+            assert cell["label"] == str(("fft", 256))
+            assert cell["nodes"] == 2
+            assert cell["wall_time_s"] > 0.0
+            assert cell["lookups"] == cell["stats"]["lookups"] > 0
+        json.dumps(report)                                # JSON-safe
+
+    def test_metrics_survive_json(self, traces, config):
+        runner = SweepRunner()
+        runner.run(traces, config)
+        report = json.loads(json.dumps(runner.metrics.to_dict()))
+        assert report["totals"]["lookups"] == \
+            runner.metrics.cells[0].lookups
+
+
+class TestValidation:
+    def test_unknown_mechanism_rejected(self, traces, config):
+        with pytest.raises(ConfigError):
+            SweepCell("x", traces, config, "magic")
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepRunner(workers=0)

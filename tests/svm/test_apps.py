@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.svm import SvmCluster
 from repro.svm.apps import (

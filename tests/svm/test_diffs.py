@@ -26,15 +26,30 @@ class TestComputeDiffs:
         diffs = compute_diffs(twin, bytes(current))
         assert len(diffs) == 2
 
-    def test_close_runs_coalesce(self):
+    def test_nearby_runs_stay_exact(self):
+        """Runs carry changed bytes only — a nearby pair must not be
+        coalesced into one run that would ship unchanged gap bytes."""
         twin = bytes(256)
         current = bytearray(256)
         current[0] = 1
-        current[10] = 2                   # gap 9 < tolerance
-        diffs = compute_diffs(twin, bytes(current), gap_tolerance=16)
-        assert len(diffs) == 1
-        assert diffs[0][0] == 0
-        assert len(diffs[0][1]) == 11
+        current[10] = 2
+        diffs = compute_diffs(twin, bytes(current))
+        assert diffs == [(0, b"\x01"), (10, b"\x02")]
+
+    def test_contiguous_changes_form_one_run(self):
+        twin = bytes(256)
+        current = bytearray(256)
+        current[5:9] = b"wxyz"
+        diffs = compute_diffs(twin, bytes(current))
+        assert diffs == [(5, b"wxyz")]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.binary(min_size=64, max_size=64),
+           st.binary(min_size=64, max_size=64))
+    def test_runs_contain_only_changed_bytes(self, twin, current):
+        for offset, data in compute_diffs(twin, current):
+            assert all(twin[offset + i] != data[i]
+                       for i in range(len(data)))
 
     def test_length_mismatch_rejected(self):
         with pytest.raises(ValueError):
@@ -91,3 +106,31 @@ class TestMergeSemantics:
         merged = apply_diffs(merged, compute_diffs(home, bytes(writer_b)))
         assert merged[0:4] == b"AAAA"
         assert merged[64:68] == b"BBBB"
+
+    def test_nearby_disjoint_writers_do_not_clobber(self):
+        """Regression: writers touching bytes a few positions apart.  A
+        gap-coalesced diff from writer A would carry twin-valued bytes
+        over the gap and erase writer B's update when applied second."""
+        home = bytes(128)
+        writer_a = bytearray(home)
+        writer_a[0] = 0xA1
+        writer_a[8] = 0xA2                # 7 unchanged bytes between
+        writer_b = bytearray(home)
+        writer_b[4] = 0xB1                # inside writer A's gap
+        merged = apply_diffs(home, compute_diffs(home, bytes(writer_b)))
+        merged = apply_diffs(merged, compute_diffs(home, bytes(writer_a)))
+        assert merged[0] == 0xA1
+        assert merged[4] == 0xB1
+        assert merged[8] == 0xA2
+
+    def test_overlapping_writers_later_wins_bytewise(self):
+        """When two writers change overlapping byte ranges, the diff
+        applied later wins exactly on the bytes it changed — no more."""
+        home = bytes(64)
+        writer_a = bytearray(home)
+        writer_a[10:14] = b"AAAA"
+        writer_b = bytearray(home)
+        writer_b[12:18] = b"BBBBBB"
+        merged = apply_diffs(home, compute_diffs(home, bytes(writer_a)))
+        merged = apply_diffs(merged, compute_diffs(home, bytes(writer_b)))
+        assert merged[10:18] == b"AABBBBBB"

@@ -18,7 +18,6 @@ from repro.core import (
 from repro.sim.config import SimConfig
 from repro.sim.intr_simulator import simulate_node_intr
 from repro.sim.simulator import simulate_node
-from repro.traces.record import OP_SEND, TraceRecord
 from repro.traces.synth import make_app
 from repro.vmmc import Cluster, remote_store
 

@@ -1,6 +1,5 @@
 """The python -m repro entry point (direct invocation for speed)."""
 
-import io
 
 import pytest
 

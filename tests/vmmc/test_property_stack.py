@@ -7,7 +7,6 @@ simulated memory byte-for-byte, that UTLB invariants hold, and that the
 interrupt-free guarantee survives everything.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import params
