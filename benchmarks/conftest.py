@@ -59,12 +59,16 @@ def run_once(benchmark, func, *args, runner=None, **kwargs):
                                 rounds=1, iterations=1)
     if runner is not None:
         cells = runner.metrics.cells[before:]
+        replayed = [c for c in cells if not c.cache_hit]
+        replay_s = sum(c.wall_time_s for c in replayed)
         benchmark.extra_info.update({
             "workers": runner.metrics.workers,
             "cells": len(cells),
-            "cache_hits": sum(1 for c in cells if c.cache_hit),
-            "cache_misses": sum(1 for c in cells if not c.cache_hit),
+            "cache_hits": len(cells) - len(replayed),
+            "cache_misses": len(replayed),
             "replay_wall_time_s": sum(c.wall_time_s for c in cells),
             "lookups": sum(c.lookups for c in cells),
+            "pages_per_sec": (sum(c.lookups for c in replayed) / replay_s
+                              if replay_s > 0.0 else 0.0),
         })
     return result

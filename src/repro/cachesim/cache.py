@@ -10,8 +10,6 @@ index function receives the key and must return an int; it is reduced
 modulo ``num_sets``.
 """
 
-from collections import OrderedDict
-
 from repro.errors import ConfigError
 from repro.cachesim.replacement import make_policy
 
@@ -82,7 +80,12 @@ class SetAssociativeCache:
         self.num_sets = num_entries // associativity
         self._index_fn = index_fn if index_fn is not None else hash
         self._policy = make_policy(replacement, seed=seed)
-        self._sets = [OrderedDict() for _ in range(self.num_sets)]
+        # Sets are created on first fill: sweeps build thousands of
+        # caches whose footprints touch a fraction of their sets, so
+        # eager allocation of num_sets dicts would dominate construction.
+        # Plain dicts suffice — insertion-ordered since 3.7, and the
+        # policies move keys with pop + reinsert.
+        self._sets = {}                 # set index -> {key: payload}
         self.stats = CacheStats()
 
     # -- internals ----------------------------------------------------------
@@ -92,7 +95,8 @@ class SetAssociativeCache:
         return self._index_fn(key) % self.num_sets
 
     def _set_for(self, key):
-        return self._sets[self.set_index(key)]
+        """The set holding ``key``'s entries, or None if never filled."""
+        return self._sets.get(self._index_fn(key) % self.num_sets)
 
     # -- operations ----------------------------------------------------------
 
@@ -101,19 +105,20 @@ class SetAssociativeCache:
 
         Counts an access; on a hit the replacement policy is notified.
         """
-        self.stats.accesses += 1
-        set_state = self._set_for(key)
-        if key in set_state:
-            self.stats.hits += 1
+        stats = self.stats
+        stats.accesses += 1
+        set_state = self._sets.get(self._index_fn(key) % self.num_sets)
+        if set_state is not None and key in set_state:
+            stats.hits += 1
             self._policy.touch(set_state, key)
             return True, set_state[key]
-        self.stats.misses += 1
+        stats.misses += 1
         return False, None
 
     def peek(self, key):
         """Probe without counting or reordering (for assertions/tests)."""
         set_state = self._set_for(key)
-        if key in set_state:
+        if set_state is not None and key in set_state:
             return True, set_state[key]
         return False, None
 
@@ -124,21 +129,31 @@ class SetAssociativeCache:
         Inserting an existing key updates its payload in place (no
         eviction, but the policy sees an insert).
         """
-        set_state = self._set_for(key)
+        index = self._index_fn(key) % self.num_sets
+        set_state = self._sets.get(index)
+        if set_state is None:
+            set_state = self._sets[index] = {}
         evicted = None
-        if key not in set_state and len(set_state) >= self.associativity:
-            victim = self._policy.victim(set_state)
-            evicted = (victim, set_state.pop(victim))
-            self.stats.evictions += 1
-        set_state[key] = payload
-        self._policy.insert(set_state, key)
+        if key in set_state:
+            set_state[key] = payload
+            self._policy.insert(set_state, key)
+        else:
+            if len(set_state) >= self.associativity:
+                victim = self._policy.victim(set_state)
+                evicted = (victim, set_state.pop(victim))
+                self.stats.evictions += 1
+            # A brand-new key lands at the most-recent end of the dict,
+            # which is already the outcome of every policy's insert hook
+            # (LRU/FIFO move-to-end, random no-op), so the hook is only
+            # consulted for payload-update fills above.
+            set_state[key] = payload
         self.stats.fills += 1
         return evicted
 
     def invalidate(self, key):
         """Drop ``key`` if present; returns True when an entry was dropped."""
         set_state = self._set_for(key)
-        if key in set_state:
+        if set_state is not None and key in set_state:
             del set_state[key]
             self.stats.invalidations += 1
             return True
@@ -151,7 +166,7 @@ class SetAssociativeCache:
         translations must leave the NIC cache.  Returns the count dropped.
         """
         dropped = 0
-        for set_state in self._sets:
+        for set_state in self._sets.values():
             victims = [k for k, v in set_state.items() if predicate(k, v)]
             for key in victims:
                 del set_state[key]
@@ -160,20 +175,20 @@ class SetAssociativeCache:
         return dropped
 
     def clear(self):
-        for set_state in self._sets:
-            set_state.clear()
+        self._sets.clear()
 
     # -- inspection ----------------------------------------------------------
 
     def __len__(self):
-        return sum(len(s) for s in self._sets)
+        return sum(len(s) for s in self._sets.values())
 
     def __contains__(self, key):
-        return key in self._set_for(key)
+        set_state = self._set_for(key)
+        return set_state is not None and key in set_state
 
     def items(self):
-        """All (key, payload) pairs currently cached (set order)."""
-        for set_state in self._sets:
+        """All (key, payload) pairs currently cached (arbitrary set order)."""
+        for set_state in self._sets.values():
             for key, payload in set_state.items():
                 yield key, payload
 

@@ -7,8 +7,9 @@ class with the same three-method protocol so caches can swap them freely:
 * ``insert(set_state, key)`` — note a fill of ``key``
 * ``victim(set_state)``      — pick the key to evict (set is full)
 
-``set_state`` is the per-set ``OrderedDict`` the cache maintains; policies
-mutate only its ordering, never its contents.
+``set_state`` is the per-set insertion-ordered dict the cache maintains;
+policies mutate only its ordering (pop + reinsert moves a key to the
+most-recent end), never its contents.
 """
 
 import random
@@ -22,10 +23,10 @@ class LruPolicy:
     name = "lru"
 
     def touch(self, set_state, key):
-        set_state.move_to_end(key)
+        set_state[key] = set_state.pop(key)
 
     def insert(self, set_state, key):
-        set_state.move_to_end(key)
+        set_state[key] = set_state.pop(key)
 
     def victim(self, set_state):
         return next(iter(set_state))
@@ -40,7 +41,7 @@ class FifoPolicy:
         pass
 
     def insert(self, set_state, key):
-        set_state.move_to_end(key)
+        set_state[key] = set_state.pop(key)
 
     def victim(self, set_state):
         return next(iter(set_state))

@@ -5,11 +5,18 @@ maintain the memory-pinning status of virtual pages" (Section 3.3).  The
 vector answers, per virtual page, "is this page pinned (and therefore is
 its translation installed in the host translation table)?".
 
-Implemented on a Python arbitrary-precision int: single-bit operations are
-O(1) amortized and range scans are cheap via mask extraction.
+Implemented on a ``bytearray`` so that single-bit operations are O(1)
+regardless of how many bits are set.  (An arbitrary-precision int makes
+``set``/``clear`` copy the whole word string — O(highest set bit) — which
+turns pin-heavy trace replay quadratic.)
 """
 
+import re
+
 from repro.errors import AddressError
+
+#: C-speed scan for occupied bytes (so sparse vectors enumerate fast).
+_NONZERO_BYTE = re.compile(rb"[^\x00]")
 
 
 class BitVector:
@@ -18,37 +25,56 @@ class BitVector:
     def __init__(self, nbits=0):
         if nbits < 0:
             raise AddressError("bit vector size must be non-negative")
-        self._bits = 0
+        self._bytes = bytearray((nbits + 7) >> 3)
         self._count = 0
         self.nbits = nbits      # advisory size; indexes beyond it still work
 
     def _check_index(self, index):
+        # test/set/clear pre-screen with `type(index) is int and index >= 0`
+        # (true for every plain valid index, false for bools) and only
+        # fall in here for the leftovers: int subclasses pass, everything
+        # else raises — keep the two in agreement.
         if not isinstance(index, int) or isinstance(index, bool) or index < 0:
             raise AddressError("bit index must be a non-negative int, got %r"
                                % (index,))
 
+    def _grow_for(self, byte_index):
+        need = byte_index + 1 - len(self._bytes)
+        if need > 0:
+            self._bytes.extend(bytes(need))
+
     def test(self, index):
         """True when bit ``index`` is set."""
-        self._check_index(index)
-        return bool((self._bits >> index) & 1)
+        if not (type(index) is int and index >= 0):
+            self._check_index(index)
+        data = self._bytes
+        byte = index >> 3
+        return byte < len(data) and bool(data[byte] & (1 << (index & 7)))
 
     def set(self, index):
         """Set bit ``index``; returns True when the bit changed."""
-        self._check_index(index)
-        mask = 1 << index
-        if self._bits & mask:
+        if not (type(index) is int and index >= 0):
+            self._check_index(index)
+        byte = index >> 3
+        mask = 1 << (index & 7)
+        self._grow_for(byte)
+        data = self._bytes
+        if data[byte] & mask:
             return False
-        self._bits |= mask
+        data[byte] |= mask
         self._count += 1
         return True
 
     def clear(self, index):
         """Clear bit ``index``; returns True when the bit changed."""
-        self._check_index(index)
-        mask = 1 << index
-        if not self._bits & mask:
+        if not (type(index) is int and index >= 0):
+            self._check_index(index)
+        data = self._bytes
+        byte = index >> 3
+        mask = 1 << (index & 7)
+        if byte >= len(data) or not data[byte] & mask:
             return False
-        self._bits &= ~mask
+        data[byte] &= ~mask
         self._count -= 1
         return True
 
@@ -61,32 +87,40 @@ class BitVector:
         self._check_index(start)
         if count < 0:
             raise AddressError("count must be non-negative")
-        if count == 0:
-            return True
-        mask = ((1 << count) - 1) << start
-        return (self._bits & mask) == mask
+        data = self._bytes
+        size = len(data)
+        for index in range(start, start + count):
+            byte = index >> 3
+            if byte >= size or not data[byte] & (1 << (index & 7)):
+                return False
+        return True
 
     def clear_indices(self, start, count):
         """Indices in [start, start+count) whose bits are clear (ascending)."""
         self._check_index(start)
         if count < 0:
             raise AddressError("count must be non-negative")
-        window = (self._bits >> start) & ((1 << count) - 1)
+        data = self._bytes
+        size = len(data)
         missing = []
-        for offset in range(count):
-            if not (window >> offset) & 1:
-                missing.append(start + offset)
+        for index in range(start, start + count):
+            byte = index >> 3
+            if byte >= size or not data[byte] & (1 << (index & 7)):
+                missing.append(index)
         return missing
 
     def set_indices(self):
-        """All set indices, ascending.  O(set bits)."""
+        """All set indices, ascending.  O(occupied bytes), not O(capacity)."""
         out = []
-        bits = self._bits
-        index = 0
-        while bits:
-            lsb = bits & -bits
-            out.append(lsb.bit_length() - 1)
-            bits ^= lsb
+        append = out.append
+        data = bytes(self._bytes)
+        for match in _NONZERO_BYTE.finditer(data):
+            byte_index = match.start()
+            byte = data[byte_index]
+            base = byte_index << 3
+            for bit in range(8):
+                if byte & (1 << bit):
+                    append(base + bit)
         return out
 
     @property

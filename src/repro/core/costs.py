@@ -20,6 +20,8 @@ the paper's observation that DMA setup / syscall entry dominates small
 batches.
 """
 
+import math
+
 from repro.errors import ConfigError
 
 #: Measured batch sizes common to Tables 1 and 2.
@@ -51,6 +53,72 @@ def _interpolate(table, n):
     # Extrapolate beyond the last measured point with the final slope.
     slope = (table[-1] - table[-2]) / (sizes[-1] - sizes[-2])
     return table[-1] + slope * (n - sizes[-1])
+
+
+def accumulated_cost(unit_cost_us, count, start=0.0):
+    """Total simulated time after charging ``unit_cost_us``, ``count`` times.
+
+    Bit-identical to the per-event accumulation loop::
+
+        total = start
+        for _ in range(count):
+            total += unit_cost_us
+
+    but usually O(log(total / unit)) instead of O(count), which is what
+    lets the fast replay engine drop per-lookup float additions from its
+    hot path and still reproduce the reference engine's stats exactly.
+    (``count * unit`` is not bit-identical to repeated addition, and
+    ``sum()`` uses compensated summation on new Pythons, so neither is a
+    substitute.)
+
+    The shortcut: while the accumulator stays inside one binade, its ulp
+    is constant, so adding the same non-negative constant rounds to the
+    same fixed multiple of that ulp every time — an exact arithmetic
+    progression that collapses into one multiply-add.  Regimes where the
+    constant-increment argument does not hold (round-half-even ties,
+    non-positive values, subnormals, binade boundaries) step one
+    addition at a time, so the function is never less exact than — and
+    at worst a small constant factor slower than — the plain loop.
+    """
+    if count < 0:
+        raise ConfigError("count must be non-negative, got %r" % (count,))
+    total = start + 0.0
+    unit = unit_cost_us + 0.0
+    remaining = count
+    while remaining > 0:
+        stepped = total + unit
+        remaining -= 1
+        if stepped == total:
+            # Fixpoint: the cost is absorbed by rounding (or is zero), so
+            # every later addition leaves the accumulator unchanged too.
+            return stepped
+        total = stepped
+        if remaining == 0 or unit <= 0.0 or total <= 0.0:
+            continue
+        ulp = math.ulp(total)
+        ratio = unit / ulp              # exact: ulp is a power of two
+        if not math.isfinite(ratio):
+            continue                    # subnormal accumulator; step plainly
+        whole = math.floor(ratio)
+        fraction = ratio - whole        # exact for the same reason
+        if fraction == 0.5:
+            continue                    # tie — increment depends on parity
+        per_add = (whole + 1 if fraction > 0.5 else whole) * ulp
+        if per_add <= 0.0:
+            continue
+        # Constant increments are only valid while every exact sum stays
+        # below the binade boundary; stop a few increments short of it.
+        boundary = math.ldexp(1.0, math.frexp(total)[1])
+        jump = int((boundary - total) / per_add) - 3
+        if jump > remaining:
+            jump = remaining
+        if jump < 1:
+            continue
+        # jump * per_add is a multiple of ulp below the boundary, so the
+        # multiply and the add are both exact.
+        total += jump * per_add
+        remaining -= jump
+    return total
 
 
 class CostModel:
@@ -104,6 +172,16 @@ class CostModel:
         self._miss = tuple(miss_table)
         self._check_min = tuple(check_min_table)
         self._check_max = tuple(check_max_table)
+        # Interpolation is pure, and replay asks for the same handful of
+        # batch sizes millions of times — memoize per (table, size).
+        self._memo = {}
+
+    def _interpolated(self, name, table, n):
+        key = (name, n)
+        value = self._memo.get(key)
+        if value is None:
+            value = self._memo[key] = _interpolate(table, n)
+        return value
 
     def to_dict(self):
         """Every calibration constant as a JSON-safe dict.
@@ -128,16 +206,17 @@ class CostModel:
 
     def check_cost(self, num_pages, worst_case=False):
         """Cost of the user-level bit-map check over ``num_pages`` pages."""
-        table = self._check_max if worst_case else self._check_min
-        return _interpolate(table, num_pages)
+        if worst_case:
+            return self._interpolated("check_max", self._check_max, num_pages)
+        return self._interpolated("check_min", self._check_min, num_pages)
 
     def pin_cost(self, num_pages):
         """User-level (ioctl) cost to pin ``num_pages`` pages in one call."""
-        return _interpolate(self._pin, num_pages)
+        return self._interpolated("pin", self._pin, num_pages)
 
     def unpin_cost(self, num_pages):
         """User-level (ioctl) cost to unpin ``num_pages`` pages."""
-        return _interpolate(self._unpin, num_pages)
+        return self._interpolated("unpin", self._unpin, num_pages)
 
     def kernel_pin_cost(self, num_pages):
         """Pin cost when already in kernel mode (interrupt-based baseline)."""
@@ -152,13 +231,13 @@ class CostModel:
     def dma_cost(self, num_entries):
         """NIC cost to DMA ``num_entries`` translation entries from host
         memory over the I/O bus (Table 2, 'DMA cost')."""
-        return _interpolate(self._dma, num_entries)
+        return self._interpolated("dma", self._dma, num_entries)
 
     def miss_cost(self, num_entries):
         """Total NIC cost of a translation-cache miss that fetches
         ``num_entries`` entries (Table 2, 'total miss cost'): the
         second-level table address computation plus the DMA."""
-        return _interpolate(self._miss, num_entries)
+        return self._interpolated("miss", self._miss, num_entries)
 
     def ni_probe_cost(self, associativity, miss_rate):
         """Average per-lookup probe cost of a set-associative cache.

@@ -65,6 +65,15 @@ class InterruptBasedNode:
     def stats_for(self, pid):
         return self._state(pid).stats
 
+    def pinned_map(self, pid):
+        """The live vpage -> frame map of ``pid``'s pinned pages.
+
+        Under this mechanism pinned pages and cached translations are the
+        same set, so membership here IS a NIC cache hit — the fast replay
+        engine exploits exactly that.  Mutated in place; do not modify.
+        """
+        return self._state(pid).pinned
+
     def merged_stats(self):
         return TranslationStats.merged(
             s.stats for s in self._processes.values())

@@ -49,6 +49,15 @@ class PinnedPagePool:
     def __len__(self):
         return len(self.policy)
 
+    @property
+    def pinned_pages(self):
+        """The live pinned-page set (mutated in place; do not modify).
+
+        Replay fast paths bind this once and probe it per lookup instead
+        of paying a method call per page.
+        """
+        return self.policy.pages
+
     # -- outstanding-send protection ---------------------------------------------
 
     def hold(self, vpage):
@@ -94,4 +103,6 @@ class PinnedPagePool:
             raise CapacityError(
                 "request of %d pages exceeds the pinning limit of %d"
                 % (n, self.limit_pages))
-        return self.policy.select_victims(overflow, exclude=self.held_pages())
+        # Pass the hold map directly: it is only iterated when non-empty,
+        # so the common no-outstanding-sends case allocates nothing.
+        return self.policy.select_victims(overflow, exclude=self._held)

@@ -23,6 +23,11 @@ from collections import OrderedDict
 from repro.errors import CapacityError, ConfigError
 
 
+#: Shared empty exclusion set: eviction with no outstanding sends (the
+#: overwhelmingly common case) allocates nothing.
+_NO_EXCLUDE = frozenset()
+
+
 class PinnedPagePolicy:
     """Base class: maintains the pool membership set."""
 
@@ -30,6 +35,16 @@ class PinnedPagePolicy:
 
     def __init__(self):
         self._pool = set()
+
+    @property
+    def pages(self):
+        """The pinned-page set itself (read-only by convention).
+
+        Exposed so replay fast paths can test membership without a
+        method call per lookup; the set object is stable for the
+        policy's lifetime and mutated in place.
+        """
+        return self._pool
 
     def on_pin(self, vpage):
         if vpage in self._pool:
@@ -51,8 +66,12 @@ class PinnedPagePolicy:
         """Pick ``n`` victims, skipping ``exclude``; raises when impossible."""
         if n <= 0:
             return []
-        exclude = set(exclude)
-        eligible = len(self._pool) - len(self._pool & exclude)
+        if exclude:
+            exclude = set(exclude)
+            eligible = len(self._pool) - len(self._pool & exclude)
+        else:
+            exclude = _NO_EXCLUDE
+            eligible = len(self._pool)
         if eligible < n:
             raise CapacityError(
                 "need %d victims but only %d eligible pinned pages"

@@ -182,3 +182,64 @@ class SharedUtlbCache:
     def sram_bytes(self):
         """SRAM consumed, at the Figure 3 entry width."""
         return self.num_entries * params.UTLB_CACHE_ENTRY_BYTES
+
+
+class ShadowedUtlbCache(SharedUtlbCache):
+    """A :class:`SharedUtlbCache` that mirrors its contents in exact-key
+    per-process dicts.
+
+    The fast replay engine resolves the common case — a translation
+    already cached — with one dict probe (``vpage in cache.shadow[pid]``)
+    instead of the full indexed lookup, then batches the skipped hit
+    accounting through :meth:`credit_shadow_hits`.  Every mutation path
+    (fill, eviction, invalidate, process flush) keeps the shadow coherent,
+    so ``shadow[pid]`` is always exactly the set of cached translations
+    for ``pid``.
+
+    Only sound as a lookup substitute for direct-mapped caches without a
+    miss classifier: with ``associativity > 1`` a real lookup must touch
+    the within-set replacement state, and with ``classify=True`` it must
+    feed the 3C classifier — neither happens on the shadow path.  The
+    simulator enforces that; the shadow itself stays coherent regardless.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        #: pid -> {vpage: frame}; dict objects are stable for the cache's
+        #: lifetime (cleared in place), so hot loops may bind them once.
+        self.shadow = {}
+
+    def register_process(self, pid):
+        offset = super().register_process(pid)
+        self.shadow.setdefault(pid, {})
+        return offset
+
+    def fill(self, pid, vpage, frame, demand=True):
+        evicted = super().fill(pid, vpage, frame, demand=demand)
+        if evicted is not None:
+            epid, evpage = evicted
+            self.shadow[epid].pop(evpage, None)
+        self.shadow.setdefault(pid, {})[vpage] = frame
+        return evicted
+
+    def invalidate(self, pid, vpage):
+        dropped = super().invalidate(pid, vpage)
+        if dropped:
+            self.shadow[pid].pop(vpage, None)
+        return dropped
+
+    def invalidate_process(self, pid):
+        dropped = super().invalidate_process(pid)
+        if pid in self.shadow:
+            self.shadow[pid].clear()
+        return dropped
+
+    def credit_shadow_hits(self, count):
+        """Batch-account ``count`` lookups answered from the shadow.
+
+        Each would have been a hit in the real cache; the counters end up
+        exactly where per-lookup accounting would have left them.
+        """
+        stats = self._cache.stats
+        stats.accesses += count
+        stats.hits += count

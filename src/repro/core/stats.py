@@ -5,7 +5,15 @@ averages: check misses, network-interface translation misses, and unpinned
 pages, each divided by the total number of lookups (Tables 4 and 5).
 :class:`TranslationStats` accumulates the raw event counts plus simulated
 time, and derives those rates.
+
+The fast replay engine counts hot-path events (check hits, NIC cache
+hits) without charging time per event; :meth:`charge_check_hits` and
+:meth:`charge_ni_hits` apply the whole batch at end-of-replay,
+bit-identical to per-event accumulation (see
+:func:`repro.core.costs.accumulated_cost`).
 """
+
+from repro.core.costs import accumulated_cost
 
 
 class TranslationStats:
@@ -88,6 +96,32 @@ class TranslationStats:
     def amortized_unpin_cost_us(self):
         """Unpin time per lookup (Table 7 'unpin' rows)."""
         return self.unpin_time_us / self.lookups if self.lookups else 0.0
+
+    # -- batched hot-path charging (the fast replay engine) -------------------
+
+    def charge_check_hits(self, count, unit_cost_us):
+        """Account ``count`` user-level check hits in one batch.
+
+        Equivalent — to the bit — to ``count`` sequential lookups that
+        each charged ``unit_cost_us`` into ``check_time_us``.
+        """
+        if count:
+            self.lookups += count
+            self.check_time_us = accumulated_cost(
+                unit_cost_us, count, self.check_time_us)
+
+    def charge_ni_hits(self, count, unit_cost_us):
+        """Account ``count`` NIC translation-cache hits in one batch.
+
+        Equivalent — to the bit — to ``count`` sequential NIC lookups
+        that each hit and charged ``unit_cost_us`` into
+        ``ni_hit_time_us``.
+        """
+        if count:
+            self.ni_accesses += count
+            self.ni_hits += count
+            self.ni_hit_time_us = accumulated_cost(
+                unit_cost_us, count, self.ni_hit_time_us)
 
     # -- combination ----------------------------------------------------------
 

@@ -21,7 +21,14 @@ user request can never reach another process's memory.
 
 from repro import params
 from repro.core import addresses
-from repro.errors import CapacityError, TranslationError
+from repro.errors import AddressError, CapacityError, TranslationError
+
+#: Bound once: the install/lookup/read_block paths run per simulated miss,
+#: so the two-level index split is open-coded against these constants
+#: (same checks and messages as the ``addresses`` helpers).
+_NUM_VPAGES = params.NUM_VPAGES
+_TABLE_BITS = params.TABLE_BITS
+_TABLE_MASK = params.TABLE_INDEX_MASK
 
 
 class TableSwappedError(TranslationError):
@@ -54,10 +61,13 @@ class HierarchicalTranslationTable:
         """Store the physical frame of a newly pinned virtual page."""
         if frame is None or frame < 0:
             raise TranslationError("invalid frame %r" % (frame,))
-        dir_idx = addresses.directory_index(vpage)
-        self._require_resident(dir_idx)
+        if not 0 <= vpage < _NUM_VPAGES:
+            raise AddressError("virtual page %#x out of range" % (vpage,))
+        dir_idx = vpage >> _TABLE_BITS
+        if self._swapped:
+            self._require_resident(dir_idx)
         second = self._directory.setdefault(dir_idx, {})
-        tbl = addresses.table_index(vpage)
+        tbl = vpage & _TABLE_MASK
         if tbl not in second:
             self.entries += 1
         second[tbl] = frame
@@ -65,10 +75,13 @@ class HierarchicalTranslationTable:
 
     def invalidate(self, vpage):
         """Remove the entry for an unpinned page; returns its frame."""
-        dir_idx = addresses.directory_index(vpage)
-        self._require_resident(dir_idx)
+        if not 0 <= vpage < _NUM_VPAGES:
+            raise AddressError("virtual page %#x out of range" % (vpage,))
+        dir_idx = vpage >> _TABLE_BITS
+        if self._swapped:
+            self._require_resident(dir_idx)
         second = self._directory.get(dir_idx)
-        tbl = addresses.table_index(vpage)
+        tbl = vpage & _TABLE_MASK
         if second is None or tbl not in second:
             raise TranslationError(
                 "pid %r: no translation for page %#x" % (self.pid, vpage))
@@ -88,12 +101,15 @@ class HierarchicalTranslationTable:
         table has been swapped to disk — the NIC must then interrupt the
         host rather than DMA from a stale physical address.
         """
-        dir_idx = addresses.directory_index(vpage)
-        self._require_resident(dir_idx)
+        if not 0 <= vpage < _NUM_VPAGES:
+            raise AddressError("virtual page %#x out of range" % (vpage,))
+        dir_idx = vpage >> _TABLE_BITS
+        if self._swapped:
+            self._require_resident(dir_idx)
         second = self._directory.get(dir_idx)
         if second is None:
             return None
-        return second.get(addresses.table_index(vpage))
+        return second.get(vpage & _TABLE_MASK)
 
     def lookup_or_garbage(self, vpage):
         """Like :meth:`lookup` but resolves invalid entries to the garbage
@@ -120,15 +136,24 @@ class HierarchicalTranslationTable:
         """
         if count <= 0:
             raise TranslationError("block size must be positive")
-        dir_idx = addresses.directory_index(vpage)
-        self._require_resident(dir_idx)
-        second = self._directory.get(dir_idx, {})
-        start_tbl = addresses.table_index(vpage)
+        if not 0 <= vpage < _NUM_VPAGES:
+            raise AddressError("virtual page %#x out of range" % (vpage,))
+        dir_idx = vpage >> _TABLE_BITS
+        if self._swapped:
+            self._require_resident(dir_idx)
+        second = self._directory.get(dir_idx)
+        if count == 1:
+            # The no-prefetch configuration: one entry, no range walk.
+            return [(vpage,
+                     None if second is None else second.get(vpage & _TABLE_MASK))]
+        if second is None:
+            second = {}
+        start_tbl = vpage & _TABLE_MASK
         end_tbl = min(start_tbl + count, params.TABLE_ENTRIES)
+        base = dir_idx << _TABLE_BITS
         out = []
         for tbl in range(start_tbl, end_tbl):
-            out.append((addresses.vpage_from_indices(dir_idx, tbl),
-                        second.get(tbl)))
+            out.append((base | tbl, second.get(tbl)))
         return out
 
     # -- second-level table paging (Section 3.3 extension) --------------------

@@ -39,15 +39,29 @@ class CountingFrameDriver:
     def __init__(self):
         self._next_frame = 1
         self._pinned = {}           # (pid, vpage) -> frame
+        self._pinned_per_pid = {}   # pid -> number of pinned pages
 
     def pin_pages(self, pid, vpages):
         """Pin ``vpages``; returns {vpage: frame}."""
+        if type(vpages) is list and len(vpages) == 1:
+            # Demand pinning (no pre-pin) always pins one page; skip the
+            # loop scaffolding for it.
+            vpage = vpages[0]
+            key = (pid, vpage)
+            if key in self._pinned:
+                raise PinningError("page %#x already pinned" % (vpage,))
+            frame = self._next_frame
+            self._pinned[key] = frame
+            self._pinned_per_pid[pid] = self._pinned_per_pid.get(pid, 0) + 1
+            self._next_frame = frame + 1
+            return {vpage: frame}
         frames = {}
         for vpage in vpages:
             key = (pid, vpage)
             if key in self._pinned:
                 raise PinningError("page %#x already pinned" % (vpage,))
             self._pinned[key] = self._next_frame
+            self._pinned_per_pid[pid] = self._pinned_per_pid.get(pid, 0) + 1
             frames[vpage] = self._next_frame
             self._next_frame += 1
         return frames
@@ -58,9 +72,10 @@ class CountingFrameDriver:
                 del self._pinned[(pid, vpage)]
             except KeyError:
                 raise PinningError("page %#x not pinned" % (vpage,))
+            self._pinned_per_pid[pid] -= 1
 
     def pinned_count(self, pid):
-        return sum(1 for key in self._pinned if key[0] == pid)
+        return self._pinned_per_pid.get(pid, 0)
 
 
 class HierarchicalUtlb:
@@ -189,13 +204,19 @@ class HierarchicalUtlb:
 
         # Sequential pre-pinning: try to pin `prepin` contiguous pages
         # starting at the missed one, skipping those already pinned.
-        end = min(vpage + self.prepin, params.NUM_VPAGES)
-        to_pin = [v for v in range(vpage, end) if not self.bitvector.test(v)]
-        if self.pool.limit_pages is not None:
-            # Never pin a batch bigger than the whole budget.
-            to_pin = to_pin[:self.pool.limit_pages]
-        if vpage not in to_pin:
-            raise PinningError("demand page %#x lost from pin batch" % (vpage,))
+        if self.prepin == 1:
+            # Degenerate batch: the caller just proved the bit is clear.
+            to_pin = [vpage]
+        else:
+            end = min(vpage + self.prepin, params.NUM_VPAGES)
+            to_pin = [v for v in range(vpage, end)
+                      if not self.bitvector.test(v)]
+            if self.pool.limit_pages is not None:
+                # Never pin a batch bigger than the whole budget.
+                to_pin = to_pin[:self.pool.limit_pages]
+            if vpage not in to_pin:
+                raise PinningError(
+                    "demand page %#x lost from pin batch" % (vpage,))
 
         for victim in self.pool.victims_for(len(to_pin)):
             self._unpin_page(victim)

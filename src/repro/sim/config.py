@@ -5,6 +5,13 @@ from repro.core.costs import DEFAULT_COST_MODEL
 from repro.errors import ConfigError
 
 
+#: Valid trace-replay engines: ``fast`` (compiled page streams with a
+#: counter-only hot path) and ``reference`` (record-at-a-time replay
+#: through the full :class:`HierarchicalUtlb` machinery).  The two are
+#: bit-identical in output; ``reference`` exists as the oracle.
+ENGINES = ("fast", "reference")
+
+
 class SimConfig:
     """Parameters of one trace-driven simulation run.
 
@@ -23,7 +30,8 @@ class SimConfig:
                  pin_policy="lru",
                  classify=False,
                  cost_model=None,
-                 seed=0):
+                 seed=0,
+                 engine="fast"):
         if cache_entries <= 0:
             raise ConfigError("cache_entries must be positive")
         if associativity <= 0 or cache_entries % associativity:
@@ -32,6 +40,9 @@ class SimConfig:
             raise ConfigError("prefetch and prepin degrees must be positive")
         if memory_limit_bytes is not None and memory_limit_bytes <= 0:
             raise ConfigError("memory limit must be positive or None")
+        if engine not in ENGINES:
+            raise ConfigError("unknown engine %r (choose from %s)"
+                              % (engine, list(ENGINES)))
         self.cache_entries = cache_entries
         self.associativity = associativity
         self.offsetting = offsetting
@@ -42,6 +53,7 @@ class SimConfig:
         self.classify = classify
         self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
         self.seed = seed
+        self.engine = engine
 
     @property
     def memory_limit_pages(self):
@@ -63,6 +75,7 @@ class SimConfig:
             classify=self.classify,
             cost_model=self.cost_model,
             seed=self.seed,
+            engine=self.engine,
         )
         fields.update(overrides)
         return SimConfig(**fields)
@@ -85,15 +98,18 @@ class SimConfig:
             "classify": self.classify,
             "cost_model": self.cost_model.to_dict(),
             "seed": self.seed,
+            "engine": self.engine,
         }
 
     def describe(self):
         limit = ("inf" if self.memory_limit_bytes is None
                  else "%dMB" % (self.memory_limit_bytes // (1024 * 1024)))
         hashing = "offset" if self.offsetting else "nohash"
-        return ("cache=%d assoc=%d %s prefetch=%d prepin=%d mem=%s policy=%s"
+        return ("cache=%d assoc=%d %s prefetch=%d prepin=%d mem=%s policy=%s "
+                "engine=%s"
                 % (self.cache_entries, self.associativity, hashing,
-                   self.prefetch, self.prepin, limit, self.pin_policy))
+                   self.prefetch, self.prepin, limit, self.pin_policy,
+                   self.engine))
 
     def __repr__(self):
         return "SimConfig(%s)" % (self.describe(),)

@@ -12,16 +12,18 @@ from repro.core.shared_cache import SharedUtlbCache
 from repro.core.stats import TranslationStats
 from repro.core.utlb import CountingFrameDriver
 from repro.sim.simulator import ClusterResult, NodeResult
-from repro.traces.merge import split_by_pid
+from repro.traces.compile import compile_streams
 
 
-def simulate_node_intr(records, config, check_invariants=False):
+def simulate_node_intr(records, config, check_invariants=False,
+                       compiled=None):
     """Replay one node's trace under the interrupt-based mechanism.
 
     The cache structure is identical to the UTLB runs ("we assume that
     the cache structures are the same for both cases", Section 6.2); only
     the miss handling differs.  Prefetch does not apply: the interrupt
-    handler installs exactly the missed entry.
+    handler installs exactly the missed entry.  ``compiled`` optionally
+    passes precompiled streams (see :func:`~repro.sim.simulator.simulate_node`).
     """
     cache = SharedUtlbCache(
         config.cache_entries,
@@ -31,18 +33,56 @@ def simulate_node_intr(records, config, check_invariants=False):
     node = InterruptBasedNode(cache, driver=CountingFrameDriver(),
                               cost_model=config.cost_model)
     limit = config.memory_limit_pages
-    for pid in sorted(split_by_pid(records)):
-        node.register_process(pid, memory_limit_pages=limit)
 
-    for record in records:
-        for vpage in record.pages():
-            node.access_page(record.pid, vpage)
+    # Counter-only hot path (same eligibility rule as the UTLB fast
+    # engine): pinned pages and cached translations are the same set
+    # under this mechanism, so a dict probe decides hit vs miss exactly.
+    # A hit's only effects are counters plus constant time increments,
+    # batched after replay; misses run the full interrupt path.
+    fast = (config.engine == "fast" and config.associativity == 1
+            and not config.classify)
+    if fast:
+        if compiled is None:
+            compiled = compile_streams(records)
+        pids = compiled.pids
+        for pid in pids:
+            node.register_process(pid, memory_limit_pages=limit)
+        # Per-lookup loop over the interleaved arrays (pids interleave at
+        # record granularity, so per-segment dispatch would dominate);
+        # the pinned maps are stable dicts mutated in place.
+        order = compiled.pid_order
+        pinneds = [node.pinned_map(pid) for pid in order]
+        hit_counts = [0] * len(order)
+        access = node.access_page
+        for i, vpage in zip(compiled.index_stream, compiled.page_stream):
+            if vpage in pinneds[i]:
+                hit_counts[i] += 1
+            else:
+                access(order[i], vpage)
+        cm = config.cost_model
+        total_hits = 0
+        for i, pid in enumerate(order):
+            hits = hit_counts[i]
+            if hits:
+                stats = node.stats_for(pid)
+                stats.lookups += hits
+                stats.charge_ni_hits(hits, cm.ni_check_hit)
+                total_hits += hits
+        if total_hits:
+            cache.stats.accesses += total_hits
+            cache.stats.hits += total_hits
+    else:
+        pids = sorted({record.pid for record in records})
+        for pid in pids:
+            node.register_process(pid, memory_limit_pages=limit)
+        for record in records:
+            for vpage in record.pages():
+                node.access_page(record.pid, vpage)
 
     if check_invariants:
         node.check_invariants()
 
-    per_pid = {pid: node.stats_for(pid)
-               for pid in sorted(split_by_pid(records))}
+    per_pid = {pid: node.stats_for(pid) for pid in pids}
     stats = TranslationStats.merged(per_pid.values())
     breakdown = cache.classifier.breakdown if cache.classifier else None
     return NodeResult(stats, per_pid, cache.stats.snapshot(), breakdown)

@@ -13,7 +13,6 @@ from repro.core.per_process import PerProcessUtlb
 from repro.core.stats import TranslationStats
 from repro.core.utlb import CountingFrameDriver
 from repro.sim.simulator import ClusterResult, NodeResult
-from repro.traces.merge import split_by_pid
 
 #: NIC SRAM the paper's implementation devoted to translation (32 KB at
 #: 4 bytes/entry = 8 K entries), shared by a node's processes.
@@ -29,7 +28,7 @@ def simulate_node_pp(records, config, sram_entries=DEFAULT_SRAM_ENTRIES,
     ``config`` supplies the memory limit, pin policy, prepin degree, and
     cost model; cache geometry fields are ignored (there is no cache).
     """
-    pids = sorted(split_by_pid(records))
+    pids = sorted({record.pid for record in records})
     slots = max(1, sram_entries // max(1, len(pids)))
     driver = CountingFrameDriver()
     limit = config.memory_limit_pages

@@ -35,6 +35,7 @@ from repro.errors import ConfigError
 from repro.sim.intr_simulator import simulate_node_intr
 from repro.sim.pp_simulator import simulate_node_pp
 from repro.sim.simulator import ClusterResult, simulate_node
+from repro.traces.compile import compile_streams
 
 #: node-replay entry point per mechanism (Sections 3.1, 4, and 6).
 SIMULATORS = {
@@ -86,7 +87,7 @@ def code_version():
                                   "pp_simulator.py", "runner.py",
                                   "simulator.py"))
         paths.extend(os.path.join(repro_dir, "traces", name)
-                     for name in ("merge.py", "record.py"))
+                     for name in ("compile.py", "merge.py", "record.py"))
         digest = hashlib.sha256()
         for path in paths:
             digest.update(os.path.basename(path).encode("ascii"))
@@ -186,6 +187,17 @@ class CellMetrics:
         self.lookups = 0
         self.stats = None               # TranslationStats snapshot (dict)
 
+    @property
+    def pages_per_sec(self):
+        """Replay throughput: translation lookups (pages) per wall second.
+
+        Zero for cache hits and empty cells — it measures replay speed,
+        not cache-load speed.
+        """
+        if self.cache_hit or self.wall_time_s <= 0.0:
+            return 0.0
+        return self.lookups / self.wall_time_s
+
     def to_dict(self):
         return {
             "label": str(self.label),
@@ -195,6 +207,7 @@ class CellMetrics:
             "cache_hit": self.cache_hit,
             "wall_time_s": self.wall_time_s,
             "lookups": self.lookups,
+            "pages_per_sec": self.pages_per_sec,
             "stats": self.stats,
         }
 
@@ -221,6 +234,15 @@ class SweepMetrics:
     def wall_time_s(self):
         return sum(c.wall_time_s for c in self.cells)
 
+    @property
+    def pages_per_sec(self):
+        """Aggregate replay throughput over the cells actually replayed."""
+        replayed = [c for c in self.cells if not c.cache_hit]
+        seconds = sum(c.wall_time_s for c in replayed)
+        if seconds <= 0.0:
+            return 0.0
+        return sum(c.lookups for c in replayed) / seconds
+
     def to_dict(self):
         return {
             "workers": self.workers,
@@ -231,6 +253,7 @@ class SweepMetrics:
                 "cache_misses": self.cache_misses,
                 "wall_time_s": self.wall_time_s,
                 "lookups": sum(c.lookups for c in self.cells),
+                "pages_per_sec": self.pages_per_sec,
             },
         }
 
@@ -254,15 +277,32 @@ class SweepCell:
         self.mechanism = mechanism
 
 
-def _replay_unit(args):
+def _replay_unit(args, compile_memo=None):
     """One work unit: replay a single node's trace (runs in a worker).
 
     Returns ``(seconds, NodeResult.to_dict())`` — the dict form is the
     single transport format for serial, parallel, and cached results.
+
+    ``compile_memo`` (serial runs only) shares compiled page streams
+    between cells replaying the same node trace: sweeps replay one trace
+    under many configs, so each trace is compiled once per batch instead
+    of once per cell.  Keyed by list identity, which is stable here — the
+    cells hold the record lists alive for the whole batch and the memo
+    dies with it.  The first compile still lands inside the unit's timer.
     """
     records, config, mechanism = args
     start = time.perf_counter()
-    result = SIMULATORS[mechanism](records, config)
+    compiled = None
+    if (compile_memo is not None and config.engine == "fast"
+            and mechanism in ("utlb", "intr")):
+        key = id(records)
+        compiled = compile_memo.get(key)
+        if compiled is None:
+            compiled = compile_memo[key] = compile_streams(records)
+    if compiled is not None:
+        result = SIMULATORS[mechanism](records, config, compiled=compiled)
+    else:
+        result = SIMULATORS[mechanism](records, config)
     return time.perf_counter() - start, result.to_dict()
 
 
@@ -366,7 +406,9 @@ class SweepRunner:
         if not unit_args:
             outcomes = []
         elif self.workers == 1 or len(unit_args) == 1:
-            outcomes = [_replay_unit(args) for args in unit_args]
+            compile_memo = {}
+            outcomes = [_replay_unit(args, compile_memo)
+                        for args in unit_args]
         else:
             outcomes = self._pool_handle().map(_replay_unit, unit_args)
 

@@ -1,6 +1,7 @@
 """Trace infrastructure: records, (de)serialization, timestamp merging,
 and the synthetic SPLASH-2-like workload generators."""
 
+from repro.traces.compile import CompiledStreams, compile_streams
 from repro.traces.io import read_binary, read_text, write_binary, write_text
 from repro.traces.merge import (
     merge_sorted_iters,
@@ -17,9 +18,11 @@ from repro.traces.record import (
 )
 
 __all__ = [
+    "CompiledStreams",
     "OP_FETCH",
     "OP_SEND",
     "TraceRecord",
+    "compile_streams",
     "count_lookups",
     "footprint_pages",
     "merge_sorted_iters",

@@ -15,7 +15,7 @@ translation mechanism and prints the per-lookup rates.
 import argparse
 import sys
 
-from repro.sim.config import SimConfig
+from repro.sim.config import ENGINES, SimConfig
 from repro.sim.sweep import MECHANISMS, run_on_traces
 from repro.traces.io import read_binary, read_text, write_binary
 from repro.traces.merge import merge_streams, split_by_node, split_by_pid
@@ -75,7 +75,8 @@ def cmd_simulate(args):
                        memory_limit_bytes=(args.memory_limit_mb
                                            * 1024 * 1024
                                            if args.memory_limit_mb else None),
-                       pin_policy=args.pin_policy)
+                       pin_policy=args.pin_policy,
+                       engine=args.engine)
     result = run_on_traces(split_by_node(records), config, args.mechanism)
     stats = result.stats
     print("mechanism=%s  %s" % (args.mechanism, config.describe()))
@@ -115,6 +116,9 @@ def main(argv=None):
     sim.add_argument("--memory-limit-mb", type=int, default=None)
     sim.add_argument("--pin-policy", default="lru",
                      choices=("lru", "mru", "lfu", "mfu", "random"))
+    sim.add_argument("--engine", choices=ENGINES, default="fast",
+                     help="replay engine (fast is bit-identical to "
+                          "reference; reference is the oracle)")
     sim.set_defaults(func=cmd_simulate)
 
     args = parser.parse_args(argv)

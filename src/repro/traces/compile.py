@@ -1,0 +1,105 @@
+"""Trace compilation: flat page streams for the fast replay engine.
+
+The trace-driven analysis charges one translation lookup per virtual page
+crossed (footnote 1), so replay only ever consumes ``(pid, vpage)`` pairs
+in trace order.  :func:`compile_streams` performs that flattening once,
+ahead of replay: each process's page numbers land in a compact
+``array('Q')`` and the merged trace's pid interleaving is preserved both
+as a run-length segment list and as a pair of parallel flat arrays (pid
+index + page number, one entry per lookup).  The simulator's inner loop
+then iterates plain integers instead of calling ``TraceRecord.pages()``
+per record — the shape the paper's Section 6.2 analysis implies
+(per-mechanism cost is a linear function of event counts over the page
+stream).
+
+Compilation is a single pass over the records, which also yields the pid
+set — callers no longer need a separate ``split_by_pid`` pass just to
+enumerate processes.
+"""
+
+import sys
+from array import array
+
+
+class CompiledStreams:
+    """One node's trace, flattened to per-process page streams.
+
+    Attributes
+    ----------
+    pids:
+        Sorted list of process ids appearing in the trace.
+    streams:
+        ``{pid: array('Q')}`` — every virtual page the process touches,
+        in trace order, one entry per translation lookup.
+    segments:
+        ``[(pid, start, stop), ...]`` — the merged trace's interleaving:
+        replaying ``streams[pid][start:stop]`` for each segment in order
+        visits every lookup in exactly the order record-at-a-time replay
+        does.  Runs of consecutive same-pid records are merged into one
+        segment.
+    pid_order:
+        Pids in first-appearance order; position is the dense index used
+        by ``index_stream``.
+    index_stream / page_stream:
+        Parallel flat arrays over the whole merged trace: lookup ``i`` is
+        process ``pid_order[index_stream[i]]`` touching page
+        ``page_stream[i]``.  This is the replay hot loop's input — pid
+        interleaving in real traces is fine-grained (often one page per
+        record), so per-lookup indexing beats per-segment dispatch.
+    total_pages:
+        Total lookups across all streams (the replay work, in pages).
+    """
+
+    __slots__ = ("pids", "streams", "segments", "pid_order", "index_stream",
+                 "page_stream", "total_pages")
+
+    def __init__(self, pids, streams, segments, pid_order, index_stream,
+                 page_stream, total_pages):
+        self.pids = pids
+        self.streams = streams
+        self.segments = segments
+        self.pid_order = pid_order
+        self.index_stream = index_stream
+        self.page_stream = page_stream
+        self.total_pages = total_pages
+
+    def __repr__(self):
+        return ("CompiledStreams(pids=%r, segments=%d, pages=%d)"
+                % (self.pids, len(self.segments), self.total_pages))
+
+
+def compile_streams(records):
+    """Compile a (timestamp-sorted, merged) trace into page streams.
+
+    Single pass: builds the per-pid streams, the segment list, the
+    interleaved flat arrays, and the pid set together.  Works on any
+    iterable of records.
+    """
+    streams = {}
+    segments = []
+    pid_order = []
+    pid_chunk = {}          # pid -> its dense index as one 'H' item's bytes
+    index_stream = array("H")
+    page_stream = array("Q")
+    byteorder = sys.byteorder
+    last_pid = None
+    for record in records:
+        pid = record.pid
+        stream = streams.get(pid)
+        if stream is None:
+            stream = streams[pid] = array("Q")
+            pid_chunk[pid] = len(pid_order).to_bytes(2, byteorder)
+            pid_order.append(pid)
+        start = len(stream)
+        pages = record.pages()
+        stream.extend(pages)
+        stop = len(stream)
+        page_stream.extend(pages)
+        index_stream.frombytes(pid_chunk[pid] * (stop - start))
+        if pid == last_pid:
+            segments[-1] = (pid, segments[-1][1], stop)
+        else:
+            segments.append((pid, start, stop))
+            last_pid = pid
+    return CompiledStreams(sorted(streams), streams, segments, pid_order,
+                           index_stream, page_stream, len(page_stream))

@@ -7,6 +7,7 @@ request, the operation (send or fetch/remote-read), and the virtual buffer
 (address + length).
 """
 
+from repro import params
 from repro.core import addresses
 from repro.errors import TraceError
 
@@ -43,8 +44,16 @@ class TraceRecord:
         self.nbytes = nbytes
 
     def pages(self):
-        """Virtual pages this request touches (one lookup per page)."""
-        return addresses.page_range(self.vaddr, self.nbytes)
+        """Virtual pages this request touches (one lookup per page).
+
+        Equivalent to ``addresses.page_range(self.vaddr, self.nbytes)``
+        but skips revalidation — the constructor already proved both
+        endpoints valid, and replay calls this once per record.
+        """
+        shift = params.PAGE_SHIFT
+        vaddr = self.vaddr
+        return range(vaddr >> shift,
+                     ((vaddr + self.nbytes - 1) >> shift) + 1)
 
     @property
     def num_pages(self):

@@ -142,3 +142,33 @@ class TestConstruction:
         cm = CostModel(user_check_hit=1.0, interrupt_cost=50.0)
         assert cm.utlb_lookup_cost(0, 0, 0) == pytest.approx(1.8)
         assert cm.intr_lookup_cost(1.0, 0) == pytest.approx(0.8 + 50 + 17)
+
+
+class TestAccumulatedCost:
+    """The batched accumulator must equal the per-event loop to the bit."""
+
+    def naive(self, unit, count, start=0.0):
+        total = start
+        for _ in range(count):
+            total += unit
+        return total
+
+    @given(unit=st.sampled_from([0.5, 0.8, 0.2, 0.4, 0.7, 1e-3, 3.1]),
+           count=st.integers(min_value=0, max_value=4000),
+           start=st.sampled_from([0.0, 0.5, 123.456, 1e6]))
+    def test_matches_naive_loop(self, unit, count, start):
+        from repro.core.costs import accumulated_cost
+        assert accumulated_cost(unit, count, start) == \
+            self.naive(unit, count, start)
+
+    @given(unit=st.floats(min_value=1e-6, max_value=1e3,
+                          allow_nan=False, allow_infinity=False),
+           count=st.integers(min_value=0, max_value=600))
+    def test_matches_naive_loop_arbitrary_units(self, unit, count):
+        from repro.core.costs import accumulated_cost
+        assert accumulated_cost(unit, count) == self.naive(unit, count)
+
+    def test_negative_count_rejected(self):
+        from repro.core.costs import accumulated_cost
+        with pytest.raises(ConfigError):
+            accumulated_cost(0.5, -1)

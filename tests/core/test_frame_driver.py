@@ -1,0 +1,66 @@
+"""CountingFrameDriver bookkeeping, including the per-pid pin counters."""
+
+import pytest
+
+from repro.core.utlb import CountingFrameDriver
+from repro.errors import PinningError
+
+
+class TestPinUnpin:
+    def test_fresh_frames_are_distinct(self):
+        driver = CountingFrameDriver()
+        frames = driver.pin_pages(1, [10, 11, 12])
+        assert sorted(frames) == [10, 11, 12]
+        assert len(set(frames.values())) == 3
+
+    def test_single_page_pin_matches_batch_semantics(self):
+        driver = CountingFrameDriver()
+        one = driver.pin_pages(1, [10])
+        assert list(one) == [10]
+        with pytest.raises(PinningError):
+            driver.pin_pages(1, [10])
+
+    def test_double_pin_rejected(self):
+        driver = CountingFrameDriver()
+        driver.pin_pages(1, [10, 11])
+        with pytest.raises(PinningError):
+            driver.pin_pages(1, [11, 12])
+
+    def test_unpin_unknown_rejected(self):
+        driver = CountingFrameDriver()
+        with pytest.raises(PinningError):
+            driver.unpin_pages(1, [10])
+
+
+class TestPinnedCount:
+    def test_counts_per_pid(self):
+        driver = CountingFrameDriver()
+        driver.pin_pages(1, [10, 11, 12])
+        driver.pin_pages(2, [10])
+        assert driver.pinned_count(1) == 3
+        assert driver.pinned_count(2) == 1
+        assert driver.pinned_count(3) == 0
+
+    def test_unpin_decrements(self):
+        driver = CountingFrameDriver()
+        driver.pin_pages(1, [10, 11])
+        driver.unpin_pages(1, [10])
+        assert driver.pinned_count(1) == 1
+        driver.unpin_pages(1, [11])
+        assert driver.pinned_count(1) == 0
+
+    def test_same_page_different_pids_counted_separately(self):
+        driver = CountingFrameDriver()
+        driver.pin_pages(1, [10])
+        driver.pin_pages(2, [10])
+        driver.unpin_pages(1, [10])
+        assert driver.pinned_count(1) == 0
+        assert driver.pinned_count(2) == 1
+
+    def test_partial_unpin_failure_counts_successful_pages(self):
+        driver = CountingFrameDriver()
+        driver.pin_pages(1, [10, 11])
+        with pytest.raises(PinningError):
+            driver.unpin_pages(1, [10, 99, 11])
+        # 10 was unpinned before the failure; 11 never was.
+        assert driver.pinned_count(1) == 1

@@ -210,3 +210,42 @@ class TestPolicyProperties:
         assert len(victims) == n
         assert len(set(victims)) == n
         assert all(v in pages and v not in exclude for v in victims)
+
+
+class TestSelectVictimsEmptyExclude:
+    """The empty-exclude fast path must behave exactly like the set path."""
+
+    @pytest.mark.parametrize("name", sorted(PIN_POLICIES))
+    @pytest.mark.parametrize("exclude", [(), set(), frozenset(), [], {}])
+    def test_empty_exclude_forms_equivalent(self, name, exclude):
+        policy = make_pin_policy(name)
+        for page in (1, 2, 3, 4):
+            policy.on_pin(page)
+        assert sorted(policy.select_victims(4, exclude=exclude)) == \
+            [1, 2, 3, 4]
+
+    @pytest.mark.parametrize("name", sorted(PIN_POLICIES))
+    def test_insufficient_eligible_raises(self, name):
+        policy = make_pin_policy(name)
+        for page in (1, 2):
+            policy.on_pin(page)
+        with pytest.raises(CapacityError):
+            policy.select_victims(3)
+        with pytest.raises(CapacityError):
+            policy.select_victims(2, exclude={1})
+
+    @pytest.mark.parametrize("name", sorted(PIN_POLICIES))
+    def test_exclude_entries_outside_pool_do_not_count(self, name):
+        policy = make_pin_policy(name)
+        for page in (1, 2, 3):
+            policy.on_pin(page)
+        victims = policy.select_victims(3, exclude={99})
+        assert sorted(victims) == [1, 2, 3]
+
+    def test_pages_property_exposes_live_pool(self):
+        policy = make_pin_policy("lru")
+        pool = policy.pages
+        policy.on_pin(5)
+        assert pool == {5}
+        policy.on_unpin(5)
+        assert pool == set()

@@ -1,0 +1,86 @@
+"""The trace-compilation pass feeding the fast replay engine."""
+
+from array import array
+
+from repro import params
+from repro.traces.compile import CompiledStreams, compile_streams
+from repro.traces.record import OP_SEND, TraceRecord
+
+
+def rec(ts, pid, page, npages=1):
+    return TraceRecord(timestamp=ts, node=0, pid=pid, op=OP_SEND,
+                       vaddr=page * params.PAGE_SIZE,
+                       nbytes=npages * params.PAGE_SIZE)
+
+
+class TestCompileStreams:
+    def test_empty_trace(self):
+        compiled = compile_streams([])
+        assert compiled.pids == []
+        assert compiled.streams == {}
+        assert compiled.segments == []
+        assert compiled.pid_order == []
+        assert compiled.total_pages == 0
+
+    def test_pids_sorted_regardless_of_appearance(self):
+        compiled = compile_streams([rec(0, 7, 1), rec(1, 2, 2), rec(2, 5, 3)])
+        assert compiled.pids == [2, 5, 7]
+        assert compiled.pid_order == [7, 2, 5]      # first-appearance order
+
+    def test_streams_hold_pages_in_trace_order(self):
+        records = [rec(0, 1, 10), rec(1, 2, 20), rec(2, 1, 11, npages=2)]
+        compiled = compile_streams(records)
+        assert compiled.streams[1] == array("Q", [10, 11, 12])
+        assert compiled.streams[2] == array("Q", [20])
+        assert compiled.total_pages == 4
+
+    def test_adjacent_same_pid_records_merge_into_one_segment(self):
+        records = [rec(0, 1, 10), rec(1, 1, 11), rec(2, 2, 20), rec(3, 1, 12)]
+        compiled = compile_streams(records)
+        assert compiled.segments == [(1, 0, 2), (2, 0, 1), (1, 2, 3)]
+
+    def test_segments_replay_in_record_order(self):
+        records = [rec(i, i % 3, 100 + i, npages=1 + i % 2)
+                   for i in range(20)]
+        compiled = compile_streams(records)
+        replayed = []
+        for pid, start, stop in compiled.segments:
+            for vpage in compiled.streams[pid][start:stop]:
+                replayed.append((pid, vpage))
+        expected = [(r.pid, vpage) for r in records for vpage in r.pages()]
+        assert replayed == expected
+
+    def test_interleaved_arrays_match_record_order(self):
+        records = [rec(i, (i * 7) % 4, 50 + i, npages=1 + i % 3)
+                   for i in range(30)]
+        compiled = compile_streams(records)
+        assert len(compiled.index_stream) == len(compiled.page_stream)
+        assert len(compiled.page_stream) == compiled.total_pages
+        replayed = [(compiled.pid_order[i], vpage)
+                    for i, vpage in zip(compiled.index_stream,
+                                        compiled.page_stream)]
+        expected = [(r.pid, vpage) for r in records for vpage in r.pages()]
+        assert replayed == expected
+
+    def test_interleaved_arrays_agree_with_segments(self):
+        records = [rec(i, i % 2, 9 + i) for i in range(12)]
+        compiled = compile_streams(records)
+        via_segments = []
+        for pid, start, stop in compiled.segments:
+            via_segments.extend(
+                (pid, v) for v in compiled.streams[pid][start:stop])
+        via_arrays = [(compiled.pid_order[i], v)
+                      for i, v in zip(compiled.index_stream,
+                                      compiled.page_stream)]
+        assert via_segments == via_arrays
+
+    def test_accepts_any_iterable(self):
+        compiled = compile_streams(iter([rec(0, 3, 8)]))
+        assert isinstance(compiled, CompiledStreams)
+        assert compiled.pids == [3]
+        assert list(compiled.streams[3]) == [8]
+
+    def test_repr_mentions_shape(self):
+        compiled = compile_streams([rec(0, 1, 2), rec(1, 1, 3)])
+        text = repr(compiled)
+        assert "pids=[1]" in text and "pages=2" in text
