@@ -11,13 +11,18 @@ Also runnable standalone (the CI replay-throughput smoke step):
     python -m benchmarks.bench_replay_throughput
 
 which replays both engines, asserts identical stats JSON, and prints
-pages/sec per engine plus the speedup ratio.
+pages/sec per engine plus the speedup ratio.  The standalone run also
+checks the zero-cost-tracing contract: the fast engine with a disabled
+:class:`NullTracer` attached must produce byte-identical stats at
+throughput within noise of the untraced fast path (gated at
+``--nulltracer-threshold``, best-of-``--repeats``).
 """
 
 import argparse
 import json
 import time
 
+from repro.obs.tracer import NullTracer
 from repro.sim.config import SimConfig
 from repro.sim.intr_simulator import simulate_node_intr
 from repro.sim.simulator import simulate_node
@@ -40,10 +45,10 @@ def _total_pages(traces):
     return 2 * sum(compile_streams(r).total_pages for r in traces.values())
 
 
-def _replay_all(traces, engine):
+def _replay_all(traces, engine, tracer=None):
     """Replay every trace through both mechanisms; returns the stats as
     sorted-keys JSON, for byte-identity checks."""
-    config = SimConfig(engine=engine)
+    config = SimConfig(engine=engine, tracer=tracer)
     stats = {}
     for app, records in traces.items():
         stats[app] = {
@@ -67,13 +72,13 @@ def bench_replay_reference_engine(benchmark):
     benchmark.extra_info["pages"] = _total_pages(traces)
 
 
-def _time_engine(traces, engine, repeats):
+def _time_engine(traces, engine, repeats, tracer=None):
     """Best-of-``repeats`` wall time (deterministic work, noisy machines)."""
     best = None
     stats = None
     for _ in range(repeats):
         start = time.perf_counter()
-        stats = _replay_all(traces, engine)
+        stats = _replay_all(traces, engine, tracer)
         elapsed = time.perf_counter() - start
         best = elapsed if best is None else min(best, elapsed)
     return stats, best
@@ -87,6 +92,10 @@ def main(argv=None):
     parser.add_argument("--seed", type=int, default=BENCH_SEED)
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repeats per engine (best-of)")
+    parser.add_argument("--nulltracer-threshold", type=float, default=0.75,
+                        help="minimum fast+NullTracer throughput as a "
+                             "fraction of the untraced fast path "
+                             "(best-of-N absorbs scheduler noise)")
     args = parser.parse_args(argv)
 
     traces = _traces(scale=args.scale, seed=args.seed)
@@ -101,6 +110,20 @@ def main(argv=None):
     print("reference: %.3fs  (%.0f pages/s)" % (ref_s, pages / ref_s))
     print("fast:      %.3fs  (%.0f pages/s)" % (fast_s, pages / fast_s))
     print("speedup:   %.2fx" % (ref_s / fast_s))
+
+    # Zero-cost tracing: a disabled tracer must leave the fast path's
+    # output byte-identical and its throughput within noise.
+    null_stats, null_s = _time_engine(traces, "fast", args.repeats,
+                                      tracer=NullTracer())
+    if null_stats != fast_stats:
+        raise SystemExit("FAIL: NullTracer changed the fast engine stats")
+    ratio = fast_s / null_s
+    print("fast+NullTracer: %.3fs  (%.0f pages/s, %.2fx of untraced)"
+          % (null_s, pages / null_s, ratio))
+    if ratio < args.nulltracer_threshold:
+        raise SystemExit(
+            "FAIL: NullTracer throughput %.2fx of the untraced fast path "
+            "(threshold %.2f)" % (ratio, args.nulltracer_threshold))
 
 
 if __name__ == "__main__":

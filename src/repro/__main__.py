@@ -4,7 +4,8 @@ Usage::
 
     python -m repro [--scale S] [--nodes N] [--seed K] [--only table4]
                     [--workers W] [--no-cache] [--cache-dir DIR]
-                    [--metrics-json PATH]
+                    [--metrics-json PATH] [--trace-dir DIR]
+                    [--chrome-trace NAME]
 
 Prints every table and figure of the paper's Section 5/6 evaluation (or a
 single one with ``--only``).  ``--scale 1.0 --nodes 4`` is the
@@ -15,11 +16,19 @@ results are byte-identical to a serial run.  Finished cells land in an
 on-disk cache (disable with ``--no-cache``), so a re-run only replays
 cells whose inputs changed.  ``--metrics-json PATH`` dumps the structured
 run report — per-cell wall time, cache hits/misses, worker count, stats
-snapshots — for machine consumption.
+snapshots, per-phase timing breakdowns — for machine consumption.
+
+``--trace-dir DIR`` dumps the full translation event stream of every
+traceable cell as one JSONL file per cell (``repro.obs`` events); traced
+cells replay serially through the reference engine and bypass the result
+cache.  ``--chrome-trace NAME`` additionally converts the named cell's
+dump (``DIR/NAME.jsonl``) to Chrome trace-event format for
+``chrome://tracing`` / Perfetto.
 """
 
 import argparse
 import json
+import os
 import sys
 
 from repro.sim import experiments as exp
@@ -79,12 +88,23 @@ def main(argv=None):
                         help="disable the on-disk result cache")
     parser.add_argument("--metrics-json", default=None, metavar="PATH",
                         help="dump the structured run metrics (per-cell "
-                             "wall time, cache hits, stats) as JSON")
+                             "wall time, phase timings, cache hits, "
+                             "stats) as JSON")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="dump one JSONL event stream per traceable "
+                             "cell into DIR (forces the reference "
+                             "engine for those cells)")
+    parser.add_argument("--chrome-trace", default=None, metavar="NAME",
+                        help="also convert DIR/NAME.jsonl to Chrome "
+                             "trace-event format (requires --trace-dir)")
     args = parser.parse_args(argv)
+    if args.chrome_trace and not args.trace_dir:
+        parser.error("--chrome-trace requires --trace-dir")
 
     args.runner = exp.make_runner(
         workers=args.workers,
-        cache_dir=False if args.no_cache else args.cache_dir)
+        cache_dir=False if args.no_cache else args.cache_dir,
+        trace_dir=args.trace_dir)
     try:
         if args.compare:
             from repro.sim.compare import run_comparison
@@ -103,6 +123,14 @@ def main(argv=None):
         with open(args.metrics_json, "w", encoding="utf-8") as handle:
             json.dump(args.runner.metrics.to_dict(), handle, indent=2)
             handle.write("\n")
+
+    if args.chrome_trace:
+        from repro.obs.export import load_events_jsonl, write_chrome_trace
+        source = os.path.join(args.trace_dir, args.chrome_trace + ".jsonl")
+        target = os.path.join(args.trace_dir, args.chrome_trace
+                              + ".chrome.json")
+        write_chrome_trace(load_events_jsonl(source), target)
+        print("chrome trace written to %s" % target, file=sys.stderr)
     return 0
 
 

@@ -26,6 +26,7 @@ from collections import OrderedDict
 from repro.core.costs import DEFAULT_COST_MODEL
 from repro.core.stats import TranslationStats
 from repro.errors import ConfigError, PinningError
+from repro.obs.events import INTERRUPT, LOOKUP, PIN, UNPIN, Event
 
 
 class _ProcessState:
@@ -42,7 +43,7 @@ class _ProcessState:
 class InterruptBasedNode:
     """All processes on one host sharing one NIC translation cache."""
 
-    def __init__(self, cache, driver=None, cost_model=None):
+    def __init__(self, cache, driver=None, cost_model=None, tracer=None):
         self.cache = cache
         if driver is None:
             from repro.core.utlb import CountingFrameDriver
@@ -50,6 +51,11 @@ class InterruptBasedNode:
         self.driver = driver
         self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
         self._processes = {}
+        self.tracer = tracer
+        # Host-side events (LOOKUP / INTERRUPT / PIN / UNPIN); the NIC
+        # cache events come from the shared cache's own tracer.
+        self._trace = (tracer.emit if tracer is not None and tracer.enabled
+                       else None)
 
     def register_process(self, pid, memory_limit_pages=None):
         """Add a process; returns its stats object."""
@@ -94,6 +100,8 @@ class InterruptBasedNode:
         stats.lookups += 1
         stats.ni_accesses += 1
         stats.ni_hit_time_us += cm.ni_check_hit
+        if self._trace is not None:
+            self._trace(Event(LOOKUP, pid, vpage))
 
         hit, frame = self.cache.lookup(pid, vpage)
         if hit:
@@ -104,6 +112,8 @@ class InterruptBasedNode:
         stats.ni_misses += 1
         stats.interrupts += 1
         stats.interrupt_time_us += cm.interrupt_cost
+        if self._trace is not None:
+            self._trace(Event(INTERRUPT, pid, vpage))
         return self._host_miss_handler(pid, state, vpage)
 
     def _host_miss_handler(self, pid, state, vpage):
@@ -130,6 +140,8 @@ class InterruptBasedNode:
         stats.pages_pinned += 1
         stats.pin_time_us += cm.kernel_pin_cost(1)
         state.pinned[vpage] = frame
+        if self._trace is not None:
+            self._trace(Event(PIN, pid, vpage, frame, 1))
 
         evicted_key = self.cache.fill(pid, vpage, frame)
         if evicted_key is not None:
@@ -150,6 +162,10 @@ class InterruptBasedNode:
         stats.unpin_calls += 1
         stats.pages_unpinned += 1
         stats.unpin_time_us += cm.kernel_unpin_cost(1)
+        if self._trace is not None:
+            # Always after the NI_EVICT/NI_INVALIDATE that removed the
+            # translation: the baseline unpins exactly on evict.
+            self._trace(Event(UNPIN, pid, vpage))
 
     # -- invariants --------------------------------------------------------------------
 

@@ -15,6 +15,12 @@ eviction runs through the standard UTLB unpin path, so the bit vector,
 translation table, NIC cache, and pinned pool all stay coherent — the
 invariants :meth:`HierarchicalUtlb.check_invariants` checks keep holding
 across reclaims.
+
+Observability: because every reclaim-driven eviction funnels through
+``HierarchicalUtlb._unpin_page``, a tracer attached to the victim UTLB
+sees the full NI_INVALIDATE-then-UNPIN sequence for each reclaimed page —
+reclaim storms are visible (and invariant-checked) in the event stream
+with no extra instrumentation here.
 """
 
 from repro.errors import CapacityError, ConfigError

@@ -19,6 +19,7 @@ from repro import params
 from repro.cachesim.cache import SetAssociativeCache
 from repro.cachesim.classify import ThreeCClassifier
 from repro.errors import CapacityError, ConfigError
+from repro.obs.events import NI_EVICT, NI_FILL, NI_HIT, NI_INVALIDATE, Event
 
 
 class SharedUtlbCache:
@@ -36,11 +37,17 @@ class SharedUtlbCache:
         "direct"/"2-way"/"4-way" rows; False for "direct-nohash").
     classify:
         Attach a 3C miss classifier (needed for Figure 7).
+    tracer:
+        Optional :class:`repro.obs.tracer.Tracer` receiving NI_HIT /
+        NI_FILL / NI_EVICT / NI_INVALIDATE events, attributed to the
+        owning process of each entry.  None or a disabled tracer costs
+        one pointer test per operation.
     """
 
     def __init__(self, num_entries=params.DEFAULT_UTLB_CACHE_ENTRIES,
                  associativity=1, offsetting=True, classify=False,
-                 replacement="lru", max_processes=params.MAX_PROCESSES_PER_NIC):
+                 replacement="lru", max_processes=params.MAX_PROCESSES_PER_NIC,
+                 tracer=None):
         if max_processes <= 0:
             raise ConfigError("max_processes must be positive")
         self.offsetting = offsetting
@@ -50,6 +57,9 @@ class SharedUtlbCache:
             num_entries, associativity,
             index_fn=self._index_of, replacement=replacement)
         self.classifier = (ThreeCClassifier(num_entries) if classify else None)
+        self.tracer = tracer
+        self._trace = (tracer.emit if tracer is not None and tracer.enabled
+                       else None)
 
     # -- process registration -------------------------------------------------
 
@@ -98,6 +108,8 @@ class SharedUtlbCache:
         hit, frame = self._cache.lookup((pid, vpage))
         if self.classifier is not None:
             self.classifier.observe_access((pid, vpage), hit)
+        if hit and self._trace is not None:
+            self._trace(Event(NI_HIT, pid, vpage, frame))
         return hit, frame
 
     def fill(self, pid, vpage, frame, demand=True):
@@ -107,6 +119,11 @@ class SharedUtlbCache:
         evicted = self._cache.insert((pid, vpage), frame)
         if self.classifier is not None and not demand:
             self.classifier.observe_fill((pid, vpage))
+        if self._trace is not None:
+            if evicted is not None:
+                self._trace(Event(NI_EVICT, evicted[0][0], evicted[0][1]))
+            self._trace(Event(NI_FILL, pid, vpage, frame,
+                              1 if demand else 0))
         if evicted is None:
             return None
         return evicted[0]
@@ -137,8 +154,11 @@ class SharedUtlbCache:
     def invalidate(self, pid, vpage):
         """Drop one translation (page was unpinned).  Returns True if found."""
         dropped = self._cache.invalidate((pid, vpage))
-        if dropped and self.classifier is not None:
-            self.classifier.observe_invalidate((pid, vpage))
+        if dropped:
+            if self.classifier is not None:
+                self.classifier.observe_invalidate((pid, vpage))
+            if self._trace is not None:
+                self._trace(Event(NI_INVALIDATE, pid, vpage))
         return dropped
 
     def invalidate_process(self, pid):
@@ -148,6 +168,9 @@ class SharedUtlbCache:
         if self.classifier is not None:
             for key in victims:
                 self.classifier.observe_invalidate(key)
+        if self._trace is not None:
+            for key in victims:
+                self._trace(Event(NI_INVALIDATE, key[0], key[1]))
         return dropped
 
     # -- inspection -----------------------------------------------------------------

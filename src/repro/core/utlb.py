@@ -26,6 +26,7 @@ from repro.core.pinner import PinnedPagePool
 from repro.core.stats import TranslationStats
 from repro.core.translation_table import HierarchicalTranslationTable
 from repro.errors import ConfigError, PinningError
+from repro.obs.events import CHECK_MISS, ENTRY_FETCH, LOOKUP, PIN, UNPIN, Event
 
 
 class CountingFrameDriver:
@@ -98,11 +99,16 @@ class HierarchicalUtlb:
         Pages pinned per check miss (sequential pre-pinning, Section 6.5).
     prefetch:
         Translation entries fetched per NIC miss (Section 6.4).
+    tracer:
+        Optional :class:`repro.obs.tracer.Tracer` receiving LOOKUP /
+        CHECK_MISS / PIN / UNPIN / ENTRY_FETCH events (the NIC-side
+        fill/hit/evict/invalidate events come from the shared cache).
+        None or a disabled tracer costs one pointer test per branch.
     """
 
     def __init__(self, pid, cache, driver=None, cost_model=None,
                  memory_limit_pages=None, pin_policy="lru", prepin=1,
-                 prefetch=1, garbage_frame=None, seed=0):
+                 prefetch=1, garbage_frame=None, seed=0, tracer=None):
         if prepin <= 0:
             raise ConfigError("prepin degree must be positive")
         if prefetch <= 0:
@@ -118,6 +124,11 @@ class HierarchicalUtlb:
         self.pool = PinnedPagePool(memory_limit_pages, policy=pin_policy,
                                    seed=seed)
         self.stats = TranslationStats()
+        self.tracer = tracer
+        # Bound once: the per-event emit call when tracing, None when not
+        # (one identity test per instrumented branch, nothing more).
+        self._trace = (tracer.emit if tracer is not None and tracer.enabled
+                       else None)
         cache.register_process(pid)
 
     # -- the translation path (Figure 2) ---------------------------------------
@@ -142,8 +153,13 @@ class HierarchicalUtlb:
         stats = self.stats
         stats.lookups += 1
         stats.check_time_us += self.cost_model.user_check_hit
+        trace = self._trace
+        if trace is not None:
+            trace(Event(LOOKUP, self.pid, vpage))
         if not self.bitvector.test(vpage):
             stats.check_misses += 1
+            if trace is not None:
+                trace(Event(CHECK_MISS, self.pid, vpage))
             self._pin_on_demand(vpage)
         self.pool.note_access(vpage)
 
@@ -178,10 +194,7 @@ class HierarchicalUtlb:
         stats.pin_calls += 1
         stats.pages_pinned += len(missing)
         stats.pin_time_us += cm.pin_cost(len(missing))
-        for page in missing:
-            self.bitvector.set(page)
-            self.table.install(page, frames[page])
-            self.pool.note_pin(page)
+        self._install_pinned(missing, frames)
         return missing
 
     def translate_buffer(self, vaddr, nbytes):
@@ -225,10 +238,21 @@ class HierarchicalUtlb:
         stats.pin_calls += 1
         stats.pages_pinned += len(to_pin)
         stats.pin_time_us += cm.pin_cost(len(to_pin))
-        for page in to_pin:
+        self._install_pinned(to_pin, frames)
+
+    def _install_pinned(self, pages, frames):
+        """Record one pin call's pages in every user-level structure."""
+        trace = self._trace
+        batch = len(pages)
+        for page in pages:
             self.bitvector.set(page)
             self.table.install(page, frames[page])
             self.pool.note_pin(page)
+            if trace is not None:
+                # The batch size rides on the first page only, so the
+                # stream distinguishes pin *calls* from pages pinned.
+                trace(Event(PIN, self.pid, page, frames[page], batch))
+                batch = None
 
     def _unpin_page(self, vpage):
         """Unpin one page: clear the bit, drop the table entry, and
@@ -243,6 +267,10 @@ class HierarchicalUtlb:
         stats.unpin_calls += 1
         stats.pages_unpinned += 1
         stats.unpin_time_us += self.cost_model.unpin_cost(1)
+        if self._trace is not None:
+            # After the cache invalidation above: the stream shows the
+            # NIC entry dying before the page is unpinned.
+            self._trace(Event(UNPIN, self.pid, vpage))
 
     def unpin_all(self):
         """Release every pinned page (process teardown)."""
@@ -258,6 +286,8 @@ class HierarchicalUtlb:
         block = self.table.read_block(vpage, self.prefetch)
         stats.entries_fetched += len(block)
         stats.ni_miss_time_us += cm.miss_cost(len(block))
+        if self._trace is not None:
+            self._trace(Event(ENTRY_FETCH, self.pid, vpage, None, len(block)))
         self.cache.fill_block(self.pid, block)
         # A cache eviction under UTLB requires no host action: the
         # translation stays alive in the host table (the key difference

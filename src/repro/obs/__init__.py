@@ -1,0 +1,72 @@
+"""Observability: structured event tracing for the translation machinery.
+
+The paper's evaluation (Section 6, Tables 4-5) reports per-lookup
+*averages*; :class:`~repro.core.stats.TranslationStats` mirrors that with
+aggregate counters.  This package records the *events behind the
+counters*: every lookup, check miss, pin/unpin, NIC-cache fill/hit/evict/
+invalidate, entry fetch, and interrupt, as compact typed records
+(:mod:`repro.obs.events`) delivered to a pluggable
+:class:`~repro.obs.tracer.Tracer`.
+
+Tracing is zero-cost when off: the default :class:`NullTracer` leaves the
+fast replay engine's counter-only hot loop untouched (byte- and
+speed-identical output).  Attaching any enabled tracer routes replay
+through the reference engine, which emits the full stream.
+
+Uses:
+
+* :class:`CollectingTracer` — in-memory event list; the counter-event
+  equality tests derive every ``TranslationStats`` field from it.
+* :class:`JsonlTracer` — streaming JSONL dumps
+  (``python -m repro --trace-dir``).
+* :class:`~repro.obs.invariants.InvariantChecker` — a streaming tracer
+  that enforces the design's cross-structure invariants per event.
+* :mod:`repro.obs.export` — JSONL loading and Chrome-trace conversion.
+"""
+
+from repro.obs.events import (
+    CHECK_MISS,
+    ENTRY_FETCH,
+    EVENT_KINDS,
+    INTERRUPT,
+    LOOKUP,
+    NI_EVICT,
+    NI_FILL,
+    NI_HIT,
+    NI_INVALIDATE,
+    PIN,
+    UNPIN,
+    Event,
+)
+from repro.obs.invariants import InvariantChecker, InvariantViolation
+from repro.obs.tracer import (
+    NULL_TRACER,
+    CollectingTracer,
+    JsonlTracer,
+    NullTracer,
+    TeeTracer,
+    Tracer,
+)
+
+__all__ = [
+    "CHECK_MISS",
+    "ENTRY_FETCH",
+    "EVENT_KINDS",
+    "INTERRUPT",
+    "LOOKUP",
+    "NI_EVICT",
+    "NI_FILL",
+    "NI_HIT",
+    "NI_INVALIDATE",
+    "PIN",
+    "UNPIN",
+    "Event",
+    "InvariantChecker",
+    "InvariantViolation",
+    "NULL_TRACER",
+    "CollectingTracer",
+    "JsonlTracer",
+    "NullTracer",
+    "TeeTracer",
+    "Tracer",
+]

@@ -1,0 +1,108 @@
+"""Compact typed event records for the translation machinery.
+
+One :class:`Event` per observable state transition, in exact occurrence
+order.  The stream is the ground truth the aggregate counters summarize:
+every :class:`~repro.core.stats.TranslationStats` field is a tally (or a
+sum of payloads) over these records, and the counter-event equality tests
+enforce exactly that.
+
+Event kinds and payload conventions
+-----------------------------------
+
+================  ==========================================================
+``LOOKUP``        One translation lookup entered the user-level check
+                  (the paper's per-lookup unit, footnote 1).
+``CHECK_MISS``    The user-level bit vector missed; demand pinning follows.
+``PIN``           One page was pinned.  ``frame`` is the physical frame;
+                  ``n`` is the batch size on the *first* page of a pin
+                  call (``pin_pages`` ioctl) and None on the rest, so
+                  ``pin_calls`` is the tally of events with ``n``.
+``UNPIN``         One page was unpinned (always one ioctl per page,
+                  Section 6.5).
+``NI_FILL``       A translation entered the NIC cache.  ``frame`` is the
+                  frame; ``n`` is 1 for the demand fill, 0 for a prefetch.
+``NI_HIT``        The NIC cache answered a lookup.
+``NI_EVICT``      A fill displaced this entry from the NIC cache.
+``NI_INVALIDATE`` The host explicitly dropped this entry (page unpinned or
+                  process exited).
+``ENTRY_FETCH``   A NIC miss DMAed a block of ``n`` translation entries
+                  from host memory (UTLB mechanism; ``page`` is the demand
+                  page).  One per NIC miss.
+``INTERRUPT``     A NIC miss interrupted the host CPU (interrupt-based
+                  baseline).  One per NIC miss.
+================  ==========================================================
+
+Ordering guarantees the emitters uphold (the invariant checker and the
+well-formedness property tests rely on them):
+
+* ``PIN`` precedes any ``NI_FILL`` of that page, and ``NI_INVALIDATE``
+  precedes the ``UNPIN`` of a cached page — the NIC never maps an
+  unpinned page.
+* Under the interrupt baseline, every ``UNPIN`` immediately follows the
+  ``NI_EVICT``/``NI_INVALIDATE`` that removed the page's translation
+  (pinned pages and cached translations are the same set, Section 6.2).
+"""
+
+from collections import namedtuple
+
+LOOKUP = "lookup"
+CHECK_MISS = "check_miss"
+PIN = "pin"
+UNPIN = "unpin"
+NI_FILL = "ni_fill"
+NI_HIT = "ni_hit"
+NI_EVICT = "ni_evict"
+NI_INVALIDATE = "ni_invalidate"
+ENTRY_FETCH = "entry_fetch"
+INTERRUPT = "interrupt"
+
+#: Every kind, in rough lifecycle order.
+EVENT_KINDS = (LOOKUP, CHECK_MISS, PIN, UNPIN, NI_FILL, NI_HIT, NI_EVICT,
+               NI_INVALIDATE, ENTRY_FETCH, INTERRUPT)
+
+_EVENT_KIND_SET = frozenset(EVENT_KINDS)
+
+
+class Event(namedtuple("Event", ("kind", "pid", "page", "frame", "n"))):
+    """One observable state transition: ``(kind, pid, page, frame, n)``.
+
+    ``frame`` and ``n`` are kind-specific payloads (see the module
+    docstring) and default to None.  Being a tuple keeps construction
+    cheap — the reference replay engine creates one per event — and makes
+    streams directly comparable and hashable.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, kind, pid, page, frame=None, n=None):
+        return super().__new__(cls, kind, pid, page, frame, n)
+
+    def to_dict(self):
+        """JSON-safe dict; None payloads are omitted (compact JSONL)."""
+        out = {"kind": self.kind, "pid": self.pid, "page": self.page}
+        if self.frame is not None:
+            out["frame"] = self.frame
+        if self.n is not None:
+            out["n"] = self.n
+        return out
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild an event from :meth:`to_dict` output.
+
+        Raises ``ValueError`` on an unknown kind, so corrupted trace
+        files fail loudly at load time rather than during analysis.
+        """
+        kind = data["kind"]
+        if kind not in _EVENT_KIND_SET:
+            raise ValueError("unknown event kind %r" % (kind,))
+        return cls(kind, data["pid"], data["page"],
+                   data.get("frame"), data.get("n"))
+
+    def __repr__(self):
+        parts = ["%s pid=%r page=%#x" % (self.kind, self.pid, self.page)]
+        if self.frame is not None:
+            parts.append("frame=%r" % (self.frame,))
+        if self.n is not None:
+            parts.append("n=%r" % (self.n,))
+        return "Event(%s)" % " ".join(parts)

@@ -1,0 +1,132 @@
+"""Trace export: JSONL loading and Chrome-trace conversion.
+
+``python -m repro --trace-dir DIR`` dumps one JSONL event file per sweep
+cell.  This module reads those files back and converts one cell's stream
+into the Chrome trace-event format (``chrome://tracing`` / Perfetto):
+
+* every event becomes an *instant* event on the owning process's track,
+  with one thread row per event kind, timestamped by stream position
+  (one microsecond per event — the stream is ordered, not clocked);
+* every PIN..UNPIN pair additionally becomes an *async* span, so page
+  pinning lifetimes render as horizontal bars — which is exactly the
+  per-event view (which lookup missed, why a page left) that the
+  aggregate tables cannot show.
+
+Standalone use::
+
+    python -m repro.obs.export DIR/cell.jsonl -o cell.chrome.json
+"""
+
+import argparse
+import json
+
+from repro.obs.events import EVENT_KINDS, PIN, UNPIN
+from repro.obs.tracer import dumps_event, loads_event
+
+#: Stable thread id per event kind (Chrome renders one row per tid).
+KIND_TIDS = {kind: index for index, kind in enumerate(EVENT_KINDS)}
+
+
+def write_events_jsonl(events, path):
+    """Write an event iterable as canonical JSON Lines."""
+    with open(path, "w", encoding="ascii") as handle:
+        for event in events:
+            handle.write(dumps_event(event))
+            handle.write("\n")
+
+
+def iter_events_jsonl(path):
+    """Yield events from a JSONL trace file, in stream order."""
+    with open(path, "r", encoding="ascii") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield loads_event(line)
+
+
+def load_events_jsonl(path):
+    """The whole JSONL trace file as a list of events."""
+    return list(iter_events_jsonl(path))
+
+
+def chrome_trace(events):
+    """Convert an event stream to a Chrome trace-event dict.
+
+    Timestamps are stream positions (µs spacing): the simulators order
+    events exactly, but do not clock them, so position is the faithful
+    x-axis.  Returns the ``{"traceEvents": [...]}`` container format.
+    """
+    trace_events = []
+    open_pins = {}                  # (pid, page) -> span id
+    next_span = 0
+    for ts, event in enumerate(events):
+        args = {}
+        if event.frame is not None:
+            args["frame"] = event.frame
+        if event.n is not None:
+            args["n"] = event.n
+        trace_events.append({
+            "name": event.kind,
+            "cat": "translation",
+            "ph": "i",
+            "s": "t",
+            "ts": ts,
+            "pid": event.pid,
+            "tid": KIND_TIDS[event.kind],
+            "args": dict(args, page="%#x" % event.page),
+        })
+        if event.kind == PIN:
+            span = next_span = next_span + 1
+            open_pins[(event.pid, event.page)] = span
+            trace_events.append(
+                _pin_span(event.pid, event.page, "b", ts, span))
+        elif event.kind == UNPIN:
+            span = open_pins.pop((event.pid, event.page), None)
+            if span is not None:
+                trace_events.append(
+                    _pin_span(event.pid, event.page, "e", ts, span))
+    # Pages still pinned at end of run: close their spans at the final
+    # timestamp so viewers do not drop them.
+    end = len(events)
+    for (pid, page), span in sorted(open_pins.items()):
+        trace_events.append(_pin_span(pid, page, "e", end, span))
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def _pin_span(pid, page, phase, ts, span):
+    """One endpoint of a pinned-page async span."""
+    return {
+        "name": "pinned %#x" % page,
+        "cat": "pin",
+        "ph": phase,
+        "id": span,
+        "ts": ts,
+        "pid": pid,
+        "tid": KIND_TIDS[PIN],
+    }
+
+
+def write_chrome_trace(events, path):
+    """Write one cell's events as a Chrome trace JSON file."""
+    with open(path, "w", encoding="ascii") as handle:
+        json.dump(chrome_trace(list(events)), handle)
+        handle.write("\n")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.export",
+        description="Convert a JSONL event trace to Chrome trace format.")
+    parser.add_argument("jsonl", help="JSONL trace file (--trace-dir output)")
+    parser.add_argument("-o", "--output", default=None,
+                        help="output path (default: <jsonl>.chrome.json)")
+    args = parser.parse_args(argv)
+    output = args.output or args.jsonl + ".chrome.json"
+    events = load_events_jsonl(args.jsonl)
+    write_chrome_trace(events, output)
+    print("%s: %d events -> %s" % (args.jsonl, len(events), output))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

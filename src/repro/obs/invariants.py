@@ -1,0 +1,240 @@
+"""Streaming invariant checking over the translation event stream.
+
+:class:`InvariantChecker` is a :class:`~repro.obs.tracer.Tracer` that
+replays the design's correctness argument *per event*, as the simulation
+runs — instead of only diffing end-of-run aggregates:
+
+* a process never holds more pinned pages than its memory limit;
+* every live NIC-cache entry maps a *currently pinned* page of the right
+  process, at fill time and at every subsequent hit;
+* every ``UNPIN`` matches a prior ``PIN`` of a page with no live NIC
+  entry (the host invalidates before unpinning);
+* under the interrupt-based baseline, a page is unpinned exactly when
+  its translation leaves the cache — no sooner, no later (pinned pages
+  and cached translations are the same set, Section 6.2);
+* at end of run, the aggregate :class:`~repro.core.stats.TranslationStats`
+  counters equal the tallies of the events that produced them
+  (:meth:`verify_stats` / :meth:`verify_node`).
+
+A violation raises :class:`InvariantViolation` (an ``AssertionError``
+subclass, so ``pytest`` reports it as a plain assertion failure) at the
+exact event where the state went wrong, with the offending event in the
+message.
+"""
+
+from repro.obs import events as ev
+from repro.obs.tracer import Tracer
+
+#: Mechanisms whose event streams the checker understands.
+MECHANISMS = ("utlb", "intr")
+
+
+class InvariantViolation(AssertionError):
+    """An event contradicted the translation design's invariants."""
+
+
+class InvariantChecker(Tracer):
+    """Checks every event against shadow pin/cache state as it streams.
+
+    Parameters
+    ----------
+    memory_limit_pages:
+        Per-process pinning limit the run was configured with (None =
+        unlimited, the Table 4 setting).
+    mechanism:
+        ``"utlb"`` (Hierarchical-UTLB) or ``"intr"`` (interrupt-based
+        baseline).  The baseline adds the unpin-exactly-on-evict rule.
+    """
+
+    def __init__(self, memory_limit_pages=None, mechanism="utlb"):
+        if mechanism not in MECHANISMS:
+            raise InvariantViolation(
+                "unknown mechanism %r (use one of %s)"
+                % (mechanism, MECHANISMS))
+        self.memory_limit_pages = memory_limit_pages
+        self.mechanism = mechanism
+        self.events_seen = 0
+        self._pinned = {}           # pid -> {page: frame}
+        self._nic = {}              # pid -> {page: frame}
+        self._pending_unpin = set() # (pid, page) evicted, awaiting UNPIN
+        self._tally = {}            # (pid, kind) -> count
+        self._pin_calls = {}        # pid -> number of PIN batch heads
+        self._entries_fetched = {}  # pid -> sum of ENTRY_FETCH payloads
+
+    # -- streaming ----------------------------------------------------------
+
+    def emit(self, event):
+        self.events_seen += 1
+        key = (event.pid, event.kind)
+        self._tally[key] = self._tally.get(key, 0) + 1
+        handler = self._HANDLERS.get(event.kind)
+        if handler is not None:
+            handler(self, event)
+
+    def _fail(self, event, why):
+        raise InvariantViolation(
+            "event %d violates the %s invariants: %s (%r)"
+            % (self.events_seen, self.mechanism, why, event))
+
+    def _on_pin(self, event):
+        pinned = self._pinned.setdefault(event.pid, {})
+        if event.page in pinned:
+            self._fail(event, "page pinned twice without an UNPIN between")
+        pinned[event.page] = event.frame
+        limit = self.memory_limit_pages
+        if limit is not None and len(pinned) > limit:
+            self._fail(event, "pinned pages exceed the memory limit "
+                              "(%d > %d)" % (len(pinned), limit))
+        if event.n is not None:
+            self._pin_calls[event.pid] = \
+                self._pin_calls.get(event.pid, 0) + 1
+
+    def _on_unpin(self, event):
+        pinned = self._pinned.get(event.pid, {})
+        if event.page not in pinned:
+            self._fail(event, "UNPIN without a matching prior PIN")
+        if event.page in self._nic.get(event.pid, {}):
+            self._fail(event, "page unpinned while its translation is "
+                              "still live in the NIC cache")
+        if self.mechanism == "intr":
+            key = (event.pid, event.page)
+            if key not in self._pending_unpin:
+                self._fail(event, "baseline unpinned a page whose "
+                                  "translation was not just evicted")
+            self._pending_unpin.discard(key)
+        del pinned[event.page]
+
+    def _on_check_miss(self, event):
+        if event.page in self._pinned.get(event.pid, {}):
+            self._fail(event, "check miss on a page that is pinned")
+
+    def _on_ni_fill(self, event):
+        pinned = self._pinned.get(event.pid, {})
+        if event.page not in pinned:
+            self._fail(event, "NIC cache filled with an unpinned page")
+        if event.frame != pinned[event.page]:
+            self._fail(event, "NIC fill frame %r disagrees with the "
+                              "pinned frame %r"
+                       % (event.frame, pinned[event.page]))
+        self._nic.setdefault(event.pid, {})[event.page] = event.frame
+
+    def _on_ni_hit(self, event):
+        if event.page not in self._nic.get(event.pid, {}):
+            self._fail(event, "NIC hit on an entry that is not live "
+                              "(no fill since the last evict/invalidate)")
+        if event.page not in self._pinned.get(event.pid, {}):
+            self._fail(event, "NIC hit maps an unpinned page")
+
+    def _on_ni_drop(self, event):
+        nic = self._nic.get(event.pid, {})
+        if event.page not in nic:
+            self._fail(event, "entry left the NIC cache but was not live")
+        del nic[event.page]
+        if self.mechanism == "intr":
+            self._pending_unpin.add((event.pid, event.page))
+
+    def _on_entry_fetch(self, event):
+        if not event.n or event.n < 1:
+            self._fail(event, "entry fetch of a non-positive block")
+        if event.page not in self._pinned.get(event.pid, {}):
+            self._fail(event, "translation fetched for an unpinned page")
+        self._entries_fetched[event.pid] = \
+            self._entries_fetched.get(event.pid, 0) + event.n
+
+    def _on_interrupt(self, event):
+        if event.page in self._nic.get(event.pid, {}):
+            self._fail(event, "interrupt for a page whose translation "
+                              "is cached")
+
+    _HANDLERS = {
+        ev.PIN: _on_pin,
+        ev.UNPIN: _on_unpin,
+        ev.CHECK_MISS: _on_check_miss,
+        ev.NI_FILL: _on_ni_fill,
+        ev.NI_HIT: _on_ni_hit,
+        ev.NI_EVICT: _on_ni_drop,
+        ev.NI_INVALIDATE: _on_ni_drop,
+        ev.ENTRY_FETCH: _on_entry_fetch,
+        ev.INTERRUPT: _on_interrupt,
+    }
+
+    # -- end-of-run verification --------------------------------------------
+
+    def close(self):
+        """End of stream: no eviction may be left without its unpin."""
+        if self._pending_unpin:
+            raise InvariantViolation(
+                "baseline run ended with evicted-but-still-pinned pages: "
+                "%s" % sorted(self._pending_unpin)[:8])
+
+    def tally(self, pid, kind):
+        return self._tally.get((pid, kind), 0)
+
+    def verify_stats(self, per_pid_stats):
+        """Assert each process's counters equal its event tallies.
+
+        ``per_pid_stats`` maps pid -> :class:`TranslationStats` (exactly
+        ``NodeResult.per_pid``).  Counters must equal the events that
+        produced them — the oracle every perf PR is held to.
+        """
+        seen_pids = {pid for pid, _ in self._tally}
+        extra = seen_pids - set(per_pid_stats)
+        if extra:
+            raise InvariantViolation(
+                "events from pids with no stats: %s" % sorted(extra)[:8])
+        for pid, stats in per_pid_stats.items():
+            t = lambda kind: self.tally(pid, kind)
+            misses = t(ev.ENTRY_FETCH) + t(ev.INTERRUPT)
+            expected = {
+                "lookups": t(ev.LOOKUP),
+                "check_misses": t(ev.CHECK_MISS),
+                "ni_accesses": t(ev.NI_HIT) + misses,
+                "ni_hits": t(ev.NI_HIT),
+                "ni_misses": misses,
+                "ni_evictions": 0,      # tracked at cache level, not per pid
+                "pin_calls": self._pin_calls.get(pid, 0),
+                "pages_pinned": t(ev.PIN),
+                "unpin_calls": t(ev.UNPIN),
+                "pages_unpinned": t(ev.UNPIN),
+                "interrupts": t(ev.INTERRUPT),
+                "entries_fetched": self._entries_fetched.get(pid, 0),
+            }
+            for field, want in expected.items():
+                got = getattr(stats, field)
+                if got != want:
+                    raise InvariantViolation(
+                        "pid %r: stats.%s is %r but the event stream "
+                        "tallies %r" % (pid, field, got, want))
+
+    def verify_cache(self, cache_snapshot):
+        """Assert the NIC cache's counters equal the event tallies.
+
+        ``cache_snapshot`` is ``NodeResult.cache`` (a
+        :meth:`CacheStats.snapshot` dict).
+        """
+        totals = {}
+        for (_pid, kind), count in self._tally.items():
+            totals[kind] = totals.get(kind, 0) + count
+        t = totals.get
+        misses = t(ev.ENTRY_FETCH, 0) + t(ev.INTERRUPT, 0)
+        expected = {
+            "accesses": t(ev.NI_HIT, 0) + misses,
+            "hits": t(ev.NI_HIT, 0),
+            "misses": misses,
+            "fills": t(ev.NI_FILL, 0),
+            "evictions": t(ev.NI_EVICT, 0),
+            "invalidations": t(ev.NI_INVALIDATE, 0),
+        }
+        for field, want in expected.items():
+            got = cache_snapshot.get(field)
+            if got != want:
+                raise InvariantViolation(
+                    "cache stats %r is %r but the event stream tallies "
+                    "%r" % (field, got, want))
+
+    def verify_node(self, node_result):
+        """Full end-of-run check of one :class:`NodeResult`."""
+        self.verify_stats(node_result.per_pid)
+        if isinstance(node_result.cache, dict) \
+                and "accesses" in node_result.cache:
+            self.verify_cache(node_result.cache)

@@ -1,0 +1,162 @@
+"""Tracers: pluggable sinks for the translation event stream.
+
+A tracer is anything with an ``emit(event)`` method, an ``enabled`` flag,
+and a ``close()``.  The machinery emits through a ``trace`` callable it
+binds once at construction (``tracer.emit`` when enabled, None when not),
+so a disabled tracer costs a single identity check per *instrumented
+branch* in the reference engine and nothing at all in the fast engine's
+counter-only hot loop.
+
+``enabled`` is a class-level contract, not a runtime toggle: the
+simulators read it once, when a node is built, to decide whether the run
+must take the event-emitting reference path.  Flipping it mid-run on a
+live tracer has no effect on already-built nodes.
+"""
+
+import json
+
+from repro.obs.events import Event
+
+
+class Tracer:
+    """Base tracer: receives every event of a simulated run, in order.
+
+    Subclasses override :meth:`emit`.  ``enabled`` is True for every
+    tracer that actually wants the stream; the simulators route enabled
+    tracers through the reference replay engine (the fast engine's hot
+    loop skips per-event work entirely, so it cannot feed one).
+    """
+
+    enabled = True
+
+    def emit(self, event):
+        """Receive one :class:`~repro.obs.events.Event`."""
+        raise NotImplementedError
+
+    def close(self):
+        """Flush and release any resources; called once, by the owner."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+class NullTracer(Tracer):
+    """The default: trace nothing, cost nothing.
+
+    With a NullTracer (or ``tracer=None``) the fast replay engine's
+    counter-only hot loop runs unchanged — byte- and speed-identical to
+    an untraced build; the CI throughput smoke job asserts the parity.
+    """
+
+    enabled = False
+
+    def emit(self, event):
+        pass
+
+
+#: Shared do-nothing instance (stateless, safe to share everywhere).
+NULL_TRACER = NullTracer()
+
+
+class CollectingTracer(Tracer):
+    """Accumulates every event in an in-memory list (``.events``).
+
+    The workhorse of the trace-backed test oracles: replay once, then
+    derive counts from the stream and compare against the aggregate
+    counters.
+    """
+
+    def __init__(self):
+        self.events = []
+        self.emit = self.events.append      # bound once; no indirection
+
+    def tally(self, kind, pid=None):
+        """Number of events of ``kind`` (optionally for one pid)."""
+        if pid is None:
+            return sum(1 for e in self.events if e.kind == kind)
+        return sum(1 for e in self.events
+                   if e.kind == kind and e.pid == pid)
+
+    def events_for(self, pid):
+        """The sub-stream of one process, in order."""
+        return [e for e in self.events if e.pid == pid]
+
+    def clear(self):
+        del self.events[:]
+
+
+class JsonlTracer(Tracer):
+    """Streams events to a file as JSON Lines, one object per line.
+
+    Lines are canonical (sorted keys, no spaces), so identical runs
+    produce identical bytes — the golden-trace regression test depends
+    on it.  Accepts a path (owned: closed by :meth:`close`) or an open
+    text handle (borrowed: flushed but left open).
+    """
+
+    def __init__(self, path_or_handle):
+        if hasattr(path_or_handle, "write"):
+            self._handle = path_or_handle
+            self._owned = False
+            self.path = getattr(path_or_handle, "name", None)
+        else:
+            self._handle = open(path_or_handle, "w", encoding="ascii")
+            self._owned = True
+            self.path = path_or_handle
+        self.events_written = 0
+
+    def emit(self, event):
+        self._handle.write(dumps_event(event))
+        self._handle.write("\n")
+        self.events_written += 1
+
+    def close(self):
+        if self._handle is None:
+            return
+        if self._owned:
+            self._handle.close()
+        else:
+            self._handle.flush()
+        self._handle = None
+
+
+class TeeTracer(Tracer):
+    """Fans each event out to several tracers (e.g. JSONL + invariants).
+
+    Owns none of them: :meth:`close` closes only tracers the caller asks
+    it to by constructing with ``own=True``.
+    """
+
+    def __init__(self, *tracers, **kwargs):
+        self.tracers = [t for t in tracers if t is not None and t.enabled]
+        self._own = bool(kwargs.pop("own", False))
+        if kwargs:
+            raise TypeError("unexpected arguments %r" % sorted(kwargs))
+
+    def emit(self, event):
+        for tracer in self.tracers:
+            tracer.emit(event)
+
+    def close(self):
+        if self._own:
+            for tracer in self.tracers:
+                tracer.close()
+
+
+def dumps_event(event):
+    """One event as a canonical JSON line (no trailing newline)."""
+    return json.dumps(event.to_dict(), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def loads_event(line):
+    """Parse one JSONL line back into an :class:`Event`."""
+    return Event.from_dict(json.loads(line))
+
+
+def as_tracer(tracer):
+    """Normalize ``None`` to the shared :data:`NULL_TRACER`."""
+    return NULL_TRACER if tracer is None else tracer

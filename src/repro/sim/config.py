@@ -31,7 +31,8 @@ class SimConfig:
                  classify=False,
                  cost_model=None,
                  seed=0,
-                 engine="fast"):
+                 engine="fast",
+                 tracer=None):
         if cache_entries <= 0:
             raise ConfigError("cache_entries must be positive")
         if associativity <= 0 or cache_entries % associativity:
@@ -54,6 +55,19 @@ class SimConfig:
         self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
         self.seed = seed
         self.engine = engine
+        #: Optional :class:`repro.obs.tracer.Tracer` receiving the run's
+        #: event stream.  None (or a disabled tracer, e.g. NullTracer)
+        #: keeps the fast engine's counter-only hot loop byte- and
+        #: speed-identical; an enabled tracer routes replay through the
+        #: event-emitting reference path.  Never part of the simulated
+        #: configuration: results are identical with or without it.
+        self.tracer = tracer
+
+    @property
+    def traced(self):
+        """True when an enabled tracer is attached (events will flow)."""
+        return self.tracer is not None and getattr(
+            self.tracer, "enabled", True)
 
     @property
     def memory_limit_pages(self):
@@ -76,6 +90,7 @@ class SimConfig:
             cost_model=self.cost_model,
             seed=self.seed,
             engine=self.engine,
+            tracer=self.tracer,
         )
         fields.update(overrides)
         return SimConfig(**fields)
@@ -99,17 +114,25 @@ class SimConfig:
             "cost_model": self.cost_model.to_dict(),
             "seed": self.seed,
             "engine": self.engine,
+            # Tracers never change results, but a traced cell must not be
+            # answered from the result cache (the events would be lost) —
+            # the runner skips caching for traced cells, and the distinct
+            # fingerprint is belt-and-braces on top.
+            "tracer": (type(self.tracer).__name__ if self.traced else None),
         }
 
     def describe(self):
         limit = ("inf" if self.memory_limit_bytes is None
                  else "%dMB" % (self.memory_limit_bytes // (1024 * 1024)))
         hashing = "offset" if self.offsetting else "nohash"
-        return ("cache=%d assoc=%d %s prefetch=%d prepin=%d mem=%s policy=%s "
+        text = ("cache=%d assoc=%d %s prefetch=%d prepin=%d mem=%s policy=%s "
                 "engine=%s"
                 % (self.cache_entries, self.associativity, hashing,
                    self.prefetch, self.prepin, limit, self.pin_policy,
                    self.engine))
+        if self.traced:
+            text += " traced"
+        return text
 
     def __repr__(self):
         return "SimConfig(%s)" % (self.describe(),)

@@ -581,13 +581,15 @@ def render_cost_breakdown(data):
 # Run everything
 # ---------------------------------------------------------------------------
 
-def make_runner(workers=None, cache_dir=None):
+def make_runner(workers=None, cache_dir=None, trace_dir=None):
     """The evaluation's default :class:`SweepRunner`.
 
     ``workers=None`` reads ``REPRO_WORKERS`` (default 1).
     ``cache_dir=None`` enables the cache at its default location
     (``REPRO_CACHE_DIR`` or the user cache dir); pass ``cache_dir=False``
-    to disable caching.
+    to disable caching.  ``trace_dir`` (a directory path) dumps one JSONL
+    event stream per traceable cell — see
+    :class:`~repro.sim.runner.SweepRunner`.
     """
     if workers is None:
         workers = int(os.environ.get("REPRO_WORKERS", "1"))
@@ -595,7 +597,8 @@ def make_runner(workers=None, cache_dir=None):
         cache_dir = default_cache_dir()
     elif cache_dir is False:
         cache_dir = None
-    return SweepRunner(workers=workers, cache_dir=cache_dir)
+    return SweepRunner(workers=workers, cache_dir=cache_dir,
+                       trace_dir=trace_dir)
 
 
 def run_all(scale=1.0, nodes=DEFAULT_NODES, seed=DEFAULT_SEED, stream=None,

@@ -28,10 +28,12 @@ benchmarks attach to their results.
 import hashlib
 import json
 import os
+import re
 import time
 from multiprocessing import get_context
 
 from repro.errors import ConfigError
+from repro.obs.tracer import JsonlTracer
 from repro.sim.intr_simulator import simulate_node_intr
 from repro.sim.pp_simulator import simulate_node_pp
 from repro.sim.simulator import ClusterResult, simulate_node
@@ -45,6 +47,12 @@ SIMULATORS = {
 }
 
 MECHANISMS = tuple(SIMULATORS)
+
+#: Mechanisms whose replay emits the obs event stream (``trace_dir``).
+TRACEABLE_MECHANISMS = ("utlb", "intr")
+
+#: Phase keys of the per-cell timing breakdown.
+PHASES = ("compile_s", "replay_s", "report_s")
 
 #: Cache entry layout version; bump to orphan every existing entry.
 CACHE_FORMAT = 1
@@ -186,6 +194,10 @@ class CellMetrics:
         self.wall_time_s = 0.0
         self.lookups = 0
         self.stats = None               # TranslationStats snapshot (dict)
+        #: Per-phase wall-time breakdown (stream compilation, replay
+        #: proper, result serialization); zeros for cache hits.
+        self.phases = dict.fromkeys(PHASES, 0.0)
+        self.trace_path = None          # JSONL event dump, if traced
 
     @property
     def pages_per_sec(self):
@@ -206,6 +218,8 @@ class CellMetrics:
             "nodes": self.nodes,
             "cache_hit": self.cache_hit,
             "wall_time_s": self.wall_time_s,
+            "phases": dict(self.phases),
+            "trace_path": self.trace_path,
             "lookups": self.lookups,
             "pages_per_sec": self.pages_per_sec,
             "stats": self.stats,
@@ -244,6 +258,10 @@ class SweepMetrics:
         return sum(c.lookups for c in replayed) / seconds
 
     def to_dict(self):
+        phase_totals = dict.fromkeys(PHASES, 0.0)
+        for cell in self.cells:
+            for phase in PHASES:
+                phase_totals[phase] += cell.phases[phase]
         return {
             "workers": self.workers,
             "cells": [c.to_dict() for c in self.cells],
@@ -252,6 +270,7 @@ class SweepMetrics:
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
                 "wall_time_s": self.wall_time_s,
+                "phases": phase_totals,
                 "lookups": sum(c.lookups for c in self.cells),
                 "pages_per_sec": self.pages_per_sec,
             },
@@ -280,30 +299,43 @@ class SweepCell:
 def _replay_unit(args, compile_memo=None):
     """One work unit: replay a single node's trace (runs in a worker).
 
-    Returns ``(seconds, NodeResult.to_dict())`` — the dict form is the
-    single transport format for serial, parallel, and cached results.
+    Returns ``(phases, NodeResult.to_dict())`` — ``phases`` is the
+    per-phase wall-time dict (compile / replay / report) and the dict
+    form is the single transport format for serial, parallel, and cached
+    results.
 
     ``compile_memo`` (serial runs only) shares compiled page streams
     between cells replaying the same node trace: sweeps replay one trace
     under many configs, so each trace is compiled once per batch instead
     of once per cell.  Keyed by list identity, which is stable here — the
     cells hold the record lists alive for the whole batch and the memo
-    dies with it.  The first compile still lands inside the unit's timer.
+    dies with it.  The first compile still lands inside the unit's
+    compile phase; memo hits cost (and report) ~nothing.
     """
     records, config, mechanism = args
-    start = time.perf_counter()
+    phases = dict.fromkeys(PHASES, 0.0)
     compiled = None
-    if (compile_memo is not None and config.engine == "fast"
-            and mechanism in ("utlb", "intr")):
-        key = id(records)
-        compiled = compile_memo.get(key)
-        if compiled is None:
-            compiled = compile_memo[key] = compile_streams(records)
+    if (config.engine == "fast" and not config.traced
+            and mechanism in TRACEABLE_MECHANISMS):
+        start = time.perf_counter()
+        if compile_memo is not None:
+            key = id(records)
+            compiled = compile_memo.get(key)
+            if compiled is None:
+                compiled = compile_memo[key] = compile_streams(records)
+        else:
+            compiled = compile_streams(records)
+        phases["compile_s"] = time.perf_counter() - start
+    start = time.perf_counter()
     if compiled is not None:
         result = SIMULATORS[mechanism](records, config, compiled=compiled)
     else:
         result = SIMULATORS[mechanism](records, config)
-    return time.perf_counter() - start, result.to_dict()
+    phases["replay_s"] = time.perf_counter() - start
+    start = time.perf_counter()
+    node_dict = result.to_dict()
+    phases["report_s"] = time.perf_counter() - start
+    return phases, node_dict
 
 
 class SweepRunner:
@@ -321,15 +353,24 @@ class SweepRunner:
     mp_context:
         ``multiprocessing`` start method ("fork", "spawn", ...); None
         uses the platform default.
+    trace_dir:
+        Directory to dump one JSONL event stream per traceable cell
+        (``repro.obs`` events), or None (the default) for no tracing.
+        Traced cells replay through the event-emitting reference engine,
+        serially and uncached — the trace is the point, and a cache hit
+        or out-of-order parallel replay would lose or scramble it.
     """
 
-    def __init__(self, workers=1, cache_dir=None, mp_context=None):
+    def __init__(self, workers=1, cache_dir=None, mp_context=None,
+                 trace_dir=None):
         if workers < 1:
             raise ConfigError("workers must be at least 1, got %r"
                               % (workers,))
         self.workers = workers
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.metrics = SweepMetrics(workers)
+        self.trace_dir = trace_dir
+        self._trace_names = set()
         self._mp_context = mp_context
         self._pool = None
 
@@ -354,6 +395,31 @@ class SweepRunner:
             self._pool = context.Pool(processes=self.workers)
         return self._pool
 
+    # -- tracing ------------------------------------------------------------
+
+    def _open_cell_tracer(self, cell):
+        """A fresh :class:`JsonlTracer` for one traceable cell, or None.
+
+        Cells that already carry their own enabled tracer keep it (the
+        caller owns that one); ``pp`` cells are never traced — the
+        pool-of-pins model predates the event stream.  File names are
+        slugified cell labels, suffixed on collision so a sweep with
+        repeated labels still gets one file per cell.
+        """
+        if (self.trace_dir is None or cell.config.traced
+                or cell.mechanism not in TRACEABLE_MECHANISMS):
+            return None
+        slug = re.sub(r"[^A-Za-z0-9._-]+", "-", str(cell.label)).strip("-")
+        base = "%s.%s" % (slug or "cell", cell.mechanism)
+        name = base + ".jsonl"
+        serial = 1
+        while name in self._trace_names:
+            serial += 1
+            name = "%s.%d.jsonl" % (base, serial)
+        self._trace_names.add(name)
+        os.makedirs(self.trace_dir, exist_ok=True)
+        return JsonlTracer(os.path.join(self.trace_dir, name))
+
     # -- execution ----------------------------------------------------------
 
     def run(self, traces, config, mechanism="utlb", label=None):
@@ -374,62 +440,93 @@ class SweepRunner:
                  for c in cells]
         results = [None] * len(cells)
         keys = [None] * len(cells)
+        configs = [cell.config for cell in cells]   # effective per cell
+        owned_tracers = []
         cell_metrics = []
         pending = []
-        for index, cell in enumerate(cells):
-            metrics = CellMetrics(cell.label, cell.mechanism, cell.config,
-                                  len(cell.traces))
-            cell_metrics.append(metrics)
-            if self.cache is not None:
-                start = time.perf_counter()
-                keys[index] = cell_key(cell.traces, cell.config,
-                                       cell.mechanism)
-                cached = self.cache.load(keys[index])
-                if cached is not None:
-                    results[index] = cached
-                    metrics.cache_hit = True
-                    metrics.wall_time_s = time.perf_counter() - start
-                    metrics.lookups = cached.stats.lookups
-                    metrics.stats = cached.stats.snapshot()
-                    continue
-            pending.append(index)
+        try:
+            for index, cell in enumerate(cells):
+                metrics = CellMetrics(cell.label, cell.mechanism,
+                                      cell.config, len(cell.traces))
+                cell_metrics.append(metrics)
+                tracer = self._open_cell_tracer(cell)
+                if tracer is not None:
+                    owned_tracers.append(tracer)
+                    configs[index] = cell.config.replace(tracer=tracer)
+                    metrics.trace_path = tracer.path
+                # A traced cell must actually replay: a cache hit would
+                # return the numbers but lose the event stream.
+                if self.cache is not None and not configs[index].traced:
+                    start = time.perf_counter()
+                    keys[index] = cell_key(cell.traces, cell.config,
+                                           cell.mechanism)
+                    cached = self.cache.load(keys[index])
+                    if cached is not None:
+                        results[index] = cached
+                        metrics.cache_hit = True
+                        metrics.wall_time_s = time.perf_counter() - start
+                        metrics.lookups = cached.stats.lookups
+                        metrics.stats = cached.stats.snapshot()
+                        continue
+                pending.append(index)
 
-        units = []                      # (cell index, node) per work unit
-        unit_args = []
-        for index in pending:
-            cell = cells[index]
-            for node in sorted(cell.traces):
-                units.append((index, node))
-                unit_args.append((cell.traces[node], cell.config,
-                                  cell.mechanism))
+            units = []                  # (cell index, node) per work unit
+            unit_args = []
+            for index in pending:
+                cell = cells[index]
+                for node in sorted(cell.traces):
+                    units.append((index, node))
+                    unit_args.append((cell.traces[node], configs[index],
+                                      cell.mechanism))
 
-        if not unit_args:
-            outcomes = []
-        elif self.workers == 1 or len(unit_args) == 1:
-            compile_memo = {}
-            outcomes = [_replay_unit(args, compile_memo)
-                        for args in unit_args]
-        else:
-            outcomes = self._pool_handle().map(_replay_unit, unit_args)
+            if not unit_args:
+                outcomes = []
+            elif self.workers == 1 or len(unit_args) == 1:
+                compile_memo = {}
+                outcomes = [_replay_unit(args, compile_memo)
+                            for args in unit_args]
+            else:
+                # Traced units hold live tracers (unpicklable, and their
+                # events must land in node order), so they run here in
+                # submission order; the rest fan out over the pool.
+                outcomes = [None] * len(unit_args)
+                pooled = [i for i, args in enumerate(unit_args)
+                          if not args[1].traced]
+                if pooled:
+                    for i, outcome in zip(
+                            pooled, self._pool_handle().map(
+                                _replay_unit,
+                                [unit_args[i] for i in pooled])):
+                        outcomes[i] = outcome
+                for i, args in enumerate(unit_args):
+                    if outcomes[i] is None:
+                        outcomes[i] = _replay_unit(args)
 
-        node_dicts = {index: [] for index in pending}
-        for (index, _node), (seconds, node_dict) in zip(units, outcomes):
-            node_dicts[index].append(node_dict)
-            cell_metrics[index].wall_time_s += seconds
+            node_dicts = {index: [] for index in pending}
+            for (index, _node), (phases, node_dict) in zip(units, outcomes):
+                node_dicts[index].append(node_dict)
+                metrics = cell_metrics[index]
+                for phase in PHASES:
+                    metrics.phases[phase] += phases[phase]
+                metrics.wall_time_s += sum(phases.values())
 
-        for index in pending:
-            result = ClusterResult.from_dict({"nodes": node_dicts[index]})
-            results[index] = result
-            metrics = cell_metrics[index]
-            metrics.lookups = result.stats.lookups
-            metrics.stats = result.stats.snapshot()
-            if self.cache is not None:
-                self.cache.store(keys[index], result, meta={
-                    "label": str(cells[index].label),
-                    "mechanism": cells[index].mechanism,
-                    "config": cells[index].config.describe(),
-                    "wall_time_s": metrics.wall_time_s,
-                })
+            for index in pending:
+                result = ClusterResult.from_dict(
+                    {"nodes": node_dicts[index]})
+                results[index] = result
+                metrics = cell_metrics[index]
+                metrics.lookups = result.stats.lookups
+                metrics.stats = result.stats.snapshot()
+                if self.cache is not None and keys[index] is not None:
+                    self.cache.store(keys[index], result, meta={
+                        "label": str(cells[index].label),
+                        "mechanism": cells[index].mechanism,
+                        "config": cells[index].config.describe(),
+                        "wall_time_s": metrics.wall_time_s,
+                    })
+        finally:
+            for tracer in owned_tracers:
+                tracer.close()
 
         for metrics in cell_metrics:
             self.metrics.record(metrics)

@@ -94,8 +94,13 @@ def simulate_node(records, config, check_invariants=False, compiled=None):
     (:func:`compile_streams` output); the sweep runner uses it to compile
     each node's trace once per batch instead of once per cell.  The
     reference engine ignores it.
+
+    An enabled ``config.tracer`` forces the reference path regardless of
+    engine: the fast engine's hot loop is counter-only and cannot feed an
+    event stream.  With no tracer (or a NullTracer) the fast path runs
+    unchanged — byte- and speed-identical to an untraced build.
     """
-    if config.engine == "reference":
+    if config.engine == "reference" or config.traced:
         return _simulate_node_reference(records, config, check_invariants)
     return _simulate_node_fast(records, config, check_invariants, compiled)
 
@@ -106,12 +111,14 @@ def _build_node(pids, config, shadowed=False):
     ``pids`` must be sorted: registration order assigns the per-process
     index offsets, so it is part of the simulated configuration.
     """
+    tracer = config.tracer if config.traced else None
     cache_cls = ShadowedUtlbCache if shadowed else SharedUtlbCache
     cache = cache_cls(
         config.cache_entries,
         associativity=config.associativity,
         offsetting=config.offsetting,
-        classify=config.classify)
+        classify=config.classify,
+        tracer=tracer)
     driver = CountingFrameDriver()
     limit = config.memory_limit_pages
     utlbs = {}
@@ -120,7 +127,7 @@ def _build_node(pids, config, shadowed=False):
             pid, cache, driver=driver, cost_model=config.cost_model,
             memory_limit_pages=limit, pin_policy=config.pin_policy,
             prepin=config.prepin, prefetch=config.prefetch,
-            seed=config.seed)
+            seed=config.seed, tracer=tracer)
     return cache, utlbs
 
 

@@ -25,6 +25,57 @@ settings.register_profile("ci", settings(
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
+def _checked_reference(original, mechanism):
+    """Wrap a reference-engine entry point with a streaming checker.
+
+    Every event of the replay flows through an
+    :class:`~repro.obs.invariants.InvariantChecker`, and the finished
+    node's counters are verified against the event tallies — so any test
+    that replays through the reference engine is an invariant test for
+    free.  A tracer the test attached itself keeps receiving the stream
+    via a tee.
+    """
+    from repro.obs.invariants import InvariantChecker
+    from repro.obs.tracer import TeeTracer
+
+    def checked(records, config, check_invariants=False):
+        checker = InvariantChecker(
+            memory_limit_pages=config.memory_limit_pages,
+            mechanism=mechanism)
+        tracer = checker
+        if config.traced:
+            tracer = TeeTracer(config.tracer, checker)
+        result = original(records, config.replace(tracer=tracer),
+                          check_invariants)
+        checker.close()
+        checker.verify_node(result)
+        return result
+
+    return checked
+
+
+@pytest.fixture(autouse=True)
+def invariant_checked_reference(monkeypatch):
+    """Invariant-check every reference-engine replay, suite-wide.
+
+    Patches the module-global reference entry points (the dispatchers
+    look them up at call time, so this covers every caller regardless of
+    import style).  The fast engine is exercised against the checked
+    reference output by the differential tests, so it is covered
+    transitively.
+    """
+    import repro.sim.intr_simulator as intr_simulator
+    import repro.sim.simulator as simulator
+
+    monkeypatch.setattr(
+        simulator, "_simulate_node_reference",
+        _checked_reference(simulator._simulate_node_reference, "utlb"))
+    monkeypatch.setattr(
+        intr_simulator, "_simulate_node_intr_reference",
+        _checked_reference(
+            intr_simulator._simulate_node_intr_reference, "intr"))
+
+
 @pytest.fixture
 def cost_model():
     """The paper-calibrated cost model."""

@@ -1,0 +1,59 @@
+"""The deterministic scenario behind the golden-trace regression test.
+
+One small, fixed synthetic trace replayed under one fixed configuration,
+per mechanism.  The resulting event streams are checked in as JSONL
+(``tests/obs/data/golden_trace.<mechanism>.jsonl``); any change to the
+emitters' ordering or payloads shows up as a line diff against those
+files.  To bless an intentional change::
+
+    PYTHONPATH=src python tests/obs/update_golden.py
+"""
+
+import os
+import random
+
+from repro.obs.tracer import CollectingTracer
+from repro.params import PAGE_SIZE
+from repro.sim.config import SimConfig
+from repro.sim.intr_simulator import simulate_node_intr
+from repro.sim.simulator import simulate_node
+from repro.traces.record import OP_FETCH, OP_SEND, TraceRecord
+
+MECHANISMS = ("utlb", "intr")
+
+DATA_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "data")
+
+
+def golden_path(mechanism):
+    return os.path.join(DATA_DIR, "golden_trace.%s.jsonl" % mechanism)
+
+
+def golden_records():
+    """A fixed 2-process trace with reuse, evictions, and page crossings."""
+    rng = random.Random(20260806)
+    records = []
+    for index in range(120):
+        vpage = rng.randrange(24)
+        records.append(TraceRecord(
+            timestamp=index,
+            node=0,
+            pid=rng.randrange(2),
+            op=OP_FETCH if index % 5 == 0 else OP_SEND,
+            vaddr=vpage * PAGE_SIZE + rng.randrange(PAGE_SIZE),
+            nbytes=rng.choice([128, 2048, PAGE_SIZE])))
+    return records
+
+
+def golden_config():
+    """Small cache + tight pin limit: every event kind occurs."""
+    return SimConfig(cache_entries=16, prefetch=2, prepin=2,
+                     memory_limit_bytes=8 * PAGE_SIZE, seed=11)
+
+
+def golden_events(mechanism):
+    """The event stream of the golden scenario, freshly simulated."""
+    simulate = {"utlb": simulate_node,
+                "intr": simulate_node_intr}[mechanism]
+    tracer = CollectingTracer()
+    simulate(golden_records(), golden_config().replace(tracer=tracer))
+    return tracer.events

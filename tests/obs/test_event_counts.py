@@ -1,0 +1,164 @@
+"""Counter-event equality: the stream is the ground truth of the counters.
+
+Every :class:`TranslationStats` field — counts *and* simulated-time
+accumulators — must be derivable from the event stream alone.  For a grid
+of configurations (engine x pin policy x memory limit x prefetch degree)
+and both mechanisms, this: replays untraced, replays traced, asserts the
+two results byte-identical (attaching a tracer never changes results),
+and asserts the per-pid stats equal the stats independently rebuilt from
+the collected events.
+"""
+
+import random
+
+import pytest
+
+from repro.core.stats import TranslationStats
+from repro.obs import events as ev
+from repro.obs.invariants import InvariantChecker
+from repro.obs.tracer import CollectingTracer
+from repro.params import PAGE_SIZE
+from repro.sim.config import SimConfig
+from repro.sim.intr_simulator import simulate_node_intr
+from repro.sim.simulator import simulate_node
+from repro.traces.record import OP_SEND, TraceRecord
+
+SIMULATORS = {"utlb": simulate_node, "intr": simulate_node_intr}
+
+
+def random_trace(seed=7, num_pids=3, num_pages=96, length=400):
+    """A small multi-process trace with enough reuse to hit everywhere."""
+    rng = random.Random(seed)
+    records = []
+    for index in range(length):
+        vpage = rng.randrange(num_pages)
+        records.append(TraceRecord(
+            timestamp=index,
+            node=0,
+            pid=rng.randrange(num_pids),
+            op=OP_SEND,
+            vaddr=vpage * PAGE_SIZE + rng.randrange(PAGE_SIZE),
+            nbytes=rng.choice([64, 512, PAGE_SIZE])))
+    return records
+
+
+def derive_stats(events, pid, mechanism, cost_model):
+    """Rebuild one process's TranslationStats from its event sub-stream.
+
+    Applies the same per-event cost charges the simulators apply, in
+    stream order, so the float accumulation sequence — and therefore
+    every time field — matches bit for bit.
+    """
+    cm = cost_model
+    stats = TranslationStats()
+    for event in events:
+        if event.pid != pid:
+            continue
+        kind = event.kind
+        if kind == ev.LOOKUP:
+            stats.lookups += 1
+            if mechanism == "utlb":
+                stats.check_time_us += cm.user_check_hit
+            else:
+                # The baseline has no user-level check: a lookup goes
+                # straight to the NIC cache.
+                stats.ni_accesses += 1
+                stats.ni_hit_time_us += cm.ni_check_hit
+        elif kind == ev.CHECK_MISS:
+            stats.check_misses += 1
+        elif kind == ev.PIN:
+            stats.pages_pinned += 1
+            if event.n is not None:
+                stats.pin_calls += 1
+                if mechanism == "utlb":
+                    stats.pin_time_us += cm.pin_cost(event.n)
+                else:
+                    stats.pin_time_us += cm.kernel_pin_cost(event.n)
+        elif kind == ev.UNPIN:
+            stats.unpin_calls += 1
+            stats.pages_unpinned += 1
+            if mechanism == "utlb":
+                stats.unpin_time_us += cm.unpin_cost(1)
+            else:
+                stats.unpin_time_us += cm.kernel_unpin_cost(1)
+        elif kind == ev.NI_HIT:
+            stats.ni_hits += 1
+            if mechanism == "utlb":
+                stats.ni_accesses += 1
+                stats.ni_hit_time_us += cm.ni_check_hit
+        elif kind == ev.ENTRY_FETCH:
+            stats.ni_misses += 1
+            stats.entries_fetched += event.n
+            stats.ni_accesses += 1
+            # The probe cost is charged on every NIC access, hit or miss.
+            stats.ni_hit_time_us += cm.ni_check_hit
+            stats.ni_miss_time_us += cm.miss_cost(event.n)
+        elif kind == ev.INTERRUPT:
+            stats.ni_misses += 1
+            stats.interrupts += 1
+            stats.interrupt_time_us += cm.interrupt_cost
+    return stats
+
+
+GRID = [
+    pytest.param(engine, policy, limit_pages, prefetch,
+                 id="%s-%s-mem%s-pf%d" % (engine, policy, limit_pages,
+                                          prefetch))
+    for engine in ("fast", "reference")
+    for policy in ("lru", "random")
+    for limit_pages in (None, 12)
+    for prefetch in (1, 4)
+]
+
+
+@pytest.mark.parametrize("mechanism", sorted(SIMULATORS))
+@pytest.mark.parametrize("engine,policy,limit_pages,prefetch", GRID)
+def test_counters_equal_event_tallies(mechanism, engine, policy,
+                                      limit_pages, prefetch):
+    records = random_trace()
+    config = SimConfig(
+        cache_entries=64,
+        prefetch=prefetch,
+        prepin=prefetch,            # exercises batched PIN events too
+        memory_limit_bytes=(None if limit_pages is None
+                            else limit_pages * PAGE_SIZE),
+        pin_policy=policy,
+        engine=engine,
+        seed=3)
+    simulate = SIMULATORS[mechanism]
+
+    base = simulate(records, config)
+    tracer = CollectingTracer()
+    traced = simulate(records, config.replace(tracer=tracer))
+
+    # Observation is free: attaching a tracer changes nothing.
+    assert traced.to_dict() == base.to_dict()
+    assert tracer.events, "traced run emitted no events"
+
+    # The stream passes the full invariant battery and tallies to the
+    # exact aggregate counters.
+    checker = InvariantChecker(
+        memory_limit_pages=config.memory_limit_pages, mechanism=mechanism)
+    for event in tracer.events:
+        checker.emit(event)
+    checker.close()
+    checker.verify_node(traced)
+
+    # Independent reconstruction: counters and time fields, bit for bit.
+    for pid, stats in traced.per_pid.items():
+        rebuilt = derive_stats(tracer.events, pid, mechanism,
+                               config.cost_model)
+        assert rebuilt.to_dict() == stats.to_dict()
+
+
+@pytest.mark.parametrize("mechanism", sorted(SIMULATORS))
+def test_stream_is_deterministic(mechanism):
+    """Identical runs emit identical streams (golden-trace precondition)."""
+    records = random_trace()
+    config = SimConfig(cache_entries=64, memory_limit_bytes=12 * PAGE_SIZE)
+    streams = []
+    for _ in range(2):
+        tracer = CollectingTracer()
+        SIMULATORS[mechanism](records, config.replace(tracer=tracer))
+        streams.append(tracer.events)
+    assert streams[0] == streams[1]

@@ -1,0 +1,96 @@
+"""Property-based well-formedness of the event stream.
+
+For random traces under random configurations, the emitted stream must
+satisfy the ordering contract of :mod:`repro.obs.events` — checked here
+by a direct, self-contained walk over the stream (deliberately not via
+:class:`InvariantChecker`, so the checker itself has an independent
+witness):
+
+* a page's ``PIN`` precedes any ``NI_FILL`` of that page;
+* ``UNPIN`` happens only on currently pinned pages, and never while the
+  page's translation is live in the NIC cache;
+* after ``NI_INVALIDATE``/``NI_EVICT``, no ``NI_HIT`` for that entry
+  until a fresh ``NI_FILL``.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import events as ev
+from repro.obs.tracer import CollectingTracer
+from repro.params import PAGE_SIZE
+from repro.sim.config import SimConfig
+from repro.sim.intr_simulator import simulate_node_intr
+from repro.sim.simulator import simulate_node
+from repro.traces.record import OP_SEND, TraceRecord
+
+SIMULATORS = {"utlb": simulate_node, "intr": simulate_node_intr}
+
+
+def build_trace(seed, num_pids, num_pages, length):
+    rng = random.Random(seed)
+    return [TraceRecord(
+        timestamp=index,
+        node=0,
+        pid=rng.randrange(num_pids),
+        op=OP_SEND,
+        vaddr=rng.randrange(num_pages) * PAGE_SIZE + rng.randrange(PAGE_SIZE),
+        nbytes=rng.choice([64, 1024, PAGE_SIZE]))
+        for index in range(length)]
+
+
+def assert_well_formed(events):
+    pinned = set()                  # (pid, page)
+    live = set()                    # (pid, page) with a live NIC entry
+    for position, event in enumerate(events):
+        key = (event.pid, event.page)
+        where = "event %d: %r" % (position, event)
+        if event.kind == ev.PIN:
+            assert key not in pinned, "re-pin without unpin at %s" % where
+            pinned.add(key)
+        elif event.kind == ev.UNPIN:
+            assert key in pinned, "unpin of unpinned page at %s" % where
+            assert key not in live, (
+                "unpin while NIC entry live at %s" % where)
+            pinned.discard(key)
+        elif event.kind == ev.NI_FILL:
+            assert key in pinned, "fill before pin at %s" % where
+            live.add(key)
+        elif event.kind == ev.NI_HIT:
+            assert key in live, (
+                "hit after invalidate/evict without refill at %s" % where)
+        elif event.kind in (ev.NI_EVICT, ev.NI_INVALIDATE):
+            assert key in live, "drop of dead entry at %s" % where
+            live.discard(key)
+
+
+@settings(deadline=None)
+@given(
+    seed=st.integers(0, 2**20),
+    num_pids=st.integers(1, 3),
+    num_pages=st.integers(8, 64),
+    length=st.integers(5, 120),
+    cache_entries=st.sampled_from([16, 64]),
+    prefetch=st.integers(1, 4),
+    prepin=st.integers(1, 4),
+    limit_pages=st.one_of(st.none(), st.integers(4, 16)),
+    policy=st.sampled_from(["lru", "mru", "random"]),
+    mechanism=st.sampled_from(sorted(SIMULATORS)),
+)
+def test_streams_are_well_formed(seed, num_pids, num_pages, length,
+                                 cache_entries, prefetch, prepin,
+                                 limit_pages, policy, mechanism):
+    records = build_trace(seed, num_pids, num_pages, length)
+    config = SimConfig(
+        cache_entries=cache_entries,
+        prefetch=prefetch,
+        prepin=prepin,
+        memory_limit_bytes=(None if limit_pages is None
+                            else limit_pages * PAGE_SIZE),
+        pin_policy=policy,
+        seed=seed)
+    tracer = CollectingTracer()
+    SIMULATORS[mechanism](records, config.replace(tracer=tracer))
+    assert tracer.events
+    assert_well_formed(tracer.events)

@@ -1,0 +1,55 @@
+"""Event record construction and serialization."""
+
+import pytest
+
+from repro.obs import events as ev
+from repro.obs.events import EVENT_KINDS, Event
+
+
+def test_kinds_are_unique_and_complete():
+    assert len(set(EVENT_KINDS)) == len(EVENT_KINDS) == 10
+    for kind in (ev.LOOKUP, ev.CHECK_MISS, ev.PIN, ev.UNPIN, ev.NI_FILL,
+                 ev.NI_HIT, ev.NI_EVICT, ev.NI_INVALIDATE, ev.ENTRY_FETCH,
+                 ev.INTERRUPT):
+        assert kind in EVENT_KINDS
+
+
+def test_payload_defaults():
+    event = Event(ev.LOOKUP, 1, 0x42)
+    assert event.kind == ev.LOOKUP
+    assert event.pid == 1
+    assert event.page == 0x42
+    assert event.frame is None
+    assert event.n is None
+
+
+def test_events_are_tuples():
+    event = Event(ev.PIN, 1, 0x42, 7, 2)
+    assert event == (ev.PIN, 1, 0x42, 7, 2)
+    assert hash(event) == hash((ev.PIN, 1, 0x42, 7, 2))
+
+
+def test_to_dict_omits_none_payloads():
+    assert Event(ev.LOOKUP, 1, 2).to_dict() == {
+        "kind": ev.LOOKUP, "pid": 1, "page": 2}
+    assert Event(ev.PIN, 1, 2, 3, 4).to_dict() == {
+        "kind": ev.PIN, "pid": 1, "page": 2, "frame": 3, "n": 4}
+
+
+@pytest.mark.parametrize("kind", EVENT_KINDS)
+def test_dict_roundtrip(kind):
+    for event in (Event(kind, 0, 0), Event(kind, 3, 0x99, 12, 2)):
+        assert Event.from_dict(event.to_dict()) == event
+
+
+def test_from_dict_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        Event.from_dict({"kind": "warp_core_breach", "pid": 1, "page": 2})
+
+
+def test_repr_is_compact():
+    text = repr(Event(ev.NI_FILL, 2, 0x1000, 5, 1))
+    assert "ni_fill" in text
+    assert "0x1000" in text
+    assert "frame=5" in text
+    assert "n=1" in text

@@ -1,0 +1,81 @@
+"""JSONL round-trips and Chrome trace-event conversion."""
+
+import json
+
+from repro.obs import events as ev
+from repro.obs.events import Event
+from repro.obs.export import (
+    KIND_TIDS,
+    chrome_trace,
+    load_events_jsonl,
+    main,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+
+STREAM = [
+    Event(ev.LOOKUP, 1, 0x10),
+    Event(ev.PIN, 1, 0x10, 7, 1),
+    Event(ev.NI_FILL, 1, 0x10, 7, 1),
+    Event(ev.NI_INVALIDATE, 1, 0x10),
+    Event(ev.UNPIN, 1, 0x10),
+    Event(ev.PIN, 2, 0x20, 9, 1),
+]
+
+
+def test_jsonl_file_roundtrip(tmp_path):
+    path = str(tmp_path / "stream.jsonl")
+    write_events_jsonl(STREAM, path)
+    assert load_events_jsonl(path) == STREAM
+
+
+def test_jsonl_skips_blank_lines(tmp_path):
+    path = str(tmp_path / "stream.jsonl")
+    write_events_jsonl(STREAM, path)
+    with open(path, "a", encoding="ascii") as handle:
+        handle.write("\n\n")
+    assert load_events_jsonl(path) == STREAM
+
+
+def test_chrome_instants_track_the_stream():
+    doc = chrome_trace(STREAM)
+    instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+    assert [e["name"] for e in instants] == [e.kind for e in STREAM]
+    assert [e["ts"] for e in instants] == list(range(len(STREAM)))
+    assert all(e["tid"] == KIND_TIDS[e["name"]] for e in instants)
+    # Payloads surface in args; pages render as hex strings.
+    fill = instants[2]
+    assert fill["args"] == {"page": "0x10", "frame": 7, "n": 1}
+
+
+def test_chrome_pin_spans_pair_up():
+    doc = chrome_trace(STREAM)
+    spans = [e for e in doc["traceEvents"] if e["cat"] == "pin"]
+    begins = [e for e in spans if e["ph"] == "b"]
+    ends = [e for e in spans if e["ph"] == "e"]
+    assert len(begins) == len(ends) == 2
+    closed = {e["id"]: e for e in ends}
+    for begin in begins:
+        assert begin["id"] in closed
+        assert closed[begin["id"]]["ts"] >= begin["ts"]
+    # pid 2's page is never unpinned: its span closes at end-of-stream.
+    trailing = [e for e in ends if e["pid"] == 2]
+    assert trailing and trailing[0]["ts"] == len(STREAM)
+
+
+def test_write_chrome_trace_is_valid_json(tmp_path):
+    path = str(tmp_path / "cell.chrome.json")
+    write_chrome_trace(STREAM, path)
+    with open(path, "r", encoding="ascii") as handle:
+        doc = json.load(handle)
+    assert doc == chrome_trace(STREAM)
+
+
+def test_cli_converts(tmp_path, capsys):
+    source = str(tmp_path / "cell.jsonl")
+    target = str(tmp_path / "out.json")
+    write_events_jsonl(STREAM, source)
+    assert main([source, "-o", target]) == 0
+    with open(target, "r", encoding="ascii") as handle:
+        assert json.load(handle) == chrome_trace(STREAM)
+    assert "%d events" % len(STREAM) in capsys.readouterr().out

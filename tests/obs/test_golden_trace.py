@@ -1,0 +1,49 @@
+"""Golden-trace regression: the event stream's exact bytes are contract.
+
+The checked-in JSONL files pin down the emitters' event ordering and
+payload conventions.  A failure here means the observable stream changed:
+if intentional, regenerate with ``python tests/obs/update_golden.py``
+and review the diff; if not, the emitters regressed.
+"""
+
+import os
+
+import pytest
+
+from repro.obs import events as ev
+from repro.obs.tracer import dumps_event
+
+from tests.obs.golden_trace import (
+    MECHANISMS,
+    golden_events,
+    golden_path,
+)
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_stream_matches_golden_file(mechanism):
+    path = golden_path(mechanism)
+    assert os.path.exists(path), (
+        "golden file missing; generate it with "
+        "PYTHONPATH=src python tests/obs/update_golden.py")
+    with open(path, "r", encoding="ascii") as handle:
+        golden = [line.rstrip("\n") for line in handle if line.strip()]
+    fresh = [dumps_event(event) for event in golden_events(mechanism)]
+    assert fresh == golden, (
+        "event stream diverged from tests/obs/data/%s — regenerate with "
+        "update_golden.py if the change is intentional"
+        % os.path.basename(path))
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_golden_scenario_is_rich(mechanism):
+    """The scenario must keep exercising every relevant event kind."""
+    kinds = {event.kind for event in golden_events(mechanism)}
+    expected = {ev.LOOKUP, ev.PIN, ev.UNPIN, ev.NI_FILL, ev.NI_HIT,
+                ev.NI_EVICT}
+    if mechanism == "utlb":
+        expected |= {ev.CHECK_MISS, ev.ENTRY_FETCH, ev.NI_INVALIDATE}
+    else:
+        expected |= {ev.INTERRUPT}
+    missing = expected - kinds
+    assert not missing, "golden scenario never emits %s" % sorted(missing)

@@ -1,0 +1,139 @@
+"""Sweep-runner and CLI integration of the observability layer.
+
+``trace_dir`` turns a sweep into a tracing run: one JSONL dump per
+traceable cell, identical numeric results, no cache interference, phase
+timings in the metrics report.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.export import load_events_jsonl
+from repro.obs.invariants import InvariantChecker
+from repro.params import PAGE_SIZE
+from repro.sim.config import SimConfig
+from repro.sim.runner import PHASES, SweepCell, SweepRunner
+from repro.__main__ import main
+
+from tests.obs.test_event_counts import random_trace
+
+
+def one_node_traces():
+    return {0: random_trace(length=120)}
+
+
+def make_cells(config):
+    return [SweepCell("cell-a", one_node_traces(), config, "utlb"),
+            SweepCell("cell-a", one_node_traces(), config, "intr"),
+            SweepCell("cell-b", one_node_traces(), config, "pp")]
+
+
+def test_trace_dir_dumps_identical_runs(tmp_path):
+    config = SimConfig(cache_entries=64,
+                       memory_limit_bytes=12 * PAGE_SIZE)
+    trace_dir = str(tmp_path / "traces")
+    with SweepRunner(trace_dir=trace_dir) as traced_runner:
+        traced = traced_runner.run_cells(make_cells(config))
+    with SweepRunner() as plain_runner:
+        plain = plain_runner.run_cells(make_cells(config))
+
+    # Observation is free: identical results, cell for cell.
+    for traced_result, plain_result in zip(traced, plain):
+        assert traced_result.to_dict() == plain_result.to_dict()
+
+    # One dump per traceable cell; repeated labels get distinct files,
+    # and the pp mechanism is never traced.
+    names = sorted(os.listdir(trace_dir))
+    assert names == ["cell-a.intr.jsonl", "cell-a.utlb.jsonl"]
+
+    # Each dump is a live, invariant-clean stream.
+    for name, mechanism in (("cell-a.utlb.jsonl", "utlb"),
+                            ("cell-a.intr.jsonl", "intr")):
+        events = load_events_jsonl(os.path.join(trace_dir, name))
+        assert events
+        checker = InvariantChecker(
+            memory_limit_pages=config.memory_limit_pages,
+            mechanism=mechanism)
+        for event in events:
+            checker.emit(event)
+        checker.close()
+
+    # Metrics carry the dump paths and the phase breakdown.
+    cells = traced_runner.metrics.to_dict()["cells"]
+    assert [c["trace_path"] is not None for c in cells] == [
+        True, True, False]
+    for cell in cells:
+        assert set(cell["phases"]) == set(PHASES)
+        assert cell["phases"]["replay_s"] > 0.0
+
+
+def test_label_collisions_get_suffixes(tmp_path):
+    config = SimConfig(cache_entries=64)
+    trace_dir = str(tmp_path / "traces")
+    with SweepRunner(trace_dir=trace_dir) as runner:
+        runner.run_cells([
+            SweepCell("same", one_node_traces(), config, "utlb"),
+            SweepCell("same", one_node_traces(), config, "utlb"),
+        ])
+    assert sorted(os.listdir(trace_dir)) == [
+        "same.utlb.2.jsonl", "same.utlb.jsonl"]
+
+
+def test_traced_cells_bypass_the_result_cache(tmp_path):
+    config = SimConfig(cache_entries=64)
+    cache_dir = str(tmp_path / "cache")
+    trace_dir = str(tmp_path / "traces")
+    cell = ("warm", one_node_traces(), config, "utlb")
+    with SweepRunner(cache_dir=cache_dir) as warmup:
+        warmup.run_cells([cell])
+    with SweepRunner(cache_dir=cache_dir, trace_dir=trace_dir) as runner:
+        runner.run_cells([cell])
+    # A warm cache must not swallow the replay: the events exist and the
+    # cell reports a miss.
+    assert os.listdir(trace_dir) == ["warm.utlb.jsonl"]
+    assert runner.metrics.cells[0].cache_hit is False
+    assert load_events_jsonl(os.path.join(trace_dir, "warm.utlb.jsonl"))
+
+
+def test_parallel_traced_sweep_matches_serial(tmp_path):
+    config = SimConfig(cache_entries=64)
+    serial_dir = str(tmp_path / "serial")
+    parallel_dir = str(tmp_path / "parallel")
+    with SweepRunner(trace_dir=serial_dir) as runner:
+        serial = runner.run_cells(make_cells(config))
+    with SweepRunner(workers=2, trace_dir=parallel_dir) as runner:
+        parallel = runner.run_cells(make_cells(config))
+    for left, right in zip(serial, parallel):
+        assert left.to_dict() == right.to_dict()
+    for name in os.listdir(serial_dir):
+        assert (load_events_jsonl(os.path.join(serial_dir, name))
+                == load_events_jsonl(os.path.join(parallel_dir, name)))
+
+
+def test_cli_trace_dir_and_chrome_export(tmp_path, capsys):
+    trace_dir = str(tmp_path / "dumps")
+    metrics_path = str(tmp_path / "metrics.json")
+    assert main(["--only", "table4", "--scale", "0.04", "--nodes", "1",
+                 "--no-cache", "--trace-dir", trace_dir,
+                 "--chrome-trace", "fft-8192-utlb.utlb",
+                 "--metrics-json", metrics_path]) == 0
+    capsys.readouterr()
+    names = os.listdir(trace_dir)
+    assert "fft-8192-utlb.utlb.jsonl" in names
+    assert "fft-8192-utlb.utlb.chrome.json" in names
+    with open(os.path.join(trace_dir, "fft-8192-utlb.utlb.chrome.json"),
+              "r", encoding="ascii") as handle:
+        doc = json.load(handle)
+    assert doc["traceEvents"]
+    with open(metrics_path, "r", encoding="utf-8") as handle:
+        metrics = json.load(handle)
+    assert set(metrics["totals"]["phases"]) == set(PHASES)
+    traced_cells = [c for c in metrics["cells"] if c["trace_path"]]
+    assert traced_cells
+
+
+def test_cli_chrome_trace_requires_trace_dir(capsys):
+    with pytest.raises(SystemExit):
+        main(["--only", "table1", "--chrome-trace", "x"])

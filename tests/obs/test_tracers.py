@@ -1,0 +1,102 @@
+"""Tracer sinks: collection, JSONL streaming, teeing, null behaviour."""
+
+import io
+
+import pytest
+
+from repro.obs import events as ev
+from repro.obs.events import Event
+from repro.obs.tracer import (
+    NULL_TRACER,
+    CollectingTracer,
+    JsonlTracer,
+    NullTracer,
+    TeeTracer,
+    as_tracer,
+    dumps_event,
+    loads_event,
+)
+
+STREAM = [
+    Event(ev.LOOKUP, 1, 0x10),
+    Event(ev.CHECK_MISS, 1, 0x10),
+    Event(ev.PIN, 1, 0x10, 7, 1),
+    Event(ev.NI_FILL, 1, 0x10, 7, 1),
+    Event(ev.LOOKUP, 2, 0x20),
+]
+
+
+def test_null_tracer_is_disabled_and_silent():
+    tracer = NullTracer()
+    assert tracer.enabled is False
+    tracer.emit(STREAM[0])          # no-op, no error
+    tracer.close()
+    assert NULL_TRACER.enabled is False
+
+
+def test_as_tracer_normalizes_none():
+    assert as_tracer(None) is NULL_TRACER
+    tracer = CollectingTracer()
+    assert as_tracer(tracer) is tracer
+
+
+def test_collecting_tracer_collects_in_order():
+    tracer = CollectingTracer()
+    for event in STREAM:
+        tracer.emit(event)
+    assert tracer.events == STREAM
+    assert tracer.tally(ev.LOOKUP) == 2
+    assert tracer.tally(ev.LOOKUP, pid=1) == 1
+    assert tracer.events_for(2) == [STREAM[-1]]
+    tracer.clear()
+    assert tracer.events == []
+
+
+def test_jsonl_roundtrip_via_handle():
+    handle = io.StringIO()
+    tracer = JsonlTracer(handle)
+    for event in STREAM:
+        tracer.emit(event)
+    tracer.close()                  # borrowed handle: flushed, not closed
+    assert tracer.events_written == len(STREAM)
+    lines = handle.getvalue().splitlines()
+    assert [loads_event(line) for line in lines] == STREAM
+
+
+def test_jsonl_owns_path(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    with JsonlTracer(path) as tracer:
+        for event in STREAM:
+            tracer.emit(event)
+    assert tracer.path == path
+    with open(path, "r", encoding="ascii") as handle:
+        assert [loads_event(line) for line in handle] == STREAM
+
+
+def test_jsonl_lines_are_canonical():
+    line = dumps_event(Event(ev.PIN, 1, 2, 3, 4))
+    assert line == '{"frame":3,"kind":"pin","n":4,"page":2,"pid":1}'
+
+
+def test_tee_fans_out_and_skips_disabled():
+    a, b = CollectingTracer(), CollectingTracer()
+    tee = TeeTracer(a, NullTracer(), None, b)
+    for event in STREAM:
+        tee.emit(event)
+    assert a.events == STREAM
+    assert b.events == STREAM
+
+
+def test_tee_owns_only_on_request(tmp_path):
+    handle = io.StringIO()
+    owned = JsonlTracer(handle)
+    TeeTracer(owned).close()
+    owned.emit(STREAM[0])           # still open
+    TeeTracer(owned, own=True).close()
+    with pytest.raises(AttributeError):
+        owned.emit(STREAM[0])       # handle released
+
+
+def test_tee_rejects_unknown_kwargs():
+    with pytest.raises(TypeError):
+        TeeTracer(CollectingTracer(), frobnicate=True)

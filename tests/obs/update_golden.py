@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Regenerate the golden event-trace files after an intentional change.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tests/obs/update_golden.py
+
+Re-simulates the golden scenario for each mechanism and rewrites
+``tests/obs/data/golden_trace.<mechanism>.jsonl``.  Review the diff
+before committing: every changed line is a deliberate change to the
+event emitters' ordering or payloads.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from golden_trace import (  # noqa: E402 (path set up just above)
+    DATA_DIR,
+    MECHANISMS,
+    golden_events,
+    golden_path,
+)
+
+from repro.obs.export import write_events_jsonl  # noqa: E402
+
+
+def main():
+    os.makedirs(DATA_DIR, exist_ok=True)
+    for mechanism in MECHANISMS:
+        events = golden_events(mechanism)
+        path = golden_path(mechanism)
+        write_events_jsonl(events, path)
+        print("%s: %d events" % (os.path.relpath(path), len(events)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
