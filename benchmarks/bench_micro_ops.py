@@ -4,12 +4,15 @@ These are the Python-level analogues of the paper's Table 1/2 hardware
 micro-measurements: the real cost drivers of the simulator itself.
 """
 
+import hashlib
 import random
 
 from repro.core.bitvector import BitVector
 from repro.core.lookup_tree import TwoLevelLookupTree
 from repro.core.shared_cache import SharedUtlbCache
 from repro.core.utlb import HierarchicalUtlb
+from repro.sim.runner import trace_fingerprint
+from repro.traces.synth import make_app
 
 
 def bench_utlb_hit_path(benchmark):
@@ -72,6 +75,32 @@ def bench_lookup_tree_lookup(benchmark):
         state["i"] = i + 1
 
     benchmark(lookup)
+
+
+def _fingerprint_records():
+    """A realistic node trace: fingerprinting guards every cache probe,
+    so the sweep runner hashes traces this size once per batch."""
+    return make_app("barnes").generate_node(0, seed=1, scale=0.1)
+
+
+def bench_trace_fingerprint_packed(benchmark):
+    """The shipped path: struct-packed record bytes into sha256."""
+    records = _fingerprint_records()
+    benchmark(trace_fingerprint, records)
+
+
+def bench_trace_fingerprint_repr(benchmark):
+    """The pre-CACHE_FORMAT-2 baseline: repr() per record.  Kept as the
+    comparison point for the packed fingerprint above."""
+    records = _fingerprint_records()
+
+    def repr_fingerprint():
+        digest = hashlib.sha256()
+        for record in records:
+            digest.update(repr(record.as_tuple()).encode("ascii"))
+        return digest.hexdigest()
+
+    benchmark(repr_fingerprint)
 
 
 def bench_demand_pin_path(benchmark):

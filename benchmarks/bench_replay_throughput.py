@@ -16,6 +16,15 @@ checks the zero-cost-tracing contract: the fast engine with a disabled
 :class:`NullTracer` attached must produce byte-identical stats at
 throughput within noise of the untraced fast path (gated at
 ``--nulltracer-threshold``, best-of-``--repeats``).
+
+The standalone run then drives a Table-4-sized sweep grid (both apps x
+cache sizes x utlb/intr) through :class:`SweepRunner` to exercise the
+shared-stream fan-out path: with ``--workers N`` the parallel results
+must be byte-identical to a fresh serial run, and the batch must compile
+each distinct node trace exactly once (``compile_count == len(APPS)``),
+however many grid cells replay it.  ``--metrics-json PATH`` dumps the
+parallel run's full ``SweepMetrics.to_dict()`` so CI can archive the
+throughput trajectory (elapsed_s, cpu_time_s, ipc_bytes, pages/sec).
 """
 
 import argparse
@@ -25,6 +34,7 @@ import time
 from repro.obs.tracer import NullTracer
 from repro.sim.config import SimConfig
 from repro.sim.intr_simulator import simulate_node_intr
+from repro.sim.runner import SweepCell, SweepRunner
 from repro.sim.simulator import simulate_node
 from repro.traces.compile import compile_streams
 from repro.traces.synth import make_app
@@ -33,6 +43,11 @@ from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
 
 #: Apps with contrasting locality (Table 3): radix streams, barnes reuses.
 APPS = ("barnes", "radix")
+
+#: The sweep-grid axes: Table 4's cache-size sweep under both
+#: interesting mechanisms, over every benchmark app.
+GRID_CACHE_ENTRIES = (1024, 4096, 8192, 16384)
+GRID_MECHANISMS = ("utlb", "intr")
 
 
 def _traces(scale=BENCH_SCALE, seed=BENCH_SEED):
@@ -72,6 +87,54 @@ def bench_replay_reference_engine(benchmark):
     benchmark.extra_info["pages"] = _total_pages(traces)
 
 
+def _grid_cells(traces):
+    """The sweep grid, sharing one record list per app across all cells
+    (what lets the batch compile each trace once)."""
+    cells = []
+    for app in APPS:
+        node_traces = {0: traces[app]}
+        for mechanism in GRID_MECHANISMS:
+            for entries in GRID_CACHE_ENTRIES:
+                cells.append(SweepCell(
+                    "%s/%s/%d" % (app, mechanism, entries), node_traces,
+                    SimConfig(cache_entries=entries), mechanism))
+    return cells
+
+
+def _run_grid(traces, workers):
+    """Run the grid uncached; returns (sorted-keys results JSON, metrics)."""
+    with SweepRunner(workers=workers, cache_dir=None) as runner:
+        results = runner.run_cells(_grid_cells(traces))
+        payload = json.dumps([r.to_dict() for r in results],
+                             sort_keys=True)
+        return payload, runner.metrics
+
+
+def _sweep_grid(traces, workers, metrics_json=None):
+    """The shared-stream fan-out check: parallel == serial, one compile
+    per distinct trace, metrics optionally archived as JSON."""
+    serial_payload, _ = _run_grid(traces, workers=1)
+    payload, metrics = _run_grid(traces, workers=workers)
+    if payload != serial_payload:
+        raise SystemExit(
+            "FAIL: sweep grid with workers=%d diverged from serial"
+            % workers)
+    if metrics.compile_count != len(APPS):
+        raise SystemExit(
+            "FAIL: batch compiled %d traces, expected %d (one per "
+            "distinct node trace)" % (metrics.compile_count, len(APPS)))
+    totals = metrics.to_dict()["totals"]
+    print("sweep grid (%d cells, workers=%d) byte-identical to serial"
+          % (totals["cells"], workers))
+    print("  elapsed %.3fs  cpu %.3fs  ipc %d bytes  %.0f pages/s"
+          % (totals["elapsed_s"], totals["cpu_time_s"],
+             totals["ipc_bytes"], totals["pages_per_sec"]))
+    if metrics_json:
+        with open(metrics_json, "w") as handle:
+            json.dump(metrics.to_dict(), handle, indent=2, sort_keys=True)
+        print("  metrics written to %s" % metrics_json)
+
+
 def _time_engine(traces, engine, repeats, tracer=None):
     """Best-of-``repeats`` wall time (deterministic work, noisy machines)."""
     best = None
@@ -96,6 +159,13 @@ def main(argv=None):
                         help="minimum fast+NullTracer throughput as a "
                              "fraction of the untraced fast path "
                              "(best-of-N absorbs scheduler noise)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the sweep-grid phase; "
+                             ">1 exercises the shared-stream fan-out and "
+                             "diffs it against a serial run")
+    parser.add_argument("--metrics-json", default=None, metavar="PATH",
+                        help="write the sweep grid's SweepMetrics dict "
+                             "as JSON to PATH")
     args = parser.parse_args(argv)
 
     traces = _traces(scale=args.scale, seed=args.seed)
@@ -124,6 +194,8 @@ def main(argv=None):
         raise SystemExit(
             "FAIL: NullTracer throughput %.2fx of the untraced fast path "
             "(threshold %.2f)" % (ratio, args.nulltracer_threshold))
+
+    _sweep_grid(traces, args.workers, args.metrics_json)
 
 
 if __name__ == "__main__":

@@ -18,7 +18,9 @@ from repro.sim.runner import (
     default_cache_dir,
     default_runner,
     trace_fingerprint,
+    workers_from_env,
 )
+from repro.sim.stream_store import SharedStreamStore
 from repro.sim.simulator import (
     ClusterResult,
     NodeResult,
@@ -38,6 +40,7 @@ __all__ = [
     "ClusterResult",
     "NodeResult",
     "ResultCache",
+    "SharedStreamStore",
     "SimConfig",
     "SweepCell",
     "SweepMetrics",
@@ -46,6 +49,7 @@ __all__ = [
     "default_cache_dir",
     "default_runner",
     "trace_fingerprint",
+    "workers_from_env",
     "generate_traces",
     "run_on_traces",
     "simulate_app",

@@ -20,8 +20,6 @@ on-disk result cache.  With no runner the shared serial default is used;
 evaluation only replays cells whose inputs changed.
 """
 
-import os
-
 from repro import params
 from repro.core.costs import DEFAULT_COST_MODEL, MEASURED_SIZES
 from repro.sim.config import SimConfig
@@ -35,6 +33,7 @@ from repro.sim.runner import (
     SweepRunner,
     default_cache_dir,
     default_runner,
+    workers_from_env,
 )
 from repro.sim.sweep import (
     generate_traces,
@@ -592,7 +591,7 @@ def make_runner(workers=None, cache_dir=None, trace_dir=None):
     :class:`~repro.sim.runner.SweepRunner`.
     """
     if workers is None:
-        workers = int(os.environ.get("REPRO_WORKERS", "1"))
+        workers = workers_from_env()
     if cache_dir is None:
         cache_dir = default_cache_dir()
     elif cache_dir is False:

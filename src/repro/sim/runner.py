@@ -13,22 +13,35 @@ Results travel as JSON-safe dicts (``NodeResult.to_dict``) in *all three*
 paths — serial, cross-process, and cached — so a warm cache run is
 byte-identical to a cold one by construction.
 
+Trace *inputs* travel the cheap way: a sweep replays the same handful of
+node traces under dozens of configurations, so the runner compiles each
+distinct trace exactly once per batch (keyed by content fingerprint),
+publishes the compiled streams to a per-batch
+:class:`~repro.sim.stream_store.SharedStreamStore`, and sends workers
+only ``(stream_key, config, mechanism)``.  Workers attach read-only in
+the pool initializer and replay the parent's arrays in place — no
+per-cell pickling, no per-worker recompilation.  Units are scheduled
+largest-trace-first to keep a straggler from serializing the tail;
+results are still reassembled in submission order.
+
 The cache key is a content hash of everything that can change a cell's
 outcome: the per-node trace fingerprints, every :class:`SimConfig` field
 (cost-model constants included), the mechanism, and a digest of the
 simulator/core source files ("code version").  Any edit to any input
 yields a fresh key; stale entries are simply never read again.
 
-:class:`SweepMetrics` records what actually happened — per-cell wall
-time, cache hit or miss, worker count, and a stats snapshot — as the
+:class:`SweepMetrics` records what actually happened — per-cell timings,
+cache hit or miss, compile and IPC accounting, batch wall clock — as the
 machine-readable report ``python -m repro --metrics-json`` dumps and the
 benchmarks attach to their results.
 """
 
+import atexit
 import hashlib
 import json
 import os
 import re
+import struct
 import time
 from multiprocessing import get_context
 
@@ -37,7 +50,9 @@ from repro.obs.tracer import JsonlTracer
 from repro.sim.intr_simulator import simulate_node_intr
 from repro.sim.pp_simulator import simulate_node_pp
 from repro.sim.simulator import ClusterResult, simulate_node
+from repro.sim.stream_store import AttachedStreams, SharedStreamStore
 from repro.traces.compile import compile_streams
+from repro.traces.record import OP_CODES, count_lookups
 
 #: node-replay entry point per mechanism (Sections 3.1, 4, and 6).
 SIMULATORS = {
@@ -55,7 +70,9 @@ TRACEABLE_MECHANISMS = ("utlb", "intr")
 PHASES = ("compile_s", "replay_s", "report_s")
 
 #: Cache entry layout version; bump to orphan every existing entry.
-CACHE_FORMAT = 1
+#: 2: ``trace_fingerprint`` switched from per-record ``repr`` strings to
+#: packed record bytes.
+CACHE_FORMAT = 2
 
 _CODE_VERSION = None
 
@@ -64,11 +81,33 @@ _CODE_VERSION = None
 # Fingerprinting
 # ---------------------------------------------------------------------------
 
+#: One trace record, packed for fingerprinting: timestamp, node, pid
+#: (signed — pids are caller-chosen), op code, vaddr, nbytes.
+_FINGERPRINT_RECORD = struct.Struct("<QqqBQQ")
+
+
 def trace_fingerprint(records):
-    """Content hash of one node's trace (order-sensitive, as replay is)."""
+    """Content hash of one node's trace (order-sensitive, as replay is).
+
+    Hashes the packed binary form of each record — one ``struct.pack``
+    per record instead of building a ``repr()`` string, which is what
+    made fingerprinting show up in sweep profiles.  Falls back to the
+    repr form for exotic field values the packed layout cannot hold
+    (e.g. a pid beyond 64 bits); both forms are stable content hashes,
+    and ``CACHE_FORMAT`` was bumped when the packed form became the
+    default, so no old key can collide with a new one.
+    """
     digest = hashlib.sha256()
-    for record in records:
-        digest.update(repr(record.as_tuple()).encode("ascii"))
+    pack = _FINGERPRINT_RECORD.pack
+    try:
+        digest.update(b"".join(
+            pack(r.timestamp, r.node, r.pid, OP_CODES[r.op], r.vaddr,
+                 r.nbytes)
+            for r in records))
+    except (struct.error, OverflowError):
+        digest = hashlib.sha256(b"repr-fallback:")
+        for record in records:
+            digest.update(repr(record.as_tuple()).encode("ascii"))
     return digest.hexdigest()
 
 
@@ -105,14 +144,23 @@ def code_version():
     return _CODE_VERSION
 
 
-def cell_key(traces, config, mechanism):
-    """The cache key: a hash over every input that shapes the result."""
+def cell_key(traces, config, mechanism, fingerprints=None):
+    """The cache key: a hash over every input that shapes the result.
+
+    ``fingerprints`` optionally supplies precomputed per-node trace
+    fingerprints (``{node: hexdigest}``); the runner passes the ones it
+    already computed for the compile memo so each trace is hashed once
+    per batch, not once per purpose.
+    """
+    if fingerprints is None:
+        fingerprints = {node: trace_fingerprint(traces[node])
+                        for node in traces}
     payload = {
         "format": CACHE_FORMAT,
         "code": code_version(),
         "mechanism": mechanism,
         "config": config.to_dict(),
-        "traces": {str(node): trace_fingerprint(traces[node])
+        "traces": {str(node): fingerprints[node]
                    for node in sorted(traces)},
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -129,6 +177,28 @@ def default_cache_dir():
     return os.path.join(base, "repro", "sweeps")
 
 
+def workers_from_env(default=1):
+    """Worker count from ``REPRO_WORKERS``, validated.
+
+    A value that is not an integer, or is below 1, raises
+    :class:`ConfigError` naming the offending value — a typo'd
+    environment variable should fail loudly, not crash as a bare
+    ``ValueError`` deep inside runner construction.
+    """
+    raw = os.environ.get("REPRO_WORKERS")
+    if raw is None:
+        return default
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ConfigError(
+            "REPRO_WORKERS must be an integer, got %r" % (raw,)) from None
+    if workers < 1:
+        raise ConfigError(
+            "REPRO_WORKERS must be at least 1, got %r" % (raw,))
+    return workers
+
+
 # ---------------------------------------------------------------------------
 # The on-disk result cache
 # ---------------------------------------------------------------------------
@@ -140,18 +210,30 @@ class ResultCache:
         self.directory = directory
         self.hits = 0
         self.misses = 0
+        #: Entries that existed but failed to parse (corrupt/truncated).
+        #: Distinct from a plain miss; the broken file is deleted on
+        #: sight so the next run re-misses cleanly and re-stores.
+        self.corrupt = 0
 
     def _path(self, key):
         return os.path.join(self.directory, key + ".json")
 
     def load(self, key):
         """The cached :class:`ClusterResult`, or None on a miss."""
+        path = self._path(key)
         try:
-            with open(self._path(key), "r", encoding="ascii") as handle:
+            with open(path, "r", encoding="ascii") as handle:
                 payload = json.load(handle)
             result = ClusterResult.from_dict(payload["result"])
-        except (OSError, ValueError, KeyError):
+        except OSError:
             self.misses += 1
+            return None
+        except (ValueError, KeyError):
+            self.corrupt += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
             return None
         self.hits += 1
         return result
@@ -183,7 +265,7 @@ class ResultCache:
 # ---------------------------------------------------------------------------
 
 class CellMetrics:
-    """What one cell cost: identity, cache outcome, wall time, stats."""
+    """What one cell cost: identity, cache outcome, timings, stats."""
 
     def __init__(self, label, mechanism, config, nodes):
         self.label = label
@@ -191,6 +273,9 @@ class CellMetrics:
         self.config = config.describe()
         self.nodes = nodes
         self.cache_hit = False
+        #: Summed phase time of this cell's units.  Under ``workers>1``
+        #: the units run concurrently, so this is CPU time, not elapsed
+        #: wall clock — the batch-level ``elapsed_s`` is the wall clock.
         self.wall_time_s = 0.0
         self.lookups = 0
         self.stats = None               # TranslationStats snapshot (dict)
@@ -198,10 +283,19 @@ class CellMetrics:
         #: proper, result serialization); zeros for cache hits.
         self.phases = dict.fromkeys(PHASES, 0.0)
         self.trace_path = None          # JSONL event dump, if traced
+        #: Fresh ``compile_streams`` passes this cell triggered.  A batch
+        #: compiles each distinct trace once, charged to the first cell
+        #: that needed it; every later cell sharing the trace records 0.
+        self.compile_count = 0
+        #: Bytes published to the shared-memory stream store on this
+        #: cell's behalf (0 for serial runs — no IPC — and for cells
+        #: whose streams an earlier cell already published).
+        self.ipc_bytes = 0
 
     @property
     def pages_per_sec(self):
-        """Replay throughput: translation lookups (pages) per wall second.
+        """Replay throughput: translation lookups (pages) per CPU second
+        of this cell's units (their summed phase time).
 
         Zero for cache hits and empty cells — it measures replay speed,
         not cache-load speed.
@@ -221,6 +315,8 @@ class CellMetrics:
             "phases": dict(self.phases),
             "trace_path": self.trace_path,
             "lookups": self.lookups,
+            "compile_count": self.compile_count,
+            "ipc_bytes": self.ipc_bytes,
             "pages_per_sec": self.pages_per_sec,
             "stats": self.stats,
         }
@@ -232,6 +328,14 @@ class SweepMetrics:
     def __init__(self, workers):
         self.workers = workers
         self.cells = []
+        #: True batch wall clock: elapsed seconds inside ``run_cells``,
+        #: summed over batches.  Under parallelism this is what actually
+        #: passed; ``cpu_time_s`` is what the workers collectively spent.
+        self.elapsed_s = 0.0
+        #: Cache entries that existed but failed to parse (see
+        #: :class:`ResultCache`); mirrored here so ``--metrics-json``
+        #: carries it.
+        self.cache_corrupt = 0
 
     def record(self, cell_metrics):
         self.cells.append(cell_metrics)
@@ -245,17 +349,39 @@ class SweepMetrics:
         return sum(1 for c in self.cells if not c.cache_hit)
 
     @property
-    def wall_time_s(self):
+    def cpu_time_s(self):
+        """Summed per-unit phase time across all cells.
+
+        With ``workers>1`` this exceeds the elapsed wall clock (units run
+        concurrently) — it is the aggregate compute spent, the old
+        ``wall_time_s`` total whose name promised otherwise.
+        """
         return sum(c.wall_time_s for c in self.cells)
 
     @property
+    def compile_count(self):
+        """Fresh ``compile_streams`` passes across the run — equals the
+        number of distinct node traces per batch, not cells x nodes."""
+        return sum(c.compile_count for c in self.cells)
+
+    @property
+    def ipc_bytes(self):
+        """Bytes published to shared-memory stream stores across the run."""
+        return sum(c.ipc_bytes for c in self.cells)
+
+    @property
     def pages_per_sec(self):
-        """Aggregate replay throughput over the cells actually replayed."""
-        replayed = [c for c in self.cells if not c.cache_hit]
-        seconds = sum(c.wall_time_s for c in replayed)
-        if seconds <= 0.0:
+        """Sweep throughput: replayed lookups per elapsed wall second.
+
+        Uses the batch wall clock (``elapsed_s``), so with ``workers>1``
+        it reports the real aggregate rate rather than the per-worker
+        rate the old summed-time quotient gave.  Zero when nothing was
+        replayed (fully warm runs).
+        """
+        replayed = sum(c.lookups for c in self.cells if not c.cache_hit)
+        if replayed == 0 or self.elapsed_s <= 0.0:
             return 0.0
-        return sum(c.lookups for c in replayed) / seconds
+        return replayed / self.elapsed_s
 
     def to_dict(self):
         phase_totals = dict.fromkeys(PHASES, 0.0)
@@ -269,9 +395,13 @@ class SweepMetrics:
                 "cells": len(self.cells),
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
-                "wall_time_s": self.wall_time_s,
+                "cache_corrupt": self.cache_corrupt,
+                "cpu_time_s": self.cpu_time_s,
+                "elapsed_s": self.elapsed_s,
                 "phases": phase_totals,
                 "lookups": sum(c.lookups for c in self.cells),
+                "compile_count": self.compile_count,
+                "ipc_bytes": self.ipc_bytes,
                 "pages_per_sec": self.pages_per_sec,
             },
         }
@@ -296,36 +426,82 @@ class SweepCell:
         self.mechanism = mechanism
 
 
-def _replay_unit(args, compile_memo=None):
+def _streams_eligible(config, mechanism):
+    """True when this unit's replay consumes compiled streams.
+
+    Mirrors the engine dispatch inside the simulators exactly: a unit
+    marked eligible is shipped *without* its records (stream key only),
+    so it must be one the fast compiled-stream path will actually take.
+    ``pp`` predates stream compilation; the ``intr`` fast path
+    additionally needs a direct-mapped, unclassified cache.
+    """
+    if config.engine != "fast" or config.traced:
+        return False
+    if mechanism == "utlb":
+        return True
+    if mechanism == "intr":
+        return config.associativity == 1 and not config.classify
+    return False
+
+
+#: Worker-side registry of attached compiled streams, populated by the
+#: pool initializer: ``{stream key: CompiledStreams}``.  The attachments
+#: themselves are kept alive alongside (a dropped ``SharedMemory`` would
+#: unmap the views); both die with the worker process.
+_WORKER_STREAMS = {}
+_WORKER_ATTACHMENTS = []
+
+
+def _worker_detach():
+    """Release stream views before interpreter teardown finalizes the
+    mappings (``SharedMemory.__del__`` refuses to close a block with
+    live memoryview exports)."""
+    _WORKER_STREAMS.clear()
+    attachments, _WORKER_ATTACHMENTS[:] = _WORKER_ATTACHMENTS[:], []
+    for attached in attachments:
+        attached.close()
+
+
+def _worker_init(manifest):
+    """Pool initializer: attach every published stream block read-only.
+
+    ``manifest`` is ``SharedStreamStore.manifest()`` — it rides along at
+    pool construction, so the blocks must be published *before* the pool
+    exists (the runner recreates its pool whenever the manifest changes).
+    """
+    _worker_detach()
+    atexit.register(_worker_detach)
+    for key, name in manifest.items():
+        attached = AttachedStreams(key, name)
+        _WORKER_ATTACHMENTS.append(attached)
+        _WORKER_STREAMS[key] = attached.compiled
+
+
+def _replay_unit(args, compiled=None):
     """One work unit: replay a single node's trace (runs in a worker).
 
-    Returns ``(phases, NodeResult.to_dict())`` — ``phases`` is the
-    per-phase wall-time dict (compile / replay / report) and the dict
-    form is the single transport format for serial, parallel, and cached
-    results.
+    ``args`` is ``(records, config, mechanism, stream_key)``.  Exactly
+    one of two transports feeds the fast engine its compiled streams:
 
-    ``compile_memo`` (serial runs only) shares compiled page streams
-    between cells replaying the same node trace: sweeps replay one trace
-    under many configs, so each trace is compiled once per batch instead
-    of once per cell.  Keyed by list identity, which is stable here — the
-    cells hold the record lists alive for the whole batch and the memo
-    dies with it.  The first compile still lands inside the unit's
-    compile phase; memo hits cost (and report) ~nothing.
+    * serial runs pass ``compiled`` directly (the caller's per-batch
+      compile memo — same process, no transport at all);
+    * pooled runs ship ``records=None`` plus a ``stream_key`` into the
+      worker-side registry the pool initializer filled from shared
+      memory.
+
+    Units that replay through the reference path (or ``pp``) carry their
+    records and no key.  Returns ``(phases, NodeResult.to_dict())`` —
+    the dict form is the single transport format for serial, parallel,
+    and cached results.
     """
-    records, config, mechanism = args
+    records, config, mechanism, stream_key = args
+    if compiled is None and stream_key is not None:
+        compiled = _WORKER_STREAMS.get(stream_key)
+        if compiled is None:
+            raise RuntimeError(
+                "stream %s not attached in this worker (pool initializer "
+                "ran with a stale manifest?)" % (stream_key,))
     phases = dict.fromkeys(PHASES, 0.0)
-    compiled = None
-    if (config.engine == "fast" and not config.traced
-            and mechanism in TRACEABLE_MECHANISMS):
-        start = time.perf_counter()
-        if compile_memo is not None:
-            key = id(records)
-            compiled = compile_memo.get(key)
-            if compiled is None:
-                compiled = compile_memo[key] = compile_streams(records)
-        else:
-            compiled = compile_streams(records)
-        phases["compile_s"] = time.perf_counter() - start
     start = time.perf_counter()
     if compiled is not None:
         result = SIMULATORS[mechanism](records, config, compiled=compiled)
@@ -370,18 +546,29 @@ class SweepRunner:
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.metrics = SweepMetrics(workers)
         self.trace_dir = trace_dir
+        #: Manifest of the most recent batch's stream store — block
+        #: names whose shared memory is already unlinked once the batch
+        #: returns (introspection and leak tests).
+        self.last_stream_manifest = {}
         self._trace_names = set()
         self._mp_context = mp_context
         self._pool = None
+        self._pool_manifest = {}
+        self._store = None
 
     # -- lifecycle ----------------------------------------------------------
 
     def close(self):
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down, unlink any stream blocks
+        (idempotent — batches normally unlink their own store)."""
+        if self._store is not None:
+            self._store.close()
+            self._store = None
         if self._pool is not None:
             self._pool.close()
             self._pool.join()
             self._pool = None
+            self._pool_manifest = {}
 
     def __enter__(self):
         return self
@@ -389,10 +576,24 @@ class SweepRunner:
     def __exit__(self, *exc_info):
         self.close()
 
-    def _pool_handle(self):
+    def _pool_handle(self, manifest):
+        """The worker pool, rebuilt whenever the stream manifest changes.
+
+        The manifest rides in the pool initializer (workers attach at
+        startup, before any unit runs), so a batch that publishes new
+        blocks needs fresh workers; manifest-less batches keep reusing
+        the previous pool.
+        """
+        if self._pool is not None and manifest != self._pool_manifest:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
         if self._pool is None:
             context = get_context(self._mp_context)
-            self._pool = context.Pool(processes=self.workers)
+            self._pool = context.Pool(processes=self.workers,
+                                      initializer=_worker_init,
+                                      initargs=(manifest,))
+            self._pool_manifest = manifest
         return self._pool
 
     # -- tracing ------------------------------------------------------------
@@ -434,16 +635,38 @@ class SweepRunner:
         ``(label, traces, config, mechanism)`` tuples.  Cached cells are
         answered from disk; the remaining node replays are flattened into
         one work-unit list and executed serially (``workers=1``) or over
-        the pool — either way in deterministic order.
+        the pool — either way with deterministic, submission-ordered
+        results.
+
+        Batch pipeline: fingerprint every distinct trace once (the same
+        hash keys the result cache and the compile memo), compile each
+        distinct fingerprint once, and — when the pool is used — publish
+        the compiled streams to a shared-memory store whose blocks are
+        unlinked before this method returns, on success and on worker
+        failure alike.
         """
         cells = [c if isinstance(c, SweepCell) else SweepCell(*c)
                  for c in cells]
+        batch_start = time.perf_counter()
         results = [None] * len(cells)
         keys = [None] * len(cells)
         configs = [cell.config for cell in cells]   # effective per cell
         owned_tracers = []
         cell_metrics = []
         pending = []
+        fingerprint_memo = {}       # id(records) -> content fingerprint
+
+        def fingerprint(records):
+            # Keyed by list identity (stable: the cells keep every record
+            # list alive for the whole batch) so each distinct trace is
+            # hashed once per batch no matter how many cells share it.
+            memo_key = id(records)
+            digest = fingerprint_memo.get(memo_key)
+            if digest is None:
+                digest = fingerprint_memo[memo_key] = \
+                    trace_fingerprint(records)
+            return digest
+
         try:
             for index, cell in enumerate(cells):
                 metrics = CellMetrics(cell.label, cell.mechanism,
@@ -458,8 +681,10 @@ class SweepRunner:
                 # return the numbers but lose the event stream.
                 if self.cache is not None and not configs[index].traced:
                     start = time.perf_counter()
-                    keys[index] = cell_key(cell.traces, cell.config,
-                                           cell.mechanism)
+                    keys[index] = cell_key(
+                        cell.traces, cell.config, cell.mechanism,
+                        fingerprints={node: fingerprint(cell.traces[node])
+                                      for node in cell.traces})
                     cached = self.cache.load(keys[index])
                     if cached is not None:
                         results[index] = cached
@@ -471,36 +696,42 @@ class SweepRunner:
                 pending.append(index)
 
             units = []                  # (cell index, node) per work unit
-            unit_args = []
+            unit_args = []              # (records, config, mech, key)
             for index in pending:
                 cell = cells[index]
+                eligible = _streams_eligible(configs[index], cell.mechanism)
                 for node in sorted(cell.traces):
+                    records = cell.traces[node]
                     units.append((index, node))
-                    unit_args.append((cell.traces[node], configs[index],
-                                      cell.mechanism))
+                    unit_args.append((
+                        records, configs[index], cell.mechanism,
+                        fingerprint(records) if eligible else None))
+
+            # Compile each distinct trace exactly once per batch; charge
+            # the pass (time and count) to the first cell that needed it.
+            compiled_by_key = {}
+            key_owner = {}              # stream key -> triggering cell
+            for (index, _node), args in zip(units, unit_args):
+                stream_key = args[3]
+                if stream_key is None or stream_key in compiled_by_key:
+                    continue
+                start = time.perf_counter()
+                compiled_by_key[stream_key] = compile_streams(args[0])
+                elapsed = time.perf_counter() - start
+                key_owner[stream_key] = index
+                metrics = cell_metrics[index]
+                metrics.phases["compile_s"] += elapsed
+                metrics.wall_time_s += elapsed
+                metrics.compile_count += 1
 
             if not unit_args:
                 outcomes = []
             elif self.workers == 1 or len(unit_args) == 1:
-                compile_memo = {}
-                outcomes = [_replay_unit(args, compile_memo)
+                outcomes = [_replay_unit(args, compiled_by_key.get(args[3]))
                             for args in unit_args]
             else:
-                # Traced units hold live tracers (unpicklable, and their
-                # events must land in node order), so they run here in
-                # submission order; the rest fan out over the pool.
-                outcomes = [None] * len(unit_args)
-                pooled = [i for i, args in enumerate(unit_args)
-                          if not args[1].traced]
-                if pooled:
-                    for i, outcome in zip(
-                            pooled, self._pool_handle().map(
-                                _replay_unit,
-                                [unit_args[i] for i in pooled])):
-                        outcomes[i] = outcome
-                for i, args in enumerate(unit_args):
-                    if outcomes[i] is None:
-                        outcomes[i] = _replay_unit(args)
+                outcomes = self._run_pooled(unit_args, compiled_by_key,
+                                            key_owner, cell_metrics)
 
             node_dicts = {index: [] for index in pending}
             for (index, _node), (phases, node_dict) in zip(units, outcomes):
@@ -525,12 +756,67 @@ class SweepRunner:
                         "wall_time_s": metrics.wall_time_s,
                     })
         finally:
+            if self._store is not None:
+                self._store.close()
+                self._store = None
             for tracer in owned_tracers:
                 tracer.close()
 
         for metrics in cell_metrics:
             self.metrics.record(metrics)
+        if self.cache is not None:
+            self.metrics.cache_corrupt = self.cache.corrupt
+        self.metrics.elapsed_s += time.perf_counter() - batch_start
         return results
+
+    def _run_pooled(self, unit_args, compiled_by_key, key_owner,
+                    cell_metrics):
+        """Fan the batch's units over the pool; submission-order results.
+
+        Stream-eligible units travel as ``(None, config, mechanism,
+        stream_key)`` against the shared store — the records never cross
+        the process boundary.  Traced units hold live tracers
+        (unpicklable, and their events must land in node order), so they
+        run in this process in submission order; everything else is
+        dispatched largest-trace-first with ``chunksize=1`` so one huge
+        node trace starts immediately instead of serializing the tail
+        behind a straggler.
+        """
+        outcomes = [None] * len(unit_args)
+        pooled = [i for i, args in enumerate(unit_args)
+                  if not args[1].traced]
+        if pooled:
+            manifest = {}
+            if compiled_by_key:
+                self._store = SharedStreamStore()
+                for stream_key, compiled in compiled_by_key.items():
+                    published = self._store.publish(stream_key, compiled)
+                    cell_metrics[key_owner[stream_key]].ipc_bytes += \
+                        published
+                manifest = self._store.manifest()
+            self.last_stream_manifest = dict(manifest)
+
+            def unit_pages(i):
+                stream_key = unit_args[i][3]
+                if stream_key is not None:
+                    return compiled_by_key[stream_key].total_pages
+                return count_lookups(unit_args[i][0])
+
+            order = sorted(pooled, key=lambda i: (-unit_pages(i), i))
+            shipped = []
+            for i in order:
+                records, config, mechanism, stream_key = unit_args[i]
+                shipped.append((None if stream_key is not None else records,
+                                config, mechanism, stream_key))
+            pool = self._pool_handle(manifest)
+            for i, outcome in zip(order,
+                                  pool.map(_replay_unit, shipped, 1)):
+                outcomes[i] = outcome
+        for i, args in enumerate(unit_args):
+            if outcomes[i] is None:
+                outcomes[i] = _replay_unit(args,
+                                           compiled_by_key.get(args[3]))
+        return outcomes
 
 
 # ---------------------------------------------------------------------------
@@ -548,6 +834,5 @@ def default_runner():
     """
     global _DEFAULT_RUNNER
     if _DEFAULT_RUNNER is None:
-        workers = int(os.environ.get("REPRO_WORKERS", "1"))
-        _DEFAULT_RUNNER = SweepRunner(workers=workers)
+        _DEFAULT_RUNNER = SweepRunner(workers=workers_from_env())
     return _DEFAULT_RUNNER

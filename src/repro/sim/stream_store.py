@@ -1,0 +1,191 @@
+"""Zero-copy distribution of compiled page streams to sweep workers.
+
+The sweep engine replays the *same* node traces under dozens of
+configurations.  Before this layer existed, every parallel work unit
+pickled its full record list through the pool and recompiled the page
+streams in the worker — per cell, not per trace.  Mirroring the paper's
+own move (one Shared UTLB-Cache instead of per-process copies), the
+store puts each distinct compiled trace into one
+``multiprocessing.shared_memory`` block and hands workers a key; the
+worker attaches read-only and rebuilds :class:`CompiledStreams` as
+``memoryview`` casts over the mapping — zero copies of the page arrays
+on either side of the fork/spawn boundary.
+
+Block layout (all little-endian, offsets 8-byte aligned)::
+
+    [u64 header length][JSON header][pad][buffer 0][pad][buffer 1]...
+
+The JSON header is exactly :meth:`CompiledStreams.to_buffers` metadata,
+so the store adds transport, not format: an attach round-trips
+byte-identical to in-process compilation.
+
+Lifecycle: the parent :meth:`publish`\\ es per batch and must
+:meth:`close` (unlink) every block when the batch ends — on success *and*
+on worker failure.  Attached blocks stay valid after unlink (POSIX
+semantics); a worker's mappings die with the worker process.  Attaching
+deliberately sidesteps the resource tracker (bpo-38119): only the
+creating process owns unlink, otherwise every worker exit would try to
+destroy — or loudly fail to destroy — blocks it never owned.
+"""
+
+import json
+import struct
+import sys
+from multiprocessing import shared_memory
+
+try:
+    from multiprocessing import resource_tracker
+except ImportError:                                   # pragma: no cover
+    resource_tracker = None
+
+from repro.traces.compile import CompiledStreams
+
+_HEADER_LEN = struct.Struct("<Q")
+_ALIGNMENT = 8
+
+
+def _aligned(nbytes):
+    return (nbytes + _ALIGNMENT - 1) & ~(_ALIGNMENT - 1)
+
+
+def _attach_block(name):
+    """Attach to an existing block without adopting ownership of it.
+
+    Before Python 3.13 (which grew ``track=False``), merely attaching
+    registers the block with the process's resource tracker, so a worker
+    exiting would unlink — or warn about — a block the parent still owns.
+    Unregistering right after attach restores create-owns-unlink.
+    """
+    if sys.version_info >= (3, 13):
+        return shared_memory.SharedMemory(name=name, track=False)
+    if resource_tracker is None:                      # pragma: no cover
+        return shared_memory.SharedMemory(name=name)
+    # Suppress (not undo) the registration: processes forked from one
+    # parent share a single tracker whose name cache is a set, so a
+    # register/unregister pair from each of N workers underflows it.
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class AttachedStreams:
+    """One attached block: a zero-copy :class:`CompiledStreams` view.
+
+    ``compiled`` aliases the shared mapping, so :meth:`close` first
+    releases every exported memoryview (Python refuses to unmap a block
+    with live exports) and leaves ``compiled`` unusable.  Workers never
+    bother closing — their mappings vanish with the process — but tests
+    and short-lived parent-side attaches must.
+    """
+
+    __slots__ = ("key", "compiled", "_block", "_views")
+
+    def __init__(self, key, name):
+        self.key = key
+        self._block = _attach_block(name)
+        buf = self._block.buf
+        (meta_len,) = _HEADER_LEN.unpack_from(buf, 0)
+        meta = json.loads(
+            bytes(buf[_HEADER_LEN.size:_HEADER_LEN.size + meta_len]))
+        position = _aligned(_HEADER_LEN.size + meta_len)
+        self._views = []
+        for _code, nbytes in meta["buffers"]:
+            self._views.append(buf[position:position + nbytes])
+            position += _aligned(nbytes)
+        self.compiled = CompiledStreams.from_buffers(meta, self._views)
+
+    def close(self):
+        """Release every view and detach (idempotent)."""
+        compiled, self.compiled = self.compiled, None
+        if compiled is not None:
+            for view in (compiled.index_stream, compiled.page_stream,
+                         *compiled.streams.values()):
+                view.release()
+        views, self._views = self._views, []
+        for view in views:
+            view.release()
+        if self._block is not None:
+            self._block.close()
+            self._block = None
+
+
+class SharedStreamStore:
+    """Per-batch publisher of compiled streams in shared memory.
+
+    The parent publishes each distinct compiled trace once, keyed by its
+    content fingerprint; :meth:`manifest` (``{key: block name}``) travels
+    to the pool initializer, and work units then carry only the key.
+    ``ipc_bytes`` totals the bytes written into blocks — the data that a
+    pickle-per-unit transport would have shipped once per *cell*.
+    """
+
+    def __init__(self):
+        self._blocks = {}                   # key -> SharedMemory (owned)
+        self.ipc_bytes = 0
+
+    def __len__(self):
+        return len(self._blocks)
+
+    def __contains__(self, key):
+        return key in self._blocks
+
+    def publish(self, key, compiled):
+        """Write one compiled trace into a fresh block; returns its size.
+
+        Publishing an already-present key is a no-op returning 0 — the
+        batch compiles (and therefore publishes) each fingerprint once.
+        """
+        if key in self._blocks:
+            return 0
+        meta, buffers = compiled.to_buffers()
+        header = json.dumps(meta, sort_keys=True,
+                            separators=(",", ":")).encode("ascii")
+        position = _aligned(_HEADER_LEN.size + len(header))
+        total = position + sum(_aligned(view.nbytes) for view in buffers)
+        block = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        buf = block.buf
+        _HEADER_LEN.pack_into(buf, 0, len(header))
+        buf[_HEADER_LEN.size:_HEADER_LEN.size + len(header)] = header
+        for view in buffers:
+            buf[position:position + view.nbytes] = view
+            position += _aligned(view.nbytes)
+        self._blocks[key] = block
+        self.ipc_bytes += total
+        return total
+
+    def manifest(self):
+        """``{stream key: shared-memory block name}`` for the initializer."""
+        return {key: block.name for key, block in self._blocks.items()}
+
+    def attach(self, key, name=None):
+        """A read-only :class:`AttachedStreams` for one published key.
+
+        ``name`` lets a foreign process (which has only the manifest)
+        attach; the owning process can omit it.
+        """
+        if name is None:
+            name = self._blocks[key].name
+        return AttachedStreams(key, name)
+
+    def close(self):
+        """Unmap and unlink every owned block (idempotent).
+
+        Safe to call with workers still attached: unlink removes the
+        name, the workers' existing mappings stay valid until they exit.
+        """
+        blocks, self._blocks = self._blocks, {}
+        for block in blocks.values():
+            block.close()
+            try:
+                block.unlink()
+            except FileNotFoundError:                 # pragma: no cover
+                pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()

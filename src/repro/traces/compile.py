@@ -15,10 +15,23 @@ stream).
 Compilation is a single pass over the records, which also yields the pid
 set — callers no longer need a separate ``split_by_pid`` pass just to
 enumerate processes.
+
+For cross-process distribution, :meth:`CompiledStreams.to_buffers` /
+:meth:`CompiledStreams.from_buffers` split a compiled trace into a small
+JSON-safe metadata header plus a flat list of raw byte buffers — the
+shape ``multiprocessing.shared_memory`` wants.  ``from_buffers`` wraps
+the buffers with zero-copy ``memoryview`` casts, so a worker attached to
+a shared block replays the parent's arrays in place instead of unpickling
+a copy of the trace.
 """
 
 import sys
 from array import array
+
+from repro.errors import TraceError
+
+#: Version tag of the ``to_buffers`` metadata layout.
+BUFFER_FORMAT = 1
 
 
 class CompiledStreams:
@@ -66,6 +79,73 @@ class CompiledStreams:
     def __repr__(self):
         return ("CompiledStreams(pids=%r, segments=%d, pages=%d)"
                 % (self.pids, len(self.segments), self.total_pages))
+
+    def to_buffers(self):
+        """Split into ``(meta, buffers)`` for shared-memory transport.
+
+        ``meta`` is a small JSON-safe dict (pids, segment list, byte
+        order, and one ``[typecode, nbytes]`` descriptor per buffer);
+        ``buffers`` is the matching list of raw little-endian byte views
+        over the arrays, in a fixed order: ``index_stream``,
+        ``page_stream``, then one per-pid stream per ``pid_order`` entry.
+        The views alias this object's arrays — nothing is copied here;
+        the copy (if any) is the caller writing them into a block.
+        """
+        arrays = [("H", self.index_stream), ("Q", self.page_stream)]
+        arrays.extend(("Q", self.streams[pid]) for pid in self.pid_order)
+        meta = {
+            "format": BUFFER_FORMAT,
+            "byteorder": sys.byteorder,
+            "pids": list(self.pids),
+            "pid_order": list(self.pid_order),
+            "segments": [list(segment) for segment in self.segments],
+            "total_pages": self.total_pages,
+            "buffers": [[code, _raw_view(data).nbytes]
+                        for code, data in arrays],
+        }
+        return meta, [_raw_view(data) for _, data in arrays]
+
+    @classmethod
+    def from_buffers(cls, meta, buffers):
+        """Rebuild from :meth:`to_buffers` output without copying.
+
+        ``buffers`` may be any bytes-like objects (typically memoryview
+        slices of one shared-memory block); each is wrapped with a
+        ``memoryview.cast`` to its declared typecode, so the arrays of
+        the result are views over the caller's buffers.  Raises
+        :class:`TraceError` on a layout-version or byte-order mismatch —
+        shared memory never crosses machines, so a mismatch means a bug,
+        not an exotic host.
+        """
+        if meta.get("format") != BUFFER_FORMAT:
+            raise TraceError("unsupported compiled-stream buffer format %r"
+                             % (meta.get("format"),))
+        if meta["byteorder"] != sys.byteorder:
+            raise TraceError("compiled-stream buffers are %s-endian, host "
+                             "is %s-endian" % (meta["byteorder"],
+                                               sys.byteorder))
+        if len(buffers) != len(meta["buffers"]):
+            raise TraceError("expected %d stream buffers, got %d"
+                             % (len(meta["buffers"]), len(buffers)))
+        views = []
+        for (code, nbytes), data in zip(meta["buffers"], buffers):
+            view = memoryview(data).cast("B")
+            if view.nbytes != nbytes:
+                raise TraceError("stream buffer is %d bytes, header says %d"
+                                 % (view.nbytes, nbytes))
+            views.append(view.cast(code))
+        pid_order = list(meta["pid_order"])
+        index_stream, page_stream = views[0], views[1]
+        streams = dict(zip(pid_order, views[2:]))
+        return cls(list(meta["pids"]), streams,
+                   [tuple(segment) for segment in meta["segments"]],
+                   pid_order, index_stream, page_stream,
+                   meta["total_pages"])
+
+
+def _raw_view(data):
+    """A flat unsigned-byte view of any bytes-like object (zero-copy)."""
+    return memoryview(data).cast("B")
 
 
 def compile_streams(records):

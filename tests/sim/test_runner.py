@@ -2,12 +2,15 @@
 
 Three properties carry the engine's whole value:
 
-* a parallel run is byte-identical to the serial baseline,
+* a parallel run is byte-identical to the serial baseline — under both
+  ``fork`` and ``spawn``, with the shared-memory stream store active,
 * the cache answers identical inputs and never answers changed ones,
 * the structured metrics faithfully record what each cell cost.
 """
 
 import json
+import multiprocessing
+from multiprocessing import shared_memory
 
 import pytest
 
@@ -21,12 +24,19 @@ from repro.sim.runner import (
     cell_key,
     code_version,
     trace_fingerprint,
+    workers_from_env,
 )
 from repro.sim.simulator import ClusterResult, NodeResult, simulate_node
+from repro.traces.record import TraceRecord
 from repro.traces.synth import make_app
 
 SCALE = 0.05
 SEED = 1
+
+#: Start methods available on this platform ("fork" is absent on
+#: Windows; both exist on the POSIX hosts CI runs).
+MP_CONTEXTS = [method for method in ("fork", "spawn")
+               if method in multiprocessing.get_all_start_methods()]
 
 
 @pytest.fixture(scope="module")
@@ -73,17 +83,35 @@ class TestJsonRoundTrip:
 
 
 class TestDeterminism:
-    def test_parallel_equals_serial(self, traces, config):
+    @pytest.mark.parametrize("mp_context", MP_CONTEXTS)
+    def test_parallel_equals_serial(self, traces, config, mp_context):
         cells = [SweepCell(size, traces, config.replace(cache_entries=size))
                  for size in (128, 256, 512)]
         serial = SweepRunner(workers=1).run_cells(cells)
-        with SweepRunner(workers=2) as parallel_runner:
+        with SweepRunner(workers=2,
+                         mp_context=mp_context) as parallel_runner:
+            parallel = parallel_runner.run_cells(cells)
+            # The shared-memory path was actually exercised, not a
+            # records-pickling fallback.
+            assert parallel_runner.last_stream_manifest
+        assert run_dicts(parallel) == run_dicts(serial)
+
+    @pytest.mark.parametrize("mp_context", MP_CONTEXTS)
+    def test_mechanisms_parallel_equals_serial(self, traces, config,
+                                               mp_context):
+        cells = [SweepCell(mech, traces, config, mech)
+                 for mech in ("utlb", "intr", "pp")]
+        serial = SweepRunner(workers=1).run_cells(cells)
+        with SweepRunner(workers=2,
+                         mp_context=mp_context) as parallel_runner:
             parallel = parallel_runner.run_cells(cells)
         assert run_dicts(parallel) == run_dicts(serial)
 
-    def test_mechanisms_parallel_equals_serial(self, traces, config):
-        cells = [SweepCell(mech, traces, config, mech)
-                 for mech in ("utlb", "intr", "pp")]
+    def test_reference_engine_parallel_equals_serial(self, traces, config):
+        # Reference-engine units ship their records (no compiled
+        # streams); the mixed batch exercises both transports at once.
+        cells = [SweepCell(engine, traces, config.replace(engine=engine))
+                 for engine in ("fast", "reference")]
         serial = SweepRunner(workers=1).run_cells(cells)
         with SweepRunner(workers=2) as parallel_runner:
             parallel = parallel_runner.run_cells(cells)
@@ -135,20 +163,42 @@ class TestCache:
         assert cell_key(other, config, "utlb") != base
         assert cell_key(traces, config, "utlb") == base   # stable
 
-    def test_corrupt_entry_is_a_miss(self, traces, config, tmp_path):
+    def test_corrupt_entry_is_deleted_and_counted(self, traces, config,
+                                                  tmp_path):
         runner = SweepRunner(cache_dir=str(tmp_path))
-        runner.run(traces, config)
+        first = runner.run(traces, config)
         (entry,) = tmp_path.glob("*.json")
         entry.write_text("{not json")
         rerun = SweepRunner(cache_dir=str(tmp_path))
         result = rerun.run(traces, config)
-        assert rerun.cache.misses == 1
+        # Corrupt is its own outcome — not a hit, not a plain miss — and
+        # the broken file is removed so it cannot re-miss forever.
+        assert rerun.cache.corrupt == 1
+        assert rerun.cache.hits == 0 and rerun.cache.misses == 0
+        assert rerun.metrics.cache_corrupt == 1
+        assert rerun.metrics.to_dict()["totals"]["cache_corrupt"] == 1
         assert result.stats.lookups > 0
+        assert result.to_dict() == first.to_dict()
+        # The replay re-stored a good entry, so a third run hits clean.
+        third = SweepRunner(cache_dir=str(tmp_path))
+        assert third.run(traces, config).to_dict() == first.to_dict()
+        assert third.cache.hits == 1 and third.cache.corrupt == 0
 
     def test_fingerprints_are_content_hashes(self, traces):
         assert trace_fingerprint(traces[0]) == trace_fingerprint(traces[0])
         assert trace_fingerprint(traces[0]) != trace_fingerprint(traces[1])
         assert len(code_version()) == 16
+
+    def test_fingerprint_falls_back_on_unpackable_records(self):
+        # A pid beyond the packed layout's 64-bit field routes the whole
+        # trace through the repr fallback, which must stay a working,
+        # content-sensitive hash (and never collide with packed form).
+        records = [TraceRecord(0, 0, 1 << 70, "send", 0x10000000, 4096)]
+        other = [TraceRecord(0, 0, (1 << 70) + 1, "send", 0x10000000, 4096)]
+        assert trace_fingerprint(records) == trace_fingerprint(records)
+        assert trace_fingerprint(records) != trace_fingerprint(other)
+        packable = [TraceRecord(0, 0, 1, "send", 0x10000000, 4096)]
+        assert trace_fingerprint(records) != trace_fingerprint(packable)
 
 
 class TestMetrics:
@@ -177,6 +227,82 @@ class TestMetrics:
         assert report["totals"]["lookups"] == \
             runner.metrics.cells[0].lookups
 
+    def test_elapsed_is_wall_clock_cpu_is_the_sum(self, traces, config):
+        runner = SweepRunner()
+        runner.run(traces, config)
+        runner.run(traces, config)
+        totals = runner.metrics.to_dict()["totals"]
+        # elapsed_s accumulates per batch; cpu_time_s sums unit phases.
+        assert totals["elapsed_s"] > 0.0
+        assert totals["cpu_time_s"] == pytest.approx(
+            sum(c.wall_time_s for c in runner.metrics.cells))
+        # Serially, the batch wall clock contains every unit's phases.
+        assert totals["elapsed_s"] >= totals["cpu_time_s"]
+        assert totals["pages_per_sec"] == pytest.approx(
+            totals["lookups"] / totals["elapsed_s"])
+
+    def test_cell_reports_compile_and_ipc_fields(self, traces, config):
+        runner = SweepRunner()
+        runner.run(traces, config)
+        cell = runner.metrics.to_dict()["cells"][0]
+        assert cell["compile_count"] == len(traces)
+        assert cell["ipc_bytes"] == 0           # serial: no IPC at all
+        with SweepRunner(workers=2) as parallel_runner:
+            parallel_runner.run(traces, config)
+            totals = parallel_runner.metrics.to_dict()["totals"]
+        assert totals["ipc_bytes"] > 0
+        assert totals["compile_count"] == len(traces)
+
+
+class TestSharedStreamBatches:
+    def test_batch_compiles_each_distinct_trace_once(self, traces, config):
+        """N cells over the same traces: compile_count == distinct node
+        traces, not cells x nodes — serial and parallel alike."""
+        sizes = (128, 256, 512, 1024)
+        cells = [SweepCell(size, traces,
+                           config.replace(cache_entries=size))
+                 for size in sizes]
+        cells += [SweepCell("intr-%d" % size, traces,
+                            config.replace(cache_entries=size), "intr")
+                  for size in sizes]
+        for workers in (1, 2):
+            with SweepRunner(workers=workers) as runner:
+                runner.run_cells(cells)
+                assert runner.metrics.compile_count == len(traces)
+                per_cell = [c.compile_count for c in runner.metrics.cells]
+                assert sum(per_cell) == len(traces) != \
+                    len(cells) * len(traces)
+
+    def test_no_leaked_blocks_after_close(self, traces, config):
+        cells = [SweepCell(size, traces, config.replace(cache_entries=size))
+                 for size in (128, 256)]
+        with SweepRunner(workers=2) as runner:
+            runner.run_cells(cells)
+            manifest = dict(runner.last_stream_manifest)
+        assert manifest
+        # Every published block is unlinked by the time the batch
+        # returns (and certainly after close()): attaching by name fails.
+        for name in manifest.values():
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_blocks_unlinked_when_a_worker_fails(self, traces, config):
+        # A config the workers will choke on: engine validation happens
+        # in SimConfig, so break the unit by an unknown mechanism
+        # injected after validation.
+        cells = [SweepCell(128, traces, config.replace(cache_entries=128)),
+                 SweepCell(256, traces, config.replace(cache_entries=256))]
+        with SweepRunner(workers=2) as runner:
+            broken = SweepCell(1, traces, config)
+            broken.mechanism = "not-a-mechanism"     # bypasses __init__
+            with pytest.raises(KeyError):
+                runner.run_cells(cells + [broken])
+            manifest = dict(runner.last_stream_manifest)
+        assert manifest
+        for name in manifest.values():
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
 
 class TestValidation:
     def test_unknown_mechanism_rejected(self, traces, config):
@@ -186,3 +312,20 @@ class TestValidation:
     def test_zero_workers_rejected(self):
         with pytest.raises(ConfigError):
             SweepRunner(workers=0)
+
+    def test_workers_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert workers_from_env() == 1
+        assert workers_from_env(default=4) == 4
+
+    def test_workers_env_valid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert workers_from_env() == 3
+
+    @pytest.mark.parametrize("value", ["zero", "2.5", "", "0", "-1"])
+    def test_workers_env_invalid_raises_config_error(self, monkeypatch,
+                                                     value):
+        monkeypatch.setenv("REPRO_WORKERS", value)
+        with pytest.raises(ConfigError) as excinfo:
+            workers_from_env()
+        assert repr(value) in str(excinfo.value)

@@ -1,0 +1,152 @@
+"""The shared-memory stream store: round-trip fidelity and lifecycle.
+
+Two properties carry the store's whole value: an attached view replays
+byte-identically to in-process compilation (zero-copy is worthless if it
+is not also lossless), and every block a store publishes is unlinked by
+``close()`` — the sweep runner calls it per batch, success or failure.
+"""
+
+from array import array
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.sim.stream_store import AttachedStreams, SharedStreamStore
+from repro.traces.compile import compile_streams
+from repro.traces.record import TraceRecord
+from repro.traces.synth import make_app
+
+
+def sample_records():
+    return make_app("fft").generate_node(0, seed=3, scale=0.05)
+
+
+def assert_streams_equal(left, right):
+    """Byte-identical compiled streams (values and layout)."""
+    assert list(left.pids) == list(right.pids)
+    assert list(left.pid_order) == list(right.pid_order)
+    assert [tuple(s) for s in left.segments] == \
+        [tuple(s) for s in right.segments]
+    assert left.total_pages == right.total_pages
+    assert bytes(memoryview(left.index_stream)) == \
+        bytes(memoryview(right.index_stream))
+    assert bytes(memoryview(left.page_stream)) == \
+        bytes(memoryview(right.page_stream))
+    assert sorted(left.streams) == sorted(right.streams)
+    for pid in left.streams:
+        assert bytes(memoryview(left.streams[pid])) == \
+            bytes(memoryview(right.streams[pid]))
+
+
+class TestRoundTrip:
+    def test_attach_is_byte_identical_to_compilation(self):
+        compiled = compile_streams(sample_records())
+        store = SharedStreamStore()
+        try:
+            store.publish("fft", compiled)
+            attached = store.attach("fft")
+            try:
+                assert_streams_equal(attached.compiled, compiled)
+            finally:
+                attached.close()
+        finally:
+            store.close()
+
+    def test_attached_views_are_zero_copy(self):
+        compiled = compile_streams(sample_records())
+        with SharedStreamStore() as store:
+            store.publish("fft", compiled)
+            attached = store.attach("fft")
+            try:
+                # The arrays are memoryview casts over the block, not
+                # private copies: widths match the array typecodes.
+                view = attached.compiled.page_stream
+                assert isinstance(view, memoryview)
+                assert view.itemsize == array("Q").itemsize
+                assert attached.compiled.index_stream.itemsize == \
+                    array("H").itemsize
+                assert view.readonly is False  # slice of the mapping
+            finally:
+                attached.close()
+
+    def test_empty_trace_round_trips(self):
+        compiled = compile_streams([])
+        with SharedStreamStore() as store:
+            store.publish("empty", compiled)
+            attached = store.attach("empty")
+            try:
+                assert_streams_equal(attached.compiled, compiled)
+                assert attached.compiled.total_pages == 0
+            finally:
+                attached.close()
+
+    def test_single_record_round_trips(self):
+        compiled = compile_streams(
+            [TraceRecord(0, 0, 7, "send", 0x10000000, 4096)])
+        with SharedStreamStore() as store:
+            store.publish("one", compiled)
+            attached = store.attach("one")
+            try:
+                assert_streams_equal(attached.compiled, compiled)
+                assert list(attached.compiled.page_stream) == \
+                    list(compiled.page_stream)
+            finally:
+                attached.close()
+
+    def test_foreign_attach_by_name(self):
+        # What a worker does: only the manifest's name, no store object.
+        compiled = compile_streams(sample_records())
+        with SharedStreamStore() as store:
+            store.publish("fft", compiled)
+            name = store.manifest()["fft"]
+            attached = AttachedStreams("fft", name)
+            try:
+                assert attached.key == "fft"
+                assert_streams_equal(attached.compiled, compiled)
+            finally:
+                attached.close()
+
+
+class TestLifecycle:
+    def test_publish_same_key_is_idempotent(self):
+        compiled = compile_streams(sample_records())
+        with SharedStreamStore() as store:
+            first = store.publish("k", compiled)
+            assert first > 0
+            assert store.publish("k", compiled) == 0
+            assert len(store) == 1
+            assert store.ipc_bytes == first
+
+    def test_close_unlinks_every_block(self):
+        compiled = compile_streams(sample_records())
+        store = SharedStreamStore()
+        store.publish("a", compiled)
+        store.publish("b", compile_streams([]))
+        manifest = store.manifest()
+        assert sorted(manifest) == ["a", "b"]
+        store.close()
+        for name in manifest.values():
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        store.close()                                # idempotent
+
+    def test_attachment_survives_unlink(self):
+        # POSIX semantics the runner relies on: the parent unlinks at
+        # batch end while workers still hold their mappings.
+        compiled = compile_streams(sample_records())
+        store = SharedStreamStore()
+        store.publish("k", compiled)
+        attached = store.attach("k")
+        try:
+            store.close()
+            assert_streams_equal(attached.compiled, compiled)
+        finally:
+            attached.close()
+
+    def test_attached_close_is_idempotent(self):
+        with SharedStreamStore() as store:
+            store.publish("k", compile_streams(sample_records()))
+            attached = store.attach("k")
+            attached.close()
+            attached.close()
+            assert attached.compiled is None

@@ -1,9 +1,18 @@
 """The trace-compilation pass feeding the fast replay engine."""
 
+import json
+import sys
 from array import array
 
+import pytest
+
 from repro import params
-from repro.traces.compile import CompiledStreams, compile_streams
+from repro.errors import TraceError
+from repro.traces.compile import (
+    BUFFER_FORMAT,
+    CompiledStreams,
+    compile_streams,
+)
 from repro.traces.record import OP_SEND, TraceRecord
 
 
@@ -84,3 +93,92 @@ class TestCompileStreams:
         compiled = compile_streams([rec(0, 1, 2), rec(1, 1, 3)])
         text = repr(compiled)
         assert "pids=[1]" in text and "pages=2" in text
+
+
+class TestBufferRoundTrip:
+    """``to_buffers``/``from_buffers``: the shared-memory wire format."""
+
+    def compiled(self):
+        records = [rec(i, (i * 7) % 4, 50 + i, npages=1 + i % 3)
+                   for i in range(30)]
+        return compile_streams(records)
+
+    def test_round_trip_is_byte_identical(self):
+        original = self.compiled()
+        meta, buffers = original.to_buffers()
+        rebuilt = CompiledStreams.from_buffers(
+            meta, [bytes(view) for view in buffers])
+        assert list(rebuilt.pids) == original.pids
+        assert list(rebuilt.pid_order) == original.pid_order
+        assert [tuple(s) for s in rebuilt.segments] == original.segments
+        assert rebuilt.total_pages == original.total_pages
+        assert bytes(rebuilt.index_stream) == \
+            original.index_stream.tobytes()
+        assert bytes(rebuilt.page_stream) == original.page_stream.tobytes()
+        for pid in original.streams:
+            assert bytes(rebuilt.streams[pid]) == \
+                original.streams[pid].tobytes()
+
+    def test_rebuilt_streams_replay_identically(self):
+        original = self.compiled()
+        meta, buffers = original.to_buffers()
+        rebuilt = CompiledStreams.from_buffers(meta, buffers)
+        replayed = [(rebuilt.pid_order[i], v)
+                    for i, v in zip(rebuilt.index_stream,
+                                    rebuilt.page_stream)]
+        expected = [(original.pid_order[i], v)
+                    for i, v in zip(original.index_stream,
+                                    original.page_stream)]
+        assert replayed == expected
+
+    def test_to_buffers_does_not_copy(self):
+        original = self.compiled()
+        _meta, buffers = original.to_buffers()
+        # The views alias the arrays: same memory, flat byte shape.
+        assert buffers[1].obj is original.page_stream
+        assert buffers[1].nbytes == original.page_stream.itemsize * \
+            len(original.page_stream)
+
+    def test_meta_survives_json(self):
+        meta, buffers = self.compiled().to_buffers()
+        rebuilt = CompiledStreams.from_buffers(
+            json.loads(json.dumps(meta)), buffers)
+        assert rebuilt.total_pages == meta["total_pages"]
+
+    def test_buffer_order_is_index_page_then_pid_order(self):
+        original = self.compiled()
+        meta, buffers = original.to_buffers()
+        codes = [code for code, _nbytes in meta["buffers"]]
+        assert codes == ["H", "Q"] + ["Q"] * len(original.pid_order)
+        assert len(buffers) == 2 + len(original.pid_order)
+
+    def test_empty_trace_round_trips(self):
+        meta, buffers = compile_streams([]).to_buffers()
+        rebuilt = CompiledStreams.from_buffers(meta, buffers)
+        assert rebuilt.total_pages == 0
+        assert list(rebuilt.pids) == []
+        assert len(rebuilt.page_stream) == 0
+
+    def test_rejects_unknown_format(self):
+        meta, buffers = self.compiled().to_buffers()
+        meta["format"] = BUFFER_FORMAT + 1
+        with pytest.raises(TraceError, match="buffer format"):
+            CompiledStreams.from_buffers(meta, buffers)
+
+    def test_rejects_foreign_byteorder(self):
+        meta, buffers = self.compiled().to_buffers()
+        meta["byteorder"] = "big" if sys.byteorder == "little" else "little"
+        with pytest.raises(TraceError, match="endian"):
+            CompiledStreams.from_buffers(meta, buffers)
+
+    def test_rejects_buffer_count_mismatch(self):
+        meta, buffers = self.compiled().to_buffers()
+        with pytest.raises(TraceError, match="stream buffers"):
+            CompiledStreams.from_buffers(meta, buffers[:-1])
+
+    def test_rejects_buffer_size_mismatch(self):
+        meta, buffers = self.compiled().to_buffers()
+        truncated = [bytes(view) for view in buffers]
+        truncated[1] = truncated[1][:-8]
+        with pytest.raises(TraceError, match="bytes"):
+            CompiledStreams.from_buffers(meta, truncated)
