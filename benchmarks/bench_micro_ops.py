@@ -11,7 +11,9 @@ from repro.core.bitvector import BitVector
 from repro.core.lookup_tree import TwoLevelLookupTree
 from repro.core.shared_cache import SharedUtlbCache
 from repro.core.utlb import HierarchicalUtlb
+from repro.sim.analytic import _memory_pass
 from repro.sim.runner import trace_fingerprint
+from repro.traces.compile import compile_streams
 from repro.traces.synth import make_app
 
 
@@ -101,6 +103,28 @@ def bench_trace_fingerprint_repr(benchmark):
         return digest.hexdigest()
 
     benchmark(repr_fingerprint)
+
+
+def _compiled_trace():
+    return compile_streams(make_app("barnes").generate_node(0, seed=1,
+                                                            scale=0.1))
+
+
+def bench_stack_distance_pass_direct(benchmark):
+    """The analytic memory-axis kernel (per-pid exact LRU stack
+    distances + conflict tracking) under the plain direct index — the
+    per-access cost floor of one whole sweep axis."""
+    compiled = _compiled_trace()
+    benchmark(_memory_pass, compiled, 8192, False, 1024)
+    benchmark.extra_info["pages"] = compiled.total_pages
+
+
+def bench_stack_distance_pass_offset(benchmark):
+    """Same kernel, set-partitioned with per-process index offsetting —
+    what Table 5's offset-indexed configuration costs per access."""
+    compiled = _compiled_trace()
+    benchmark(_memory_pass, compiled, 8192, True, 1024)
+    benchmark.extra_info["pages"] = compiled.total_pages
 
 
 def bench_demand_pin_path(benchmark):

@@ -17,14 +17,23 @@ checks the zero-cost-tracing contract: the fast engine with a disabled
 throughput within noise of the untraced fast path (gated at
 ``--nulltracer-threshold``, best-of-``--repeats``).
 
-The standalone run then drives a Table-4-sized sweep grid (both apps x
-cache sizes x utlb/intr) through :class:`SweepRunner` to exercise the
-shared-stream fan-out path: with ``--workers N`` the parallel results
-must be byte-identical to a fresh serial run, and the batch must compile
-each distinct node trace exactly once (``compile_count == len(APPS)``),
+The standalone run then gates the analytic axis solver: the utlb
+cache-size axis of the grid (per app, every ``GRID_CACHE_ENTRIES``
+point) is run once through the solver and once through per-cell replay
+(``analytic=False``); the results must be byte-identical and the solver
+must be at least ``--min-axis-speedup`` times faster (best-of-repeats
+wall time).
+
+Finally it drives a Table-4-sized sweep grid (both apps x cache sizes x
+utlb/intr) through :class:`SweepRunner` to exercise the shared-stream
+fan-out path: with ``--workers N`` the parallel results must be
+byte-identical to a fresh serial run, and the batch must compile each
+distinct node trace exactly once (``compile_count == len(APPS)``),
 however many grid cells replay it.  ``--metrics-json PATH`` dumps the
-parallel run's full ``SweepMetrics.to_dict()`` so CI can archive the
-throughput trajectory (elapsed_s, cpu_time_s, ipc_bytes, pages/sec).
+parallel run's full ``SweepMetrics.to_dict()`` — including the
+``analytic_axes`` / ``analytic_cells`` totals and, under
+``analytic_axis_speedup``, the solver-vs-replay timing — so CI can
+archive the throughput trajectory (``BENCH_*.json``).
 """
 
 import argparse
@@ -48,6 +57,11 @@ APPS = ("barnes", "radix")
 #: interesting mechanisms, over every benchmark app.
 GRID_CACHE_ENTRIES = (1024, 4096, 8192, 16384)
 GRID_MECHANISMS = ("utlb", "intr")
+
+#: The cache-size axis the analytic solver is timed on: the grid's
+#: sizes densified to the kind of sweep the one-pass solver makes cheap
+#: (every cell beyond the first is nearly free — the pass is shared).
+AXIS_CACHE_ENTRIES = (512, 1024, 2048, 4096, 8192, 16384)
 
 
 def _traces(scale=BENCH_SCALE, seed=BENCH_SEED):
@@ -110,7 +124,75 @@ def _run_grid(traces, workers):
         return payload, runner.metrics
 
 
-def _sweep_grid(traces, workers, metrics_json=None):
+def _axis_cells(traces):
+    """The analytic-eligible slice of the grid: per app, the utlb
+    cache-size axis over every ``AXIS_CACHE_ENTRIES`` point."""
+    cells = []
+    for app in APPS:
+        node_traces = {0: traces[app]}
+        for entries in AXIS_CACHE_ENTRIES:
+            cells.append(SweepCell(
+                "%s/utlb/%d" % (app, entries), node_traces,
+                SimConfig(cache_entries=entries), "utlb"))
+    return cells
+
+
+def _time_axis(traces, analytic, repeats):
+    """Best-of-``repeats`` wall time for the cache-size axis cells."""
+    best = None
+    payload = None
+    metrics = None
+    for _ in range(repeats):
+        with SweepRunner(workers=1, cache_dir=None,
+                         analytic=analytic) as runner:
+            start = time.perf_counter()
+            results = runner.run_cells(_axis_cells(traces))
+            elapsed = time.perf_counter() - start
+        candidate = json.dumps([r.to_dict() for r in results],
+                               sort_keys=True)
+        if best is None or elapsed < best:
+            best, payload, metrics = elapsed, candidate, runner.metrics
+    return payload, best, metrics
+
+
+def _axis_speedup(traces, repeats, min_speedup):
+    """The analytic-parity gate plus the axis-solver speedup point.
+
+    Parity is a hard gate (byte-identity is the solver's contract);
+    the speedup threshold is configurable so CI can keep it modest on
+    noisy shared runners while ``BENCH_*.json`` records the real ratio.
+    """
+    replay_payload, replay_s, _ = _time_axis(traces, False, repeats)
+    solved_payload, solved_s, metrics = _time_axis(traces, True, repeats)
+    if solved_payload != replay_payload:
+        raise SystemExit(
+            "FAIL: analytic axis solver diverged from per-cell replay")
+    cells = len(metrics.cells)
+    if metrics.analytic_cells != cells:
+        raise SystemExit(
+            "FAIL: only %d of %d axis cells were solved analytically"
+            % (metrics.analytic_cells, cells))
+    speedup = replay_s / solved_s
+    print("analytic axis (%d cells, %d axes) byte-identical to replay"
+          % (cells, metrics.analytic_axes))
+    print("  replay %.3fs  analytic %.3fs  speedup %.1fx"
+          % (replay_s, solved_s, speedup))
+    if speedup < min_speedup:
+        raise SystemExit(
+            "FAIL: axis-solver speedup %.1fx below threshold %.1fx"
+            % (speedup, min_speedup))
+    return {
+        "cells": cells,
+        "analytic_axes": metrics.analytic_axes,
+        "analytic_cells": metrics.analytic_cells,
+        "replay_s": replay_s,
+        "analytic_s": solved_s,
+        "speedup": speedup,
+    }
+
+
+def _sweep_grid(traces, workers, metrics_json=None, axis_speedup=None,
+                bench_scale=BENCH_SCALE, bench_seed=BENCH_SEED):
     """The shared-stream fan-out check: parallel == serial, one compile
     per distinct trace, metrics optionally archived as JSON."""
     serial_payload, _ = _run_grid(traces, workers=1)
@@ -126,12 +208,25 @@ def _sweep_grid(traces, workers, metrics_json=None):
     totals = metrics.to_dict()["totals"]
     print("sweep grid (%d cells, workers=%d) byte-identical to serial"
           % (totals["cells"], workers))
-    print("  elapsed %.3fs  cpu %.3fs  ipc %d bytes  %.0f pages/s"
+    print("  elapsed %.3fs  cpu %.3fs  ipc %d bytes  %.0f pages/s  "
+          "%d analytic cells"
           % (totals["elapsed_s"], totals["cpu_time_s"],
-             totals["ipc_bytes"], totals["pages_per_sec"]))
+             totals["ipc_bytes"], totals["pages_per_sec"],
+             totals["analytic_cells"]))
     if metrics_json:
+        archive = metrics.to_dict()
+        if axis_speedup is not None:
+            archive["analytic_axis_speedup"] = axis_speedup
+        archive["bench"] = {
+            "apps": list(APPS),
+            "grid_cache_entries": list(GRID_CACHE_ENTRIES),
+            "axis_cache_entries": list(AXIS_CACHE_ENTRIES),
+            "scale": bench_scale,
+            "seed": bench_seed,
+            "workers": workers,
+        }
         with open(metrics_json, "w") as handle:
-            json.dump(metrics.to_dict(), handle, indent=2, sort_keys=True)
+            json.dump(archive, handle, indent=2, sort_keys=True)
         print("  metrics written to %s" % metrics_json)
 
 
@@ -166,6 +261,10 @@ def main(argv=None):
     parser.add_argument("--metrics-json", default=None, metavar="PATH",
                         help="write the sweep grid's SweepMetrics dict "
                              "as JSON to PATH")
+    parser.add_argument("--min-axis-speedup", type=float, default=2.0,
+                        help="minimum analytic-axis-solver speedup over "
+                             "per-cell replay (parity is always gated; "
+                             "the recorded ratio is the real one)")
     args = parser.parse_args(argv)
 
     traces = _traces(scale=args.scale, seed=args.seed)
@@ -195,7 +294,10 @@ def main(argv=None):
             "FAIL: NullTracer throughput %.2fx of the untraced fast path "
             "(threshold %.2f)" % (ratio, args.nulltracer_threshold))
 
-    _sweep_grid(traces, args.workers, args.metrics_json)
+    axis_speedup = _axis_speedup(traces, args.repeats,
+                                 args.min_axis_speedup)
+    _sweep_grid(traces, args.workers, args.metrics_json, axis_speedup,
+                bench_scale=args.scale, bench_seed=args.seed)
 
 
 if __name__ == "__main__":

@@ -202,6 +202,24 @@ class CostModel:
             "check_max_table": list(self._check_max),
         }
 
+    def unit_costs(self):
+        """The five per-event constants of the no-prefetch UTLB fast path.
+
+        With ``prefetch == 1`` and ``prepin == 1`` every charged event is
+        one of exactly five fixed prices — check, NIC hit probe, pin one
+        page, unpin one page, miss-fetch one entry — so a whole replay's
+        time fields are reproducible from event *counts* alone (via
+        :func:`accumulated_cost`).  The analytic axis solver ships this
+        dict to its workers instead of the full model.
+        """
+        return {
+            "check": self.user_check_hit,
+            "ni_hit": self.ni_check_hit,
+            "pin": self.pin_cost(1),
+            "unpin": self.unpin_cost(1),
+            "miss": self.miss_cost(1),
+        }
+
     # -- host-side ----------------------------------------------------------
 
     def check_cost(self, num_pages, worst_case=False):

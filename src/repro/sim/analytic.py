@@ -1,0 +1,640 @@
+"""One-pass analytic axis solver (Mattson's stack algorithm, Section 6).
+
+Every grid in Tables 5-8 replays the same compiled page streams once per
+(cache size, memory limit, associativity) cell, so sweep cost is
+O(cells x pages) even with the fast engine.  For stack-friendly
+replacement — the default LRU NIC-cache line replacement and the LRU
+pinned-page pool — the inclusion property collapses a whole sweep *axis*
+into one pass: a single traversal of a node's :class:`CompiledStreams`
+yields exact per-pid miss counts for **every** capacity at once, and the
+cost model charges each event class a fixed price when ``prefetch == 1``
+and ``prepin == 1``, so all ``*_time_us`` fields follow from the counts
+(:func:`~repro.core.costs.accumulated_cost`).  Axis cost becomes
+O(pages + cells).
+
+Two axis kinds are solved:
+
+* **memory axis** — cells identical except ``memory_limit_bytes``
+  (Table 5), direct-mapped.  One pass computes, per pid, the LRU stack
+  distance of every page reuse (distance ``d`` means the reuse is a
+  check miss exactly for limits ``L <= d``), whether the reuse interval
+  suffered a same-set different-key NIC-cache conflict (direct-mapped:
+  any such access misses and overwrites, an ``L``-independent fact), and
+  the pid-local distinct-page count ``K'`` at the interval's *first*
+  conflict — an unpin at limit ``L`` finds a live NIC entry to
+  invalidate iff ``min(d, K') >= L``.  Histogram suffix sums then read
+  off check misses, NIC misses, unpins, invalidations, evictions, and
+  final occupancy for every limit on the axis.
+* **cache axis** — cells identical except ``(cache_entries,
+  associativity, offsetting)`` with no pinning limit (Table 8).  Per
+  distinct ``(num_sets, offsetting)`` geometry one pass computes each
+  access's within-set LRU recency depth (bounded at the axis's largest
+  associativity): depth ``>= A`` means a miss at associativity ``A``.
+  With numpy available the ubiquitous direct-mapped case vectorizes to
+  a stable sort by set index plus adjacent comparisons.
+
+The materialized per-cell ``NodeResult`` dicts are **byte-identical** to
+the fast engine's — same counters, same bit-exact float time fields
+(every charged constant is accumulated in per-pid event order, and the
+merged node stats sum the per-pid floats in sorted-pid order, exactly as
+``TranslationStats.merged`` does).  The differential tests enforce this
+cell by cell.
+
+:func:`plan_axes` is the :class:`~repro.sim.runner.SweepRunner`'s
+planner: it groups a batch's pending cells into eligible axes and leaves
+everything else (other mechanisms, non-LRU policies, prefetch/prepin
+batching, classification, tracing, reference engine) to per-cell replay.
+"""
+
+import json
+from bisect import bisect_left
+
+from repro import params
+from repro.core.costs import accumulated_cost
+from repro.core.shared_cache import SharedUtlbCache
+from repro.core.stats import TranslationStats
+from repro.errors import CapacityError
+
+#: Minimum cells before a group is worth one analytic pass; singletons
+#: replay (one pass of either engine costs about the same, and replay is
+#: the better-tested path).
+AXIS_MIN_CELLS = 2
+
+#: The config fields a cache axis varies; everything else must match.
+CACHE_AXIS_FIELDS = ("cache_entries", "associativity", "offsetting")
+
+_OFFSET_MULTIPLIER = SharedUtlbCache.OFFSET_MULTIPLIER
+
+
+class AnalyticAxis:
+    """One planned axis: the member cell indices plus a picklable spec.
+
+    ``spec`` is what travels to workers (axis kind, geometry, the
+    per-cell axis values aligned with ``indices``, and the cost model's
+    five unit prices); ``solve_axis_node`` consumes it next to one
+    node's compiled streams.
+    """
+
+    __slots__ = ("kind", "indices", "spec")
+
+    def __init__(self, kind, indices, spec):
+        self.kind = kind
+        self.indices = indices
+        self.spec = spec
+
+
+# ---------------------------------------------------------------------------
+# Planning
+# ---------------------------------------------------------------------------
+
+def cell_eligible(config, mechanism):
+    """Can this cell ride an analytic axis at all (axis fields aside)?
+
+    The solver models exactly the fast engine's default path: UTLB
+    mechanism, untraced, unclassified, one page per pin call and one
+    entry per miss fetch, LRU pinned-page replacement.  Everything else
+    — including user-supplied policy *instances* — replays per cell.
+    """
+    return (mechanism == "utlb"
+            and config.engine == "fast"
+            and not config.traced
+            and not config.classify
+            and config.prefetch == 1
+            and config.prepin == 1
+            and config.pin_policy == "lru")
+
+
+def plan_axes(cells, pending, configs, fingerprint):
+    """Group pending cells into analytic axes; returns ``(axes, rest)``.
+
+    Two cells join the same axis when they replay the identical traces
+    (by content fingerprint) under configs that differ *only* in the
+    axis field(s): ``memory_limit_bytes`` for a memory axis (which also
+    needs a direct-mapped cache), or ``(cache_entries, associativity,
+    offsetting)`` for a cache axis (which needs no pinning limit).
+    Memory axes claim cells first; ``rest`` preserves ``pending``'s
+    order for the per-cell replay fallback.
+    """
+    mem_groups = {}
+    cache_groups = {}
+    for index in pending:
+        cell = cells[index]
+        config = configs[index]
+        if not cell_eligible(config, cell.mechanism):
+            continue
+        sig = tuple((node, fingerprint(cell.traces[node]))
+                    for node in sorted(cell.traces))
+        base = config.to_dict()
+        if config.associativity == 1:
+            rest = dict(base)
+            del rest["memory_limit_bytes"]
+            key = (sig, json.dumps(rest, sort_keys=True))
+            mem_groups.setdefault(key, []).append(index)
+        if config.memory_limit_bytes is None:
+            rest = dict(base)
+            for field in CACHE_AXIS_FIELDS:
+                del rest[field]
+            key = (sig, json.dumps(rest, sort_keys=True))
+            cache_groups.setdefault(key, []).append(index)
+
+    axes = []
+    claimed = set()
+    for members in mem_groups.values():
+        if len(members) < AXIS_MIN_CELLS:
+            continue
+        config0 = configs[members[0]]
+        axes.append(AnalyticAxis("memory", members, {
+            "kind": "memory",
+            "num_sets": config0.cache_entries,      # direct-mapped
+            "offsetting": bool(config0.offsetting),
+            "limits": [configs[m].memory_limit_pages for m in members],
+            "unit_costs": config0.cost_model.unit_costs(),
+        }))
+        claimed.update(members)
+    for members in cache_groups.values():
+        members = [m for m in members if m not in claimed]
+        if len(members) < AXIS_MIN_CELLS:
+            continue
+        config0 = configs[members[0]]
+        axes.append(AnalyticAxis("cache", members, {
+            "kind": "cache",
+            "geometries": [[configs[m].cache_entries,
+                            configs[m].associativity,
+                            bool(configs[m].offsetting)]
+                           for m in members],
+            "unit_costs": config0.cost_model.unit_costs(),
+        }))
+        claimed.update(members)
+
+    if not claimed:
+        return [], pending
+    return axes, [i for i in pending if i not in claimed]
+
+
+# ---------------------------------------------------------------------------
+# Solving (runs in workers, one call per (axis, node))
+# ---------------------------------------------------------------------------
+
+def solve_axis_node(compiled, spec):
+    """Solve one node for every cell of an axis.
+
+    Returns a list of ``NodeResult.to_dict()``-shaped dicts, one per
+    axis cell (aligned with the spec's per-cell value lists), each
+    byte-identical to what fast replay of that cell would produce.
+    """
+    if len(compiled.pids) > params.MAX_PROCESSES_PER_NIC:
+        raise CapacityError(
+            "node trace has %d processes; the NIC tag space holds %d"
+            % (len(compiled.pids), params.MAX_PROCESSES_PER_NIC))
+    if spec["kind"] == "memory":
+        return _solve_memory_axis(compiled, spec)
+    return _solve_cache_axis(compiled, spec)
+
+
+def _key_shift(compiled):
+    """Bits to shift a dense pid index past any page number in the trace.
+
+    Pages are bounded by the 20-bit virtual page space in practice, but
+    sizing the shift from the stream itself keeps ``(pid << shift) | page``
+    collision-free for any trace replay itself would accept.
+    """
+    widest = max(params.NUM_VPAGES.bit_length(),
+                 int(max(compiled.page_stream)).bit_length())
+    return widest
+
+
+def _pid_offsets(compiled, num_sets, offsetting):
+    """Per-dense-index set offsets, mirroring NIC registration order.
+
+    ``_build_node`` registers processes in sorted-pid order, so a pid's
+    tag is its rank in ``compiled.pids`` (which is sorted), and its
+    offset is the golden-ratio spread of that tag (Section 6.3).
+    """
+    if not offsetting:
+        return [0] * len(compiled.pid_order)
+    tags = {pid: tag for tag, pid in enumerate(compiled.pids)}
+    return [(tags[pid] * _OFFSET_MULTIPLIER) % num_sets
+            for pid in compiled.pid_order]
+
+
+# -- the memory axis --------------------------------------------------------
+
+def _solve_memory_axis(compiled, spec):
+    limits = spec["limits"]
+    unit = spec["unit_costs"]
+    if not compiled.pids:
+        empty = _node_dict([], _cache_dict(0, 0, 0, 0))
+        return [empty] * len(limits)
+    finite = [limit for limit in limits if limit is not None]
+    lcap = max(finite) if finite else 1
+    data = _memory_pass(compiled, spec["num_sets"], spec["offsetting"], lcap)
+    memo = {}
+    out = []
+    for limit in limits:
+        node = memo.get(limit)
+        if node is None:
+            node = memo[limit] = _materialize_memory(
+                compiled, data, limit, unit)
+        out.append(node)
+    return out
+
+
+def _memory_pass(compiled, num_sets, offsetting, lcap):
+    """One traversal; everything every limit on the axis needs.
+
+    Per pid: access count, first accesses (compulsory check misses), the
+    LRU stack-distance histogram of page reuses (``d`` = distinct same-
+    pid pages touched since the page's previous access; a reuse at
+    distance ``d`` is a check miss iff the limit ``L <= d``), split by
+    whether the reuse interval had a NIC-set conflict (a different-key
+    access to the page's set — under direct mapping it always misses and
+    overwrites, independent of ``L``).  Globally: the invalidation
+    histogram over ``min(d, K')`` — ``K'`` being the pid's distinct-page
+    count at the interval's first conflict, measured *after* that
+    access's own stack update, because a victim page is invalidated in
+    the user-check phase, before the conflicting access's fill — and the
+    end-of-trace stack distance of each set's final occupant (the set is
+    still occupied at limit ``L`` iff that distance is ``< L``).
+
+    The exact per-pid stack is an ascending last-access-time list probed
+    with ``bisect`` — delete-and-append keeps it sorted because clocks
+    only grow.
+    """
+    order = compiled.pid_order
+    npids = len(order)
+    offsets = _pid_offsets(compiled, num_sets, offsetting)
+    shift = _key_shift(compiled)
+    keybase = [i << shift for i in range(npids)]
+    mask = (1 << shift) - 1
+
+    times_list = [[] for _ in range(npids)]
+    lasts = [{} for _ in range(npids)]
+    clocks = [0] * npids
+    n = [0] * npids
+    firsts = [0] * npids
+    conflicted = [0] * npids
+    hist_d = [[0] * (lcap + 1) for _ in range(npids)]
+    hist_dnc = [[0] * (lcap + 1) for _ in range(npids)]
+    inv_hist = [0] * (lcap + 1)
+    set_last = {}               # set index -> key of its last accessor
+    open_k = {}                 # key -> K' of its open interval's first conflict
+    bl = bisect_left
+
+    for i, v in zip(compiled.index_stream, compiled.page_stream):
+        n[i] += 1
+        times = times_list[i]
+        last = lasts[i]
+        t = clocks[i]
+        clocks[i] = t + 1
+        tprev = last.get(v)
+        if tprev is None:
+            firsts[i] += 1
+            d = -1
+        else:
+            pos = (len(times) - 1 if times[-1] == tprev
+                   else bl(times, tprev))
+            d = len(times) - pos - 1
+            del times[pos]
+        times.append(t)
+        last[v] = t
+        key = keybase[i] | v
+        s = (v + offsets[i]) % num_sets
+        occupant = set_last.get(s)
+        if (occupant is not None and occupant != key
+                and occupant not in open_k):
+            # First conflict of the occupant's open interval: snapshot
+            # the occupant pid's distinct-page count since the occupant
+            # page's last access (its current stack distance) — *after*
+            # this access's own stack update, so a same-pid conflictor
+            # that itself triggers the victim's unpin is counted.
+            oi = occupant >> shift
+            otimes = times_list[oi]
+            open_k[occupant] = (
+                len(otimes) - bl(otimes, lasts[oi][occupant & mask]) - 1)
+        set_last[s] = key
+        if d >= 0:
+            kprime = open_k.pop(key, None)
+            dc = d if d < lcap else lcap
+            hist_d[i][dc] += 1
+            if kprime is None:
+                hist_dnc[i][dc] += 1
+                inv_hist[dc] += 1
+            else:
+                conflicted[i] += 1
+                m = d if d < kprime else kprime
+                inv_hist[m if m < lcap else lcap] += 1
+
+    # Final open intervals: one per distinct page (its last access to
+    # end of trace).  An unpin inside it happens iff d_end >= L, and
+    # finds a live entry iff min(d_end, K') >= L — same law as closed
+    # intervals, no reuse to close them.
+    dend = {}
+    for i in range(npids):
+        times = times_list[i]
+        depth = len(times)
+        kb = keybase[i]
+        for v, tlast in lasts[i].items():
+            de = depth - bl(times, tlast) - 1
+            key = kb | v
+            dend[key] = de
+            kprime = open_k.get(key)
+            m = de if kprime is None else (de if de < kprime else kprime)
+            inv_hist[m if m < lcap else lcap] += 1
+
+    # A set's final occupant is its last accessor (a hit leaves the
+    # entry, a miss fills it), and nothing conflicts it afterwards — so
+    # the set is empty at the end iff the occupant was unpinned, i.e.
+    # iff its end distance reached the limit.
+    occ_hist = [0] * (lcap + 1)
+    for key in set_last.values():
+        de = dend[key]
+        occ_hist[de if de < lcap else lcap] += 1
+
+    return {
+        "n": n,
+        "firsts": firsts,
+        "conflicted": conflicted,
+        "suffix_d": [_suffix(h) for h in hist_d],
+        "suffix_dnc": [_suffix(h) for h in hist_dnc],
+        "suffix_inv": _suffix(inv_hist),
+        "suffix_occ": _suffix(occ_hist),
+        "sets_touched": len(set_last),
+    }
+
+
+def _suffix(hist):
+    """``out[k] = sum(hist[k:])`` with a trailing zero sentinel."""
+    out = [0] * (len(hist) + 1)
+    for k in range(len(hist) - 1, -1, -1):
+        out[k] = out[k + 1] + hist[k]
+    return out
+
+
+def _materialize_memory(compiled, data, limit, unit):
+    """Read one limit's exact cell results off the pass's histograms."""
+    index_of = {pid: i for i, pid in enumerate(compiled.pid_order)}
+    rows = []
+    misses = 0
+    accesses = 0
+    for pid in compiled.pids:
+        i = index_of[pid]
+        n = data["n"][i]
+        firsts = data["firsts"][i]
+        if limit is None:
+            # No limit: nothing is ever unpinned; a reuse only misses
+            # the NIC when its interval was conflicted.
+            check = firsts
+            ni = firsts + data["conflicted"][i]
+            unpins = 0
+        else:
+            check = firsts + data["suffix_d"][i][limit]
+            ni = (firsts + data["conflicted"][i]
+                  + data["suffix_dnc"][i][limit])
+            # Pins minus the pages still pinned at the end (the limit's
+            # worth, or the whole footprint if it never filled).
+            unpins = check - (limit if limit < firsts else firsts)
+        rows.append((pid, _pid_stats_dict(n, check, ni, unpins, unit)))
+        misses += ni
+        accesses += n
+    if limit is None:
+        invalidations = 0
+        occupied = data["sets_touched"]
+    else:
+        invalidations = data["suffix_inv"][limit]
+        occupied = data["sets_touched"] - data["suffix_occ"][limit]
+    evictions = misses - invalidations - occupied
+    return _node_dict(rows, _cache_dict(accesses, misses, evictions,
+                                        invalidations))
+
+
+# -- the cache axis ---------------------------------------------------------
+
+def _solve_cache_axis(compiled, spec):
+    geometries = [tuple(g) for g in spec["geometries"]]
+    unit = spec["unit_costs"]
+    if not compiled.pids:
+        empty = _node_dict([], _cache_dict(0, 0, 0, 0))
+        return [empty] * len(geometries)
+    order = compiled.pid_order
+    n = [len(compiled.streams[pid]) for pid in order]
+    firsts = [len(set(compiled.streams[pid])) for pid in order]
+
+    # One pass per distinct (num_sets, offsetting), shared by every
+    # associativity on that geometry (Table 8's 1024/1, 2048/2, 4096/4
+    # points all have 1024 sets), bounded at the largest one.
+    passes = {}
+    for entries, assoc, offsetting in geometries:
+        key = (entries // assoc, offsetting)
+        passes[key] = max(passes.get(key, 0), assoc)
+    pass_data = {key: _cache_pass(compiled, key[0], key[1], amax)
+                 for key, amax in passes.items()}
+
+    memo = {}
+    out = []
+    for geometry in geometries:
+        node = memo.get(geometry)
+        if node is None:
+            node = memo[geometry] = _materialize_cache(
+                compiled, geometry, pass_data, n, firsts, unit)
+        out.append(node)
+    return out
+
+
+def _cache_pass(compiled, num_sets, offsetting, amax):
+    """Per-pid within-set LRU depth histogram plus per-set key counts.
+
+    Returns ``(hist, setkey_hist)``: ``hist[i][j]`` counts pid ``i``'s
+    accesses at within-set recency depth ``j`` (depth = distinct other
+    keys touched in the set since this key's last access; bucket
+    ``amax`` holds first accesses and any depth >= amax), so the miss
+    count at associativity ``A <= amax`` is ``sum(hist[i][A:])``.
+    ``setkey_hist[j]`` counts sets holding ``min(distinct keys, amax) == j``
+    — the A-independent form of final occupancy, since every distinct
+    key is filled at least once and sets only lose entries to
+    invalidation (never here: no pinning limit, no unpins).
+    """
+    views = compiled.numpy_views() if amax == 1 else None
+    if views is not None:
+        return _cache_pass_numpy(compiled, views, num_sets, offsetting)
+    return _cache_pass_python(compiled, num_sets, offsetting, amax)
+
+
+def _cache_pass_numpy(compiled, views, num_sets, offsetting):
+    """Vectorized direct-mapped pass: stable sort by set, compare
+    neighbours.  Within one set the stable order is time order, so an
+    access misses iff it is the set's first or the previous same-set
+    access used a different key."""
+    import numpy
+    idx, pages = views
+    if offsetting:
+        offsets = numpy.array(
+            _pid_offsets(compiled, num_sets, True), dtype=numpy.uint64)
+        hashed = pages + offsets[idx]
+    else:
+        hashed = pages
+    sets = hashed % numpy.uint64(num_sets)
+    shift = numpy.uint64(_key_shift(compiled))
+    keys = (idx.astype(numpy.uint64) << shift) | pages
+    sort = numpy.argsort(sets, kind="stable")
+    s_sorted = sets[sort]
+    k_sorted = keys[sort]
+    new_set = numpy.empty(len(sort), dtype=bool)
+    new_set[0] = True
+    numpy.not_equal(s_sorted[1:], s_sorted[:-1], out=new_set[1:])
+    miss_sorted = new_set.copy()
+    miss_sorted[1:] |= k_sorted[1:] != k_sorted[:-1]
+    misses = numpy.bincount(idx[sort][miss_sorted],
+                            minlength=len(compiled.pid_order))
+    hist = [[len(compiled.streams[pid]) - int(misses[i]), int(misses[i])]
+            for i, pid in enumerate(compiled.pid_order)]
+    return hist, [0, int(new_set.sum())]
+
+
+def _cache_pass_python(compiled, num_sets, offsetting, amax):
+    """Pure-Python pass; exact for any associativity.
+
+    Each set keeps its ``amax`` most recently used distinct keys in
+    order (the LRU inclusion property makes that list the set contents
+    at *every* associativity up to ``amax`` simultaneously); a linear
+    probe of a <= 4-element list is the whole per-access cost.
+    """
+    order = compiled.pid_order
+    npids = len(order)
+    offsets = _pid_offsets(compiled, num_sets, offsetting)
+    shift = _key_shift(compiled)
+    keybase = [i << shift for i in range(npids)]
+    hist = [[0] * (amax + 1) for _ in range(npids)]
+    recency = {}                # set index -> MRU-first key list
+    seen = set()                # keys ever accessed (first-fill detection)
+    setkeys = {}                # set index -> min(distinct keys, amax)
+
+    if amax == 1:
+        for i, v in zip(compiled.index_stream, compiled.page_stream):
+            s = (v + offsets[i]) % num_sets
+            key = keybase[i] | v
+            if recency.get(s) != key:
+                recency[s] = key
+                hist[i][1] += 1
+            else:
+                hist[i][0] += 1
+        return hist, [0, len(recency)]
+
+    for i, v in zip(compiled.index_stream, compiled.page_stream):
+        s = (v + offsets[i]) % num_sets
+        key = keybase[i] | v
+        stack = recency.get(s)
+        if stack is None:
+            stack = recency[s] = []
+        try:
+            pos = stack.index(key)
+        except ValueError:
+            pos = amax
+        if pos < amax:
+            hist[i][pos] += 1
+            if pos:
+                del stack[pos]
+                stack.insert(0, key)
+        else:
+            hist[i][amax] += 1
+            stack.insert(0, key)
+            if len(stack) > amax:
+                stack.pop()
+            if key not in seen:
+                seen.add(key)
+                count = setkeys.get(s, 0)
+                if count < amax:
+                    setkeys[s] = count + 1
+    setkey_hist = [0] * (amax + 1)
+    for count in setkeys.values():
+        setkey_hist[count] += 1
+    return hist, setkey_hist
+
+
+def _materialize_cache(compiled, geometry, pass_data, n, firsts, unit):
+    """Read one (entries, assoc, offsetting) cell off its shared pass."""
+    entries, assoc, offsetting = geometry
+    hist, setkey_hist = pass_data[(entries // assoc, offsetting)]
+    index_of = {pid: i for i, pid in enumerate(compiled.pid_order)}
+    rows = []
+    misses = 0
+    accesses = 0
+    for pid in compiled.pids:
+        i = index_of[pid]
+        ni = sum(hist[i][assoc:])
+        rows.append((pid, _pid_stats_dict(n[i], firsts[i], ni, 0, unit)))
+        misses += ni
+        accesses += n[i]
+    occupied = sum((assoc if j > assoc else j) * count
+                   for j, count in enumerate(setkey_hist))
+    evictions = misses - occupied
+    return _node_dict(rows, _cache_dict(accesses, misses, evictions, 0))
+
+
+# ---------------------------------------------------------------------------
+# Byte-identical materialization
+# ---------------------------------------------------------------------------
+
+def _pid_stats_dict(n, check_misses, ni_misses, unpins, unit):
+    """One pid's ``TranslationStats.to_dict()``, rebuilt from counts.
+
+    Every fast-engine time field accumulates a single constant — check
+    0.5, NIC probe 0.8, pin(1), unpin(1), miss(1) — and repeated float
+    addition of one constant depends only on the count, so
+    :func:`accumulated_cost` lands on the identical bits.
+    """
+    return {
+        "lookups": n,
+        "check_misses": check_misses,
+        "ni_accesses": n,
+        "ni_hits": n - ni_misses,
+        "ni_misses": ni_misses,
+        "ni_evictions": 0,
+        "pin_calls": check_misses,
+        "pages_pinned": check_misses,
+        "unpin_calls": unpins,
+        "pages_unpinned": unpins,
+        "interrupts": 0,
+        "entries_fetched": ni_misses,
+        "check_time_us": accumulated_cost(unit["check"], n),
+        "pin_time_us": accumulated_cost(unit["pin"], check_misses),
+        "unpin_time_us": accumulated_cost(unit["unpin"], unpins),
+        "ni_hit_time_us": accumulated_cost(unit["ni_hit"], n),
+        "ni_miss_time_us": accumulated_cost(unit["miss"], ni_misses),
+        "interrupt_time_us": 0.0,
+    }
+
+
+def _cache_dict(accesses, misses, evictions, invalidations):
+    """A ``CacheStats.snapshot()`` twin (every lookup fills on a miss)."""
+    return {
+        "accesses": accesses,
+        "hits": accesses - misses,
+        "misses": misses,
+        "evictions": evictions,
+        "invalidations": invalidations,
+        "fills": misses,
+        "miss_rate": misses / accesses if accesses else 0.0,
+    }
+
+
+def _node_dict(pid_rows, cache_dict):
+    """A ``NodeResult.to_dict()`` twin from sorted per-pid stat rows.
+
+    The merged floats must sum in sorted-pid order — the order
+    ``TranslationStats.merged`` sees, since the simulator builds its
+    per-pid dict over sorted pids.
+    """
+    merged = dict.fromkeys(TranslationStats.FIELDS, 0)
+    for field in TranslationStats.TIME_FIELDS:
+        merged[field] = 0.0
+    for _pid, row in pid_rows:
+        for field in TranslationStats.FIELDS:
+            merged[field] += row[field]
+        for field in TranslationStats.TIME_FIELDS:
+            merged[field] += row[field]
+    return {
+        "stats": merged,
+        "per_pid": {str(pid): row for pid, row in pid_rows},
+        "cache": cache_dict,
+        "breakdown": None,
+    }

@@ -2,6 +2,7 @@
 
 from repro import params
 from repro.core.costs import DEFAULT_COST_MODEL
+from repro.core.policies import PIN_POLICIES
 from repro.errors import ConfigError
 
 
@@ -44,6 +45,14 @@ class SimConfig:
         if engine not in ENGINES:
             raise ConfigError("unknown engine %r (choose from %s)"
                               % (engine, list(ENGINES)))
+        # Fail at construction, not thousands of lookups into a replay
+        # when the first pinning-limit eviction finally asks the policy
+        # factory for an unknown name.  Policy *instances* (user-defined
+        # replacement, as in examples/custom_replacement_policy.py) pass
+        # through untouched — only string names are checked.
+        if isinstance(pin_policy, str) and pin_policy not in PIN_POLICIES:
+            raise ConfigError("unknown pin policy %r (choose from %s)"
+                              % (pin_policy, sorted(PIN_POLICIES)))
         self.cache_entries = cache_entries
         self.associativity = associativity
         self.offsetting = offsetting

@@ -13,6 +13,16 @@ Results travel as JSON-safe dicts (``NodeResult.to_dict``) in *all three*
 paths — serial, cross-process, and cached — so a warm cache run is
 byte-identical to a cold one by construction.
 
+Before any replay is scheduled, an *axis-solver tier* intercepts eligible
+groups of cells: cells that replay the same traces under configs
+differing only along one sweep axis (``memory_limit_bytes``, or the
+cache geometry) with default-path LRU settings are answered by
+``repro.sim.analytic`` — one Mattson-style pass per node for the whole
+axis instead of one replay per cell, byte-identical by construction (the
+determinism tests diff them directly).  Everything else falls through to
+per-cell replay unchanged, and solved cells still land in the result
+cache.
+
 Trace *inputs* travel the cheap way: a sweep replays the same handful of
 node traces under dozens of configurations, so the runner compiles each
 distinct trace exactly once per batch (keyed by content fingerprint),
@@ -47,6 +57,7 @@ from multiprocessing import get_context
 
 from repro.errors import ConfigError
 from repro.obs.tracer import JsonlTracer
+from repro.sim.analytic import plan_axes, solve_axis_node
 from repro.sim.intr_simulator import simulate_node_intr
 from repro.sim.pp_simulator import simulate_node_pp
 from repro.sim.simulator import ClusterResult, simulate_node
@@ -130,9 +141,9 @@ def code_version():
                          for name in sorted(os.listdir(root))
                          if name.endswith(".py"))
         paths.extend(os.path.join(sim_dir, name)
-                     for name in ("config.py", "intr_simulator.py",
-                                  "pp_simulator.py", "runner.py",
-                                  "simulator.py"))
+                     for name in ("analytic.py", "config.py",
+                                  "intr_simulator.py", "pp_simulator.py",
+                                  "runner.py", "simulator.py"))
         paths.extend(os.path.join(repro_dir, "traces", name)
                      for name in ("compile.py", "merge.py", "record.py"))
         digest = hashlib.sha256()
@@ -291,6 +302,9 @@ class CellMetrics:
         #: cell's behalf (0 for serial runs — no IPC — and for cells
         #: whose streams an earlier cell already published).
         self.ipc_bytes = 0
+        #: True when the cell was answered by the analytic axis solver
+        #: (one shared pass) instead of its own replay.
+        self.analytic = False
 
     @property
     def pages_per_sec(self):
@@ -317,6 +331,7 @@ class CellMetrics:
             "lookups": self.lookups,
             "compile_count": self.compile_count,
             "ipc_bytes": self.ipc_bytes,
+            "analytic": self.analytic,
             "pages_per_sec": self.pages_per_sec,
             "stats": self.stats,
         }
@@ -336,6 +351,10 @@ class SweepMetrics:
         #: :class:`ResultCache`); mirrored here so ``--metrics-json``
         #: carries it.
         self.cache_corrupt = 0
+        #: Axes the analytic solver collapsed (each one pass per node
+        #: answering several cells); the per-cell side is the
+        #: ``analytic`` flag on :class:`CellMetrics`.
+        self.analytic_axes = 0
 
     def record(self, cell_metrics):
         self.cells.append(cell_metrics)
@@ -347,6 +366,10 @@ class SweepMetrics:
     @property
     def cache_misses(self):
         return sum(1 for c in self.cells if not c.cache_hit)
+
+    @property
+    def analytic_cells(self):
+        return sum(1 for c in self.cells if c.analytic)
 
     @property
     def cpu_time_s(self):
@@ -396,6 +419,8 @@ class SweepMetrics:
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
                 "cache_corrupt": self.cache_corrupt,
+                "analytic_axes": self.analytic_axes,
+                "analytic_cells": self.analytic_cells,
                 "cpu_time_s": self.cpu_time_s,
                 "elapsed_s": self.elapsed_s,
                 "phases": phase_totals,
@@ -477,6 +502,47 @@ def _worker_init(manifest):
         _WORKER_STREAMS[key] = attached.compiled
 
 
+def _run_unit(args, compiled=None):
+    """Dispatch one tagged work unit (the pool's ``map`` target).
+
+    ``args[0]`` is the unit kind: ``"replay"`` wraps the classic
+    per-node replay (``args[1:]`` is its untagged argument tuple),
+    ``"analytic"`` solves a whole axis for one node in one pass.  Both
+    kinds resolve their compiled streams the same way — a direct
+    ``compiled`` from the caller's memo (serial), or the worker-side
+    registry via ``stream_key`` (pooled).
+    """
+    if args[0] == "analytic":
+        return _analytic_unit(args, compiled)
+    return _replay_unit(args[1:], compiled)
+
+
+def _analytic_unit(args, compiled=None):
+    """One axis-solver unit: every cell of one axis, for one node.
+
+    ``args`` is ``("analytic", records, spec, stream_key)``.  Returns
+    ``(phases, [node dict per axis cell])`` — the solve is charged as
+    replay time, and the node dicts are already report-shaped, so the
+    report phase is effectively free.
+    """
+    _kind, records, spec, stream_key = args
+    if compiled is None:
+        if records is None:
+            compiled = _WORKER_STREAMS.get(stream_key)
+            if compiled is None:
+                raise RuntimeError(
+                    "stream %s not attached in this worker (pool "
+                    "initializer ran with a stale manifest?)"
+                    % (stream_key,))
+        else:
+            compiled = compile_streams(records)
+    phases = dict.fromkeys(PHASES, 0.0)
+    start = time.perf_counter()
+    payload = solve_axis_node(compiled, spec)
+    phases["replay_s"] = time.perf_counter() - start
+    return phases, payload
+
+
 def _replay_unit(args, compiled=None):
     """One work unit: replay a single node's trace (runs in a worker).
 
@@ -535,14 +601,19 @@ class SweepRunner:
         Traced cells replay through the event-emitting reference engine,
         serially and uncached — the trace is the point, and a cache hit
         or out-of-order parallel replay would lose or scramble it.
+    analytic:
+        Enable the analytic axis-solver tier (the default).  False
+        forces every cell through per-cell replay — the differential
+        tests and benchmarks use this as the comparison baseline.
     """
 
     def __init__(self, workers=1, cache_dir=None, mp_context=None,
-                 trace_dir=None):
+                 trace_dir=None, analytic=True):
         if workers < 1:
             raise ConfigError("workers must be at least 1, got %r"
                               % (workers,))
         self.workers = workers
+        self.analytic = analytic
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.metrics = SweepMetrics(workers)
         self.trace_dir = trace_dir
@@ -695,29 +766,47 @@ class SweepRunner:
                         continue
                 pending.append(index)
 
-            units = []                  # (cell index, node) per work unit
-            unit_args = []              # (records, config, mech, key)
+            # The axis-solver tier: groups of cells differing only along
+            # one analytic-eligible axis are lifted out of ``pending``
+            # and answered by one pass per node.
+            axes = []
+            if self.analytic:
+                axes, pending = plan_axes(cells, pending, configs,
+                                          fingerprint)
+
+            units = []                  # (kind, cell index | axis pos, node)
+            unit_args = []              # tagged; stream key always last
+            for apos, axis in enumerate(axes):
+                cell = cells[axis.indices[0]]
+                for node in sorted(cell.traces):
+                    records = cell.traces[node]
+                    units.append(("analytic", apos, node))
+                    unit_args.append(("analytic", records, axis.spec,
+                                      fingerprint(records)))
             for index in pending:
                 cell = cells[index]
                 eligible = _streams_eligible(configs[index], cell.mechanism)
                 for node in sorted(cell.traces):
                     records = cell.traces[node]
-                    units.append((index, node))
+                    units.append(("replay", index, node))
                     unit_args.append((
-                        records, configs[index], cell.mechanism,
+                        "replay", records, configs[index], cell.mechanism,
                         fingerprint(records) if eligible else None))
 
             # Compile each distinct trace exactly once per batch; charge
-            # the pass (time and count) to the first cell that needed it.
+            # the pass (time and count) to the first cell that needed it
+            # (an axis charges its first member cell).
             compiled_by_key = {}
             key_owner = {}              # stream key -> triggering cell
-            for (index, _node), args in zip(units, unit_args):
-                stream_key = args[3]
+            for (kind, target, _node), args in zip(units, unit_args):
+                stream_key = args[-1]
                 if stream_key is None or stream_key in compiled_by_key:
                     continue
                 start = time.perf_counter()
-                compiled_by_key[stream_key] = compile_streams(args[0])
+                compiled_by_key[stream_key] = compile_streams(args[1])
                 elapsed = time.perf_counter() - start
+                index = target if kind == "replay" else \
+                    axes[target].indices[0]
                 key_owner[stream_key] = index
                 metrics = cell_metrics[index]
                 metrics.phases["compile_s"] += elapsed
@@ -727,23 +816,27 @@ class SweepRunner:
             if not unit_args:
                 outcomes = []
             elif self.workers == 1 or len(unit_args) == 1:
-                outcomes = [_replay_unit(args, compiled_by_key.get(args[3]))
+                outcomes = [_run_unit(args, compiled_by_key.get(args[-1]))
                             for args in unit_args]
             else:
                 outcomes = self._run_pooled(unit_args, compiled_by_key,
                                             key_owner, cell_metrics)
 
             node_dicts = {index: [] for index in pending}
-            for (index, _node), (phases, node_dict) in zip(units, outcomes):
-                node_dicts[index].append(node_dict)
-                metrics = cell_metrics[index]
+            axis_payloads = [[] for _ in axes]
+            for (kind, target, _node), (phases, payload) in zip(units,
+                                                                outcomes):
+                if kind == "replay":
+                    node_dicts[target].append(payload)
+                    metrics = cell_metrics[target]
+                else:
+                    axis_payloads[target].append(payload)
+                    metrics = cell_metrics[axes[target].indices[0]]
                 for phase in PHASES:
                     metrics.phases[phase] += phases[phase]
                 metrics.wall_time_s += sum(phases.values())
 
-            for index in pending:
-                result = ClusterResult.from_dict(
-                    {"nodes": node_dicts[index]})
+            def finish(index, result):
                 results[index] = result
                 metrics = cell_metrics[index]
                 metrics.lookups = result.stats.lookups
@@ -755,6 +848,21 @@ class SweepRunner:
                         "config": cells[index].config.describe(),
                         "wall_time_s": metrics.wall_time_s,
                     })
+
+            for apos, axis in enumerate(axes):
+                # One payload per node (node-sorted, like replay units);
+                # each holds one node dict per axis cell.
+                per_node = axis_payloads[apos]
+                for cpos, index in enumerate(axis.indices):
+                    cell_metrics[index].analytic = True
+                    finish(index, ClusterResult.from_dict(
+                        {"nodes": [payload[cpos]
+                                   for payload in per_node]}))
+            self.metrics.analytic_axes += len(axes)
+
+            for index in pending:
+                finish(index, ClusterResult.from_dict(
+                    {"nodes": node_dicts[index]}))
         finally:
             if self._store is not None:
                 self._store.close()
@@ -773,9 +881,10 @@ class SweepRunner:
                     cell_metrics):
         """Fan the batch's units over the pool; submission-order results.
 
-        Stream-eligible units travel as ``(None, config, mechanism,
-        stream_key)`` against the shared store — the records never cross
-        the process boundary.  Traced units hold live tracers
+        Stream-eligible units (replay and analytic alike) travel with
+        ``records=None`` plus their stream key against the shared store
+        — the records never cross the process boundary.  Traced units
+        hold live tracers
         (unpicklable, and their events must land in node order), so they
         run in this process in submission order; everything else is
         dispatched largest-trace-first with ``chunksize=1`` so one huge
@@ -784,7 +893,7 @@ class SweepRunner:
         """
         outcomes = [None] * len(unit_args)
         pooled = [i for i, args in enumerate(unit_args)
-                  if not args[1].traced]
+                  if args[0] == "analytic" or not args[2].traced]
         if pooled:
             manifest = {}
             if compiled_by_key:
@@ -797,25 +906,26 @@ class SweepRunner:
             self.last_stream_manifest = dict(manifest)
 
             def unit_pages(i):
-                stream_key = unit_args[i][3]
+                stream_key = unit_args[i][-1]
                 if stream_key is not None:
                     return compiled_by_key[stream_key].total_pages
-                return count_lookups(unit_args[i][0])
+                return count_lookups(unit_args[i][1])
 
             order = sorted(pooled, key=lambda i: (-unit_pages(i), i))
             shipped = []
             for i in order:
-                records, config, mechanism, stream_key = unit_args[i]
-                shipped.append((None if stream_key is not None else records,
-                                config, mechanism, stream_key))
+                args = unit_args[i]
+                if args[-1] is not None:    # streams ride shared memory
+                    args = args[:1] + (None,) + args[2:]
+                shipped.append(args)
             pool = self._pool_handle(manifest)
             for i, outcome in zip(order,
-                                  pool.map(_replay_unit, shipped, 1)):
+                                  pool.map(_run_unit, shipped, 1)):
                 outcomes[i] = outcome
         for i, args in enumerate(unit_args):
             if outcomes[i] is None:
-                outcomes[i] = _replay_unit(args,
-                                           compiled_by_key.get(args[3]))
+                outcomes[i] = _run_unit(args,
+                                        compiled_by_key.get(args[-1]))
         return outcomes
 
 

@@ -21,6 +21,7 @@ __all__ = [
     "run_on_traces",
     "sweep_associativity",
     "sweep_cache_sizes",
+    "sweep_memory_limits",
     "sweep_policies",
     "sweep_prefetch",
 ]
@@ -75,6 +76,25 @@ def sweep_associativity(traces, sizes, base_config, associativities=(1, 2, 4),
                                    "utlb"))
     return {cell.label: result
             for cell, result in zip(cells, runner.run_cells(cells))}
+
+
+def sweep_memory_limits(traces, limits_bytes, base_config, mechanism="utlb",
+                        runner=None):
+    """{memory limit (bytes or None): ClusterResult} over pinning limits.
+
+    The Table 5 axis proper: identical configuration, varying only the
+    per-process pinnable-memory budget.  Under the default LRU pin
+    policy and a direct-mapped cache this whole axis is
+    analytic-eligible — the runner answers it with one pass per node
+    regardless of how many limits are swept, which is what makes dense
+    memory-pressure curves (hundreds of points) practical.
+    """
+    runner = runner or default_runner()
+    cells = [SweepCell(limit, traces,
+                       base_config.replace(memory_limit_bytes=limit),
+                       mechanism)
+             for limit in limits_bytes]
+    return dict(zip(limits_bytes, runner.run_cells(cells)))
 
 
 def sweep_prefetch(traces, sizes, degrees, base_config, couple_prepin=True,

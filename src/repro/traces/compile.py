@@ -80,6 +80,23 @@ class CompiledStreams:
         return ("CompiledStreams(pids=%r, segments=%d, pages=%d)"
                 % (self.pids, len(self.segments), self.total_pages))
 
+    def numpy_views(self):
+        """Zero-copy numpy views ``(index_stream, page_stream)``, or None.
+
+        Wraps the interleaved flat arrays as ``uint16`` / ``uint64``
+        ndarrays without copying — works both on owned ``array`` objects
+        and on the ``memoryview`` casts a shared-memory attachment holds.
+        Returns None when numpy is not installed (it is an optional
+        accelerator, never a dependency): callers must keep a pure-Python
+        fallback.
+        """
+        try:
+            import numpy
+        except ImportError:
+            return None
+        return (numpy.frombuffer(self.index_stream, dtype=numpy.uint16),
+                numpy.frombuffer(self.page_stream, dtype=numpy.uint64))
+
     def to_buffers(self):
         """Split into ``(meta, buffers)`` for shared-memory transport.
 

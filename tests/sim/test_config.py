@@ -35,6 +35,26 @@ class TestValidation:
         with pytest.raises(ConfigError):
             SimConfig(memory_limit_bytes=-1)
 
+    def test_unknown_pin_policy_fails_at_construction(self):
+        # Eagerly, naming the bad value and the valid choices — not a
+        # KeyError thousands of lookups into a replay when the first
+        # limit eviction finally asks the policy factory.
+        with pytest.raises(ConfigError) as excinfo:
+            SimConfig(pin_policy="fifo")
+        message = str(excinfo.value)
+        assert "'fifo'" in message
+        for name in ("lru", "mru", "lfu", "mfu", "random"):
+            assert name in message
+
+    def test_pin_policy_instances_pass_through(self):
+        # examples/custom_replacement_policy.py injects policy
+        # *instances*; only string names are validated.
+        class Custom:
+            pass
+
+        instance = Custom()
+        assert SimConfig(pin_policy=instance).pin_policy is instance
+
 
 class TestDerived:
     def test_memory_limit_pages(self):
