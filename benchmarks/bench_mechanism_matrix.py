@@ -1,0 +1,191 @@
+"""The CI mechanism matrix: every registered mechanism, every gate.
+
+Enumerates the mechanism registry (``repro.sim.mechanisms``) — not a
+hand-maintained list, so registering a new mechanism without keeping it
+green here fails loudly — and drives a small Table-4-sized grid per
+mechanism through the full set of parity gates:
+
+* **serial == parallel**: the grid over ``--workers`` processes must be
+  byte-identical to a fresh serial run (the shared-stream fan-out and
+  pickled-records paths both land here, depending on eligibility);
+* **cached == fresh**: a warm re-run against the same result cache must
+  hit for every cell and reproduce the bytes exactly;
+* **fast == reference**: the two replay engines must agree per cell
+  (mechanisms whose geometry rules out an engine combination — e.g. the
+  interrupt baseline's associative fast path — are exercised in the
+  configurations their validators admit);
+* **invariants**: for traceable mechanisms, one reference replay streams
+  through :class:`~repro.obs.invariants.InvariantChecker` and the
+  finished counters are verified against the event tallies.
+
+Usage (the CI ``mechanism-matrix`` job)::
+
+    python -m benchmarks.bench_mechanism_matrix --workers 2
+"""
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+
+from repro.obs.invariants import InvariantChecker
+from repro.sim.config import SimConfig
+from repro.sim.mechanisms import mechanism_names, resolve
+from repro.sim.runner import SweepCell, SweepRunner
+from repro.traces.synth import make_app
+
+from benchmarks.conftest import BENCH_SEED
+
+#: Contrasting-locality apps (Table 3): radix streams, barnes reuses.
+APPS = ("barnes", "radix")
+
+#: A small Table-4-shaped size axis (full-size grids belong to
+#: bench_replay_throughput; this matrix is about mechanism coverage).
+GRID_CACHE_ENTRIES = (1024, 8192)
+
+#: The matrix runs small: parity is scale-independent, CI time is not.
+MATRIX_SCALE = 0.05
+
+
+def _traces(scale, seed):
+    return {
+        app: {0: make_app(app).generate_node(0, seed=seed, scale=scale)}
+        for app in APPS
+    }
+
+
+def _grid_cells(traces, mechanism):
+    return [
+        SweepCell(
+            "%s/%s/%d" % (app, mechanism, entries),
+            traces[app],
+            SimConfig(cache_entries=entries, mechanism=mechanism),
+        )
+        for app in APPS
+        for entries in GRID_CACHE_ENTRIES
+    ]
+
+
+def _payload(results):
+    return json.dumps([r.to_dict() for r in results], sort_keys=True)
+
+
+def _run(traces, mechanism, workers, cache_dir=None):
+    with SweepRunner(workers=workers, cache_dir=cache_dir) as runner:
+        results = runner.run_cells(_grid_cells(traces, mechanism))
+        return _payload(results), runner.metrics
+
+
+def _check_parallel_and_cache(traces, mechanism, workers):
+    serial, _ = _run(traces, mechanism, workers=1)
+    parallel, _ = _run(traces, mechanism, workers=workers)
+    if parallel != serial:
+        raise SystemExit(
+            "FAIL: %s grid with workers=%d diverged from serial"
+            % (mechanism, workers)
+        )
+    cache_dir = tempfile.mkdtemp(prefix="mech-matrix-")
+    try:
+        cold, _ = _run(traces, mechanism, workers=1, cache_dir=cache_dir)
+        warm, metrics = _run(traces, mechanism, workers=1, cache_dir=cache_dir)
+        totals = metrics.to_dict()["totals"]
+        if warm != cold or warm != serial:
+            raise SystemExit(
+                "FAIL: %s cached re-run is not byte-identical" % mechanism
+            )
+        if totals["cache_misses"] or not totals["cache_hits"]:
+            raise SystemExit(
+                "FAIL: %s warm run missed the result cache (%d hits, "
+                "%d misses)"
+                % (mechanism, totals["cache_hits"], totals["cache_misses"])
+            )
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return serial
+
+
+def _check_differential(traces, mechanism):
+    """fast == reference per cell, in the configs the validator admits."""
+    simulate = resolve(mechanism).simulate
+    for app in APPS:
+        records = traces[app][0]
+        for entries in GRID_CACHE_ENTRIES:
+            fast_config = SimConfig(
+                cache_entries=entries,
+                mechanism=mechanism,
+                engine="fast",
+            )
+            ref_config = SimConfig(
+                cache_entries=entries,
+                mechanism=mechanism,
+                engine="reference",
+            )
+            fast = simulate(records, fast_config)
+            ref = simulate(records, ref_config)
+            fast_json = json.dumps(fast.to_dict(), sort_keys=True)
+            ref_json = json.dumps(ref.to_dict(), sort_keys=True)
+            if fast_json != ref_json:
+                raise SystemExit(
+                    "FAIL: %s fast engine diverged from reference "
+                    "(%s, %d entries)" % (mechanism, app, entries)
+                )
+
+
+def _check_invariants(traces, mechanism):
+    """One invariant-checked reference replay per traceable mechanism."""
+    mech = resolve(mechanism)
+    if not mech.traceable:
+        return False
+    for app in APPS:
+        checker = InvariantChecker(mechanism=mechanism)
+        config = SimConfig(
+            cache_entries=GRID_CACHE_ENTRIES[0],
+            mechanism=mechanism,
+            engine="reference",
+            tracer=checker,
+        )
+        result = mech.simulate(traces[app][0], config, check_invariants=True)
+        checker.close()
+        checker.verify_node(result)
+        if not checker.events_seen:
+            raise SystemExit(
+                "FAIL: %s traced replay emitted no events" % mechanism
+            )
+    return True
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Run the per-mechanism parity matrix over every "
+        "registered translation mechanism.",
+    )
+    parser.add_argument("--scale", type=float, default=MATRIX_SCALE)
+    parser.add_argument("--seed", type=int, default=BENCH_SEED)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes for the parallel leg",
+    )
+    args = parser.parse_args(argv)
+
+    traces = _traces(args.scale, args.seed)
+    names = mechanism_names()
+    print("mechanism matrix: %s" % ", ".join(names))
+    for mechanism in names:
+        _check_parallel_and_cache(traces, mechanism, args.workers)
+        _check_differential(traces, mechanism)
+        checked = _check_invariants(traces, mechanism)
+        print(
+            "  [ok] %-13s serial==parallel==cached, fast==reference%s"
+            % (mechanism, ", invariants" if checked else " (not traceable)")
+        )
+    print(
+        "mechanism matrix OK: %d mechanisms x %d cells"
+        % (len(names), len(APPS) * len(GRID_CACHE_ENTRIES))
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

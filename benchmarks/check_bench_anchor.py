@@ -1,0 +1,140 @@
+"""The replay-throughput regression gate against the committed anchor.
+
+Each PR that touches the perf trajectory commits a ``BENCH_<n>.json``
+snapshot of the CI sweep-grid run (``bench_replay_throughput
+--metrics-json``).  This script turns those snapshots from decoration
+into a gate: it finds the most recent committed anchor (highest ``n``),
+shape-checks both it and the fresh run, and fails when the fresh run's
+grid throughput (``totals.pages_per_sec``) degrades below
+``--threshold`` (default 0.70) of the anchor's.
+
+CI runners are noisy, so the floor is deliberately loose — it catches
+real regressions (an accidental fast-path deoptimization is a 5-10x
+cliff, not 30%) without tripping on scheduler jitter.  Usage::
+
+    python -m benchmarks.check_bench_anchor replay-metrics.json
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+#: totals keys every snapshot must carry (the trajectory's schema).
+TOTALS_KEYS = (
+    "elapsed_s",
+    "pages_per_sec",
+    "cache_hits",
+    "cache_misses",
+    "analytic_axes",
+    "analytic_cells",
+)
+
+#: analytic_axis_speedup keys (solver-vs-replay timing, recorded per PR).
+AXIS_KEYS = ("cells", "analytic_cells", "replay_s", "analytic_s", "speedup")
+
+
+def find_anchor(root="."):
+    """The committed ``BENCH_<n>.json`` with the highest ``n``."""
+    candidates = []
+    for path in glob.glob(os.path.join(root, "BENCH_*.json")):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", os.path.basename(path))
+        if match:
+            candidates.append((int(match.group(1)), path))
+    if not candidates:
+        raise SystemExit("FAIL: no committed BENCH_<n>.json anchor found")
+    return max(candidates)[1]
+
+
+def check_shape(payload, name):
+    """Every snapshot — anchor or fresh — must have the full schema."""
+    totals = payload.get("totals")
+    if not isinstance(totals, dict):
+        raise SystemExit("FAIL: %s has no totals dict" % name)
+    for key in TOTALS_KEYS:
+        if key not in totals:
+            raise SystemExit("FAIL: %s missing totals[%r]" % (name, key))
+    axis = payload.get("analytic_axis_speedup")
+    if not isinstance(axis, dict):
+        raise SystemExit("FAIL: %s has no analytic_axis_speedup" % name)
+    for key in AXIS_KEYS:
+        if key not in axis:
+            msg = "FAIL: %s missing analytic_axis_speedup[%r]" % (name, key)
+            raise SystemExit(msg)
+    if axis["analytic_cells"] != axis["cells"]:
+        raise SystemExit(
+            "FAIL: %s solved only %d of %d axis cells analytically"
+            % (name, axis["analytic_cells"], axis["cells"])
+        )
+    return totals
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Gate a fresh replay-throughput run against the most "
+        "recent committed BENCH_<n>.json anchor.",
+    )
+    parser.add_argument("fresh", help="metrics JSON of the fresh CI run")
+    parser.add_argument(
+        "--anchor",
+        default=None,
+        help="anchor path (default: highest BENCH_<n>.json in --root)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="directory holding the committed anchors",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.70,
+        help="minimum fresh/anchor pages-per-sec ratio "
+        "(default 0.70: >30%% degradation fails)",
+    )
+    args = parser.parse_args(argv)
+
+    anchor_path = args.anchor or find_anchor(args.root)
+    with open(anchor_path) as handle:
+        anchor = json.load(handle)
+    with open(args.fresh) as handle:
+        fresh = json.load(handle)
+
+    anchor_totals = check_shape(anchor, os.path.basename(anchor_path))
+    fresh_totals = check_shape(fresh, args.fresh)
+
+    # Throughput only compares like-for-like: the runs must replay the
+    # same workload (pages/sec at small scale is dominated by fixed
+    # pool/IPC overhead, not the hot loop).
+    anchor_scale = anchor.get("bench", {}).get("scale")
+    fresh_scale = fresh.get("bench", {}).get("scale")
+    if anchor_scale != fresh_scale:
+        raise SystemExit(
+            "FAIL: scale mismatch — anchor recorded at scale=%r, fresh "
+            "run at scale=%r; rerun with the anchor's scale"
+            % (anchor_scale, fresh_scale)
+        )
+
+    anchor_rate = anchor_totals["pages_per_sec"]
+    fresh_rate = fresh_totals["pages_per_sec"]
+    if anchor_rate <= 0:
+        raise SystemExit("FAIL: anchor records a non-positive throughput")
+    ratio = fresh_rate / anchor_rate
+    print(
+        "anchor %s: %.0f pages/s   fresh: %.0f pages/s   ratio %.2fx"
+        % (os.path.basename(anchor_path), anchor_rate, fresh_rate, ratio)
+    )
+    if ratio < args.threshold:
+        raise SystemExit(
+            "FAIL: fresh throughput is %.2fx of the %s anchor "
+            "(threshold %.2f) — a perf regression, or the anchor needs "
+            "re-recording alongside an intentional slowdown"
+            % (ratio, os.path.basename(anchor_path), args.threshold)
+        )
+    print("replay-throughput gate OK (threshold %.2f)" % args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,14 +2,19 @@
 
 Usage::
 
-    python -m repro [--scale S] [--nodes N] [--seed K] [--only table4]
+    python -m repro [compare] [--scale S] [--nodes N] [--seed K]
+                    [--only table4] [--mechanisms all|LIST]
                     [--workers W] [--no-cache] [--cache-dir DIR]
                     [--metrics-json PATH] [--trace-dir DIR]
                     [--chrome-trace NAME]
 
 Prints every table and figure of the paper's Section 5/6 evaluation (or a
 single one with ``--only``).  ``--scale 1.0 --nodes 4`` is the
-paper-sized run recorded in EXPERIMENTS.md.
+paper-sized run recorded in EXPERIMENTS.md.  ``compare`` (or
+``--compare``) lines the measured numbers up against the paper's
+published ones; ``--mechanisms all`` (or a comma-separated subset)
+instead replays the Table 4 grid once per registered translation
+mechanism and prints the N-way comparison with its shape criteria.
 
 ``--workers N`` fans the trace replays out over N worker processes;
 results are byte-identical to a serial run.  Finished cells land in an
@@ -67,6 +72,9 @@ def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the UTLB paper's tables and figures.")
+    parser.add_argument("mode", nargs="?", choices=("compare",),
+                        help="'compare' runs the paper-vs-measured "
+                             "comparison (same as --compare)")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload scale factor (default 1.0)")
     parser.add_argument("--nodes", type=int, default=4,
@@ -78,6 +86,11 @@ def main(argv=None):
     parser.add_argument("--compare", action="store_true",
                         help="compare measured results against the "
                              "paper's published numbers")
+    parser.add_argument("--mechanisms", default=None, metavar="LIST",
+                        help="comma-separated mechanism names (or 'all' "
+                             "for every registered mechanism): run the "
+                             "N-way mechanism comparison instead of the "
+                             "paper tables")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes for trace replay "
                              "(default: REPRO_WORKERS or 1)")
@@ -100,13 +113,34 @@ def main(argv=None):
     args = parser.parse_args(argv)
     if args.chrome_trace and not args.trace_dir:
         parser.error("--chrome-trace requires --trace-dir")
+    mechanisms = None
+    if args.mechanisms is not None:
+        from repro.sim.runner import MECHANISMS
+        if args.mechanisms.strip().lower() == "all":
+            mechanisms = MECHANISMS
+        else:
+            mechanisms = tuple(name.strip()
+                               for name in args.mechanisms.split(",")
+                               if name.strip())
+            unknown = [m for m in mechanisms if m not in MECHANISMS]
+            if unknown:
+                parser.error("unknown mechanisms %s (choose from %s)"
+                             % (", ".join(unknown), ", ".join(MECHANISMS)))
+        if not mechanisms:
+            parser.error("--mechanisms got an empty list")
 
     args.runner = exp.make_runner(
         workers=args.workers,
         cache_dir=False if args.no_cache else args.cache_dir,
         trace_dir=args.trace_dir)
     try:
-        if args.compare:
+        if mechanisms is not None:
+            from repro.sim.compare import compare_mechanisms
+            _, text = compare_mechanisms(
+                scale=args.scale, nodes=args.nodes, seed=args.seed,
+                mechanisms=mechanisms, runner=args.runner)
+            print(text)
+        elif args.compare or args.mode == "compare":
             from repro.sim.compare import run_comparison
             run_comparison(scale=args.scale, nodes=args.nodes,
                            seed=args.seed, stream=sys.stdout,

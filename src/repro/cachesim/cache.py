@@ -150,6 +150,22 @@ class SetAssociativeCache:
         self.stats.fills += 1
         return evicted
 
+    def evict_one(self, index):
+        """Evict the policy's victim from set ``index % num_sets``.
+
+        An *external* eviction: capacity claimed by something other than
+        a fill (the Victima-style data-cache pressure path).  Counts an
+        eviction; returns the evicted ``(key, payload)`` pair, or None
+        when the set holds no entries.
+        """
+        set_state = self._sets.get(index % self.num_sets)
+        if not set_state:
+            return None
+        victim = self._policy.victim(set_state)
+        evicted = (victim, set_state.pop(victim))
+        self.stats.evictions += 1
+        return evicted
+
     def invalidate(self, key):
         """Drop ``key`` if present; returns True when an entry was dropped."""
         set_state = self._set_for(key)

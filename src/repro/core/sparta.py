@@ -1,0 +1,247 @@
+"""SPARTA-style range translation for pinned extents (PAPERS.md).
+
+Pinned communication buffers are overwhelmingly *contiguous*: the pages
+of one pin batch receive consecutive frames, so a base+bounds segment
+entry — (first vpage, last vpage, first frame) — translates the whole
+extent in one comparison.  This cache stores segments instead of pages:
+a fill that extends a segment's upper bound (virtually *and* physically
+contiguous with its last page) is absorbed into the existing entry;
+everything else opens a fresh single-page segment.  Fragmented pinning
+degenerates gracefully to one entry per page.
+
+One segment entry costs :data:`repro.params.SPARTA_RANGE_ENTRY_COST`
+page-entry slots of SRAM (base, bounds, and frame fields), so a
+``num_entries`` budget holds ``num_entries // cost`` segments — fewer
+slots than the page-grained cache, but each slot can cover an arbitrary
+extent.  Segments are replaced LRU as whole units; evicting a segment
+evicts every page it covers (one ``NI_EVICT`` per page, so the event
+stream and counters stay page-grained like every other design's).
+
+Unpinning a page punches a hole in its segment: translations for the
+remaining pages stay exact (the per-page frame map is authoritative;
+base/bounds only gate upper-bound extension).
+"""
+
+from repro import params
+from repro.cachesim.cache import CacheStats
+from repro.errors import CapacityError, ConfigError
+from repro.obs.events import NI_EVICT, NI_FILL, NI_HIT, NI_INVALIDATE, Event
+
+
+class _Segment:
+    """One base+bounds entry: a pid's contiguous-ish pinned extent."""
+
+    __slots__ = ("pid", "lo", "hi", "pages")
+
+    def __init__(self, pid, vpage, frame):
+        self.pid = pid
+        self.lo = vpage
+        self.hi = vpage
+        self.pages = {vpage: frame}     # authoritative per-page frames
+
+
+class SpartaRangeCache:
+    """NIC translation cache of base+bounds segments.
+
+    Drop-in for :class:`~repro.core.shared_cache.SharedUtlbCache` in the
+    simulator's cache slot: same constructor signature, lookup/fill/
+    invalidate surface, stats object, and event vocabulary.  Range
+    entries are direct-compared (a handful of bounds registers), so only
+    the direct-mapped, unclassified configuration is meaningful.
+    """
+
+    def __init__(self, num_entries=params.DEFAULT_UTLB_CACHE_ENTRIES,
+                 associativity=1, offsetting=True, classify=False,
+                 replacement="lru", max_processes=params.MAX_PROCESSES_PER_NIC,
+                 tracer=None):
+        if associativity != 1:
+            raise ConfigError(
+                "sparta-range is a bounds-register file, not a set-"
+                "associative array (associativity must be 1, got %d)"
+                % associativity)
+        if classify:
+            raise ConfigError("sparta-range has no 3C miss classifier")
+        if max_processes <= 0:
+            raise ConfigError("max_processes must be positive")
+        self.num_entries = num_entries
+        self.associativity = 1
+        self.offsetting = offsetting
+        self.max_processes = max_processes
+        self.segment_capacity = max(
+            1, num_entries // params.SPARTA_RANGE_ENTRY_COST)
+        self.classifier = None
+        self.stats = CacheStats()
+        self.tracer = tracer
+        self._trace = (tracer.emit if tracer is not None and tracer.enabled
+                       else None)
+        self._pids = set()
+        self._segments = {}         # segment id -> _Segment (LRU order)
+        self._page_map = {}         # (pid, vpage) -> segment id
+        self._next_sid = 0
+
+    # -- process registration ------------------------------------------------
+
+    def register_process(self, pid):
+        """Track ``pid``; idempotent, bounded by the process tag space."""
+        if pid in self._pids:
+            return 0
+        if len(self._pids) >= self.max_processes:
+            raise CapacityError(
+                "NIC already has %d registered processes (tag space is "
+                "%d bits)" % (len(self._pids), params.PROCESS_TAG_BITS))
+        self._pids.add(pid)
+        return 0
+
+    def is_registered(self, pid):
+        return pid in self._pids
+
+    # -- the NIC fast path ---------------------------------------------------
+
+    def lookup(self, pid, vpage):
+        """Probe the segment file.  Returns (hit, frame)."""
+        stats = self.stats
+        stats.accesses += 1
+        sid = self._page_map.get((pid, vpage))
+        if sid is None:
+            stats.misses += 1
+            return False, None
+        stats.hits += 1
+        segment = self._segments.pop(sid)   # LRU touch: move to MRU end
+        self._segments[sid] = segment
+        frame = segment.pages[vpage]
+        if self._trace is not None:
+            self._trace(Event(NI_HIT, pid, vpage, frame))
+        return True, frame
+
+    def fill(self, pid, vpage, frame, demand=True):
+        """Install a translation; returns the first evicted (pid, vpage)
+        key or None.  Extends an existing segment when the new page is
+        virtually and physically contiguous with its upper bound."""
+        key = (pid, vpage)
+        evicted = None
+        sid = self._page_map.get(key)
+        if sid is not None:
+            segment = self._segments.pop(sid)
+            self._segments[sid] = segment
+            segment.pages[vpage] = frame
+        else:
+            sid = self._coalesce_target(pid, vpage, frame)
+            if sid is not None:
+                segment = self._segments.pop(sid)
+                self._segments[sid] = segment
+                segment.hi = vpage
+                segment.pages[vpage] = frame
+                self._page_map[key] = sid
+            else:
+                if len(self._segments) >= self.segment_capacity:
+                    evicted = self._evict_lru()
+                sid = self._next_sid
+                self._next_sid += 1
+                self._segments[sid] = _Segment(pid, vpage, frame)
+                self._page_map[key] = sid
+        self.stats.fills += 1
+        if self._trace is not None:
+            self._trace(Event(NI_FILL, pid, vpage, frame,
+                              1 if demand else 0))
+        return evicted
+
+    def _coalesce_target(self, pid, vpage, frame):
+        """The segment id ``(pid, vpage, frame)`` extends upward, or None."""
+        sid = self._page_map.get((pid, vpage - 1))
+        if sid is None:
+            return None
+        segment = self._segments[sid]
+        if segment.hi != vpage - 1:
+            return None
+        if segment.pages[vpage - 1] + 1 != frame:
+            return None                 # virtually but not physically adjacent
+        return sid
+
+    def _evict_lru(self):
+        """Drop the least-recently-used segment; every covered page leaves
+        the cache.  Returns the first evicted (pid, vpage) key."""
+        sid = next(iter(self._segments))
+        segment = self._segments.pop(sid)
+        first = None
+        for vpage in segment.pages:
+            if first is None:
+                first = (segment.pid, vpage)
+            del self._page_map[(segment.pid, vpage)]
+            self.stats.evictions += 1
+            if self._trace is not None:
+                self._trace(Event(NI_EVICT, segment.pid, vpage))
+        return first
+
+    def fill_block(self, pid, entries):
+        """Install a prefetched block of ``(vpage, frame_or_None)`` pairs.
+
+        Same contract as :meth:`SharedUtlbCache.fill_block`: the first
+        pair is the demand miss, invalid frames are skipped, and the
+        list of evicted keys is returned.
+        """
+        evicted = []
+        first = True
+        for vpage, frame in entries:
+            if frame is None:
+                first = False
+                continue
+            victim = self.fill(pid, vpage, frame, demand=first)
+            first = False
+            if victim is not None:
+                evicted.append(victim)
+        return evicted
+
+    # -- invalidation --------------------------------------------------------
+
+    def invalidate(self, pid, vpage):
+        """Drop one translation (page was unpinned).  Returns True if
+        found.  Removing an interior page punches a hole: the segment's
+        remaining pages stay translated by the per-page frame map."""
+        key = (pid, vpage)
+        sid = self._page_map.pop(key, None)
+        if sid is None:
+            return False
+        segment = self._segments[sid]
+        del segment.pages[vpage]
+        if not segment.pages:
+            del self._segments[sid]
+        else:
+            if vpage == segment.lo:
+                segment.lo = min(segment.pages)
+            if vpage == segment.hi:
+                segment.hi = max(segment.pages)
+        self.stats.invalidations += 1
+        if self._trace is not None:
+            self._trace(Event(NI_INVALIDATE, pid, vpage))
+        return True
+
+    def invalidate_process(self, pid):
+        """Drop every translation belonging to ``pid`` (process exit)."""
+        victims = [key for key in self._page_map if key[0] == pid]
+        for key in victims:
+            self.invalidate(*key)
+        return len(victims)
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def num_segments(self):
+        return len(self._segments)
+
+    def __contains__(self, key):
+        return key in self._page_map
+
+    def __len__(self):
+        return len(self._page_map)
+
+    def entries_for(self, pid):
+        """All (vpage, frame) pairs cached for one process."""
+        pairs = []
+        for segment in self._segments.values():
+            if segment.pid == pid:
+                pairs.extend(segment.pages.items())
+        return pairs
+
+    def sram_bytes(self):
+        """SRAM consumed, at the Figure 3 entry width."""
+        return self.num_entries * params.UTLB_CACHE_ENTRY_BYTES

@@ -1,0 +1,134 @@
+"""Utopia-style hybrid restrictive/flexible translation (PAPERS.md).
+
+Utopia splits physical memory into a *restrictive* region — pages whose
+translation is a pure function of the virtual page number, so no lookup
+structure is consulted at all — and a *flexible* region holding
+everything that cannot be placed restrictively.  Transplanted to the
+NIC: half the SRAM entries form a direct-indexed restrictive array (one
+probe, no tags walked, no evictions — an entry leaves only when its page
+is unpinned), and the other half remain a conventional set-associative
+flexible table for spillover.
+
+A fill tries the restrictive slot first; if the slot is taken by another
+page (or the page already lives in the flexible table) it spills to the
+flexible side.  Exactly one copy of any translation exists at a time, so
+an unpin invalidation finds it wherever it lives.
+"""
+
+from repro.core.shared_cache import SharedUtlbCache
+from repro.obs.events import NI_FILL, NI_HIT, NI_INVALIDATE, Event
+
+
+class UtopiaCache(SharedUtlbCache):
+    """Half direct-indexed restrictive slots, half flexible spillover.
+
+    ``num_entries`` is the *total* budget: ``num_entries // 2``
+    restrictive slots plus the remainder as the flexible
+    :class:`SharedUtlbCache`.  The flexible half keeps the base cache's
+    associativity/offsetting knobs; the restrictive half is indexed by a
+    per-process golden-ratio hash of the virtual page number.
+    """
+
+    def __init__(self, num_entries, *args, **kwargs):
+        rest_slots = num_entries // 2
+        if rest_slots < 1:
+            raise ValueError(
+                "UtopiaCache needs at least 2 entries, got %d" % num_entries)
+        super().__init__(num_entries - rest_slots, *args, **kwargs)
+        self._rest_slots = rest_slots
+        self._rest = {}             # slot -> ((pid, vpage), frame)
+        self._rest_tags = {}        # pid -> registration index
+        #: Fills answered by a free/matching restrictive slot (the
+        #: "no lookup cost" population; the rest spilled to flexible).
+        self.restrictive_fills = 0
+
+    # -- placement ----------------------------------------------------------
+
+    def register_process(self, pid):
+        offset = super().register_process(pid)
+        self._rest_tags.setdefault(pid, len(self._rest_tags))
+        return offset
+
+    def _rest_slot(self, pid, vpage):
+        tag = self._rest_tags[pid]
+        return (vpage + tag * self.OFFSET_MULTIPLIER) % self._rest_slots
+
+    # -- the NIC fast path --------------------------------------------------
+
+    def lookup(self, pid, vpage):
+        entry = self._rest.get(self._rest_slot(pid, vpage))
+        if entry is not None and entry[0] == (pid, vpage):
+            stats = self._cache.stats
+            stats.accesses += 1
+            stats.hits += 1
+            if self._trace is not None:
+                self._trace(Event(NI_HIT, pid, vpage, entry[1]))
+            return True, entry[1]
+        return super().lookup(pid, vpage)
+
+    def fill(self, pid, vpage, frame, demand=True):
+        key = (pid, vpage)
+        slot = self._rest_slot(pid, vpage)
+        entry = self._rest.get(slot)
+        if (entry is not None and entry[0] == key) or (
+                entry is None and key not in self._cache):
+            # Restrictive placement: the slot already holds this page, or
+            # it is free and no flexible copy exists (never two copies —
+            # invalidation must find the one translation).
+            self._rest[slot] = (key, frame)
+            self._cache.stats.fills += 1
+            self.restrictive_fills += 1
+            if self._trace is not None:
+                self._trace(Event(NI_FILL, pid, vpage, frame,
+                                  1 if demand else 0))
+            return None
+        return super().fill(pid, vpage, frame, demand=demand)
+
+    # -- invalidation -------------------------------------------------------
+
+    def invalidate(self, pid, vpage):
+        slot = self._rest_slot(pid, vpage)
+        entry = self._rest.get(slot)
+        if entry is not None and entry[0] == (pid, vpage):
+            del self._rest[slot]
+            self._cache.stats.invalidations += 1
+            if self._trace is not None:
+                self._trace(Event(NI_INVALIDATE, pid, vpage))
+            return True
+        return super().invalidate(pid, vpage)
+
+    def invalidate_process(self, pid):
+        victims = [slot for slot, (key, _f) in self._rest.items()
+                   if key[0] == pid]
+        for slot in victims:
+            key, _frame = self._rest.pop(slot)
+            self._cache.stats.invalidations += 1
+            if self._trace is not None:
+                self._trace(Event(NI_INVALIDATE, key[0], key[1]))
+        return len(victims) + super().invalidate_process(pid)
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def num_entries(self):
+        """Total budget: restrictive slots plus flexible entries."""
+        return self._cache.num_entries + self._rest_slots
+
+    @property
+    def restrictive_slots(self):
+        return self._rest_slots
+
+    def __contains__(self, key):
+        if key[0] in self._rest_tags:
+            entry = self._rest.get(self._rest_slot(*key))
+            if entry is not None and entry[0] == key:
+                return True
+        return key in self._cache
+
+    def __len__(self):
+        return len(self._rest) + len(self._cache)
+
+    def entries_for(self, pid):
+        rest = [(key[1], frame) for key, frame in self._rest.values()
+                if key[0] == pid]
+        return rest + super().entries_for(pid)

@@ -1,0 +1,65 @@
+"""Victima-style cache-resident translation (PAPERS.md: Victima).
+
+Victima's idea, transplanted to the NIC: translation entries live in a
+cache that is *shared with data traffic* instead of a dedicated SRAM
+array.  Translations gain capacity when data pressure is low, but data
+fills steal ways back — each steal evicts whichever translation entry
+the replacement policy would victimize in the pressured set.
+
+The simulation models the data side as a deterministic background load:
+every :data:`repro.params.VICTIMA_PRESSURE_PERIOD` translation lookups,
+one data line claims a way.  The pressured set walks the index space by
+the same golden-ratio stride the per-process offsets use, so pressure is
+spread uniformly and the whole sequence is a pure function of the lookup
+stream — identical under the fast and reference engines by construction.
+
+Pressure evictions are *capacity* evictions seen by the rest of the
+stack exactly like a conflict eviction: the entry leaves the cache (an
+``NI_EVICT`` event), the page stays pinned, and the next lookup re-misses
+and re-fetches.
+"""
+
+from repro import params
+from repro.core.shared_cache import SharedUtlbCache
+from repro.obs.events import NI_EVICT, Event
+
+
+class VictimaCache(SharedUtlbCache):
+    """A :class:`SharedUtlbCache` under modeled data-cache pressure.
+
+    Identical geometry, indexing, and fill behaviour to the base cache;
+    the only addition is the pressure clock ticked by every lookup.
+    """
+
+    def __init__(self, *args, **kwargs):
+        self.pressure_period = kwargs.pop(
+            "pressure_period", params.VICTIMA_PRESSURE_PERIOD)
+        super().__init__(*args, **kwargs)
+        self._pressure_clock = 0
+        #: Distinct data fills that walked the index stride so far; the
+        #: pressured set is a function of this count alone.
+        self._fill_seq = 0
+        #: Translation entries lost to data fills (a subset of
+        #: ``stats.evictions``, which also counts conflict evictions).
+        self.pressure_evictions = 0
+
+    def lookup(self, pid, vpage):
+        result = super().lookup(pid, vpage)
+        self._pressure_clock += 1
+        if self._pressure_clock >= self.pressure_period:
+            self._pressure_clock = 0
+            self._data_fill()
+        return result
+
+    def _data_fill(self):
+        """One data line claims a way: evict the policy's victim from the
+        pressured set (a no-op when the set holds no translations)."""
+        self._fill_seq += 1
+        index = (self._fill_seq * self.OFFSET_MULTIPLIER) % self.num_sets
+        evicted = self._cache.evict_one(index)
+        if evicted is None:
+            return
+        self.pressure_evictions += 1
+        (epid, epage), _frame = evicted
+        if self._trace is not None:
+            self._trace(Event(NI_EVICT, epid, epage))

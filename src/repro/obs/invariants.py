@@ -25,8 +25,11 @@ message.
 from repro.obs import events as ev
 from repro.obs.tracer import Tracer
 
-#: Mechanisms whose event streams the checker understands.
-MECHANISMS = ("utlb", "intr")
+#: Mechanisms whose event streams the checker understands.  The three
+#: cache-model mechanisms (Victima/Utopia/SPARTA designs) reuse the UTLB
+#: host stack, so their streams obey exactly the ``utlb`` rules; only
+#: ``intr`` adds the unpin-exactly-on-evict coupling.
+MECHANISMS = ("utlb", "intr", "victima", "utopia", "sparta-range")
 
 
 class InvariantViolation(AssertionError):

@@ -83,6 +83,17 @@ TABLE5_MEMORY_LIMIT_BYTES = 4 * 1024 * 1024
 #: Per-process pinned-memory limit used by Table 7: 16 MB.
 TABLE7_MEMORY_LIMIT_BYTES = 16 * 1024 * 1024
 
+#: Victima-style cache-resident translation (``mechanism="victima"``):
+#: the NIC cache shares capacity with modeled data traffic, so every
+#: this-many translation lookups one data line claims a way and evicts
+#: a translation entry from the pressured set.
+VICTIMA_PRESSURE_PERIOD = 64
+
+#: SPARTA-style range translation (``mechanism="sparta-range"``): one
+#: base+bounds segment entry costs this many page-entry slots of SRAM
+#: (base, bounds, and frame fields versus a single packed page entry).
+SPARTA_RANGE_ENTRY_COST = 2
+
 #: Number of cluster nodes in the trace capture (four 4-way SMPs).
 TRACE_NODES = 4
 

@@ -54,6 +54,7 @@ from repro.core.costs import accumulated_cost
 from repro.core.shared_cache import SharedUtlbCache
 from repro.core.stats import TranslationStats
 from repro.errors import CapacityError
+from repro.sim.mechanisms import lookup as lookup_mechanism
 
 #: Minimum cells before a group is worth one analytic pass; singletons
 #: replay (one pass of either engine costs about the same, and replay is
@@ -90,18 +91,15 @@ class AnalyticAxis:
 def cell_eligible(config, mechanism):
     """Can this cell ride an analytic axis at all (axis fields aside)?
 
-    The solver models exactly the fast engine's default path: UTLB
-    mechanism, untraced, unclassified, one page per pin call and one
-    entry per miss fetch, LRU pinned-page replacement.  Everything else
-    — including user-supplied policy *instances* — replays per cell.
+    Asks the mechanism registry: today only ``utlb`` opts in, and only
+    on the fast engine's default path — untraced, unclassified, one page
+    per pin call and one entry per miss fetch, LRU pinned-page
+    replacement.  Everything else — including user-supplied policy
+    *instances* — replays per cell.  Unknown mechanism names are simply
+    ineligible (dispatch fails loudly later, in the worker).
     """
-    return (mechanism == "utlb"
-            and config.engine == "fast"
-            and not config.traced
-            and not config.classify
-            and config.prefetch == 1
-            and config.prepin == 1
-            and config.pin_policy == "lru")
+    mech = lookup_mechanism(mechanism)
+    return mech is not None and mech.analytic_eligible(config)
 
 
 def plan_axes(cells, pending, configs, fingerprint):

@@ -105,6 +105,49 @@ def compare_table8(scale=1.0, nodes=4, seed=1, sizes=(1024, 16384),
     return findings, "Table 8 shape criteria:\n" + verdicts
 
 
+def compare_mechanisms(scale=1.0, nodes=4, seed=1, sizes=(1024, 16384),
+                       mechanisms=None, runner=None):
+    """N-way mechanism comparison with cross-mechanism shape criteria.
+
+    Runs :func:`exp.mechanism_table` over ``mechanisms`` (default: the
+    registry's comparison set) and checks the relationships the designs
+    predict.  Returns ``(findings, text)`` like the other comparisons.
+    """
+    measured = exp.mechanism_table(scale=scale, nodes=nodes, seed=seed,
+                                   sizes=sizes, mechanisms=mechanisms,
+                                   runner=runner)
+    first = next(iter(measured.values()))
+    present = list(next(iter(first.values())))
+    findings = []
+    if "utlb" in present and "intr" in present:
+        findings.append((
+            "UTLB and Intr NI miss rates identical",
+            all(abs(measured[a][s]["utlb"]["ni_misses"]
+                    - measured[a][s]["intr"]["ni_misses"]) < 1e-9
+                for a in measured for s in sizes)))
+    if "utlb" in present and "victima" in present:
+        findings.append((
+            "Victima (data-cache pressure) never beats plain UTLB",
+            all(measured[a][s]["victima"]["ni_misses"]
+                >= measured[a][s]["utlb"]["ni_misses"] - 1e-9
+                for a in measured for s in sizes)))
+    findings.append((
+        "every mechanism's NI miss rate falls (or stays flat) with "
+        "cache size",
+        all(measured[a][sizes[0]][m]["ni_misses"]
+            >= measured[a][sizes[-1]][m]["ni_misses"] - 0.05
+            for a in measured for m in present)))
+    findings.append((
+        "no mechanism unpins under infinite host memory",
+        all(measured[a][s][m]["unpins"] == 0.0
+            for a in measured for s in sizes for m in present
+            if m != "intr")))
+    table = exp.render_mechanism_table(measured)
+    verdicts = "\n".join("  [%s] %s" % ("ok" if passed else "FAIL", name)
+                         for name, passed in findings)
+    return findings, table + "\nmechanism criteria:\n" + verdicts
+
+
 def run_comparison(scale=1.0, nodes=4, seed=1, stream=None, runner=None):
     """The full comparison report; returns the text."""
     sections = []

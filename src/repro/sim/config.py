@@ -1,9 +1,9 @@
 """Simulation configuration for the trace-driven analysis (Section 6)."""
 
 from repro import params
-from repro.core.costs import DEFAULT_COST_MODEL
 from repro.core.policies import PIN_POLICIES
 from repro.errors import ConfigError
+from repro.sim.mechanisms import resolve
 
 
 #: Valid trace-replay engines: ``fast`` (compiled page streams with a
@@ -33,7 +33,8 @@ class SimConfig:
                  cost_model=None,
                  seed=0,
                  engine="fast",
-                 tracer=None):
+                 tracer=None,
+                 mechanism="utlb"):
         if cache_entries <= 0:
             raise ConfigError("cache_entries must be positive")
         if associativity <= 0 or cache_entries % associativity:
@@ -53,6 +54,12 @@ class SimConfig:
         if isinstance(pin_policy, str) and pin_policy not in PIN_POLICIES:
             raise ConfigError("unknown pin policy %r (choose from %s)"
                               % (pin_policy, sorted(PIN_POLICIES)))
+        # Mechanism names resolve through the registry (unknown names
+        # raise ConfigError with the valid choices); Mechanism instances
+        # pass through.  Only the *name* is stored — the config stays a
+        # plain picklable value object.
+        mech = resolve(mechanism)
+        self.mechanism = mech.name
         self.cache_entries = cache_entries
         self.associativity = associativity
         self.offsetting = offsetting
@@ -61,7 +68,12 @@ class SimConfig:
         self.memory_limit_bytes = memory_limit_bytes
         self.pin_policy = pin_policy
         self.classify = classify
-        self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        #: Remember whether the cost model was defaulted: ``replace()``
+        #: re-derives a defaulted model, so switching mechanism picks up
+        #: the new mechanism's default instead of freezing the old one.
+        self._defaulted_cost_model = cost_model is None
+        self.cost_model = (cost_model if cost_model is not None
+                           else mech.default_cost_model())
         self.seed = seed
         self.engine = engine
         #: Optional :class:`repro.obs.tracer.Tracer` receiving the run's
@@ -71,6 +83,11 @@ class SimConfig:
         #: event-emitting reference path.  Never part of the simulated
         #: configuration: results are identical with or without it.
         self.tracer = tracer
+        # Last, with the full state assembled: the mechanism's own eager
+        # validation.  An engine/geometry combination the mechanism's
+        # eligibility rules out fails here, at construction — not by
+        # silently degrading to the reference path deep in the runner.
+        mech.validate(self)
 
     @property
     def traced(self):
@@ -96,10 +113,15 @@ class SimConfig:
             memory_limit_bytes=self.memory_limit_bytes,
             pin_policy=self.pin_policy,
             classify=self.classify,
-            cost_model=self.cost_model,
+            # A defaulted cost model stays defaulted, so
+            # replace(mechanism=...) re-derives the new mechanism's
+            # default instead of carrying the old one across.
+            cost_model=(None if self._defaulted_cost_model
+                        else self.cost_model),
             seed=self.seed,
             engine=self.engine,
             tracer=self.tracer,
+            mechanism=self.mechanism,
         )
         fields.update(overrides)
         return SimConfig(**fields)
@@ -112,6 +134,7 @@ class SimConfig:
         therefore a different cache key.
         """
         return {
+            "mechanism": self.mechanism,
             "cache_entries": self.cache_entries,
             "associativity": self.associativity,
             "offsetting": self.offsetting,
@@ -139,6 +162,8 @@ class SimConfig:
                 % (self.cache_entries, self.associativity, hashing,
                    self.prefetch, self.prepin, limit, self.pin_policy,
                    self.engine))
+        if self.mechanism != "utlb":
+            text += " mech=%s" % (self.mechanism,)
         if self.traced:
             text += " traced"
         return text

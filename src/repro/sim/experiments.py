@@ -517,6 +517,80 @@ def render_table8_cost(data):
 
 
 # ---------------------------------------------------------------------------
+# Extension: N-way mechanism comparison over the Table 4 grid
+# ---------------------------------------------------------------------------
+
+#: The default comparison set: the paper's two evaluated designs plus
+#: the three modern translation mechanisms from the registry.  ``pp``
+#: (per-process UTLB) joins when callers ask for ``all`` — its numbers
+#: are flat across cache sizes because it has no shared cache.
+COMPARE_MECHANISMS = ("utlb", "intr", "victima", "utopia", "sparta-range")
+
+
+def mechanism_table(scale=1.0, nodes=DEFAULT_NODES, seed=DEFAULT_SEED,
+                    sizes=(1024, 16384), mechanisms=None, runner=None):
+    """Table-4-style grid replayed once per registered mechanism.
+
+    Every application runs at every cache size under every mechanism in
+    ``mechanisms`` (default :data:`COMPARE_MECHANISMS`), through the same
+    :class:`~repro.sim.runner.SweepRunner` fan-out as the paper tables.
+    Returns ``{app: {size: {mechanism: {"ni_misses", "unpins",
+    "lookup_cost_us", "stats"}}}}``.
+    """
+    runner = runner or default_runner()
+    mechanisms = tuple(mechanisms or COMPARE_MECHANISMS)
+    data = {}
+    for app in _apps():
+        traces = generate_traces(app, nodes=nodes, seed=seed, scale=scale)
+        cells = []
+        for size in sizes:
+            for mechanism in mechanisms:
+                config = SimConfig(cache_entries=size, mechanism=mechanism)
+                cells.append(SweepCell((app.name, size, mechanism),
+                                       traces, config))
+        results = runner.run_cells(cells)
+        per_size = {}
+        index = 0
+        for size in sizes:
+            per_mech = {}
+            for mechanism in mechanisms:
+                stats = results[index].stats
+                index += 1
+                per_mech[mechanism] = {
+                    "ni_misses": stats.ni_miss_rate,
+                    "unpins": stats.unpin_rate,
+                    "lookup_cost_us": stats.avg_lookup_cost_us,
+                    "stats": stats,
+                }
+            per_size[size] = per_mech
+        data[app.name] = per_size
+    return data
+
+
+def render_mechanism_table(data):
+    apps = list(data)
+    sizes = list(next(iter(data.values())))
+    mechanisms = list(next(iter(next(iter(data.values())).values())))
+    headers = (["Cache", "Mechanism"]
+               + ["%s:NI" % a for a in apps]
+               + ["%s:us" % a for a in apps])
+    rows = []
+    for size in sizes:
+        for index, mechanism in enumerate(mechanisms):
+            row = ["%dK" % (size // 1024) if index == 0 else "", mechanism]
+            for app in apps:
+                row.append(round(data[app][size][mechanism]["ni_misses"], 2))
+            for app in apps:
+                row.append(
+                    round(data[app][size][mechanism]["lookup_cost_us"], 2))
+            rows.append(row)
+    return format_table(
+        headers, rows,
+        title="Mechanism comparison: NI miss rate and average lookup "
+              "cost (us/lookup) per mechanism over the Table 4 grid")
+
+
+# ---------------------------------------------------------------------------
 # Extension: per-component cost breakdown (not a paper table; explains
 # *why* Table 6 comes out the way it does)
 # ---------------------------------------------------------------------------

@@ -57,25 +57,18 @@ from multiprocessing import get_context
 
 from repro.errors import ConfigError
 from repro.obs.tracer import JsonlTracer
+from repro.sim import mechanisms as mech_registry
 from repro.sim.analytic import plan_axes, solve_axis_node
-from repro.sim.intr_simulator import simulate_node_intr
-from repro.sim.pp_simulator import simulate_node_pp
-from repro.sim.simulator import ClusterResult, simulate_node
+from repro.sim.mechanisms import mechanism_names, resolve
+from repro.sim.simulator import ClusterResult
 from repro.sim.stream_store import AttachedStreams, SharedStreamStore
 from repro.traces.compile import compile_streams
 from repro.traces.record import OP_CODES, count_lookups
 
-#: node-replay entry point per mechanism (Sections 3.1, 4, and 6).
-SIMULATORS = {
-    "utlb": simulate_node,
-    "intr": simulate_node_intr,
-    "pp": simulate_node_pp,
-}
-
-MECHANISMS = tuple(SIMULATORS)
-
-#: Mechanisms whose replay emits the obs event stream (``trace_dir``).
-TRACEABLE_MECHANISMS = ("utlb", "intr")
+#: Registered mechanism names at import time (see
+#: :mod:`repro.sim.mechanisms` — the registry is the authority; this
+#: tuple survives as the convenient CLI-choices form).
+MECHANISMS = mechanism_names()
 
 #: Phase keys of the per-cell timing breakdown.
 PHASES = ("compile_s", "replay_s", "report_s")
@@ -83,7 +76,9 @@ PHASES = ("compile_s", "replay_s", "report_s")
 #: Cache entry layout version; bump to orphan every existing entry.
 #: 2: ``trace_fingerprint`` switched from per-record ``repr`` strings to
 #: packed record bytes.
-CACHE_FORMAT = 2
+#: 3: ``SimConfig.to_dict`` grew the ``mechanism`` field (the registry
+#: refactor made the mechanism part of the config).
+CACHE_FORMAT = 3
 
 _CODE_VERSION = None
 
@@ -142,8 +137,9 @@ def code_version():
                          if name.endswith(".py"))
         paths.extend(os.path.join(sim_dir, name)
                      for name in ("analytic.py", "config.py",
-                                  "intr_simulator.py", "pp_simulator.py",
-                                  "runner.py", "simulator.py"))
+                                  "intr_simulator.py", "mechanisms.py",
+                                  "pp_simulator.py", "runner.py",
+                                  "simulator.py"))
         paths.extend(os.path.join(repro_dir, "traces", name)
                      for name in ("compile.py", "merge.py", "record.py"))
         digest = hashlib.sha256()
@@ -437,36 +433,40 @@ class SweepMetrics:
 # ---------------------------------------------------------------------------
 
 class SweepCell:
-    """One sweep cell: a label plus the replay inputs."""
+    """One sweep cell: a label plus the replay inputs.
+
+    ``mechanism`` may be a registered name, a
+    :class:`~repro.sim.mechanisms.Mechanism`, or None to use the
+    config's own ``mechanism`` field.  Either way the cell's config is
+    kept in sync (``config.replace(mechanism=...)``), which runs the
+    mechanism's eager validation — an ineligible combination fails here,
+    not in a worker.
+    """
 
     __slots__ = ("label", "traces", "config", "mechanism")
 
-    def __init__(self, label, traces, config, mechanism="utlb"):
-        if mechanism not in SIMULATORS:
-            raise ConfigError("unknown mechanism %r (use one of %s)"
-                              % (mechanism, MECHANISMS))
+    def __init__(self, label, traces, config, mechanism=None):
+        mech = resolve(config.mechanism if mechanism is None else mechanism)
+        if config.mechanism != mech.name:
+            config = config.replace(mechanism=mech.name)
         self.label = label
         self.traces = traces
         self.config = config
-        self.mechanism = mechanism
+        self.mechanism = mech.name
 
 
 def _streams_eligible(config, mechanism):
     """True when this unit's replay consumes compiled streams.
 
-    Mirrors the engine dispatch inside the simulators exactly: a unit
-    marked eligible is shipped *without* its records (stream key only),
-    so it must be one the fast compiled-stream path will actually take.
-    ``pp`` predates stream compilation; the ``intr`` fast path
-    additionally needs a direct-mapped, unclassified cache.
+    Asks the mechanism descriptor (which mirrors the engine dispatch
+    inside its simulator exactly): a unit marked eligible is shipped
+    *without* its records (stream key only), so it must be one the fast
+    compiled-stream path will actually take.  Unknown names — possible
+    only by corrupting a cell after construction — are simply
+    ineligible; dispatch fails loudly in the worker instead.
     """
-    if config.engine != "fast" or config.traced:
-        return False
-    if mechanism == "utlb":
-        return True
-    if mechanism == "intr":
-        return config.associativity == 1 and not config.classify
-    return False
+    mech = mech_registry.lookup(mechanism)
+    return mech is not None and mech.streams_eligible(config)
 
 
 #: Worker-side registry of attached compiled streams, populated by the
@@ -569,10 +569,11 @@ def _replay_unit(args, compiled=None):
                 "ran with a stale manifest?)" % (stream_key,))
     phases = dict.fromkeys(PHASES, 0.0)
     start = time.perf_counter()
+    simulate = resolve(mechanism).simulate
     if compiled is not None:
-        result = SIMULATORS[mechanism](records, config, compiled=compiled)
+        result = simulate(records, config, compiled=compiled)
     else:
-        result = SIMULATORS[mechanism](records, config)
+        result = simulate(records, config)
     phases["replay_s"] = time.perf_counter() - start
     start = time.perf_counter()
     node_dict = result.to_dict()
@@ -673,13 +674,15 @@ class SweepRunner:
         """A fresh :class:`JsonlTracer` for one traceable cell, or None.
 
         Cells that already carry their own enabled tracer keep it (the
-        caller owns that one); ``pp`` cells are never traced — the
-        pool-of-pins model predates the event stream.  File names are
-        slugified cell labels, suffixed on collision so a sweep with
-        repeated labels still gets one file per cell.
+        caller owns that one); non-traceable mechanisms (``pp`` — the
+        pool-of-pins model predates the event stream) are skipped.  File
+        names are slugified cell labels, suffixed on collision so a
+        sweep with repeated labels still gets one file per cell.
         """
-        if (self.trace_dir is None or cell.config.traced
-                or cell.mechanism not in TRACEABLE_MECHANISMS):
+        if self.trace_dir is None or cell.config.traced:
+            return None
+        mech = mech_registry.lookup(cell.mechanism)
+        if mech is None or not mech.traceable:
             return None
         slug = re.sub(r"[^A-Za-z0-9._-]+", "-", str(cell.label)).strip("-")
         base = "%s.%s" % (slug or "cell", cell.mechanism)
@@ -694,7 +697,7 @@ class SweepRunner:
 
     # -- execution ----------------------------------------------------------
 
-    def run(self, traces, config, mechanism="utlb", label=None):
+    def run(self, traces, config, mechanism=None, label=None):
         """Replay one cell; returns its :class:`ClusterResult`."""
         return self.run_cells(
             [SweepCell(label, traces, config, mechanism)])[0]

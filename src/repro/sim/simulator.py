@@ -105,20 +105,29 @@ def simulate_node(records, config, check_invariants=False, compiled=None):
     return _simulate_node_fast(records, config, check_invariants, compiled)
 
 
-def _build_node(pids, config, shadowed=False):
+def _build_node(pids, config, shadowed=False, cache_factory=None):
     """One node's NIC cache, frame driver, and per-process UTLB stacks.
 
     ``pids`` must be sorted: registration order assigns the per-process
     index offsets, so it is part of the simulated configuration.
+
+    ``cache_factory(config, tracer)`` optionally supplies the NIC cache
+    model — how the mechanism registry swaps in Victima/Utopia/SPARTA
+    designs while reusing the whole replay stack.  ``shadowed`` is
+    ignored when a factory is given (the shadow fast path assumes the
+    base cache's exact-key semantics).
     """
     tracer = config.tracer if config.traced else None
-    cache_cls = ShadowedUtlbCache if shadowed else SharedUtlbCache
-    cache = cache_cls(
-        config.cache_entries,
-        associativity=config.associativity,
-        offsetting=config.offsetting,
-        classify=config.classify,
-        tracer=tracer)
+    if cache_factory is not None:
+        cache = cache_factory(config, tracer)
+    else:
+        cache_cls = ShadowedUtlbCache if shadowed else SharedUtlbCache
+        cache = cache_cls(
+            config.cache_entries,
+            associativity=config.associativity,
+            offsetting=config.offsetting,
+            classify=config.classify,
+            tracer=tracer)
     driver = CountingFrameDriver()
     limit = config.memory_limit_pages
     utlbs = {}
@@ -141,10 +150,11 @@ def _node_result(cache, utlbs, check_invariants):
     return NodeResult(stats, per_pid, cache.stats.snapshot(), breakdown)
 
 
-def _simulate_node_reference(records, config, check_invariants=False):
+def _simulate_node_reference(records, config, check_invariants=False,
+                             cache_factory=None):
     """The oracle: record-at-a-time replay, one full lookup per page."""
     pids = sorted({record.pid for record in records})
-    cache, utlbs = _build_node(pids, config)
+    cache, utlbs = _build_node(pids, config, cache_factory=cache_factory)
 
     for record in records:
         utlb = utlbs[record.pid]
@@ -155,7 +165,7 @@ def _simulate_node_reference(records, config, check_invariants=False):
 
 
 def _simulate_node_fast(records, config, check_invariants=False,
-                        compiled=None):
+                        compiled=None, cache_factory=None):
     """Compiled-stream replay with a counter-only hot path.
 
     The common case — page already pinned, translation already in the
@@ -182,8 +192,15 @@ def _simulate_node_fast(records, config, check_invariants=False,
     """
     if compiled is None:
         compiled = compile_streams(records)
-    shadow_ok = config.associativity == 1 and not config.classify
-    cache, utlbs = _build_node(compiled.pids, config, shadowed=shadow_ok)
+    # A custom cache model (mechanism registry) disables the shadow-dict
+    # shortcut: its lookups may have side effects (pressure clocks,
+    # segment LRU order) the shadow would skip.  The non-shadow branches
+    # below probe the real cache on every lookup, exactly like the
+    # reference engine, so they stay byte-identical for any cache model.
+    shadow_ok = (cache_factory is None
+                 and config.associativity == 1 and not config.classify)
+    cache, utlbs = _build_node(compiled.pids, config, shadowed=shadow_ok,
+                               cache_factory=cache_factory)
     limit = config.memory_limit_pages
 
     # Per-pid state, indexed by the compiled dense pid index.

@@ -38,7 +38,9 @@ def _checked_reference(original, mechanism):
     from repro.obs.invariants import InvariantChecker
     from repro.obs.tracer import TeeTracer
 
-    def checked(records, config, check_invariants=False):
+    def checked(records, config, check_invariants=False, **kwargs):
+        # **kwargs forwards engine extensions (e.g. the mechanism
+        # registry's cache_factory) untouched.
         checker = InvariantChecker(
             memory_limit_pages=config.memory_limit_pages,
             mechanism=mechanism)
@@ -46,7 +48,7 @@ def _checked_reference(original, mechanism):
         if config.traced:
             tracer = TeeTracer(config.tracer, checker)
         result = original(records, config.replace(tracer=tracer),
-                          check_invariants)
+                          check_invariants, **kwargs)
         checker.close()
         checker.verify_node(result)
         return result

@@ -295,7 +295,9 @@ class TestSharedStreamBatches:
         with SweepRunner(workers=2) as runner:
             broken = SweepCell(1, traces, config)
             broken.mechanism = "not-a-mechanism"     # bypasses __init__
-            with pytest.raises(KeyError):
+            # Registry resolution fails at dispatch time, inside the
+            # worker — after the good cells' streams were published.
+            with pytest.raises(ConfigError):
                 runner.run_cells(cells + [broken])
             manifest = dict(runner.last_stream_manifest)
         assert manifest

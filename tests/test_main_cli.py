@@ -31,3 +31,36 @@ class TestSections:
     def test_bad_section_rejected(self):
         with pytest.raises(SystemExit):
             main(["--only", "table99"])
+
+
+class TestMechanismComparison:
+    def test_positional_compare_mode(self, capsys):
+        assert main(["compare", "--scale", "0.04", "--nodes", "1",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "[ok]" in out and "FAIL" not in out
+
+    def test_mechanisms_subset(self, capsys):
+        assert main(["compare", "--mechanisms", "utlb,victima",
+                     "--scale", "0.02", "--nodes", "1", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Mechanism comparison" in out
+        assert "victima" in out
+        assert "FAIL" not in out
+
+    def test_mechanisms_all_covers_the_registry(self, capsys):
+        from repro.sim.runner import MECHANISMS
+        assert main(["compare", "--mechanisms", "all", "--scale", "0.02",
+                     "--nodes", "1", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        for name in MECHANISMS:
+            assert name in out
+        assert "FAIL" not in out
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "--mechanisms", "bogus", "--no-cache"])
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tables"])
