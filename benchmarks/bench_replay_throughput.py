@@ -218,6 +218,7 @@ def _sweep_grid(traces, workers, metrics_json=None, axis_speedup=None,
         if axis_speedup is not None:
             archive["analytic_axis_speedup"] = axis_speedup
         archive["bench"] = {
+            "kind": "replay-grid",
             "apps": list(APPS),
             "grid_cache_entries": list(GRID_CACHE_ENTRIES),
             "axis_cache_entries": list(AXIS_CACHE_ENTRIES),

@@ -1,18 +1,25 @@
-"""The replay-throughput regression gate against the committed anchor.
+"""The benchmark regression gate against the committed anchors.
 
 Each PR that touches the perf trajectory commits a ``BENCH_<n>.json``
-snapshot of the CI sweep-grid run (``bench_replay_throughput
---metrics-json``).  This script turns those snapshots from decoration
-into a gate: it finds the most recent committed anchor (highest ``n``),
-shape-checks both it and the fresh run, and fails when the fresh run's
-grid throughput (``totals.pages_per_sec``) degrades below
-``--threshold`` (default 0.70) of the anchor's.
+snapshot of a CI benchmark run.  Snapshots now come in *kinds* —
+``replay-grid`` (``bench_replay_throughput --metrics-json``, the
+original sweep-grid run) and ``scale`` (``bench_scale --metrics-json``,
+the bounded-memory streaming run) — and a fresh run must only ever be
+compared against an anchor of the same kind *and* the same
+``bench.scale`` (pages/sec at small scale is dominated by fixed
+pool/IPC overhead, not the hot loop, so cross-scale ratios are
+meaningless).  This script finds the most recent committed anchor
+(highest ``n``) matching the fresh run's ``(kind, scale)`` key,
+shape-checks both snapshots, and fails when the fresh run's throughput
+(``totals.pages_per_sec``) degrades below ``--threshold`` (default
+0.70) of that anchor's.
 
 CI runners are noisy, so the floor is deliberately loose — it catches
 real regressions (an accidental fast-path deoptimization is a 5-10x
 cliff, not 30%) without tripping on scheduler jitter.  Usage::
 
     python -m benchmarks.check_bench_anchor replay-metrics.json
+    python -m benchmarks.check_bench_anchor scale-metrics.json
 """
 
 import argparse
@@ -35,9 +42,27 @@ TOTALS_KEYS = (
 #: analytic_axis_speedup keys (solver-vs-replay timing, recorded per PR).
 AXIS_KEYS = ("cells", "analytic_cells", "replay_s", "analytic_s", "speedup")
 
+#: memory keys a ``scale`` snapshot must carry (the RSS trajectory).
+MEMORY_KEYS = ("peak_rss_kb", "ceiling_kb")
 
-def find_anchor(root="."):
-    """The committed ``BENCH_<n>.json`` with the highest ``n``."""
+#: Snapshots from before ``bench.kind`` existed are sweep-grid runs.
+DEFAULT_KIND = "replay-grid"
+
+
+def bench_key(payload):
+    """The anchor-matching key of one snapshot: ``(kind, scale)``."""
+    bench = payload.get("bench") or {}
+    return (bench.get("kind", DEFAULT_KIND), bench.get("scale"))
+
+
+def find_anchor(key, root="."):
+    """The highest-``n`` committed ``BENCH_<n>.json`` matching ``key``.
+
+    Returns ``(path, payload)``, or ``(None, None)`` when no committed
+    anchor has the fresh run's ``(kind, scale)`` — the caller decides
+    whether that is fatal (``--allow-missing`` makes it a no-op for the
+    first run of a brand-new kind, before its anchor lands).
+    """
     candidates = []
     for path in glob.glob(os.path.join(root, "BENCH_*.json")):
         match = re.fullmatch(r"BENCH_(\d+)\.json", os.path.basename(path))
@@ -45,42 +70,67 @@ def find_anchor(root="."):
             candidates.append((int(match.group(1)), path))
     if not candidates:
         raise SystemExit("FAIL: no committed BENCH_<n>.json anchor found")
-    return max(candidates)[1]
+    for _, path in sorted(candidates, reverse=True):
+        with open(path) as handle:
+            payload = json.load(handle)
+        if bench_key(payload) == key:
+            return path, payload
+    return None, None
 
 
 def check_shape(payload, name):
-    """Every snapshot — anchor or fresh — must have the full schema."""
+    """Every snapshot — anchor or fresh — must have its kind's schema."""
     totals = payload.get("totals")
     if not isinstance(totals, dict):
         raise SystemExit("FAIL: %s has no totals dict" % name)
     for key in TOTALS_KEYS:
         if key not in totals:
             raise SystemExit("FAIL: %s missing totals[%r]" % (name, key))
-    axis = payload.get("analytic_axis_speedup")
-    if not isinstance(axis, dict):
-        raise SystemExit("FAIL: %s has no analytic_axis_speedup" % name)
-    for key in AXIS_KEYS:
-        if key not in axis:
-            msg = "FAIL: %s missing analytic_axis_speedup[%r]" % (name, key)
-            raise SystemExit(msg)
-    if axis["analytic_cells"] != axis["cells"]:
-        raise SystemExit(
-            "FAIL: %s solved only %d of %d axis cells analytically"
-            % (name, axis["analytic_cells"], axis["cells"])
-        )
+    kind = bench_key(payload)[0]
+    if kind == "replay-grid":
+        axis = payload.get("analytic_axis_speedup")
+        if not isinstance(axis, dict):
+            raise SystemExit("FAIL: %s has no analytic_axis_speedup" % name)
+        for key in AXIS_KEYS:
+            if key not in axis:
+                msg = "FAIL: %s missing analytic_axis_speedup[%r]" % (
+                    name,
+                    key,
+                )
+                raise SystemExit(msg)
+        if axis["analytic_cells"] != axis["cells"]:
+            raise SystemExit(
+                "FAIL: %s solved only %d of %d axis cells analytically"
+                % (name, axis["analytic_cells"], axis["cells"])
+            )
+    elif kind == "scale":
+        memory = payload.get("memory")
+        if not isinstance(memory, dict):
+            raise SystemExit("FAIL: %s has no memory dict" % name)
+        for key in MEMORY_KEYS:
+            if key not in memory:
+                raise SystemExit("FAIL: %s missing memory[%r]" % (name, key))
+        if memory["peak_rss_kb"] > memory["ceiling_kb"]:
+            raise SystemExit(
+                "FAIL: %s records peak RSS %d KB above its own ceiling "
+                "%d KB" % (name, memory["peak_rss_kb"], memory["ceiling_kb"])
+            )
+    else:
+        raise SystemExit("FAIL: %s has unknown bench kind %r" % (name, kind))
     return totals
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(
-        description="Gate a fresh replay-throughput run against the most "
-        "recent committed BENCH_<n>.json anchor.",
+        description="Gate a fresh benchmark run against the most recent "
+        "committed BENCH_<n>.json anchor of the same kind and scale.",
     )
     parser.add_argument("fresh", help="metrics JSON of the fresh CI run")
     parser.add_argument(
         "--anchor",
         default=None,
-        help="anchor path (default: highest BENCH_<n>.json in --root)",
+        help="anchor path (default: highest matching BENCH_<n>.json "
+        "in --root)",
     )
     parser.add_argument(
         "--root",
@@ -94,28 +144,42 @@ def main(argv=None):
         help="minimum fresh/anchor pages-per-sec ratio "
         "(default 0.70: >30%% degradation fails)",
     )
+    parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="succeed (skipping the ratio gate) when no committed "
+        "anchor matches the fresh run's kind and scale — for the first "
+        "run of a new benchmark kind",
+    )
     args = parser.parse_args(argv)
 
-    anchor_path = args.anchor or find_anchor(args.root)
-    with open(anchor_path) as handle:
-        anchor = json.load(handle)
     with open(args.fresh) as handle:
         fresh = json.load(handle)
-
-    anchor_totals = check_shape(anchor, os.path.basename(anchor_path))
     fresh_totals = check_shape(fresh, args.fresh)
+    key = bench_key(fresh)
 
-    # Throughput only compares like-for-like: the runs must replay the
-    # same workload (pages/sec at small scale is dominated by fixed
-    # pool/IPC overhead, not the hot loop).
-    anchor_scale = anchor.get("bench", {}).get("scale")
-    fresh_scale = fresh.get("bench", {}).get("scale")
-    if anchor_scale != fresh_scale:
-        raise SystemExit(
-            "FAIL: scale mismatch — anchor recorded at scale=%r, fresh "
-            "run at scale=%r; rerun with the anchor's scale"
-            % (anchor_scale, fresh_scale)
-        )
+    if args.anchor:
+        anchor_path = args.anchor
+        with open(anchor_path) as handle:
+            anchor = json.load(handle)
+        if bench_key(anchor) != key:
+            raise SystemExit(
+                "FAIL: anchor %s is %r, fresh run is %r; compare "
+                "like-for-like only"
+                % (os.path.basename(anchor_path), bench_key(anchor), key)
+            )
+    else:
+        anchor_path, anchor = find_anchor(key, args.root)
+        if anchor_path is None:
+            message = "no committed anchor matches kind=%r scale=%r" % key
+            if args.allow_missing:
+                print("%s — gate skipped (--allow-missing)" % message)
+                return
+            raise SystemExit(
+                "FAIL: %s; commit the first BENCH_<n>.json for this "
+                "kind or pass --allow-missing" % message
+            )
+    anchor_totals = check_shape(anchor, os.path.basename(anchor_path))
 
     anchor_rate = anchor_totals["pages_per_sec"]
     fresh_rate = fresh_totals["pages_per_sec"]
@@ -123,8 +187,16 @@ def main(argv=None):
         raise SystemExit("FAIL: anchor records a non-positive throughput")
     ratio = fresh_rate / anchor_rate
     print(
-        "anchor %s: %.0f pages/s   fresh: %.0f pages/s   ratio %.2fx"
-        % (os.path.basename(anchor_path), anchor_rate, fresh_rate, ratio)
+        "anchor %s [kind=%s scale=%r]: %.0f pages/s   fresh: %.0f "
+        "pages/s   ratio %.2fx"
+        % (
+            os.path.basename(anchor_path),
+            key[0],
+            key[1],
+            anchor_rate,
+            fresh_rate,
+            ratio,
+        )
     )
     if ratio < args.threshold:
         raise SystemExit(
@@ -133,7 +205,7 @@ def main(argv=None):
             "re-recording alongside an intentional slowdown"
             % (ratio, os.path.basename(anchor_path), args.threshold)
         )
-    print("replay-throughput gate OK (threshold %.2f)" % args.threshold)
+    print("benchmark anchor gate OK (threshold %.2f)" % args.threshold)
 
 
 if __name__ == "__main__":

@@ -4,9 +4,9 @@ Usage::
 
     python -m repro [compare] [--scale S] [--nodes N] [--seed K]
                     [--only table4] [--mechanisms all|LIST]
-                    [--workers W] [--no-cache] [--cache-dir DIR]
-                    [--metrics-json PATH] [--trace-dir DIR]
-                    [--chrome-trace NAME]
+                    [--workload LIST] [--workers W] [--no-cache]
+                    [--cache-dir DIR] [--metrics-json PATH]
+                    [--trace-dir DIR] [--chrome-trace NAME]
 
 Prints every table and figure of the paper's Section 5/6 evaluation (or a
 single one with ``--only``).  ``--scale 1.0 --nodes 4`` is the
@@ -14,7 +14,9 @@ paper-sized run recorded in EXPERIMENTS.md.  ``compare`` (or
 ``--compare``) lines the measured numbers up against the paper's
 published ones; ``--mechanisms all`` (or a comma-separated subset)
 instead replays the Table 4 grid once per registered translation
-mechanism and prints the N-way comparison with its shape criteria.
+mechanism and prints the N-way comparison with its shape criteria;
+``--workload`` swaps the workload list (e.g. ``--workload zipf-kv`` for
+the skewed multi-tenant family) for that comparison.
 
 ``--workers N`` fans the trace replays out over N worker processes;
 results are byte-identical to a serial run.  Finished cells land in an
@@ -91,6 +93,11 @@ def main(argv=None):
                              "for every registered mechanism): run the "
                              "N-way mechanism comparison instead of the "
                              "paper tables")
+    parser.add_argument("--workload", default=None, metavar="LIST",
+                        help="comma-separated workload names for the "
+                             "mechanism comparison (Table 3 apps plus "
+                             "post-paper families like zipf-kv; default: "
+                             "the Table 3 set; requires --mechanisms)")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes for trace replay "
                              "(default: REPRO_WORKERS or 1)")
@@ -128,6 +135,20 @@ def main(argv=None):
                              % (", ".join(unknown), ", ".join(MECHANISMS)))
         if not mechanisms:
             parser.error("--mechanisms got an empty list")
+    apps = None
+    if args.workload is not None:
+        if mechanisms is None:
+            parser.error("--workload requires --mechanisms")
+        from repro.traces.synth import WORKLOADS, make_workload
+        names = tuple(name.strip() for name in args.workload.split(",")
+                      if name.strip())
+        unknown = [w for w in names if w not in WORKLOADS]
+        if unknown:
+            parser.error("unknown workloads %s (choose from %s)"
+                         % (", ".join(unknown), ", ".join(sorted(WORKLOADS))))
+        if not names:
+            parser.error("--workload got an empty list")
+        apps = [make_workload(name) for name in names]
 
     args.runner = exp.make_runner(
         workers=args.workers,
@@ -138,7 +159,7 @@ def main(argv=None):
             from repro.sim.compare import compare_mechanisms
             _, text = compare_mechanisms(
                 scale=args.scale, nodes=args.nodes, seed=args.seed,
-                mechanisms=mechanisms, runner=args.runner)
+                mechanisms=mechanisms, runner=args.runner, apps=apps)
             print(text)
         elif args.compare or args.mode == "compare":
             from repro.sim.compare import run_comparison

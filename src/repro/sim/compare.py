@@ -106,16 +106,18 @@ def compare_table8(scale=1.0, nodes=4, seed=1, sizes=(1024, 16384),
 
 
 def compare_mechanisms(scale=1.0, nodes=4, seed=1, sizes=(1024, 16384),
-                       mechanisms=None, runner=None):
+                       mechanisms=None, runner=None, apps=None):
     """N-way mechanism comparison with cross-mechanism shape criteria.
 
     Runs :func:`exp.mechanism_table` over ``mechanisms`` (default: the
     registry's comparison set) and checks the relationships the designs
-    predict.  Returns ``(findings, text)`` like the other comparisons.
+    predict; ``apps`` narrows or extends the workload list (e.g. a
+    small ``zipf-kv`` instance for the skewed-regime parity gate).
+    Returns ``(findings, text)`` like the other comparisons.
     """
     measured = exp.mechanism_table(scale=scale, nodes=nodes, seed=seed,
                                    sizes=sizes, mechanisms=mechanisms,
-                                   runner=runner)
+                                   runner=runner, apps=apps)
     first = next(iter(measured.values()))
     present = list(next(iter(first.values())))
     findings = []
@@ -137,11 +139,17 @@ def compare_mechanisms(scale=1.0, nodes=4, seed=1, sizes=(1024, 16384),
         all(measured[a][sizes[0]][m]["ni_misses"]
             >= measured[a][sizes[-1]][m]["ni_misses"] - 0.05
             for a in measured for m in present)))
+    # ``intr`` unpins by design (interrupt-based replacement); ``pp``
+    # unpins whenever a process's pinned working set overflows its
+    # static slot share — the Section 3.2 drawback, invisible in the
+    # Table-3 regime but immediate under skewed datacenter working sets
+    # (zipf-kv).  Both are the mechanism behaving as specified, so the
+    # criterion covers the shared-cache designs only.
     findings.append((
-        "no mechanism unpins under infinite host memory",
+        "no shared-cache mechanism unpins under infinite host memory",
         all(measured[a][s][m]["unpins"] == 0.0
             for a in measured for s in sizes for m in present
-            if m != "intr")))
+            if m not in ("intr", "pp"))))
     table = exp.render_mechanism_table(measured)
     verdicts = "\n".join("  [%s] %s" % ("ok" if passed else "FAIL", name)
                          for name, passed in findings)

@@ -528,19 +528,22 @@ COMPARE_MECHANISMS = ("utlb", "intr", "victima", "utopia", "sparta-range")
 
 
 def mechanism_table(scale=1.0, nodes=DEFAULT_NODES, seed=DEFAULT_SEED,
-                    sizes=(1024, 16384), mechanisms=None, runner=None):
+                    sizes=(1024, 16384), mechanisms=None, runner=None,
+                    apps=None):
     """Table-4-style grid replayed once per registered mechanism.
 
     Every application runs at every cache size under every mechanism in
     ``mechanisms`` (default :data:`COMPARE_MECHANISMS`), through the same
     :class:`~repro.sim.runner.SweepRunner` fan-out as the paper tables.
-    Returns ``{app: {size: {mechanism: {"ni_misses", "unpins",
+    ``apps`` overrides the workload list (default: Table 3 order) —
+    the hook the post-paper families (``zipf-kv``) ride in on.  Returns
+    ``{app: {size: {mechanism: {"ni_misses", "unpins",
     "lookup_cost_us", "stats"}}}}``.
     """
     runner = runner or default_runner()
     mechanisms = tuple(mechanisms or COMPARE_MECHANISMS)
     data = {}
-    for app in _apps():
+    for app in (apps if apps is not None else _apps()):
         traces = generate_traces(app, nodes=nodes, seed=seed, scale=scale)
         cells = []
         for size in sizes:

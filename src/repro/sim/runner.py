@@ -34,6 +34,15 @@ per-cell pickling, no per-worker recompilation.  Units are scheduled
 largest-trace-first to keep a straggler from serializing the tail;
 results are still reassembled in submission order.
 
+Cell traces may be record *lists* or re-iterable lazy sources
+(:class:`~repro.traces.synth.base.StreamingNodeTrace`): fingerprinting,
+compilation, and replay all consume plain iteration, and after a pooled
+batch publishes its compiled streams the parent swaps its own compile
+memo for views over the shared blocks — so with streaming sources the
+full record list never exists in any process and peak memory is bounded
+by the compiled arrays (8 bytes/lookup), not the ~100x-larger record
+objects.
+
 The cache key is a content hash of everything that can change a cell's
 outcome: the per-node trace fingerprints, every :class:`SimConfig` field
 (cost-model constants included), the mechanism, and a digest of the
@@ -92,24 +101,42 @@ _CODE_VERSION = None
 _FINGERPRINT_RECORD = struct.Struct("<QqqBQQ")
 
 
+#: Packed records buffered between digest updates while fingerprinting.
+#: Small enough (a few hundred KB) to be memory noise, big enough that
+#: ``sha256.update`` call overhead never shows in profiles.
+_FINGERPRINT_CHUNK = 8192
+
+
 def trace_fingerprint(records):
     """Content hash of one node's trace (order-sensitive, as replay is).
 
     Hashes the packed binary form of each record — one ``struct.pack``
     per record instead of building a ``repr()`` string, which is what
-    made fingerprinting show up in sweep profiles.  Falls back to the
-    repr form for exotic field values the packed layout cannot hold
-    (e.g. a pid beyond 64 bits); both forms are stable content hashes,
-    and ``CACHE_FORMAT`` was bumped when the packed form became the
-    default, so no old key can collide with a new one.
+    made fingerprinting show up in sweep profiles.  The digest is fed in
+    fixed-size chunks, so ``records`` may be any (re-)iterable — a list,
+    or a lazy :class:`~repro.traces.synth.base.StreamingNodeTrace` —
+    and peak memory stays O(chunk), never O(records); the hexdigest is
+    identical either way (sha256 is stream-order defined).  Falls back
+    to the repr form for exotic field values the packed layout cannot
+    hold (e.g. a pid beyond 64 bits), re-iterating the input — which is
+    why the streaming protocol demands re-iterability; both forms are
+    stable content hashes, and ``CACHE_FORMAT`` was bumped when the
+    packed form became the default, so no old key can collide with a
+    new one.
     """
     digest = hashlib.sha256()
     pack = _FINGERPRINT_RECORD.pack
     try:
-        digest.update(b"".join(
-            pack(r.timestamp, r.node, r.pid, OP_CODES[r.op], r.vaddr,
-                 r.nbytes)
-            for r in records))
+        chunk = []
+        append = chunk.append
+        for r in records:
+            append(pack(r.timestamp, r.node, r.pid, OP_CODES[r.op],
+                        r.vaddr, r.nbytes))
+            if len(chunk) >= _FINGERPRINT_CHUNK:
+                digest.update(b"".join(chunk))
+                del chunk[:]
+        if chunk:
+            digest.update(b"".join(chunk))
     except (struct.error, OverflowError):
         digest = hashlib.sha256(b"repr-fallback:")
         for record in records:
@@ -301,6 +328,12 @@ class CellMetrics:
         #: True when the cell was answered by the analytic axis solver
         #: (one shared pass) instead of its own replay.
         self.analytic = False
+        #: Run-unique id of the analytic axis that answered this cell
+        #: (None for replayed cells).  Cells sharing an ``axis_id`` were
+        #: solved by one pass whose cost is attributed *equally across
+        #: them* — per-cell times are that share, and summing members
+        #: recovers the true solve cost.
+        self.axis_id = None
 
     @property
     def pages_per_sec(self):
@@ -308,7 +341,9 @@ class CellMetrics:
         of this cell's units (their summed phase time).
 
         Zero for cache hits and empty cells — it measures replay speed,
-        not cache-load speed.
+        not cache-load speed.  Analytic cells carry their equal share of
+        the axis solve time (see ``axis_id``), so their throughput is
+        the axis's effective per-cell rate, never a misleading zero.
         """
         if self.cache_hit or self.wall_time_s <= 0.0:
             return 0.0
@@ -328,6 +363,7 @@ class CellMetrics:
             "compile_count": self.compile_count,
             "ipc_bytes": self.ipc_bytes,
             "analytic": self.analytic,
+            "axis_id": self.axis_id,
             "pages_per_sec": self.pages_per_sec,
             "stats": self.stats,
         }
@@ -731,9 +767,10 @@ class SweepRunner:
         fingerprint_memo = {}       # id(records) -> content fingerprint
 
         def fingerprint(records):
-            # Keyed by list identity (stable: the cells keep every record
-            # list alive for the whole batch) so each distinct trace is
-            # hashed once per batch no matter how many cells share it.
+            # Keyed by source identity (stable: the cells keep every
+            # trace source — record list or StreamingNodeTrace — alive
+            # for the whole batch) so each distinct trace is hashed once
+            # per batch no matter how many cells share it.
             memo_key = id(records)
             digest = fingerprint_memo.get(memo_key)
             if digest is None:
@@ -831,13 +868,22 @@ class SweepRunner:
                                                                 outcomes):
                 if kind == "replay":
                     node_dicts[target].append(payload)
-                    metrics = cell_metrics[target]
+                    targets = (target,)
                 else:
+                    # One solve answers every cell of the axis: charge
+                    # each member its equal share (same trace, same
+                    # lookups per cell), so no solved cell reports a
+                    # zero wall time and summing members recovers the
+                    # true axis cost.
                     axis_payloads[target].append(payload)
-                    metrics = cell_metrics[axes[target].indices[0]]
-                for phase in PHASES:
-                    metrics.phases[phase] += phases[phase]
-                metrics.wall_time_s += sum(phases.values())
+                    targets = axes[target].indices
+                share = 1.0 / len(targets)
+                total = sum(phases.values())
+                for index in targets:
+                    metrics = cell_metrics[index]
+                    for phase in PHASES:
+                        metrics.phases[phase] += phases[phase] * share
+                    metrics.wall_time_s += total * share
 
             def finish(index, result):
                 results[index] = result
@@ -856,8 +902,10 @@ class SweepRunner:
                 # One payload per node (node-sorted, like replay units);
                 # each holds one node dict per axis cell.
                 per_node = axis_payloads[apos]
+                axis_id = self.metrics.analytic_axes + apos
                 for cpos, index in enumerate(axis.indices):
                     cell_metrics[index].analytic = True
+                    cell_metrics[index].axis_id = axis_id
                     finish(index, ClusterResult.from_dict(
                         {"nodes": [payload[cpos]
                                    for payload in per_node]}))
@@ -901,10 +949,17 @@ class SweepRunner:
             manifest = {}
             if compiled_by_key:
                 self._store = SharedStreamStore()
-                for stream_key, compiled in compiled_by_key.items():
-                    published = self._store.publish(stream_key, compiled)
+                for stream_key in list(compiled_by_key):
+                    published = self._store.publish(
+                        stream_key, compiled_by_key[stream_key])
                     cell_metrics[key_owner[stream_key]].ipc_bytes += \
                         published
+                    # Swap the memo entry for a zero-copy view over the
+                    # published block and drop the parent's own arrays:
+                    # the batch then holds ONE copy of each compiled
+                    # trace (in shared memory), not heap + block.
+                    compiled_by_key[stream_key] = \
+                        self._store.view(stream_key)
                 manifest = self._store.manifest()
             self.last_stream_manifest = dict(manifest)
 

@@ -71,6 +71,36 @@ def _attach_block(name):
         resource_tracker.register = original
 
 
+def _parse_block(buf):
+    """Rebuild ``(CompiledStreams, slice views)`` over one block's buffer.
+
+    The single decode path for both sides of the transport: workers use
+    it through :class:`AttachedStreams`, the owning parent through
+    :meth:`SharedStreamStore.view`.  The returned slice views (and the
+    compiled object's arrays, which are casts of them) alias ``buf`` —
+    every one must be released before the block can be unmapped.
+    """
+    (meta_len,) = _HEADER_LEN.unpack_from(buf, 0)
+    meta = json.loads(
+        bytes(buf[_HEADER_LEN.size:_HEADER_LEN.size + meta_len]))
+    position = _aligned(_HEADER_LEN.size + meta_len)
+    views = []
+    for _code, nbytes in meta["buffers"]:
+        views.append(buf[position:position + nbytes])
+        position += _aligned(nbytes)
+    return CompiledStreams.from_buffers(meta, views), views
+
+
+def _release_compiled(compiled, views):
+    """Release every memoryview export of one :func:`_parse_block` pair."""
+    if compiled is not None:
+        for view in (compiled.index_stream, compiled.page_stream,
+                     *compiled.streams.values()):
+            view.release()
+    for view in views:
+        view.release()
+
+
 class AttachedStreams:
     """One attached block: a zero-copy :class:`CompiledStreams` view.
 
@@ -86,27 +116,13 @@ class AttachedStreams:
     def __init__(self, key, name):
         self.key = key
         self._block = _attach_block(name)
-        buf = self._block.buf
-        (meta_len,) = _HEADER_LEN.unpack_from(buf, 0)
-        meta = json.loads(
-            bytes(buf[_HEADER_LEN.size:_HEADER_LEN.size + meta_len]))
-        position = _aligned(_HEADER_LEN.size + meta_len)
-        self._views = []
-        for _code, nbytes in meta["buffers"]:
-            self._views.append(buf[position:position + nbytes])
-            position += _aligned(nbytes)
-        self.compiled = CompiledStreams.from_buffers(meta, self._views)
+        self.compiled, self._views = _parse_block(self._block.buf)
 
     def close(self):
         """Release every view and detach (idempotent)."""
         compiled, self.compiled = self.compiled, None
-        if compiled is not None:
-            for view in (compiled.index_stream, compiled.page_stream,
-                         *compiled.streams.values()):
-                view.release()
         views, self._views = self._views, []
-        for view in views:
-            view.release()
+        _release_compiled(compiled, views)
         if self._block is not None:
             self._block.close()
             self._block = None
@@ -124,6 +140,7 @@ class SharedStreamStore:
 
     def __init__(self):
         self._blocks = {}                   # key -> SharedMemory (owned)
+        self._view_exports = []             # (compiled, views) from view()
         self.ipc_bytes = 0
 
     def __len__(self):
@@ -170,12 +187,33 @@ class SharedStreamStore:
             name = self._blocks[key].name
         return AttachedStreams(key, name)
 
+    def view(self, key):
+        """A zero-copy :class:`CompiledStreams` over one *owned* block.
+
+        The parent-side memory-bound move: after publishing, the runner
+        swaps its compile-memo entry for this view and drops the
+        original arrays, so each distinct trace exists exactly once —
+        in the block — instead of once in the parent's heap plus once
+        in shared memory.  Views alias the block's mapping; the store
+        tracks and releases them in :meth:`close` (a block with live
+        memoryview exports refuses to unmap), after which they are
+        unusable.
+        """
+        compiled, views = _parse_block(self._blocks[key].buf)
+        self._view_exports.append((compiled, views))
+        return compiled
+
     def close(self):
         """Unmap and unlink every owned block (idempotent).
 
         Safe to call with workers still attached: unlink removes the
         name, the workers' existing mappings stay valid until they exit.
+        Any parent-side :meth:`view` results are released first and die
+        with the store.
         """
+        exports, self._view_exports = self._view_exports, []
+        for compiled, views in exports:
+            _release_compiled(compiled, views)
         blocks, self._blocks = self._blocks, {}
         for block in blocks.values():
             block.close()

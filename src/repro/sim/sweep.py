@@ -38,7 +38,19 @@ def run_on_traces(traces, config, mechanism="utlb", runner=None):
 
 
 def generate_traces(app, nodes=4, seed=0, scale=1.0):
-    """Per-node traces for one application (cached by callers)."""
+    """Per-node traces for one application (cached by callers).
+
+    Prefers the workload's re-iterable streaming form when it has one
+    (every synthetic generator does): the records are byte-identical to
+    the eager lists — fingerprints, cache keys, and results unchanged —
+    but sweeps never hold a full record list, so peak memory is the
+    compiled streams, not the ~100x-larger record objects.  Workloads
+    without a streaming protocol (``MixedWorkload``'s merge-order pid
+    renumbering is inherently eager) fall back to materialized lists.
+    """
+    streaming = getattr(app, "streaming_cluster", None)
+    if streaming is not None:
+        return streaming(nodes=nodes, seed=seed, scale=scale)
     return app.generate_cluster(nodes=nodes, seed=seed, scale=scale)
 
 

@@ -23,6 +23,14 @@ shape ``multiprocessing.shared_memory`` wants.  ``from_buffers`` wraps
 the buffers with zero-copy ``memoryview`` casts, so a worker attached to
 a shared block replays the parent's arrays in place instead of unpickling
 a copy of the trace.
+
+Compilation is *incremental* at heart: :class:`StreamCompiler` consumes
+record chunks (or whole lazy generators) and appends straight into the
+growing arrays, so a trace generated through the streaming record
+protocol (``SyntheticApp.iter_node`` / ``StreamingNodeTrace``) compiles
+with peak memory O(chunk + compiled size) — the per-record Python
+objects are transient and the full record list never exists.
+:func:`compile_streams` is the one-shot spelling of the same pass.
 """
 
 import sys
@@ -31,7 +39,17 @@ from array import array
 from repro.errors import TraceError
 
 #: Version tag of the ``to_buffers`` metadata layout.
-BUFFER_FORMAT = 1
+#: 2: ``segments`` left the header — it is derived (the run-length
+#: encoding of ``index_stream``), and serializing one JSON list per
+#: pid run made the header O(records) for fine-interleaved traces.
+BUFFER_FORMAT = 2
+
+#: Default record-chunk size for :func:`compile_in_chunks`: the staging
+#: buffer a chunked caller holds between ``StreamCompiler.add`` calls.
+#: Big enough to amortize per-call overhead, small enough (a few MB of
+#: records) that chunk staging never shows up in peak RSS next to the
+#: compiled arrays themselves.
+DEFAULT_CHUNK_RECORDS = 65536
 
 
 class CompiledStreams:
@@ -44,12 +62,6 @@ class CompiledStreams:
     streams:
         ``{pid: array('Q')}`` — every virtual page the process touches,
         in trace order, one entry per translation lookup.
-    segments:
-        ``[(pid, start, stop), ...]`` — the merged trace's interleaving:
-        replaying ``streams[pid][start:stop]`` for each segment in order
-        visits every lookup in exactly the order record-at-a-time replay
-        does.  Runs of consecutive same-pid records are merged into one
-        segment.
     pid_order:
         Pids in first-appearance order; position is the dense index used
         by ``index_stream``.
@@ -61,24 +73,65 @@ class CompiledStreams:
         record), so per-lookup indexing beats per-segment dispatch.
     total_pages:
         Total lookups across all streams (the replay work, in pages).
+
+    ``segments`` — the ``[(pid, start, stop), ...]`` run-length view of
+    the merged trace's pid interleaving — is *derived on demand*: it is
+    exactly the run-length encoding of ``index_stream``, and storing it
+    (or shipping it in the transport header) cost O(records) for
+    fine-interleaved traces where nearly every record switches pid
+    (the datacenter workloads do; that list dwarfed the arrays it
+    described).  Nothing in replay consumes it — the hot loop reads the
+    flat arrays — so the tuples exist only while a caller (tests,
+    debugging) iterates the property.
     """
 
-    __slots__ = ("pids", "streams", "segments", "pid_order", "index_stream",
+    __slots__ = ("pids", "streams", "pid_order", "index_stream",
                  "page_stream", "total_pages")
 
-    def __init__(self, pids, streams, segments, pid_order, index_stream,
+    def __init__(self, pids, streams, pid_order, index_stream,
                  page_stream, total_pages):
         self.pids = pids
         self.streams = streams
-        self.segments = segments
         self.pid_order = pid_order
         self.index_stream = index_stream
         self.page_stream = page_stream
         self.total_pages = total_pages
 
+    @property
+    def segments(self):
+        """The pid interleaving as ``[(pid, start, stop), ...]`` runs.
+
+        Replaying ``streams[pid][start:stop]`` for each segment in
+        order visits every lookup exactly as record-at-a-time replay
+        does; runs of consecutive same-pid records merge into one
+        segment (a record's pages share its pid, so record-level and
+        lookup-level run-length encodings coincide).  Computed fresh
+        from ``index_stream`` on each access — O(total_pages) time,
+        nothing retained.
+        """
+        segments = []
+        pid_order = self.pid_order
+        counts = [0] * len(pid_order)
+        last = -1
+        run = 0
+        for dense in self.index_stream:
+            if dense == last:
+                run += 1
+                continue
+            if run:
+                start = counts[last]
+                counts[last] = start + run
+                segments.append((pid_order[last], start, start + run))
+            last = dense
+            run = 1
+        if run:
+            start = counts[last]
+            segments.append((pid_order[last], start, start + run))
+        return segments
+
     def __repr__(self):
-        return ("CompiledStreams(pids=%r, segments=%d, pages=%d)"
-                % (self.pids, len(self.segments), self.total_pages))
+        return ("CompiledStreams(pids=%r, pages=%d)"
+                % (self.pids, self.total_pages))
 
     def numpy_views(self):
         """Zero-copy numpy views ``(index_stream, page_stream)``, or None.
@@ -115,7 +168,6 @@ class CompiledStreams:
             "byteorder": sys.byteorder,
             "pids": list(self.pids),
             "pid_order": list(self.pid_order),
-            "segments": [list(segment) for segment in self.segments],
             "total_pages": self.total_pages,
             "buffers": [[code, _raw_view(data).nbytes]
                         for code, data in arrays],
@@ -154,10 +206,8 @@ class CompiledStreams:
         pid_order = list(meta["pid_order"])
         index_stream, page_stream = views[0], views[1]
         streams = dict(zip(pid_order, views[2:]))
-        return cls(list(meta["pids"]), streams,
-                   [tuple(segment) for segment in meta["segments"]],
-                   pid_order, index_stream, page_stream,
-                   meta["total_pages"])
+        return cls(list(meta["pids"]), streams, pid_order, index_stream,
+                   page_stream, meta["total_pages"])
 
 
 def _raw_view(data):
@@ -165,38 +215,99 @@ def _raw_view(data):
     return memoryview(data).cast("B")
 
 
+class StreamCompiler:
+    """Incremental trace compilation: feed record chunks, finish once.
+
+    The streaming pipeline's sink: :meth:`add` consumes any iterable of
+    records (a chunk, or a whole lazy generator) and appends directly
+    into the growing ``array('Q')`` buffers; :meth:`finish` seals the
+    compiler and returns a :class:`CompiledStreams` **byte-identical**
+    to what one-shot :func:`compile_streams` produces over the same
+    records — chunk boundaries leave no trace in the output (the flat
+    arrays only ever append, and the derived ``segments`` view cannot
+    see where an ``add`` ended).  Peak memory is therefore O(caller's
+    chunk + compiled size), never O(records); :func:`compile_streams`
+    itself is just one ``add`` of the whole iterable.
+    """
+
+    __slots__ = ("_streams", "_pid_order", "_pid_chunk", "_index_stream",
+                 "_page_stream", "_finished")
+
+    def __init__(self):
+        self._streams = {}
+        self._pid_order = []
+        self._pid_chunk = {}    # pid -> its dense index as one 'H' item
+        self._index_stream = array("H")
+        self._page_stream = array("Q")
+        self._finished = False
+
+    def add(self, records):
+        """Compile one chunk (any iterable of records) into the buffers."""
+        if self._finished:
+            raise TraceError("StreamCompiler already finished")
+        streams = self._streams
+        pid_order = self._pid_order
+        pid_chunk = self._pid_chunk
+        index_stream = self._index_stream
+        page_stream = self._page_stream
+        byteorder = sys.byteorder
+        for record in records:
+            pid = record.pid
+            stream = streams.get(pid)
+            if stream is None:
+                stream = streams[pid] = array("Q")
+                pid_chunk[pid] = len(pid_order).to_bytes(2, byteorder)
+                pid_order.append(pid)
+            pages = record.pages()
+            stream.extend(pages)
+            page_stream.extend(pages)
+            index_stream.frombytes(pid_chunk[pid] * len(pages))
+
+    def finish(self):
+        """Seal the compiler; returns the :class:`CompiledStreams`."""
+        if self._finished:
+            raise TraceError("StreamCompiler already finished")
+        self._finished = True
+        return CompiledStreams(sorted(self._streams), self._streams,
+                               self._pid_order, self._index_stream,
+                               self._page_stream,
+                               len(self._page_stream))
+
+
 def compile_streams(records):
     """Compile a (timestamp-sorted, merged) trace into page streams.
 
     Single pass: builds the per-pid streams, the segment list, the
     interleaved flat arrays, and the pid set together.  Works on any
-    iterable of records.
+    iterable of records — a list, or a lazy generator/
+    ``StreamingNodeTrace``, in which case the record objects are
+    transient and peak memory is bounded by the compiled arrays.
     """
-    streams = {}
-    segments = []
-    pid_order = []
-    pid_chunk = {}          # pid -> its dense index as one 'H' item's bytes
-    index_stream = array("H")
-    page_stream = array("Q")
-    byteorder = sys.byteorder
-    last_pid = None
+    compiler = StreamCompiler()
+    compiler.add(records)
+    return compiler.finish()
+
+
+def compile_in_chunks(records, chunk_records=DEFAULT_CHUNK_RECORDS):
+    """Compile via fixed-size record chunks (the explicit chunk knob).
+
+    Equivalent to :func:`compile_streams` for any ``chunk_records >= 1``
+    — the differential tests diff them byte-for-byte, including
+    ``chunk_records=1`` and chunks larger than the trace.  Callers that
+    pull records from an external source (a trace file reader, an IPC
+    pipe) use this to bound their staging buffer explicitly.
+    """
+    if chunk_records < 1:
+        raise TraceError("chunk_records must be at least 1, got %r"
+                         % (chunk_records,))
+    compiler = StreamCompiler()
+    chunk = []
+    append = chunk.append
     for record in records:
-        pid = record.pid
-        stream = streams.get(pid)
-        if stream is None:
-            stream = streams[pid] = array("Q")
-            pid_chunk[pid] = len(pid_order).to_bytes(2, byteorder)
-            pid_order.append(pid)
-        start = len(stream)
-        pages = record.pages()
-        stream.extend(pages)
-        stop = len(stream)
-        page_stream.extend(pages)
-        index_stream.frombytes(pid_chunk[pid] * (stop - start))
-        if pid == last_pid:
-            segments[-1] = (pid, segments[-1][1], stop)
-        else:
-            segments.append((pid, start, stop))
-            last_pid = pid
-    return CompiledStreams(sorted(streams), streams, segments, pid_order,
-                           index_stream, page_stream, len(page_stream))
+        append(record)
+        if len(chunk) >= chunk_records:
+            compiler.add(chunk)
+            del chunk[:]
+    if chunk:
+        compiler.add(chunk)
+    return compiler.finish()

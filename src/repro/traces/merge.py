@@ -32,6 +32,40 @@ def merge_streams(streams):
     return [record for _, record in decorated]
 
 
+def merge_record_streams(streams):
+    """Lazily merge per-process record *iterables* by timestamp.
+
+    The streaming twin of :func:`merge_streams`, with the identical
+    ordering contract — records come out sorted by ``(timestamp, pid,
+    stream index, arrival order)`` — but the inputs are consumed one
+    record at a time through :func:`heapq.merge`, so peak memory is one
+    pending record per stream instead of the whole serialized trace.
+    ``heapq.merge`` is stable across its inputs (ties go to the earlier
+    iterable), which is exactly the eager sort's ``stream_index`` then
+    ``order`` tie-break, so ``list(merge_record_streams(gens))`` is
+    byte-identical to ``merge_streams(lists)`` over the same records —
+    the Hypothesis differential test in ``tests/traces/test_merge.py``
+    enforces it.
+
+    Each stream's timestamp-sortedness is verified as it drains, like
+    the eager merge; a violation raises :class:`TraceError` naming the
+    stream and record.
+    """
+    def _keyed(stream_index, stream):
+        last = None
+        for order, record in enumerate(stream):
+            if last is not None and record.timestamp < last:
+                raise TraceError(
+                    "stream %d not timestamp-sorted at record %d"
+                    % (stream_index, order))
+            last = record.timestamp
+            yield (record.timestamp, record.pid), record
+
+    merged = heapq.merge(*[_keyed(i, s) for i, s in enumerate(streams)])
+    for _key, record in merged:
+        yield record
+
+
 def merge_sorted_iters(iterables):
     """Lazily merge already-sorted record iterables (for big trace files)."""
     keyed = (

@@ -1,12 +1,17 @@
 """Synthetic SPLASH-2-like trace generators, one per paper application.
 
 ``APPS`` maps application name to generator class in the paper's Table 3
-order; ``make_app(name)`` instantiates by name.
+order; ``make_app(name)`` instantiates by name.  ``WORKLOADS`` is the
+superset registry — Table 3 apps plus the post-paper workload families
+(currently :class:`ZipfKVWorkload`) — for callers that accept any trace
+generator; ``make_workload(name)`` instantiates from it.  The paper
+tables only ever iterate ``APPS``/``TABLE_ORDER``, so new families never
+perturb the reproduced results.
 """
 
 from repro.errors import ConfigError
 from repro.traces.synth.barnes import BarnesApp
-from repro.traces.synth.base import DATA_BASE, SyntheticApp
+from repro.traces.synth.base import DATA_BASE, StreamingNodeTrace, SyntheticApp
 from repro.traces.synth.mixed import MixedWorkload
 from repro.traces.synth.fft import FftApp
 from repro.traces.synth.lu import LuApp
@@ -14,6 +19,7 @@ from repro.traces.synth.radix import RadixApp
 from repro.traces.synth.raytrace import RaytraceApp
 from repro.traces.synth.volrend import VolrendApp
 from repro.traces.synth.water import WaterApp
+from repro.traces.synth.zipf import ZipfKVWorkload
 
 #: Table 3 order.
 APPS = {
@@ -31,6 +37,11 @@ TABLE_ORDER = ("barnes", "fft", "lu", "radix", "raytrace", "volrend",
                "water-spatial")
 
 
+#: Every named trace generator: Table 3 apps + post-paper families.
+WORKLOADS = dict(APPS)
+WORKLOADS["zipf-kv"] = ZipfKVWorkload
+
+
 def make_app(name):
     """Instantiate a generator by application name."""
     try:
@@ -40,6 +51,15 @@ def make_app(name):
                           % (name, sorted(APPS)))
 
 
+def make_workload(name):
+    """Instantiate any registered workload (apps + post-paper families)."""
+    try:
+        return WORKLOADS[name]()
+    except KeyError:
+        raise ConfigError("unknown workload %r (choose from %s)"
+                          % (name, sorted(WORKLOADS)))
+
+
 def all_apps():
     """Instances of every application, in Table 3 order."""
     return [cls() for cls in APPS.values()]
@@ -47,9 +67,11 @@ def all_apps():
 
 __all__ = [
     "APPS",
+    "WORKLOADS",
     "TABLE_ORDER",
     "DATA_BASE",
     "MixedWorkload",
+    "StreamingNodeTrace",
     "SyntheticApp",
     "BarnesApp",
     "FftApp",
@@ -58,6 +80,8 @@ __all__ = [
     "RaytraceApp",
     "VolrendApp",
     "WaterApp",
+    "ZipfKVWorkload",
     "make_app",
+    "make_workload",
     "all_apps",
 ]

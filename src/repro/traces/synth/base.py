@@ -28,7 +28,7 @@ import random
 
 from repro import params
 from repro.errors import ConfigError
-from repro.traces.merge import merge_streams
+from repro.traces.merge import merge_record_streams
 from repro.traces.record import OP_SEND, TraceRecord
 
 #: Every process maps its communication region here (SPMD layout).
@@ -97,8 +97,17 @@ class SyntheticApp:
 
     # -- generation ----------------------------------------------------------------
 
-    def generate_node(self, node=0, seed=0, scale=1.0):
-        """The serialized (merged) trace of one node."""
+    def iter_node(self, node=0, seed=0, scale=1.0):
+        """The serialized (merged) node trace as a *lazy* record stream.
+
+        The streaming record protocol: per-process generators are merged
+        by timestamp as they produce (``merge_record_streams``), so
+        iterating holds one pending record per process — never the whole
+        trace.  Each process's RNG draws happen in exactly the order the
+        eager path made them (pattern and timestamp draws interleave on
+        one private ``random.Random``), so ``list(iter_node(...))`` is
+        byte-identical to what :meth:`generate_node` returns.
+        """
         streams = []
         for local_index, (footprint, lookups) in enumerate(
                 self._process_sizes(scale)):
@@ -108,31 +117,51 @@ class SyntheticApp:
                 pages = self._pattern(rng, footprint, lookups)
             else:
                 pages = self._protocol_pattern(rng, footprint, lookups)
-            streams.append(self._records(node, pid, rng, pages, lookups))
-        return merge_streams(streams)
+            streams.append(self._record_stream(node, pid, rng, pages,
+                                               lookups))
+        return merge_record_streams(streams)
+
+    def generate_node(self, node=0, seed=0, scale=1.0):
+        """The serialized (merged) trace of one node, as a list."""
+        return list(self.iter_node(node, seed=seed, scale=scale))
 
     def generate_cluster(self, nodes=params.TRACE_NODES, seed=0, scale=1.0):
         """Per-node traces for the whole cluster: {node: [records]}."""
         return {node: self.generate_node(node, seed=seed, scale=scale)
                 for node in range(nodes)}
 
-    def _records(self, node, pid, rng, pages, lookups):
-        """Wrap a page-index stream into timestamped TraceRecords."""
-        records = []
+    def streaming_node(self, node=0, seed=0, scale=1.0):
+        """One node's trace as a re-iterable :class:`StreamingNodeTrace`.
+
+        The bounded-memory input for :class:`~repro.sim.runner
+        .SweepRunner` cells and ``StreamCompiler``: every iteration
+        regenerates the identical records without ever materializing
+        them.
+        """
+        return StreamingNodeTrace(self, node=node, seed=seed, scale=scale)
+
+    def streaming_cluster(self, nodes=params.TRACE_NODES, seed=0,
+                          scale=1.0):
+        """Per-node streaming traces: ``{node: StreamingNodeTrace}``."""
+        return {node: self.streaming_node(node, seed=seed, scale=scale)
+                for node in range(nodes)}
+
+    def _record_stream(self, node, pid, rng, pages, lookups):
+        """Wrap a page-index stream into timestamped TraceRecords
+        (lazily — one record per pull)."""
         timestamp = rng.randrange(0, MEAN_GAP_US)
         for count, page in enumerate(pages):
             if count >= lookups:
                 break
-            records.append(TraceRecord(
+            yield TraceRecord(
                 timestamp=timestamp,
                 node=node,
                 pid=pid,
                 op=OP_SEND,
                 vaddr=DATA_BASE + page * params.PAGE_SIZE,
-                nbytes=params.PAGE_SIZE))
+                nbytes=params.PAGE_SIZE)
             timestamp += rng.randrange(MEAN_GAP_US // 2,
                                        MEAN_GAP_US + MEAN_GAP_US // 2)
-        return records
 
     def _protocol_pattern(self, rng, footprint, lookups):
         """The SVM protocol process: a hot ring of message/control pages
@@ -167,6 +196,41 @@ class SyntheticApp:
             "footprint_pages": footprint,
             "lookups": lookups,
         }
+
+
+class StreamingNodeTrace:
+    """A re-iterable, lazily generated node trace.
+
+    The streaming record protocol's carrier: every call to ``iter()``
+    asks the workload for a fresh ``iter_node`` generator, so the same
+    records come out every time without the trace ever existing as a
+    list.  That re-iterability is the whole contract — consumers that
+    need two passes (the reference engine enumerates pids before
+    replaying; fingerprinting may retry with its fallback encoding)
+    simply iterate again.
+
+    Instances are cheap, picklable (the workload object plus three
+    scalars), and valid ``SweepRunner`` cell inputs: the runner
+    fingerprints and compiles them through the same streaming pass it
+    uses for lists, but peak memory stays O(compiled size), not
+    O(records).
+    """
+
+    __slots__ = ("app", "node", "seed", "scale")
+
+    def __init__(self, app, node=0, seed=0, scale=1.0):
+        self.app = app
+        self.node = node
+        self.seed = seed
+        self.scale = scale
+
+    def __iter__(self):
+        return iter(self.app.iter_node(self.node, seed=self.seed,
+                                       scale=self.scale))
+
+    def __repr__(self):
+        return ("StreamingNodeTrace(%s, node=%d, seed=%d, scale=%r)"
+                % (self.app.name, self.node, self.seed, self.scale))
 
 
 # -- shared pattern building blocks ------------------------------------------------

@@ -28,7 +28,7 @@ from repro.sim.runner import (
 )
 from repro.sim.simulator import ClusterResult, NodeResult, simulate_node
 from repro.traces.record import TraceRecord
-from repro.traces.synth import make_app
+from repro.traces.synth import make_app, make_workload
 
 SCALE = 0.05
 SEED = 1
@@ -304,6 +304,98 @@ class TestSharedStreamBatches:
         for name in manifest.values():
             with pytest.raises(FileNotFoundError):
                 shared_memory.SharedMemory(name=name)
+
+
+class TestStreamingSources:
+    """StreamingNodeTrace cells: the bounded-memory input path."""
+
+    @pytest.fixture(scope="class")
+    def zipf_traces(self):
+        return make_workload("zipf-kv").streaming_cluster(nodes=2,
+                                                          seed=SEED,
+                                                          scale=0.02)
+
+    def test_streaming_equals_eager_through_runner(self, config):
+        workload = make_workload("zipf-kv")
+        eager = workload.generate_cluster(nodes=2, seed=SEED, scale=0.02)
+        streaming = workload.streaming_cluster(nodes=2, seed=SEED,
+                                               scale=0.02)
+        runner = SweepRunner()
+        assert runner.run(streaming, config).to_dict() == \
+            SweepRunner().run(eager, config).to_dict()
+
+    @pytest.mark.parametrize("mp_context", MP_CONTEXTS)
+    def test_parallel_equals_serial(self, zipf_traces, config, mp_context):
+        cells = [SweepCell(size, zipf_traces,
+                           config.replace(cache_entries=size))
+                 for size in (128, 256)]
+        serial = SweepRunner(workers=1).run_cells(cells)
+        with SweepRunner(workers=2,
+                         mp_context=mp_context) as parallel_runner:
+            parallel = parallel_runner.run_cells(cells)
+            assert parallel_runner.last_stream_manifest
+        assert run_dicts(parallel) == run_dicts(serial)
+
+    def test_cache_hits_on_streaming_sources(self, zipf_traces, config,
+                                             tmp_path):
+        cold = SweepRunner(cache_dir=str(tmp_path))
+        first = cold.run(zipf_traces, config)
+        assert cold.cache.misses == 1
+        warm = SweepRunner(cache_dir=str(tmp_path))
+        second = warm.run(zipf_traces, config)
+        assert warm.cache.hits == 1 and warm.cache.misses == 0
+        assert second.to_dict() == first.to_dict()
+
+    def test_streaming_fingerprint_matches_eager(self, config):
+        workload = make_workload("zipf-kv")
+        streaming = workload.streaming_node(0, seed=SEED, scale=0.02)
+        eager = workload.generate_node(0, seed=SEED, scale=0.02)
+        assert trace_fingerprint(streaming) == trace_fingerprint(eager)
+
+
+class TestAnalyticAttribution:
+    """Axis-solved cells must report real costs, not zeros."""
+
+    def axis_cells(self, traces, config):
+        return [SweepCell(lim, traces,
+                          config.replace(memory_limit_bytes=lim))
+                for lim in (1 << 20, 2 << 20, 4 << 20, 8 << 20)]
+
+    def test_axis_cells_share_the_solve_cost(self, traces, config):
+        runner = SweepRunner()
+        runner.run_cells(self.axis_cells(traces, config))
+        cells = runner.metrics.cells
+        assert all(c.analytic for c in cells)
+        assert {c.axis_id for c in cells} == {0}
+        for cell in runner.metrics.to_dict()["cells"]:
+            assert cell["analytic"]
+            assert cell["axis_id"] == 0
+            assert cell["wall_time_s"] > 0.0
+            assert cell["pages_per_sec"] > 0.0
+
+    def test_axis_totals_match_the_sum_of_members(self, traces, config):
+        runner = SweepRunner()
+        runner.run_cells(self.axis_cells(traces, config))
+        totals = runner.metrics.to_dict()["totals"]
+        assert totals["analytic_axes"] == 1
+        assert totals["analytic_cells"] == 4
+        assert totals["cpu_time_s"] == pytest.approx(
+            sum(c.wall_time_s for c in runner.metrics.cells))
+
+    def test_axis_ids_are_run_unique_across_batches(self, traces, config):
+        runner = SweepRunner()
+        runner.run_cells(self.axis_cells(traces, config))
+        runner.run_cells(self.axis_cells(
+            traces, config.replace(cache_entries=512)))
+        ids = [c.axis_id for c in runner.metrics.cells]
+        assert ids == [0] * 4 + [1] * 4
+
+    def test_replayed_cells_have_no_axis_id(self, traces, config):
+        runner = SweepRunner()
+        runner.run(traces, config)
+        (cell,) = runner.metrics.cells
+        assert not cell.analytic
+        assert cell.axis_id is None
 
 
 class TestValidation:

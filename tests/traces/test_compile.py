@@ -11,9 +11,12 @@ from repro.errors import TraceError
 from repro.traces.compile import (
     BUFFER_FORMAT,
     CompiledStreams,
+    StreamCompiler,
+    compile_in_chunks,
     compile_streams,
 )
 from repro.traces.record import OP_SEND, TraceRecord
+from repro.traces.synth import WORKLOADS, make_workload
 
 
 def rec(ts, pid, page, npages=1):
@@ -182,3 +185,102 @@ class TestBufferRoundTrip:
         truncated[1] = truncated[1][:-8]
         with pytest.raises(TraceError, match="bytes"):
             CompiledStreams.from_buffers(meta, truncated)
+
+
+def assert_byte_identical(got, want):
+    """Every observable surface of two compiled traces, byte for byte."""
+    assert got.pids == want.pids
+    assert got.pid_order == want.pid_order
+    assert got.total_pages == want.total_pages
+    assert got.index_stream.tobytes() == want.index_stream.tobytes()
+    assert got.page_stream.tobytes() == want.page_stream.tobytes()
+    assert set(got.streams) == set(want.streams)
+    for pid in want.streams:
+        assert got.streams[pid].tobytes() == want.streams[pid].tobytes()
+    assert got.segments == want.segments
+
+
+class TestStreamCompiler:
+    """Incremental compilation must be invisible in the output."""
+
+    def records(self, n=57):
+        return [rec(i, (i * 7) % 4, 50 + i, npages=1 + i % 3)
+                 for i in range(n)]
+
+    @pytest.mark.parametrize("chunk", [1, 2, 7, 57, 200])
+    def test_chunked_add_equals_one_shot(self, chunk):
+        records = self.records()
+        compiler = StreamCompiler()
+        for start in range(0, len(records), chunk):
+            compiler.add(records[start:start + chunk])
+        assert_byte_identical(compiler.finish(), compile_streams(records))
+
+    def test_empty_adds_are_noops(self):
+        records = self.records()
+        compiler = StreamCompiler()
+        compiler.add([])
+        compiler.add(records)
+        compiler.add([])
+        assert_byte_identical(compiler.finish(), compile_streams(records))
+
+    def test_add_accepts_lazy_generators(self):
+        records = self.records()
+        compiler = StreamCompiler()
+        compiler.add(iter(records))
+        assert_byte_identical(compiler.finish(), compile_streams(records))
+
+    def test_add_after_finish_rejected(self):
+        compiler = StreamCompiler()
+        compiler.finish()
+        with pytest.raises(TraceError, match="finished"):
+            compiler.add([rec(0, 1, 2)])
+
+    def test_double_finish_rejected(self):
+        compiler = StreamCompiler()
+        compiler.finish()
+        with pytest.raises(TraceError, match="finished"):
+            compiler.finish()
+
+    @pytest.mark.parametrize("chunk", [1, 7, 57, 1000])
+    def test_compile_in_chunks_equals_one_shot(self, chunk):
+        records = self.records()
+        assert_byte_identical(compile_in_chunks(iter(records), chunk),
+                              compile_streams(records))
+
+    def test_compile_in_chunks_empty_trace(self):
+        compiled = compile_in_chunks(iter([]), 8)
+        assert compiled.total_pages == 0
+        assert compiled.pids == []
+
+    @pytest.mark.parametrize("chunk", [0, -3])
+    def test_nonpositive_chunk_rejected(self, chunk):
+        with pytest.raises(TraceError, match="chunk_records"):
+            compile_in_chunks([], chunk)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+class TestChunkedCompileDifferential:
+    """Chunked == one-shot over every synthetic workload's real traces
+    (the bounded-memory pipeline's byte-identity guarantee)."""
+
+    def trace(self, name):
+        return make_workload(name).generate_node(0, seed=1, scale=0.02)
+
+    @pytest.mark.parametrize("chunk", [1, 13])
+    def test_small_chunks(self, name, chunk):
+        records = self.trace(name)
+        assert_byte_identical(compile_in_chunks(iter(records), chunk),
+                              compile_streams(records))
+
+    def test_chunk_larger_than_trace(self, name):
+        records = self.trace(name)
+        assert_byte_identical(
+            compile_in_chunks(iter(records), len(records) + 100),
+            compile_streams(records))
+
+    def test_streaming_source_compiles_identically(self, name):
+        workload = make_workload(name)
+        source = workload.streaming_node(0, seed=1, scale=0.02)
+        eager = compile_streams(workload.generate_node(0, seed=1,
+                                                       scale=0.02))
+        assert_byte_identical(compile_in_chunks(source, 64), eager)

@@ -3,8 +3,11 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from itertools import count, islice
+
 from repro.errors import TraceError
 from repro.traces.merge import (
+    merge_record_streams,
     merge_sorted_iters,
     merge_streams,
     split_by_node,
@@ -56,6 +59,57 @@ class TestLazyMerge:
         b = [rec(3, pid=2)]
         assert list(merge_sorted_iters([iter(a), iter(b)])) == \
             merge_streams([a, b])
+
+
+class TestStreamingMerge:
+    """``merge_record_streams``: the streaming pipeline's serializer."""
+
+    def test_matches_eager_merge(self):
+        a = [rec(1, pid=1), rec(5, pid=1)]
+        b = [rec(3, pid=2), rec(4, pid=2)]
+        assert list(merge_record_streams([iter(a), iter(b)])) == \
+            merge_streams([a, b])
+
+    def test_ties_broken_by_pid_then_stream(self):
+        a = [rec(5, pid=2), rec(5, pid=2)]
+        b = [rec(5, pid=1)]
+        merged = list(merge_record_streams([iter(a), iter(b)]))
+        assert merged == merge_streams([a, b])
+        assert [r.pid for r in merged] == [1, 2, 2]
+
+    def test_unsorted_stream_rejected(self):
+        with pytest.raises(TraceError, match="stream 0"):
+            list(merge_record_streams([iter([rec(5), rec(1)])]))
+
+    def test_is_lazy(self):
+        """One pending record per stream: merging unbounded streams and
+        taking a prefix must terminate (the whole bounded-memory
+        contract in one assertion)."""
+        def endless(pid):
+            return (rec(ts, pid=pid) for ts in count())
+
+        prefix = list(islice(
+            merge_record_streams([endless(1), endless(2)]), 10))
+        assert len(prefix) == 10
+        assert [r.timestamp for r in prefix] == \
+            [0, 0, 1, 1, 2, 2, 3, 3, 4, 4]
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.lists(st.integers(min_value=0, max_value=20),
+                             max_size=30),
+                    max_size=5))
+    def test_lazy_equals_eager_with_heavy_ties(self, timestamp_lists):
+        """The differential property behind the streaming pipeline:
+        over *per-process* streams (one pid each — the protocol's
+        shape), ``merge_record_streams`` on generators reproduces
+        ``merge_streams`` on lists exactly, including the (timestamp,
+        pid, stream index, arrival order) tie-break that the tight
+        timestamp range here collides constantly."""
+        streams = [[rec(ts, pid=index, vaddr=0x1000 * (order + 1))
+                    for order, ts in enumerate(sorted(ts_list))]
+                   for index, ts_list in enumerate(timestamp_lists)]
+        lazy = list(merge_record_streams(iter(s) for s in streams))
+        assert lazy == merge_streams(streams)
 
 
 class TestSplitters:

@@ -95,6 +95,34 @@ class TestStructure:
         assert footprint_pages(trace) >= 32
 
 
+@pytest.mark.parametrize("name", sorted(APPS))
+class TestStreamingProtocol:
+    """The streaming record protocol: lazy generation must be invisible."""
+
+    def test_iter_node_matches_generate_node(self, name):
+        app = make_app(name)
+        assert list(app.iter_node(0, seed=2, scale=0.1)) == \
+            app.generate_node(0, seed=2, scale=0.1)
+
+    def test_streaming_node_is_reiterable(self, name):
+        source = make_app(name).streaming_node(0, seed=2, scale=0.1)
+        assert list(source) == list(source)
+
+    def test_streaming_node_pickles(self, name):
+        import pickle
+        source = make_app(name).streaming_node(0, seed=2, scale=0.1)
+        clone = pickle.loads(pickle.dumps(source))
+        assert list(clone) == list(source)
+
+    def test_streaming_cluster_matches_eager_cluster(self, name):
+        app = make_app(name)
+        eager = app.generate_cluster(nodes=2, seed=1, scale=0.1)
+        streaming = app.streaming_cluster(nodes=2, seed=1, scale=0.1)
+        assert set(streaming) == set(eager)
+        for node in eager:
+            assert list(streaming[node]) == eager[node]
+
+
 class TestSharedLayout:
     def test_all_processes_use_common_base(self):
         """Every process maps its region at DATA_BASE — the SPMD layout

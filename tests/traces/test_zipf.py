@@ -1,0 +1,193 @@
+"""The multi-tenant zipfian KV/RPC workload (datacenter regime)."""
+
+import pickle
+
+import pytest
+
+from repro import params
+from repro.errors import ConfigError
+from repro.traces.merge import split_by_pid
+from repro.traces.record import count_lookups
+from repro.traces.synth import APPS, WORKLOADS, make_workload
+from repro.traces.synth.base import DATA_BASE, StreamingNodeTrace
+from repro.traces.synth.zipf import ZipfKVWorkload
+
+#: Small instance most tests share: a few thousand records, generated in
+#: milliseconds, still plural in tenants/variants/processes.
+SMALL = dict(tenants=40, server_processes=4, pages_per_tenant=16,
+             lookups_per_process=500, skew_variants=8)
+
+
+def small(**overrides):
+    knobs = dict(SMALL)
+    knobs.update(overrides)
+    return ZipfKVWorkload(**knobs)
+
+
+class TestRegistry:
+    def test_workloads_extend_apps(self):
+        assert set(APPS) < set(WORKLOADS)
+        assert "zipf-kv" in WORKLOADS
+
+    def test_make_workload_by_name(self):
+        workload = make_workload("zipf-kv")
+        assert isinstance(workload, ZipfKVWorkload)
+        assert workload.name == "zipf-kv"
+
+    def test_make_workload_covers_splash_apps(self):
+        assert make_workload("fft").name == "fft"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigError):
+            make_workload("memcached")
+
+
+class TestValidation:
+    @pytest.mark.parametrize("knobs", [
+        dict(tenants=0),
+        dict(server_processes=0),
+        dict(server_processes=params.MAX_PROCESSES_PER_NIC + 1),
+        dict(pages_per_tenant=0),
+        dict(lookups_per_process=0),
+        dict(tenant_exponent=0.0),
+        dict(page_exponent=-1.0),
+        dict(skew_spread=-0.1),
+        dict(skew_spread=2.0),
+        dict(skew_variants=0),
+        dict(shared_pages=-1),
+        dict(shared_fraction=1.0),
+    ])
+    def test_bad_knobs_rejected(self, knobs):
+        with pytest.raises(ConfigError):
+            small(**knobs)
+
+    def test_footprint_must_fit_virtual_address_space(self):
+        with pytest.raises(ConfigError):
+            ZipfKVWorkload(tenants=20_000_000, pages_per_tenant=64)
+
+    def test_nonpositive_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            small().generate_node(0, seed=1, scale=0)
+
+
+class TestSizing:
+    def test_scaled_sizes_scale_tenants_and_lookups(self):
+        workload = small()
+        assert workload.scaled_sizes(1.0) == (40, 500)
+        assert workload.scaled_sizes(0.5) == (20, 250)
+
+    def test_node_lookups_is_processes_times_requests(self):
+        workload = small()
+        assert workload.node_lookups(1.0) == 4 * 500
+        trace = workload.generate_node(0, seed=1)
+        assert count_lookups(trace) == workload.node_lookups(1.0)
+
+    def test_footprint_pages_counts_shared_ring(self):
+        workload = small(shared_pages=10)
+        assert workload.footprint_pages(1.0) == 10 + 40 * 16
+
+
+class TestStructure:
+    def test_deterministic_under_seed(self):
+        workload = small()
+        assert workload.generate_node(0, seed=5) == \
+            workload.generate_node(0, seed=5)
+
+    def test_seed_changes_trace(self):
+        workload = small()
+        assert workload.generate_node(0, seed=5) != \
+            workload.generate_node(0, seed=6)
+
+    def test_streaming_matches_eager(self):
+        workload = small()
+        assert list(workload.iter_node(0, seed=3)) == \
+            workload.generate_node(0, seed=3)
+
+    def test_timestamps_sorted(self):
+        trace = small().generate_node(0, seed=1)
+        assert all(trace[i].timestamp <= trace[i + 1].timestamp
+                   for i in range(len(trace) - 1))
+
+    def test_page_sized_sends(self):
+        trace = small().generate_node(0, seed=1)
+        assert all(r.nbytes == params.PAGE_SIZE for r in trace)
+        assert all(r.op == "send" for r in trace)
+
+    def test_pids_use_the_nic_tag_space(self):
+        workload = small()
+        pids0 = set(split_by_pid(workload.generate_node(0, seed=1)))
+        pids1 = set(split_by_pid(workload.generate_node(1, seed=1)))
+        assert pids0 == set(range(4))
+        assert pids1 == {params.MAX_PROCESSES_PER_NIC + i
+                         for i in range(4)}
+        assert not pids0 & pids1
+
+    def test_cluster_generation_distinct_nodes(self):
+        traces = small().generate_cluster(nodes=2, seed=1)
+        assert set(traces) == {0, 1}
+
+    def test_addresses_stay_inside_the_footprint(self):
+        workload = small()
+        top = DATA_BASE + workload.footprint_pages() * params.PAGE_SIZE
+        trace = workload.generate_node(0, seed=1)
+        assert all(DATA_BASE <= r.vaddr < top for r in trace)
+
+
+class TestSkewKnobs:
+    def test_variants_spread_the_page_exponent(self):
+        workload = small(skew_variants=8, skew_spread=0.5)
+        exponents = {workload.tenant_page_exponent(t) for t in range(40)}
+        assert len(exponents) == 8
+        lo, hi = min(exponents), max(exponents)
+        assert lo == pytest.approx(workload.page_exponent * 0.75)
+        assert hi == pytest.approx(workload.page_exponent * 1.25)
+
+    def test_zero_spread_means_uniform_exponent(self):
+        workload = small(skew_spread=0.0)
+        assert {workload.tenant_page_exponent(t) for t in range(40)} == \
+            {workload.page_exponent}
+
+    def test_traffic_is_tenant_skewed(self):
+        """Zipf tenant popularity: the busiest tenant sees many times a
+        uniform share of requests."""
+        workload = small(shared_fraction=0.0, tenant_exponent=1.1)
+        trace = workload.generate_node(0, seed=1)
+        per_tenant = {}
+        ppt = workload.pages_per_tenant
+        for record in trace:
+            page = (record.vaddr - DATA_BASE) // params.PAGE_SIZE
+            tenant = (page - workload.shared_pages) // ppt
+            per_tenant[tenant] = per_tenant.get(tenant, 0) + 1
+        uniform = len(trace) / workload.tenants
+        assert max(per_tenant.values()) > 4 * uniform
+
+    def test_hot_pages_rotate_across_tenants(self):
+        offsets = {small()._tenant_offset(t) for t in range(40)}
+        assert len(offsets) > 1
+
+    def test_shared_ring_takes_its_fraction(self):
+        workload = small(shared_pages=8, shared_fraction=0.5)
+        trace = workload.generate_node(0, seed=1)
+        boundary = DATA_BASE + 8 * params.PAGE_SIZE
+        shared = sum(1 for r in trace if r.vaddr < boundary)
+        assert 0.4 < shared / len(trace) < 0.6
+
+
+class TestStreamingCarrier:
+    def test_streaming_node_is_reiterable(self):
+        source = small().streaming_node(0, seed=2)
+        assert isinstance(source, StreamingNodeTrace)
+        assert list(source) == list(source)
+
+    def test_streaming_node_pickles(self):
+        source = small().streaming_node(0, seed=2, scale=0.5)
+        clone = pickle.loads(pickle.dumps(source))
+        assert list(clone) == list(source)
+
+    def test_streaming_cluster_matches_eager_cluster(self):
+        workload = small()
+        eager = workload.generate_cluster(nodes=2, seed=1)
+        streaming = workload.streaming_cluster(nodes=2, seed=1)
+        assert set(streaming) == set(eager)
+        for node in eager:
+            assert list(streaming[node]) == eager[node]
