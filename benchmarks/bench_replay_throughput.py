@@ -17,7 +17,15 @@ checks the zero-cost-tracing contract: the fast engine with a disabled
 throughput within noise of the untraced fast path (gated at
 ``--nulltracer-threshold``, best-of-``--repeats``).
 
-The standalone run then gates the analytic axis solver: the utlb
+The standalone run then gates the kernel replay tier: ``engine=
+"kernel"`` must be byte-identical to the fast engine across the full
+mechanism matrix (utlb vectorized, intr falling back), and the
+utlb-only replay must be at least ``--min-kernel-speedup`` times
+faster than the fast engine (best-of-repeats).  The sweep-grid phase
+re-runs the grid under the kernel engine and checks the runner
+kernel-plans every utlb cell.
+
+It also gates the analytic axis solver: the utlb
 cache-size axis of the grid (per app, every ``GRID_CACHE_ENTRIES``
 point) is run once through the solver and once through per-cell replay
 (``analytic=False``); the results must be byte-identical and the solver
@@ -65,8 +73,9 @@ AXIS_CACHE_ENTRIES = (512, 1024, 2048, 4096, 8192, 16384)
 
 
 def _traces(scale=BENCH_SCALE, seed=BENCH_SEED):
-    return {app: make_app(app).generate_node(0, seed=seed, scale=scale)
-            for app in APPS}
+    return {
+        app: make_app(app).generate_node(0, seed=seed, scale=scale) for app in APPS
+    }
 
 
 def _total_pages(traces):
@@ -87,6 +96,60 @@ def _replay_all(traces, engine, tracer=None):
     return json.dumps(stats, sort_keys=True)
 
 
+def _replay_utlb(traces, engine):
+    """Replay the utlb mechanism only — the kernel tier's home turf
+    (intr rides the fast path under every engine)."""
+    config = SimConfig(engine=engine)
+    stats = {
+        app: simulate_node(records, config).to_dict()
+        for app, records in traces.items()
+    }
+    return json.dumps(stats, sort_keys=True)
+
+
+def _time_utlb(traces, engine, repeats):
+    best = None
+    stats = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        stats = _replay_utlb(traces, engine)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return stats, best
+
+
+def _kernel_speedup(traces, repeats, min_speedup):
+    """The kernel-parity gate plus the kernel-vs-fast speedup point.
+
+    Parity covers the full mechanism matrix (``_replay_all`` exercises
+    the intr fallback too); the timed comparison replays utlb only, the
+    slice the kernel tier actually vectorizes.
+    """
+    kernel_all, _ = _time_engine(traces, "kernel", repeats)
+    fast_all, _ = _time_engine(traces, "fast", repeats)
+    if kernel_all != fast_all:
+        raise SystemExit("FAIL: kernel engine diverged from the fast engine")
+    fast_stats, fast_s = _time_utlb(traces, "fast", repeats)
+    kernel_stats, kernel_s = _time_utlb(traces, "kernel", repeats)
+    if kernel_stats != fast_stats:
+        raise SystemExit("FAIL: kernel utlb replay diverged from the fast engine")
+    speedup = fast_s / kernel_s
+    print("kernel engine byte-identical to fast (utlb + intr fallback)")
+    print(
+        "  utlb replay: fast %.3fs  kernel %.3fs  speedup %.1fx"
+        % (fast_s, kernel_s, speedup)
+    )
+    if speedup < min_speedup:
+        raise SystemExit(
+            "FAIL: kernel speedup %.1fx below threshold %.1fx" % (speedup, min_speedup)
+        )
+    return {
+        "fast_s": fast_s,
+        "kernel_s": kernel_s,
+        "speedup": speedup,
+    }
+
+
 def bench_replay_fast_engine(benchmark):
     traces = _traces()
     reference = _replay_all(traces, "reference")
@@ -101,7 +164,7 @@ def bench_replay_reference_engine(benchmark):
     benchmark.extra_info["pages"] = _total_pages(traces)
 
 
-def _grid_cells(traces):
+def _grid_cells(traces, engine="fast"):
     """The sweep grid, sharing one record list per app across all cells
     (what lets the batch compile each trace once)."""
     cells = []
@@ -109,18 +172,22 @@ def _grid_cells(traces):
         node_traces = {0: traces[app]}
         for mechanism in GRID_MECHANISMS:
             for entries in GRID_CACHE_ENTRIES:
-                cells.append(SweepCell(
-                    "%s/%s/%d" % (app, mechanism, entries), node_traces,
-                    SimConfig(cache_entries=entries), mechanism))
+                cells.append(
+                    SweepCell(
+                        "%s/%s/%d" % (app, mechanism, entries),
+                        node_traces,
+                        SimConfig(engine=engine, cache_entries=entries),
+                        mechanism,
+                    )
+                )
     return cells
 
 
-def _run_grid(traces, workers):
+def _run_grid(traces, workers, engine="fast", analytic=True):
     """Run the grid uncached; returns (sorted-keys results JSON, metrics)."""
-    with SweepRunner(workers=workers, cache_dir=None) as runner:
-        results = runner.run_cells(_grid_cells(traces))
-        payload = json.dumps([r.to_dict() for r in results],
-                             sort_keys=True)
+    with SweepRunner(workers=workers, cache_dir=None, analytic=analytic) as runner:
+        results = runner.run_cells(_grid_cells(traces, engine))
+        payload = json.dumps([r.to_dict() for r in results], sort_keys=True)
         return payload, runner.metrics
 
 
@@ -131,9 +198,14 @@ def _axis_cells(traces):
     for app in APPS:
         node_traces = {0: traces[app]}
         for entries in AXIS_CACHE_ENTRIES:
-            cells.append(SweepCell(
-                "%s/utlb/%d" % (app, entries), node_traces,
-                SimConfig(cache_entries=entries), "utlb"))
+            cells.append(
+                SweepCell(
+                    "%s/utlb/%d" % (app, entries),
+                    node_traces,
+                    SimConfig(cache_entries=entries),
+                    "utlb",
+                )
+            )
     return cells
 
 
@@ -143,13 +215,11 @@ def _time_axis(traces, analytic, repeats):
     payload = None
     metrics = None
     for _ in range(repeats):
-        with SweepRunner(workers=1, cache_dir=None,
-                         analytic=analytic) as runner:
+        with SweepRunner(workers=1, cache_dir=None, analytic=analytic) as runner:
             start = time.perf_counter()
             results = runner.run_cells(_axis_cells(traces))
             elapsed = time.perf_counter() - start
-        candidate = json.dumps([r.to_dict() for r in results],
-                               sort_keys=True)
+        candidate = json.dumps([r.to_dict() for r in results], sort_keys=True)
         if best is None or elapsed < best:
             best, payload, metrics = elapsed, candidate, runner.metrics
     return payload, best, metrics
@@ -165,22 +235,26 @@ def _axis_speedup(traces, repeats, min_speedup):
     replay_payload, replay_s, _ = _time_axis(traces, False, repeats)
     solved_payload, solved_s, metrics = _time_axis(traces, True, repeats)
     if solved_payload != replay_payload:
-        raise SystemExit(
-            "FAIL: analytic axis solver diverged from per-cell replay")
+        raise SystemExit("FAIL: analytic axis solver diverged from per-cell replay")
     cells = len(metrics.cells)
     if metrics.analytic_cells != cells:
         raise SystemExit(
             "FAIL: only %d of %d axis cells were solved analytically"
-            % (metrics.analytic_cells, cells))
+            % (metrics.analytic_cells, cells)
+        )
     speedup = replay_s / solved_s
-    print("analytic axis (%d cells, %d axes) byte-identical to replay"
-          % (cells, metrics.analytic_axes))
-    print("  replay %.3fs  analytic %.3fs  speedup %.1fx"
-          % (replay_s, solved_s, speedup))
+    print(
+        "analytic axis (%d cells, %d axes) byte-identical to replay"
+        % (cells, metrics.analytic_axes)
+    )
+    print(
+        "  replay %.3fs  analytic %.3fs  speedup %.1fx" % (replay_s, solved_s, speedup)
+    )
     if speedup < min_speedup:
         raise SystemExit(
             "FAIL: axis-solver speedup %.1fx below threshold %.1fx"
-            % (speedup, min_speedup))
+            % (speedup, min_speedup)
+        )
     return {
         "cells": cells,
         "analytic_axes": metrics.analytic_axes,
@@ -191,37 +265,82 @@ def _axis_speedup(traces, repeats, min_speedup):
     }
 
 
-def _sweep_grid(traces, workers, metrics_json=None, axis_speedup=None,
-                bench_scale=BENCH_SCALE, bench_seed=BENCH_SEED):
+def _kernel_grid(traces, serial_payload):
+    """Run the grid under ``engine="kernel"``: the runner must tag the
+    utlb cells as kernel-planned and the results must stay identical.
+
+    The analytic solver is disabled for this phase — it outranks the
+    kernel tier (a cache-size axis is answered in one shared pass), so
+    leaving it on would lift exactly the kernel-eligible cells out of
+    replay and the planning under test would never run."""
+    payload, metrics = _run_grid(traces, workers=1, engine="kernel", analytic=False)
+    if payload != serial_payload:
+        raise SystemExit("FAIL: kernel-engine sweep grid diverged from the fast grid")
+    expected = len(APPS) * len(GRID_CACHE_ENTRIES)
+    if metrics.kernel_cells != expected:
+        raise SystemExit(
+            "FAIL: runner planned %d kernel cells, expected %d (every "
+            "utlb cell)" % (metrics.kernel_cells, expected)
+        )
+    print(
+        "kernel-engine grid byte-identical to fast (%d of %d cells "
+        "kernel-planned)" % (metrics.kernel_cells, len(metrics.cells))
+    )
+    return metrics.kernel_cells
+
+
+def _sweep_grid(
+    traces,
+    workers,
+    metrics_json=None,
+    axis_speedup=None,
+    kernel_speedup=None,
+    bench_scale=BENCH_SCALE,
+    bench_seed=BENCH_SEED,
+):
     """The shared-stream fan-out check: parallel == serial, one compile
     per distinct trace, metrics optionally archived as JSON."""
     serial_payload, _ = _run_grid(traces, workers=1)
     payload, metrics = _run_grid(traces, workers=workers)
     if payload != serial_payload:
         raise SystemExit(
-            "FAIL: sweep grid with workers=%d diverged from serial"
-            % workers)
+            "FAIL: sweep grid with workers=%d diverged from serial" % workers
+        )
     if metrics.compile_count != len(APPS):
         raise SystemExit(
             "FAIL: batch compiled %d traces, expected %d (one per "
-            "distinct node trace)" % (metrics.compile_count, len(APPS)))
+            "distinct node trace)" % (metrics.compile_count, len(APPS))
+        )
+    kernel_cells = _kernel_grid(traces, serial_payload)
     totals = metrics.to_dict()["totals"]
-    print("sweep grid (%d cells, workers=%d) byte-identical to serial"
-          % (totals["cells"], workers))
-    print("  elapsed %.3fs  cpu %.3fs  ipc %d bytes  %.0f pages/s  "
-          "%d analytic cells"
-          % (totals["elapsed_s"], totals["cpu_time_s"],
-             totals["ipc_bytes"], totals["pages_per_sec"],
-             totals["analytic_cells"]))
+    print(
+        "sweep grid (%d cells, workers=%d) byte-identical to serial"
+        % (totals["cells"], workers)
+    )
+    print(
+        "  elapsed %.3fs  cpu %.3fs  ipc %d bytes  %.0f pages/s  "
+        "%d analytic cells"
+        % (
+            totals["elapsed_s"],
+            totals["cpu_time_s"],
+            totals["ipc_bytes"],
+            totals["pages_per_sec"],
+            totals["analytic_cells"],
+        )
+    )
     if metrics_json:
         archive = metrics.to_dict()
         if axis_speedup is not None:
             archive["analytic_axis_speedup"] = axis_speedup
+        if kernel_speedup is not None:
+            archive["kernel_speedup"] = kernel_speedup
         archive["bench"] = {
             "kind": "replay-grid",
             "apps": list(APPS),
+            "engines": ["fast", "kernel"],
             "grid_cache_entries": list(GRID_CACHE_ENTRIES),
             "axis_cache_entries": list(AXIS_CACHE_ENTRIES),
+            "kernel_grid_cells": kernel_cells,
             "scale": bench_scale,
             "seed": bench_seed,
             "workers": workers,
@@ -246,26 +365,52 @@ def _time_engine(traces, engine, repeats, tracer=None):
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="Replay a trace through both engines, assert "
-                    "identical stats, report the speedup.")
+        "identical stats, report the speedup."
+    )
     parser.add_argument("--scale", type=float, default=BENCH_SCALE)
     parser.add_argument("--seed", type=int, default=BENCH_SEED)
-    parser.add_argument("--repeats", type=int, default=3,
-                        help="timing repeats per engine (best-of)")
-    parser.add_argument("--nulltracer-threshold", type=float, default=0.75,
-                        help="minimum fast+NullTracer throughput as a "
-                             "fraction of the untraced fast path "
-                             "(best-of-N absorbs scheduler noise)")
-    parser.add_argument("--workers", type=int, default=1,
-                        help="worker processes for the sweep-grid phase; "
-                             ">1 exercises the shared-stream fan-out and "
-                             "diffs it against a serial run")
-    parser.add_argument("--metrics-json", default=None, metavar="PATH",
-                        help="write the sweep grid's SweepMetrics dict "
-                             "as JSON to PATH")
-    parser.add_argument("--min-axis-speedup", type=float, default=2.0,
-                        help="minimum analytic-axis-solver speedup over "
-                             "per-cell replay (parity is always gated; "
-                             "the recorded ratio is the real one)")
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats per engine (best-of)"
+    )
+    parser.add_argument(
+        "--nulltracer-threshold",
+        type=float,
+        default=0.75,
+        help="minimum fast+NullTracer throughput as a "
+        "fraction of the untraced fast path "
+        "(best-of-N absorbs scheduler noise)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sweep-grid phase; "
+        ">1 exercises the shared-stream fan-out and "
+        "diffs it against a serial run",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        default=None,
+        metavar="PATH",
+        help="write the sweep grid's SweepMetrics dict as JSON to PATH",
+    )
+    parser.add_argument(
+        "--min-axis-speedup",
+        type=float,
+        default=2.0,
+        help="minimum analytic-axis-solver speedup over "
+        "per-cell replay (parity is always gated; "
+        "the recorded ratio is the real one)",
+    )
+    parser.add_argument(
+        "--min-kernel-speedup",
+        type=float,
+        default=1.5,
+        help="minimum kernel-engine speedup over the "
+        "fast engine on the utlb replay (parity is "
+        "always gated; the recorded ratio is the "
+        "real one)",
+    )
     args = parser.parse_args(argv)
 
     traces = _traces(scale=args.scale, seed=args.seed)
@@ -275,30 +420,40 @@ def main(argv=None):
 
     if fast_stats != ref_stats:
         raise SystemExit("FAIL: fast engine stats differ from reference")
-    print("engines byte-identical over %s (%d pages replayed)"
-          % (", ".join(APPS), pages))
+    print(
+        "engines byte-identical over %s (%d pages replayed)" % (", ".join(APPS), pages)
+    )
     print("reference: %.3fs  (%.0f pages/s)" % (ref_s, pages / ref_s))
     print("fast:      %.3fs  (%.0f pages/s)" % (fast_s, pages / fast_s))
     print("speedup:   %.2fx" % (ref_s / fast_s))
 
     # Zero-cost tracing: a disabled tracer must leave the fast path's
     # output byte-identical and its throughput within noise.
-    null_stats, null_s = _time_engine(traces, "fast", args.repeats,
-                                      tracer=NullTracer())
+    null_stats, null_s = _time_engine(traces, "fast", args.repeats, tracer=NullTracer())
     if null_stats != fast_stats:
         raise SystemExit("FAIL: NullTracer changed the fast engine stats")
     ratio = fast_s / null_s
-    print("fast+NullTracer: %.3fs  (%.0f pages/s, %.2fx of untraced)"
-          % (null_s, pages / null_s, ratio))
+    print(
+        "fast+NullTracer: %.3fs  (%.0f pages/s, %.2fx of untraced)"
+        % (null_s, pages / null_s, ratio)
+    )
     if ratio < args.nulltracer_threshold:
         raise SystemExit(
             "FAIL: NullTracer throughput %.2fx of the untraced fast path "
-            "(threshold %.2f)" % (ratio, args.nulltracer_threshold))
+            "(threshold %.2f)" % (ratio, args.nulltracer_threshold)
+        )
 
-    axis_speedup = _axis_speedup(traces, args.repeats,
-                                 args.min_axis_speedup)
-    _sweep_grid(traces, args.workers, args.metrics_json, axis_speedup,
-                bench_scale=args.scale, bench_seed=args.seed)
+    kernel_speedup = _kernel_speedup(traces, args.repeats, args.min_kernel_speedup)
+    axis_speedup = _axis_speedup(traces, args.repeats, args.min_axis_speedup)
+    _sweep_grid(
+        traces,
+        args.workers,
+        args.metrics_json,
+        axis_speedup,
+        kernel_speedup,
+        bench_scale=args.scale,
+        bench_seed=args.seed,
+    )
 
 
 if __name__ == "__main__":

@@ -1,8 +1,12 @@
 """The bounded-memory scale benchmark: streaming generate->compile->replay.
 
-Drives the streaming trace pipeline end to end at datacenter-ish trace
-lengths (default: the zipf-kv workload at 20x+ the largest Table 3
-lookup count) and records *memory* alongside throughput:
+Drives the trace pipeline end to end at datacenter-ish trace lengths
+(default: the zipf-kv workload at 20x+ the largest Table 3 lookup
+count) and records *memory* alongside throughput.  Generation runs the
+parallel per-process path (``--gen-workers``, byte-identical to the
+serial streaming compile; 0 forces serial) and replay runs the engine
+axis (``--engine fast|kernel|both``; ``both`` asserts byte-identity at
+scale and reports the kernel run).  Alongside the timings:
 
 * peak RSS (``getrusage``) is sampled after generate+compile+publish —
   the phase whose footprint used to be O(records) — and gated against
@@ -46,6 +50,10 @@ from repro.traces.compile import (
     DEFAULT_CHUNK_RECORDS,
     compile_in_chunks,
     compile_streams,
+)
+from repro.traces.parallel import (
+    compile_node_parallel,
+    default_generation_workers,
 )
 from repro.traces.synth import make_workload
 
@@ -132,6 +140,23 @@ def main(argv=None):
         help="skip the (untimed, several-fold slower) tracemalloc "
         "generate+compile pass",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("fast", "kernel", "both"),
+        default="both",
+        help="replay engine; 'both' replays fast and kernel, asserts "
+        "byte-identical results, and reports the headline numbers from "
+        "the kernel run (default)",
+    )
+    parser.add_argument(
+        "--gen-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="generation worker processes for the parallel per-process "
+        "compile (default: one per CPU, capped at 16); 0 forces the "
+        "serial streaming compile",
+    )
     parser.add_argument("--metrics-json", default=None, metavar="PATH")
     args = parser.parse_args(argv)
 
@@ -149,16 +174,28 @@ def main(argv=None):
         )
     )
 
-    # Phase 1 (timed): streaming generate -> chunked compile.  The
-    # record list never exists; peak memory is chunk + compiled arrays.
+    gen_workers = (
+        default_generation_workers() if args.gen_workers is None else args.gen_workers
+    )
+
+    # Phase 1 (timed): per-process parallel generate -> vectorized
+    # merge+compile (byte-identical to the serial streaming compile;
+    # --gen-workers 0 runs that serial path instead).  The record list
+    # never exists either way.
     start = time.perf_counter()
-    compiled = compile_in_chunks(source, args.chunk_records)
+    if gen_workers > 0:
+        compiled = compile_node_parallel(
+            workload, node=0, seed=args.seed, scale=args.scale, workers=gen_workers
+        )
+    else:
+        compiled = compile_in_chunks(source, args.chunk_records)
     compile_s = time.perf_counter() - start
     assert compiled.total_pages == lookups
 
     # Phase 2: publish to the shared-memory store and swap to a view,
     # exactly like a pooled SweepRunner batch — then sample the gated
     # peak: everything the parent ever held to get replay-ready.
+    engines = ("fast", "kernel") if args.engine == "both" else (args.engine,)
     store = SharedStreamStore()
     try:
         store.publish("bench", compiled)
@@ -166,14 +203,36 @@ def main(argv=None):
         peak_kb = _peak_rss_kb()
         ceiling_kb = args.ceiling_mb * 1024
 
-        # Phase 3 (timed): replay through the fast engine against the
-        # shared view (the store outlives the replay, like a batch).
-        config = SimConfig(engine="fast")
-        start = time.perf_counter()
-        result = simulate_node(source, config, compiled=compiled)
-        replay_s = time.perf_counter() - start
+        # Phase 3 (timed): replay through the requested engine(s)
+        # against the shared view (the store outlives the replay, like
+        # a batch).  With --engine both the results must be
+        # byte-identical and the kernel run is the headline.
+        replay_times = {}
+        results = {}
+        for engine in engines:
+            config = SimConfig(engine=engine)
+            start = time.perf_counter()
+            result = simulate_node(source, config, compiled=compiled)
+            replay_times[engine] = time.perf_counter() - start
+            results[engine] = result
     finally:
         store.close()
+    if len(results) > 1:
+        dicts = [json.dumps(r.to_dict(), sort_keys=True) for r in results.values()]
+        if len(set(dicts)) != 1:
+            raise SystemExit("FAIL: fast and kernel replay diverged at scale")
+        print(
+            "fast and kernel replays byte-identical "
+            "(fast %.2fs, kernel %.2fs, %.1fx)"
+            % (
+                replay_times["fast"],
+                replay_times["kernel"],
+                replay_times["fast"] / replay_times["kernel"],
+            )
+        )
+    headline = engines[-1]
+    result = results[headline]
+    replay_s = replay_times[headline]
     assert result.stats.lookups == lookups
 
     elapsed_s = compile_s + replay_s
@@ -240,6 +299,9 @@ def main(argv=None):
                 "tracemalloc_peak_kb": tracemalloc_kb,
                 "eager_peak_rss_kb": eager_kb,
             },
+            "engines": {
+                engine: {"replay_s": replay_times[engine]} for engine in engines
+            },
             "bench": {
                 "kind": "scale",
                 "workload": "zipf-kv",
@@ -247,6 +309,8 @@ def main(argv=None):
                 "seed": args.seed,
                 "nodes": 1,
                 "chunk_records": args.chunk_records,
+                "engine": headline,
+                "gen_workers": gen_workers,
                 "tenants": workload.scaled_sizes(args.scale)[0],
                 "server_processes": workload.server_processes,
             },

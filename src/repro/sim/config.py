@@ -7,10 +7,12 @@ from repro.sim.mechanisms import resolve
 
 
 #: Valid trace-replay engines: ``fast`` (compiled page streams with a
-#: counter-only hot path) and ``reference`` (record-at-a-time replay
-#: through the full :class:`HierarchicalUtlb` machinery).  The two are
+#: counter-only hot path), ``kernel`` (fast plus vectorized numpy batch
+#: kernels for the cells they model — everything else falls back to the
+#: fast path) and ``reference`` (record-at-a-time replay through the
+#: full :class:`HierarchicalUtlb` machinery).  All three are
 #: bit-identical in output; ``reference`` exists as the oracle.
-ENGINES = ("fast", "reference")
+ENGINES = ("fast", "kernel", "reference")
 
 
 class SimConfig:

@@ -28,9 +28,11 @@ def simulate_node_intr(records, config, check_invariants=False,
     Engine dispatch matches the UTLB simulator: the fast counter-only
     path needs a direct-mapped cache, no classifier, and no enabled
     tracer (``config.traced`` routes through the reference path, which
-    emits the full event stream).
+    emits the full event stream).  ``engine="kernel"`` rides the fast
+    path — this mechanism registers no batch kernel.
     """
-    fast = (config.engine == "fast" and config.associativity == 1
+    fast = (config.engine in ("fast", "kernel")
+            and config.associativity == 1
             and not config.classify and not config.traced)
     if not fast:
         return _simulate_node_intr_reference(records, config,

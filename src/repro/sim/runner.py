@@ -164,9 +164,9 @@ def code_version():
                          if name.endswith(".py"))
         paths.extend(os.path.join(sim_dir, name)
                      for name in ("analytic.py", "config.py",
-                                  "intr_simulator.py", "mechanisms.py",
-                                  "pp_simulator.py", "runner.py",
-                                  "simulator.py"))
+                                  "intr_simulator.py", "kernels.py",
+                                  "mechanisms.py", "pp_simulator.py",
+                                  "runner.py", "simulator.py"))
         paths.extend(os.path.join(repro_dir, "traces", name)
                      for name in ("compile.py", "merge.py", "record.py"))
         digest = hashlib.sha256()
@@ -328,6 +328,11 @@ class CellMetrics:
         #: True when the cell was answered by the analytic axis solver
         #: (one shared pass) instead of its own replay.
         self.analytic = False
+        #: True when the cell's replay dispatched to the vectorized
+        #: batch kernels (``engine="kernel"`` and the mechanism's
+        #: ``kernel_eligible`` predicate held); False for fast-path
+        #: fallbacks, analytic cells, and cache hits.
+        self.kernel = False
         #: Run-unique id of the analytic axis that answered this cell
         #: (None for replayed cells).  Cells sharing an ``axis_id`` were
         #: solved by one pass whose cost is attributed *equally across
@@ -358,11 +363,18 @@ class CellMetrics:
             "cache_hit": self.cache_hit,
             "wall_time_s": self.wall_time_s,
             "phases": dict(self.phases),
+            # The compile/replay split, promoted out of ``phases`` so a
+            # metrics consumer can read each cell's kernel win without
+            # digging: compile time this cell was charged (its fresh
+            # ``compile_streams`` passes) vs its replay time proper.
+            "compile_s": self.phases["compile_s"],
+            "replay_s": self.phases["replay_s"],
             "trace_path": self.trace_path,
             "lookups": self.lookups,
             "compile_count": self.compile_count,
             "ipc_bytes": self.ipc_bytes,
             "analytic": self.analytic,
+            "kernel": self.kernel,
             "axis_id": self.axis_id,
             "pages_per_sec": self.pages_per_sec,
             "stats": self.stats,
@@ -402,6 +414,10 @@ class SweepMetrics:
     @property
     def analytic_cells(self):
         return sum(1 for c in self.cells if c.analytic)
+
+    @property
+    def kernel_cells(self):
+        return sum(1 for c in self.cells if c.kernel)
 
     @property
     def cpu_time_s(self):
@@ -453,6 +469,7 @@ class SweepMetrics:
                 "cache_corrupt": self.cache_corrupt,
                 "analytic_axes": self.analytic_axes,
                 "analytic_cells": self.analytic_cells,
+                "kernel_cells": self.kernel_cells,
                 "cpu_time_s": self.cpu_time_s,
                 "elapsed_s": self.elapsed_s,
                 "phases": phase_totals,
@@ -503,6 +520,18 @@ def _streams_eligible(config, mechanism):
     """
     mech = mech_registry.lookup(mechanism)
     return mech is not None and mech.streams_eligible(config)
+
+
+def _kernel_eligible(config, mechanism):
+    """True when the cell's replay will dispatch to the batch kernels.
+
+    The metrics-side mirror of the dispatch inside the mechanism's own
+    ``simulate`` (the single source of truth): the runner never routes
+    on this, it only tags :class:`CellMetrics` so kernel wins are
+    attributable per cell.
+    """
+    mech = mech_registry.lookup(mechanism)
+    return mech is not None and mech.kernel_eligible(config)
 
 
 #: Worker-side registry of attached compiled streams, populated by the
@@ -826,6 +855,8 @@ class SweepRunner:
             for index in pending:
                 cell = cells[index]
                 eligible = _streams_eligible(configs[index], cell.mechanism)
+                cell_metrics[index].kernel = _kernel_eligible(
+                    configs[index], cell.mechanism)
                 for node in sorted(cell.traces):
                     records = cell.traces[node]
                     units.append(("replay", index, node))

@@ -31,12 +31,42 @@ protocol (``SyntheticApp.iter_node`` / ``StreamingNodeTrace``) compiles
 with peak memory O(chunk + compiled size) — the per-record Python
 objects are transient and the full record list never exists.
 :func:`compile_streams` is the one-shot spelling of the same pass.
+
+With numpy importable, ingestion runs through a *compile kernel*: each
+staged batch of records collapses to three int64 columns in one pass,
+page expansion becomes vectorized index math (``vaddr >> PAGE_SHIFT``
+plus a repeat/cumsum ladder for multi-page records), and the flat
+buffers grow by ``frombytes`` of whole ndarrays instead of per-record
+appends.  The kernel is **byte-identical** to the per-record loop at
+every chunking — batches with values the vectorized path cannot model
+exactly (``nbytes < 1``, 64-bit wraparound in ``vaddr + nbytes - 1``,
+fields beyond int64) fall back to the loop *before* touching any
+buffer, so exotic records compile exactly as before.  ``kernel=False``
+forces the loop everywhere (the differential baseline).
 """
 
 import sys
 from array import array
+from itertools import islice
 
+from repro import params
 from repro.errors import TraceError
+
+_NUMPY = None
+_NUMPY_CHECKED = False
+
+
+def _numpy():
+    """The numpy module, or None (optional accelerator, not a dependency)."""
+    global _NUMPY, _NUMPY_CHECKED
+    if not _NUMPY_CHECKED:
+        _NUMPY_CHECKED = True
+        try:
+            import numpy
+        except ImportError:
+            numpy = None
+        _NUMPY = numpy
+    return _NUMPY
 
 #: Version tag of the ``to_buffers`` metadata layout.
 #: 2: ``segments`` left the header — it is derived (the run-length
@@ -228,23 +258,117 @@ class StreamCompiler:
     see where an ``add`` ended).  Peak memory is therefore O(caller's
     chunk + compiled size), never O(records); :func:`compile_streams`
     itself is just one ``add`` of the whole iterable.
+
+    ``kernel`` selects the ingestion path: None (the default) uses the
+    vectorized numpy kernel when numpy is importable, True requires it
+    (:class:`TraceError` otherwise), False forces the per-record loop.
+    Either path produces byte-identical output; batches the kernel
+    cannot model exactly fall back to the loop record-by-record.
     """
 
     __slots__ = ("_streams", "_pid_order", "_pid_chunk", "_index_stream",
-                 "_page_stream", "_finished")
+                 "_page_stream", "_finished", "_kernel")
 
-    def __init__(self):
+    def __init__(self, kernel=None):
         self._streams = {}
         self._pid_order = []
         self._pid_chunk = {}    # pid -> its dense index as one 'H' item
         self._index_stream = array("H")
         self._page_stream = array("Q")
         self._finished = False
+        if kernel is None:
+            kernel = _numpy() is not None
+        elif kernel and _numpy() is None:
+            raise TraceError(
+                "kernel=True requires numpy, which is not installed")
+        self._kernel = bool(kernel)
 
     def add(self, records):
         """Compile one chunk (any iterable of records) into the buffers."""
         if self._finished:
             raise TraceError("StreamCompiler already finished")
+        if not self._kernel:
+            return self._add_loop(records)
+        source = iter(records)
+        while True:
+            batch = list(islice(source, DEFAULT_CHUNK_RECORDS))
+            if not batch:
+                return
+            if not self._add_batch_kernel(batch):
+                self._add_loop(batch)
+
+    def _add_batch_kernel(self, batch):
+        """Vectorized ingestion of one staged batch; False = punt.
+
+        Computes everything *before* mutating any buffer, so returning
+        False (a value the vectorized math cannot model exactly — see
+        the class docstring) leaves the compiler untouched and the
+        per-record loop reproduces the batch byte-identically.
+        """
+        numpy = _numpy()
+        count = len(batch)
+        try:
+            pids = numpy.fromiter((r.pid for r in batch),
+                                  dtype=numpy.int64, count=count)
+            vaddr = numpy.fromiter((r.vaddr for r in batch),
+                                   dtype=numpy.int64, count=count)
+            nbytes = numpy.fromiter((r.nbytes for r in batch),
+                                    dtype=numpy.int64, count=count)
+        except (OverflowError, ValueError, TypeError):
+            return False
+        vaddr = vaddr.astype(numpy.uint64)
+        if int(nbytes.min()) < 1:
+            return False            # pages() yields an empty/exotic range
+        shift = numpy.uint64(params.PAGE_SHIFT)
+        one = numpy.uint64(1)
+        end = vaddr + nbytes.astype(numpy.uint64) - one
+        if bool((end < vaddr).any()):
+            return False            # 2^64 wraparound; python ints don't wrap
+        firsts = vaddr >> shift
+        counts = (end >> shift) - firsts + one
+
+        # Dense-index mapping in first-appearance order; new pids
+        # register exactly as the loop would (the 2-byte encoding raises
+        # the same OverflowError past 65535 processes).
+        uniq, first_pos, inverse = numpy.unique(
+            pids, return_index=True, return_inverse=True)
+        byteorder = sys.byteorder
+        dense_of = numpy.empty(len(uniq), dtype=numpy.uint16)
+        for u in numpy.argsort(first_pos):
+            pid = int(uniq[u])
+            chunk = self._pid_chunk.get(pid)
+            if chunk is None:
+                dense = len(self._pid_order)
+                self._pid_chunk[pid] = dense.to_bytes(2, byteorder)
+                self._pid_order.append(pid)
+                self._streams[pid] = array("Q")
+            else:
+                dense = int.from_bytes(chunk, byteorder)
+            dense_of[u] = dense
+        rec_dense = dense_of[inverse.reshape(-1)]
+
+        if int(counts.max()) == 1:
+            pages = firsts
+            page_dense = rec_dense
+        else:
+            lens = counts.astype(numpy.intp)
+            total = int(lens.sum())
+            starts = numpy.repeat(firsts, lens)
+            offsets = numpy.cumsum(lens) - lens     # exclusive prefix
+            steps = (numpy.arange(total, dtype=numpy.uint64)
+                     - numpy.repeat(offsets.astype(numpy.uint64), lens))
+            pages = starts + steps
+            page_dense = numpy.repeat(rec_dense, lens)
+        self._page_stream.frombytes(pages.tobytes())
+        self._index_stream.frombytes(page_dense.tobytes())
+        for dense in numpy.unique(page_dense):
+            pid = self._pid_order[int(dense)]
+            self._streams[pid].frombytes(
+                pages[page_dense == dense].tobytes())
+        return True
+
+    def _add_loop(self, records):
+        """The per-record reference path (and the kernel's fallback)."""
         streams = self._streams
         pid_order = self._pid_order
         pid_chunk = self._pid_chunk
@@ -274,7 +398,7 @@ class StreamCompiler:
                                len(self._page_stream))
 
 
-def compile_streams(records):
+def compile_streams(records, kernel=None):
     """Compile a (timestamp-sorted, merged) trace into page streams.
 
     Single pass: builds the per-pid streams, the segment list, the
@@ -282,13 +406,16 @@ def compile_streams(records):
     iterable of records — a list, or a lazy generator/
     ``StreamingNodeTrace``, in which case the record objects are
     transient and peak memory is bounded by the compiled arrays.
+    ``kernel`` is the :class:`StreamCompiler` ingestion knob (None =
+    numpy when available).
     """
-    compiler = StreamCompiler()
+    compiler = StreamCompiler(kernel=kernel)
     compiler.add(records)
     return compiler.finish()
 
 
-def compile_in_chunks(records, chunk_records=DEFAULT_CHUNK_RECORDS):
+def compile_in_chunks(records, chunk_records=DEFAULT_CHUNK_RECORDS,
+                      kernel=None):
     """Compile via fixed-size record chunks (the explicit chunk knob).
 
     Equivalent to :func:`compile_streams` for any ``chunk_records >= 1``
@@ -300,7 +427,7 @@ def compile_in_chunks(records, chunk_records=DEFAULT_CHUNK_RECORDS):
     if chunk_records < 1:
         raise TraceError("chunk_records must be at least 1, got %r"
                          % (chunk_records,))
-    compiler = StreamCompiler()
+    compiler = StreamCompiler(kernel=kernel)
     chunk = []
     append = chunk.append
     for record in records:

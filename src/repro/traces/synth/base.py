@@ -50,6 +50,24 @@ def _pid_of(node, local_index):
     return node * 8 + local_index
 
 
+def page_record_stream(node, pid, pages):
+    """Wrap a lazy ``(timestamp, page)`` stream into TraceRecords.
+
+    The single record-construction point of the synthetic generators:
+    every entry becomes one page-sized send at the page's address (SVM
+    moves whole pages, so this is the only record shape any synthetic
+    workload emits).
+    """
+    for timestamp, page in pages:
+        yield TraceRecord(
+            timestamp=timestamp,
+            node=node,
+            pid=pid,
+            op=OP_SEND,
+            vaddr=page << params.PAGE_SHIFT,
+            nbytes=params.PAGE_SIZE)
+
+
 class SyntheticApp:
     """Base class for one application's trace generator.
 
@@ -97,6 +115,43 @@ class SyntheticApp:
 
     # -- generation ----------------------------------------------------------------
 
+    def iter_page_streams(self, node=0, seed=0, scale=1.0):
+        """Per-process lazy ``(timestamp, page)`` streams with their pids.
+
+        The *pre-record* form of the streaming protocol: a list of
+        ``(pid, stream)`` pairs in local-index order, each stream
+        yielding ``(timestamp, absolute page number)`` — exactly the two
+        values translation simulation consumes.  :meth:`iter_processes`
+        wraps these same streams into :class:`TraceRecord` objects (one
+        page-sized send per entry), so the two forms cannot drift;
+        parallel trace compilation (:mod:`repro.traces.parallel`) drains
+        this form directly and skips record construction entirely.
+        """
+        streams = []
+        for local_index, (footprint, lookups) in enumerate(
+                self._process_sizes(scale)):
+            pid = _pid_of(node, local_index)
+            rng = random.Random((seed * 1000003 + node) * 31 + local_index)
+            if local_index < 4:
+                pages = self._pattern(rng, footprint, lookups)
+            else:
+                pages = self._protocol_pattern(rng, footprint, lookups)
+            streams.append((pid, self._timed_pages(rng, pages, lookups)))
+        return streams
+
+    def iter_processes(self, node=0, seed=0, scale=1.0):
+        """The node's per-process lazy record streams, in process order.
+
+        The *pre-merge* form of the streaming record protocol: one
+        independently generatable, timestamp-sorted stream per process
+        (each seeded by its own ``(seed, node, local_index)`` RNG), in
+        local-index order.  :meth:`iter_node` is exactly
+        ``merge_record_streams`` over this list.
+        """
+        return [page_record_stream(node, pid, pages)
+                for pid, pages in self.iter_page_streams(
+                    node, seed=seed, scale=scale)]
+
     def iter_node(self, node=0, seed=0, scale=1.0):
         """The serialized (merged) node trace as a *lazy* record stream.
 
@@ -108,18 +163,8 @@ class SyntheticApp:
         one private ``random.Random``), so ``list(iter_node(...))`` is
         byte-identical to what :meth:`generate_node` returns.
         """
-        streams = []
-        for local_index, (footprint, lookups) in enumerate(
-                self._process_sizes(scale)):
-            pid = _pid_of(node, local_index)
-            rng = random.Random((seed * 1000003 + node) * 31 + local_index)
-            if local_index < 4:
-                pages = self._pattern(rng, footprint, lookups)
-            else:
-                pages = self._protocol_pattern(rng, footprint, lookups)
-            streams.append(self._record_stream(node, pid, rng, pages,
-                                               lookups))
-        return merge_record_streams(streams)
+        return merge_record_streams(
+            self.iter_processes(node, seed=seed, scale=scale))
 
     def generate_node(self, node=0, seed=0, scale=1.0):
         """The serialized (merged) trace of one node, as a list."""
@@ -146,22 +191,18 @@ class SyntheticApp:
         return {node: self.streaming_node(node, seed=seed, scale=scale)
                 for node in range(nodes)}
 
-    def _record_stream(self, node, pid, rng, pages, lookups):
-        """Wrap a page-index stream into timestamped TraceRecords
-        (lazily — one record per pull)."""
+    def _timed_pages(self, rng, pages, lookups):
+        """Timestamp a page-index stream into lazy ``(timestamp, page)``
+        pairs (pages absolute, i.e. offset to the SPMD data region)."""
+        base_page = DATA_BASE >> params.PAGE_SHIFT
         timestamp = rng.randrange(0, MEAN_GAP_US)
         for count, page in enumerate(pages):
             if count >= lookups:
                 break
-            yield TraceRecord(
-                timestamp=timestamp,
-                node=node,
-                pid=pid,
-                op=OP_SEND,
-                vaddr=DATA_BASE + page * params.PAGE_SIZE,
-                nbytes=params.PAGE_SIZE)
+            yield timestamp, base_page + page
             timestamp += rng.randrange(MEAN_GAP_US // 2,
                                        MEAN_GAP_US + MEAN_GAP_US // 2)
+
 
     def _protocol_pattern(self, rng, footprint, lookups):
         """The SVM protocol process: a hot ring of message/control pages

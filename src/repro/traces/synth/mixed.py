@@ -8,6 +8,18 @@ contributes its application processes (its protocol process is kept —
 each independent program brings its own runtime), pids are renumbered to
 stay unique, and everything is serialized by timestamp.
 
+Generation flows through the streaming record protocol like every other
+workload: :meth:`iter_processes` yields the constituents' lazy process
+streams with their pids renumbered *statically* — constituent process
+``local_index`` of app ``app_index`` becomes ``node *
+MAX_PROCESSES_PER_NIC + app_index * TRACE_PROCESSES_PER_NODE +
+local_index`` — so every stream knows its pid without seeing any other
+stream, :meth:`iter_node` is one flat ``merge_record_streams`` over
+them, and peak memory is one pending record per constituent process.
+The flat merge serializes identically to merging each app first and
+then merging the apps: the ordering contract tie-breaks on pid before
+stream position, and each pid lives in exactly one stream either way.
+
 This is the workload the Shared UTLB-Cache's process tags and index
 offsetting were designed for, finally exercised with heterogeneous
 programs.
@@ -15,8 +27,8 @@ programs.
 
 from repro import params
 from repro.errors import ConfigError
-from repro.traces.merge import merge_streams, split_by_pid
-from repro.traces.record import TraceRecord
+from repro.traces.merge import merge_record_streams, split_by_pid
+from repro.traces.synth.base import StreamingNodeTrace, page_record_stream
 
 
 class MixedWorkload:
@@ -37,31 +49,59 @@ class MixedWorkload:
                 % (total, params.MAX_PROCESSES_PER_NIC))
         self.name = "+".join(app.name for app in self.apps)
 
-    def generate_node(self, node=0, seed=0, scale=None):
-        """One node's serialized trace of all constituent programs."""
+    def iter_page_streams(self, node=0, seed=0, scale=None):
+        """Every constituent process's lazy ``(timestamp, page)`` stream
+        with its renumbered pid.
+
+        Renumbering is free in this form: a page stream never mentions
+        its pid, so the constituents' streams pass through untouched and
+        only the pairing changes.
+        """
         scale = self.scale if scale is None else scale
         streams = []
-        next_pid = node * params.MAX_PROCESSES_PER_NIC
-        for index, app in enumerate(self.apps):
-            # Each app generated with its own seed stream, then its pids
-            # renumbered into this node's unique range.
-            records = app.generate_node(node, seed=seed * 131 + index,
-                                        scale=scale)
-            pid_map = {}
-            renumbered = []
-            for record in records:
-                if record.pid not in pid_map:
-                    pid_map[record.pid] = next_pid
-                    next_pid += 1
-                renumbered.append(TraceRecord(
-                    record.timestamp, record.node, pid_map[record.pid],
-                    record.op, record.vaddr, record.nbytes))
-            streams.append(renumbered)
-        return merge_streams(streams)
+        for app_index, app in enumerate(self.apps):
+            base = (node * params.MAX_PROCESSES_PER_NIC
+                    + app_index * params.TRACE_PROCESSES_PER_NODE)
+            for local_index, (_, pages) in enumerate(
+                    app.iter_page_streams(node, seed=seed * 131 + app_index,
+                                          scale=scale)):
+                streams.append((base + local_index, pages))
+        return streams
+
+    def iter_processes(self, node=0, seed=0, scale=None):
+        """Every constituent process's lazy stream, pids renumbered.
+
+        The :meth:`iter_page_streams` pairs wrapped into page-sized send
+        records under their renumbered pids.
+        """
+        return [page_record_stream(node, pid, pages)
+                for pid, pages in self.iter_page_streams(
+                    node, seed=seed, scale=scale)]
+
+    def iter_node(self, node=0, seed=0, scale=None):
+        """One node's serialized trace of all constituent programs,
+        as a lazy record stream (one pending record per process)."""
+        return merge_record_streams(
+            self.iter_processes(node, seed=seed, scale=scale))
+
+    def generate_node(self, node=0, seed=0, scale=None):
+        """The eager (list) form of :meth:`iter_node`."""
+        return list(self.iter_node(node, seed=seed, scale=scale))
 
     def generate_cluster(self, nodes=params.TRACE_NODES, seed=0,
                          scale=None):
         return {node: self.generate_node(node, seed=seed, scale=scale)
+                for node in range(nodes)}
+
+    def streaming_node(self, node=0, seed=0, scale=None):
+        """One node's trace as a re-iterable :class:`StreamingNodeTrace`."""
+        scale = self.scale if scale is None else scale
+        return StreamingNodeTrace(self, node=node, seed=seed, scale=scale)
+
+    def streaming_cluster(self, nodes=params.TRACE_NODES, seed=0,
+                          scale=None):
+        """Per-node streaming traces: ``{node: StreamingNodeTrace}``."""
+        return {node: self.streaming_node(node, seed=seed, scale=scale)
                 for node in range(nodes)}
 
     def constituent_processes(self, records):

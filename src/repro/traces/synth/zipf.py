@@ -46,11 +46,11 @@ from bisect import bisect_left
 from repro import params
 from repro.errors import ConfigError
 from repro.traces.merge import merge_record_streams
-from repro.traces.record import OP_SEND, TraceRecord
 from repro.traces.synth.base import (
     DATA_BASE,
     MEAN_GAP_US,
     StreamingNodeTrace,
+    page_record_stream,
 )
 
 #: Knuth's multiplicative hash constant: decorrelates per-tenant hot-page
@@ -177,12 +177,14 @@ class ZipfKVWorkload:
 
     # -- generation ----------------------------------------------------------------
 
-    def iter_node(self, node=0, seed=0, scale=1.0):
-        """One node's merged trace as a lazy record stream.
+    def iter_page_streams(self, node=0, seed=0, scale=1.0):
+        """Per-process lazy ``(timestamp, page)`` streams with their pids.
 
-        The only generation path: per-process generators merged by
-        timestamp, peak memory one pending record per server process
-        plus the (footprint-bounded) zipf tables.
+        The pre-record form of the streaming protocol (see
+        :meth:`SyntheticApp.iter_page_streams`): each stream regenerates
+        independently from its own ``(seed, node, local_index)`` RNG, so
+        parallel trace compilation can fan the processes out to workers
+        and skip record construction.
         """
         tenants, lookups = self.scaled_sizes(scale)
         self._check_footprint(tenants)
@@ -191,9 +193,30 @@ class ZipfKVWorkload:
             pid = node * params.MAX_PROCESSES_PER_NIC + local_index
             rng = random.Random(
                 (seed * 2000003 + node) * 37 + local_index)
-            streams.append(self._process_stream(node, pid, rng, tenants,
-                                                lookups))
-        return merge_record_streams(streams)
+            streams.append((pid,
+                            self._process_pages(rng, tenants, lookups)))
+        return streams
+
+    def iter_processes(self, node=0, seed=0, scale=1.0):
+        """Per-process lazy request streams, in server-process order.
+
+        The pre-merge form of the streaming protocol: the
+        :meth:`iter_page_streams` draws wrapped into page-sized send
+        records.
+        """
+        return [page_record_stream(node, pid, pages)
+                for pid, pages in self.iter_page_streams(
+                    node, seed=seed, scale=scale)]
+
+    def iter_node(self, node=0, seed=0, scale=1.0):
+        """One node's merged trace as a lazy record stream.
+
+        The only generation path: per-process generators merged by
+        timestamp, peak memory one pending record per server process
+        plus the (footprint-bounded) zipf tables.
+        """
+        return merge_record_streams(
+            self.iter_processes(node, seed=seed, scale=scale))
 
     def generate_node(self, node=0, seed=0, scale=1.0):
         """The eager (list) form — small instances and tests only."""
@@ -215,11 +238,12 @@ class ZipfKVWorkload:
         return {node: self.streaming_node(node, seed=seed, scale=scale)
                 for node in range(nodes)}
 
-    def _process_stream(self, node, pid, rng, tenants, lookups):
-        """One server process: lazy zipf-over-zipf request stream."""
+    def _process_pages(self, rng, tenants, lookups):
+        """One server process: lazy zipf-over-zipf ``(timestamp, page)``
+        draws (pages absolute, offset to the SPMD data region)."""
         tenant_cdf = _zipf_cdf(tenants, self.tenant_exponent)
         tenant_total = tenant_cdf[-1]
-        page_size = params.PAGE_SIZE
+        base_page = DATA_BASE >> params.PAGE_SHIFT
         ppt = self.pages_per_tenant
         shared = self.shared_pages
         shared_fraction = self.shared_fraction
@@ -239,14 +263,9 @@ class ZipfKVWorkload:
                 rank = bisect_left(page_cdf, random_draw() * page_cdf[-1])
                 page = (shared + tenant * ppt
                         + (self._tenant_offset(tenant) + rank) % ppt)
-            yield TraceRecord(
-                timestamp=timestamp,
-                node=node,
-                pid=pid,
-                op=OP_SEND,
-                vaddr=DATA_BASE + page * page_size,
-                nbytes=page_size)
+            yield timestamp, base_page + page
             timestamp += randrange(gap_lo, gap_hi)
+
 
     # -- reporting ---------------------------------------------------------------------
 

@@ -206,7 +206,7 @@ class TestShadowCoherence:
 
 class TestEngineKnob:
     def test_engines_constant(self):
-        assert ENGINES == ("fast", "reference")
+        assert ENGINES == ("fast", "kernel", "reference")
 
     def test_default_is_fast(self):
         assert SimConfig().engine == "fast"

@@ -241,6 +241,31 @@ class TestMetrics:
         assert totals["pages_per_sec"] == pytest.approx(
             totals["lookups"] / totals["elapsed_s"])
 
+    def test_cell_reports_kernel_and_phase_split(self, traces, config):
+        """Cells tag kernel planning and promote the compile/replay
+        split to top-level metric fields."""
+        runner = SweepRunner()
+        runner.run(traces, SimConfig(engine="kernel"))
+        runner.run(traces, SimConfig(engine="kernel",
+                                     memory_limit_bytes=64 * 4096))
+        runner.run(traces, config)                      # fast engine
+        report = runner.metrics.to_dict()
+        kernel_cell, limited_cell, fast_cell = report["cells"]
+        assert kernel_cell["kernel"] is True
+        assert limited_cell["kernel"] is False          # pinning limit
+        assert fast_cell["kernel"] is False             # fast engine
+        assert report["totals"]["kernel_cells"] == 1
+        for cell in report["cells"]:
+            assert cell["compile_s"] == cell["phases"]["compile_s"]
+            assert cell["replay_s"] == cell["phases"]["replay_s"]
+            assert cell["replay_s"] > 0.0
+
+    def test_kernel_cells_replay_identically(self, traces, config):
+        kernel = SweepRunner().run(
+            traces, SimConfig(engine="kernel", cache_entries=256))
+        fast = SweepRunner().run(traces, config)
+        assert kernel.to_dict() == fast.to_dict()
+
     def test_cell_reports_compile_and_ipc_fields(self, traces, config):
         runner = SweepRunner()
         runner.run(traces, config)

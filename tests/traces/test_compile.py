@@ -5,6 +5,7 @@ import sys
 from array import array
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro import params
 from repro.errors import TraceError
@@ -284,3 +285,64 @@ class TestChunkedCompileDifferential:
         eager = compile_streams(workload.generate_node(0, seed=1,
                                                        scale=0.02))
         assert_byte_identical(compile_in_chunks(source, 64), eager)
+
+
+class TestCompileKernel:
+    """The numpy batch-ingestion kernel vs the per-record loop."""
+
+    def records(self, n=120):
+        return [rec(i, (i * 5) % 6, 40 + (i * 11) % 90, npages=1 + i % 4)
+                for i in range(n)]
+
+    @pytest.mark.parametrize("chunk", [1, 7, 64, 10**6])
+    def test_kernel_equals_loop_at_every_chunking(self, chunk):
+        pytest.importorskip("numpy")
+        records = self.records()
+        assert_byte_identical(
+            compile_in_chunks(iter(records), chunk, kernel=True),
+            compile_in_chunks(iter(records), chunk, kernel=False))
+
+    def test_kernel_knob_defaults_to_auto(self):
+        records = self.records()
+        assert_byte_identical(compile_streams(records),
+                              compile_streams(records, kernel=False))
+
+    def test_kernel_requires_numpy(self, monkeypatch):
+        import repro.traces.compile as compile_mod
+        monkeypatch.setattr(compile_mod, "_numpy", lambda: None)
+        with pytest.raises(TraceError, match="numpy"):
+            StreamCompiler(kernel=True)
+        # auto (None) quietly degrades to the loop.
+        assert_byte_identical(
+            compile_mod.compile_streams(self.records()),
+            compile_streams(self.records(), kernel=False))
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_kernel_on_workload_traces(self, name):
+        pytest.importorskip("numpy")
+        records = make_workload(name).generate_node(0, seed=1, scale=0.02)
+        assert_byte_identical(compile_streams(records, kernel=True),
+                              compile_streams(records, kernel=False))
+
+
+class TestCompileKernelProperty:
+    """Chunked numpy compile parity under adversarial record shapes."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.lists(
+               st.tuples(st.integers(min_value=0, max_value=50),   # ts gap
+                         st.integers(min_value=0, max_value=9),    # pid
+                         st.integers(min_value=0, max_value=400),  # page
+                         st.integers(min_value=1, max_value=5)),   # npages
+               max_size=120),
+           chunk=st.sampled_from([1, 3, 17, 1000]))
+    def test_chunked_kernel_parity(self, data, chunk):
+        pytest.importorskip("numpy")
+        ts = 0
+        records = []
+        for gap, pid, page, npages in data:
+            ts += gap
+            records.append(rec(ts, pid, page, npages=npages))
+        assert_byte_identical(
+            compile_in_chunks(iter(records), chunk, kernel=True),
+            compile_streams(records, kernel=False))

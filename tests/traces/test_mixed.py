@@ -59,6 +59,29 @@ class TestGeneration:
         assert not pids0 & pids1
 
 
+class TestStreaming:
+    """The streaming form must be byte-identical to the eager one."""
+
+    def test_streaming_equals_eager(self):
+        mix = MixedWorkload(["barnes", "fft"], scale=0.05)
+        streaming = mix.streaming_node(0, seed=3)
+        assert list(streaming) == mix.generate_node(0, seed=3)
+        # Re-iterable: a second pass regenerates the same records.
+        assert list(streaming) == mix.generate_node(0, seed=3)
+
+    def test_streaming_cluster_equals_eager(self):
+        mix = MixedWorkload(["radix", "volrend"], scale=0.05)
+        eager = mix.generate_cluster(nodes=2, seed=2)
+        streaming = mix.streaming_cluster(nodes=2, seed=2)
+        for node in range(2):
+            assert list(streaming[node]) == eager[node]
+
+    def test_scale_defaults_to_constructor(self):
+        mix = MixedWorkload(["barnes", "fft"], scale=0.05)
+        assert list(mix.streaming_node(0, seed=1)) == \
+            mix.generate_node(0, seed=1, scale=0.05)
+
+
 class TestHeterogeneousMultiprogramming:
     def test_mix_simulates_cleanly(self):
         mix = MixedWorkload(["barnes", "fft"], scale=0.05)
